@@ -1,0 +1,42 @@
+//! Criterion bench: the end-to-end COOL flow (FIG1 / RES2 backing data) —
+//! specification to netlist + VHDL + C for each workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cool_core::{run_flow, FlowOptions, Partitioner};
+use cool_partition::GaOptions;
+use cool_spec::workloads;
+
+fn bench_flow(c: &mut Criterion) {
+    let target = cool_bench::paper_board();
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    let designs: Vec<(&str, cool_ir::PartitioningGraph)> = vec![
+        ("equalizer4", workloads::equalizer(4)),
+        ("fuzzy", workloads::fuzzy_controller()),
+        ("fir16", workloads::fir(16)),
+    ];
+    for (name, graph) in designs {
+        let quick = FlowOptions {
+            partitioner: Partitioner::Genetic(GaOptions {
+                population: 8,
+                generations: 4,
+                threads: 1,
+                ..Default::default()
+            }),
+            ..FlowOptions::quick()
+        };
+        group.bench_with_input(BenchmarkId::new("quick", name), &(), |b, ()| {
+            b.iter(|| black_box(run_flow(&graph, &target, &quick).unwrap()));
+        });
+        let full = FlowOptions::default();
+        group.bench_with_input(BenchmarkId::new("full", name), &(), |b, ()| {
+            b.iter(|| black_box(run_flow(&graph, &target, &full).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench: Oscar-style HLS — scheduling/binding effort and the
+//! FSM encoding search (RES3 backing data: hardware synthesis dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cool_hls::{synthesize, HlsOptions};
+use cool_ir::{Behavior, Expr, Op};
+
+fn deep_behavior(depth: usize) -> Behavior {
+    // A MAC chain of the given depth on 4 inputs.
+    let mut e = Expr::Input(0);
+    for i in 0..depth {
+        e = Expr::binary(
+            Op::Add,
+            Expr::binary(Op::Mul, e, Expr::Input(1 + i % 3)),
+            Expr::Const(i as i64 + 1),
+        );
+    }
+    Behavior::new(4, vec![e]).expect("static behaviour")
+}
+
+fn bench_hls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hls");
+    for depth in [4usize, 8, 16, 32] {
+        let b = deep_behavior(depth);
+        group.bench_with_input(BenchmarkId::new("synthesize_e4", depth), &depth, |bench, _| {
+            bench.iter(|| {
+                black_box(synthesize("deep", &b, &HlsOptions { effort: 4, ..Default::default() }))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_e48", depth),
+            &depth,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(synthesize(
+                        "deep",
+                        &b,
+                        &HlsOptions { effort: 48, ..Default::default() },
+                    ))
+                });
+            },
+        );
+    }
+    // Force-directed vs list scheduling on the same CDFG.
+    for depth in [8usize, 16] {
+        let b = deep_behavior(depth);
+        let cdfg = cool_hls::Cdfg::from_behavior(&b);
+        let asap_len = cool_hls::schedule::asap(&cdfg, 16).length;
+        group.bench_with_input(
+            BenchmarkId::new("force_directed", depth),
+            &depth,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(cool_hls::schedule::force_directed(&cdfg, 16, asap_len + 4))
+                });
+            },
+        );
+    }
+
+    // Encoding search on a real controller STG.
+    let graph = cool_spec::workloads::fuzzy_controller();
+    let target = cool_bench::paper_board();
+    let cost = cool_cost::CostModel::new(&graph, &target);
+    let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
+    let schedule = cool_schedule::schedule(&graph, &mapping, &cost, Default::default()).unwrap();
+    let (stg, _) = cool_stg::minimize(&cool_stg::generate(&graph, &mapping, &schedule));
+    for effort in [4u32, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("fsm_encoding", effort),
+            &effort,
+            |bench, &effort| {
+                bench.iter(|| black_box(cool_rtl::encoding::optimize_encoding(&stg, effort)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hls);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! ABL1 — Partitioner ablation: exact MILP vs MILP+heuristic vs genetic
+//! algorithm on random data-flow graphs of growing size.
+//!
+//! Reports solution quality (list-scheduler makespan of the returned
+//! colouring) and solver work/runtime — the trade the paper's three
+//! partitioning back-ends embody.
+
+use cool_cost::CostModel;
+use cool_partition::{genetic, heuristic, milp, GaOptions, HeuristicOptions, MilpOptions};
+use cool_spec::workloads::{random_dag, RandomDagConfig};
+use std::time::Instant;
+
+fn main() {
+    let target = cool_bench::paper_board();
+    println!("ABL1: partitioning algorithms on random DAGs (seed-averaged)\n");
+    println!(
+        "{:>6} {:>16} {:>10} {:>11} {:>12}",
+        "nodes", "algorithm", "makespan", "runtime ms", "work units"
+    );
+    for nodes in [8usize, 12, 16, 24, 32, 48] {
+        let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+        let seeds = [3u64, 11, 19];
+        for &seed in &seeds {
+            let graph = random_dag(RandomDagConfig { nodes, seed, ..Default::default() });
+            let cost = CostModel::new(&graph, &target);
+
+            if nodes <= 16 {
+                let t = Instant::now();
+                let r = milp::partition(&graph, &cost, &MilpOptions::default())
+                    .expect("milp feasible");
+                accumulate(&mut rows, "milp", r.makespan, t.elapsed().as_secs_f64(), r.work_units);
+            }
+            let t = Instant::now();
+            let r = heuristic::partition(&graph, &cost, &HeuristicOptions::default())
+                .expect("heuristic feasible");
+            accumulate(&mut rows, "milp+heuristic", r.makespan, t.elapsed().as_secs_f64(), r.work_units);
+
+            let t = Instant::now();
+            let r = genetic::partition(&graph, &cost, &GaOptions::default())
+                .expect("ga feasible");
+            accumulate(&mut rows, "genetic", r.makespan, t.elapsed().as_secs_f64(), r.work_units);
+        }
+        for (algo, makespan, secs, work) in rows {
+            let k = seeds.len() as f64;
+            println!(
+                "{nodes:>6} {:>16} {:>10.0} {:>11.1} {:>12.0}",
+                algo,
+                makespan / k,
+                secs * 1e3 / k,
+                work / k
+            );
+        }
+        println!();
+    }
+    println!("expected shape: exact MILP is optimal for its load-proxy objective");
+    println!("but exponential (dropped past 16 nodes); the clustering heuristic");
+    println!("tracks it at a fraction of the branch&bound work; the GA optimizes");
+    println!("the *real* schedule makespan, so it finds concurrency the proxy");
+    println!("cannot see — the reason COOL exposes all three back-ends.");
+}
+
+fn accumulate(rows: &mut Vec<(String, f64, f64, f64)>, algo: &str, makespan: u64, secs: f64, work: usize) {
+    if let Some(row) = rows.iter_mut().find(|(a, ..)| a == algo) {
+        row.1 += makespan as f64;
+        row.2 += secs;
+        row.3 += work as f64;
+    } else {
+        rows.push((algo.to_string(), makespan as f64, secs, work as f64));
+    }
+}

@@ -1,0 +1,59 @@
+//! ABL3 — Communication-scheme ablation: memory-mapped I/O vs direct
+//! communication, the two mechanisms COOL's communication refinement
+//! inserts for cut edges.
+
+use cool_core::{run_flow_with_mapping, FlowOptions};
+use cool_cost::{CommScheme, CostModel};
+use cool_ir::eval::input_map;
+use cool_spec::workloads;
+
+fn main() {
+    let target = cool_bench::paper_board();
+    let designs: Vec<(&str, cool_ir::PartitioningGraph, Vec<(&str, i64)>)> = vec![
+        (
+            "equalizer4",
+            workloads::equalizer(4),
+            vec![("x0", 120), ("x1", 60), ("x2", -30)],
+        ),
+        (
+            "fuzzy",
+            workloads::fuzzy_controller(),
+            vec![("err", 75), ("derr", -25)],
+        ),
+    ];
+    println!("ABL3: memory-mapped vs direct communication (mixed partitions)\n");
+    println!(
+        "{:<12} {:>14} {:>10} {:>12} {:>10}",
+        "design", "scheme", "cycles", "bus xfers", "bus util%"
+    );
+    for (name, graph, probe) in designs {
+        let cost = CostModel::new(&graph, &target);
+        let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
+        for scheme in [CommScheme::MemoryMapped, CommScheme::Direct] {
+            let art = run_flow_with_mapping(
+                &graph,
+                &target,
+                mapping.clone(),
+                &FlowOptions { scheme, ..FlowOptions::default() },
+            )
+            .expect("flow succeeds");
+            let r = art
+                .simulate(&input_map(probe.iter().copied()))
+                .expect("implementation matches specification");
+            println!(
+                "{:<12} {:>14} {:>10} {:>12} {:>9.1}%",
+                name,
+                match scheme {
+                    CommScheme::MemoryMapped => "memory-mapped",
+                    CommScheme::Direct => "direct",
+                },
+                r.cycles,
+                r.bus_transfers,
+                100.0 * r.bus_utilization(),
+            );
+        }
+    }
+    println!("\nexpected shape: direct links remove the write+read round trip and");
+    println!("the SRAM wait states, so cut-heavy partitions speed up; outputs are");
+    println!("bit-identical under both schemes (checked against the reference).");
+}

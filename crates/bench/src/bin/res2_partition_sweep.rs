@@ -1,0 +1,58 @@
+//! RES2 — Different hardware/software partitions of the fuzzy controller,
+//! each implemented by the complete design flow (paper Results section:
+//! "Different hardware/software partitions of the fuzzy controller were
+//! implemented and in all cases the time to execute the complete design
+//! flow […] took not more than about 60 minutes").
+//!
+//! We sweep FPGA area budgets (which forces different partitions), run the
+//! full flow for each, validate by co-simulation, and report per-partition
+//! makespan and flow wall time. Absolute times are 2020s-laptop times, not
+//! 1998 workstation times; the claim that *every* partition completes the
+//! full flow automatically is the reproduced result.
+
+use cool_core::{run_flow, FlowOptions, Partitioner};
+use cool_ir::eval::input_map;
+use cool_partition::GaOptions;
+use cool_spec::workloads;
+use std::time::Instant;
+
+fn main() {
+    let graph = workloads::fuzzy_controller();
+    println!("RES2: partition sweep over FPGA area budgets — fuzzy controller\n");
+    println!(
+        "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
+        "budget", "sw", "hw", "makespan", "sim cyc", "flow ms", "hw-time%"
+    );
+    for budget in [0u32, 48, 96, 144, 196] {
+        let mut target = cool_bench::paper_board();
+        target.hw[0].clb_capacity = budget;
+        target.hw[1].clb_capacity = budget;
+        let options = FlowOptions {
+            partitioner: Partitioner::Genetic(GaOptions {
+                population: 24,
+                generations: 20,
+                ..GaOptions::default()
+            }),
+            ..FlowOptions::default()
+        };
+        let t0 = Instant::now();
+        let art = run_flow(&graph, &target, &options).expect("flow succeeds");
+        let wall = t0.elapsed();
+        let sim = art
+            .simulate(&input_map([("err", 80), ("derr", -40)]))
+            .expect("implementation matches specification");
+        println!(
+            "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10.1} {:>8.1}%",
+            budget,
+            art.partition.software_nodes(&graph),
+            art.partition.hardware_nodes(&graph),
+            art.partition.makespan,
+            sim.cycles,
+            wall.as_secs_f64() * 1e3,
+            100.0 * art.timings.hardware_fraction(),
+        );
+    }
+    println!("\nevery partition went from specification to netlist + C + validated");
+    println!("simulation fully automatically (the paper's ≤ 60-minute claim, on a");
+    println!("modern machine and a simulated board).");
+}

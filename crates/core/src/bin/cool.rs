@@ -1,0 +1,151 @@
+//! `cool` — command-line front-end of the COOL co-design flow.
+//!
+//! ```text
+//! cool flow <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga]
+//!                       [--scheme mmio|direct] [--quick]
+//! cool simulate <spec.cool> [name=value ...] [--partitioner ...]
+//! cool check <spec.cool>
+//! ```
+//!
+//! `flow` runs specification → partitioning → co-synthesis and writes the
+//! generated VHDL and C files into `--out` (default `cool_out/`);
+//! `simulate` additionally executes one system invocation on the
+//! co-simulator; `check` only parses and validates the specification.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cool_core::{run_flow, FlowOptions, Partitioner};
+use cool_cost::CommScheme;
+use cool_ir::Target;
+use cool_partition::{GaOptions, HeuristicOptions, MilpOptions};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first().cloned() else {
+        return Err(usage().into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "check" => {
+            let spec = read_spec(rest)?;
+            let graph = cool_spec::parse(&spec)?;
+            println!(
+                "ok: design `{}` with {} nodes, {} edges",
+                graph.name(),
+                graph.node_count(),
+                graph.edge_count()
+            );
+            Ok(())
+        }
+        "flow" => {
+            let spec = read_spec(rest)?;
+            let graph = cool_spec::parse(&spec)?;
+            let options = parse_options(rest)?;
+            let out = flag_value(rest, "--out").unwrap_or_else(|| "cool_out".to_string());
+            let art = run_flow(&graph, &Target::fuzzy_board(), &options)?;
+            println!("{}", art.report());
+            let dir = PathBuf::from(out);
+            fs::create_dir_all(&dir)?;
+            for (name, source) in &art.vhdl {
+                fs::write(dir.join(name), source)?;
+            }
+            fs::write(
+                dir.join("cool_memory_map.h"),
+                cool_codegen::emit_memory_header(&graph, &art.memory_map),
+            )?;
+            for p in &art.c_programs {
+                fs::write(dir.join(&p.file_name), &p.source)?;
+            }
+            println!(
+                "wrote {} VHDL unit(s), {} C unit(s) and the memory map to {}",
+                art.vhdl.len(),
+                art.c_programs.len(),
+                dir.display()
+            );
+            Ok(())
+        }
+        "simulate" => {
+            let spec = read_spec(rest)?;
+            let graph = cool_spec::parse(&spec)?;
+            let options = parse_options(rest)?;
+            let mut inputs: BTreeMap<String, i64> = BTreeMap::new();
+            for a in rest.iter().skip(1) {
+                if let Some((k, v)) = a.split_once('=') {
+                    inputs.insert(k.to_string(), v.parse()?);
+                }
+            }
+            for id in graph.primary_inputs() {
+                let name = graph.node(id)?.name().to_string();
+                inputs.entry(name).or_insert(0);
+            }
+            let art = run_flow(&graph, &Target::fuzzy_board(), &options)?;
+            let r = art.simulate(&inputs)?;
+            println!("simulated {} cycles ({} bus transfer(s), bus {:.1} % busy)", r.cycles, r.bus_transfers, 100.0 * r.bus_utilization());
+            for (name, value) in &r.outputs {
+                println!("  {name} = {value}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--scheme mmio|direct] [--quick]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]"
+}
+
+fn read_spec(rest: &[String]) -> Result<String, Box<dyn Error>> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.contains('='))
+        .ok_or("missing specification file argument")?;
+    Ok(fs::read_to_string(path)?)
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
+}
+
+fn parse_options(rest: &[String]) -> Result<FlowOptions, Box<dyn Error>> {
+    let mut options = if rest.iter().any(|a| a == "--quick") {
+        FlowOptions::quick()
+    } else {
+        FlowOptions::default()
+    };
+    if let Some(p) = flag_value(rest, "--partitioner") {
+        options.partitioner = match p.as_str() {
+            "milp" => Partitioner::Milp(MilpOptions::default()),
+            "heuristic" => Partitioner::Heuristic(HeuristicOptions::default()),
+            "ga" => Partitioner::Genetic(GaOptions::default()),
+            other => return Err(format!("unknown partitioner `{other}`").into()),
+        };
+    }
+    if let Some(s) = flag_value(rest, "--scheme") {
+        options.scheme = match s.as_str() {
+            "mmio" => CommScheme::MemoryMapped,
+            "direct" => CommScheme::Direct,
+            other => return Err(format!("unknown scheme `{other}`").into()),
+        };
+    }
+    Ok(options)
+}

@@ -1,0 +1,307 @@
+//! Cost models for COOL partitioning and scheduling.
+//!
+//! The MILP formulation of COOL's partitioner (paper reference \[4\]) needs,
+//! for every node of the partitioning graph:
+//!
+//! * **software execution time** on each processor (instruction-timing
+//!   tables per [`cool_ir::TimingClass`]),
+//! * **hardware latency and area** (one quick Oscar/HLS estimate per node,
+//!   see [`cool_hls::estimate`]),
+//! * **communication time** per edge whose endpoints end up on different
+//!   processing units (bus words, wait states, I/O access overhead).
+//!
+//! [`CostModel::new`] precomputes all of these once per graph; the
+//! partitioners and the scheduler then query it in O(1).
+//!
+//! # Example
+//!
+//! ```
+//! use cool_cost::CostModel;
+//! use cool_ir::Target;
+//! use cool_spec::workloads;
+//!
+//! let g = workloads::fuzzy_controller();
+//! let target = Target::fuzzy_board();
+//! let cost = CostModel::new(&g, &target);
+//! let node = g.node_by_name("defuzz").unwrap();
+//! // Division is far cheaper in dedicated hardware than on the DSP.
+//! assert!(cost.hw_latency_cycles(node) < cost.sw_cycles(node, 0));
+//! ```
+
+use cool_hls::{HlsDesign, HlsOptions};
+use cool_ir::{Edge, NodeId, NodeKind, PartitioningGraph, Resource, Target};
+
+/// How a cut data transfer is physically implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommScheme {
+    /// Producer writes a shared-memory cell over the bus; consumer reads
+    /// it back (the paper's memory-mapped I/O path). Two bus transactions
+    /// per word plus memory wait states.
+    #[default]
+    MemoryMapped,
+    /// Dedicated point-to-point wiring inserted by co-synthesis (the
+    /// paper's "direct communication"): one transfer, no memory waits.
+    Direct,
+}
+
+/// Precomputed per-node and per-edge costs for one graph on one target.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// `sw[node][processor]` = software cycles.
+    sw: Vec<Vec<u64>>,
+    /// One HLS estimate per node (None for primary I/O nodes).
+    hw: Vec<Option<HlsDesign>>,
+    target: Target,
+}
+
+impl CostModel {
+    /// Build the model with default HLS options (16-bit datapath).
+    #[must_use]
+    pub fn new(g: &PartitioningGraph, target: &Target) -> CostModel {
+        CostModel::with_hls_options(g, target, &HlsOptions::default())
+    }
+
+    /// Build the model with explicit HLS options.
+    #[must_use]
+    pub fn with_hls_options(
+        g: &PartitioningGraph,
+        target: &Target,
+        hls: &HlsOptions,
+    ) -> CostModel {
+        let mut sw = Vec::with_capacity(g.node_count());
+        let mut hw = Vec::with_capacity(g.node_count());
+        for (_, node) in g.nodes() {
+            match node.kind() {
+                NodeKind::Function => {
+                    let per_proc: Vec<u64> = target
+                        .processors
+                        .iter()
+                        .map(|p| {
+                            let mut cycles = p.timing.node_overhead_cycles();
+                            node.behavior().for_each_op(|op| {
+                                cycles += p.timing.op_cycles(op);
+                            });
+                            cycles
+                        })
+                        .collect();
+                    sw.push(per_proc);
+                    hw.push(Some(cool_hls::estimate(node.name(), node.behavior(), hls)));
+                }
+                NodeKind::Input | NodeKind::Output => {
+                    sw.push(vec![0; target.processors.len()]);
+                    hw.push(None);
+                }
+            }
+        }
+        CostModel { sw, hw, target: target.clone() }
+    }
+
+    /// Software execution cycles of `node` on processor `proc`.
+    ///
+    /// Primary I/O nodes cost zero (they are serviced by the I/O
+    /// controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `proc` is out of range for the modelled graph
+    /// and target.
+    #[must_use]
+    pub fn sw_cycles(&self, node: NodeId, proc: usize) -> u64 {
+        self.sw[node.index()][proc]
+    }
+
+    /// Hardware latency of `node` in hardware clock cycles (0 for I/O
+    /// nodes).
+    #[must_use]
+    pub fn hw_latency_cycles(&self, node: NodeId) -> u64 {
+        self.hw[node.index()].as_ref().map_or(0, |d| d.latency_cycles)
+    }
+
+    /// Hardware area of `node` in CLBs (0 for I/O nodes).
+    #[must_use]
+    pub fn hw_area_clbs(&self, node: NodeId) -> u32 {
+        self.hw[node.index()].as_ref().map_or(0, |d| d.area_clbs)
+    }
+
+    /// The full HLS estimate for `node`, if it is a function node.
+    #[must_use]
+    pub fn hls_design(&self, node: NodeId) -> Option<&HlsDesign> {
+        self.hw[node.index()].as_ref()
+    }
+
+    /// Execution cycles of `node` on `resource`, in *system* clock cycles.
+    ///
+    /// Processor and FPGA clocks are converted to the target's system
+    /// clock so that schedule lengths are comparable across resources.
+    #[must_use]
+    pub fn exec_cycles(&self, node: NodeId, resource: Resource) -> u64 {
+        match resource {
+            Resource::Software(p) => {
+                let cycles = self.sw_cycles(node, p);
+                scale_cycles(
+                    cycles,
+                    self.target.processors[p].clock_mhz,
+                    self.target.system_clock_mhz,
+                )
+            }
+            Resource::Hardware(h) => {
+                let cycles = self.hw_latency_cycles(node);
+                scale_cycles(cycles, self.target.hw[h].clock_mhz, self.target.system_clock_mhz)
+            }
+        }
+    }
+
+    /// Communication cycles for transferring one value over `edge` between
+    /// different processing units, in system clock cycles.
+    #[must_use]
+    pub fn comm_cycles(&self, edge: &Edge, scheme: CommScheme) -> u64 {
+        let words = u64::from(edge.words(self.target.bus.width_bits));
+        let bus = u64::from(self.target.bus.cycles_per_word);
+        match scheme {
+            CommScheme::MemoryMapped => {
+                let waits = u64::from(self.target.memory.read_wait)
+                    + u64::from(self.target.memory.write_wait);
+                // Producer write + consumer read, each word over the bus.
+                words * (2 * bus + waits) + 2
+            }
+            CommScheme::Direct => words * bus,
+        }
+    }
+
+    /// Time in microseconds for `cycles` system clock cycles.
+    #[must_use]
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.target.system_clock_mhz
+    }
+
+    /// The modelled target.
+    #[must_use]
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Total CLB area if `nodes` were all mapped to one hardware resource.
+    #[must_use]
+    pub fn total_area(&self, nodes: &[NodeId]) -> u32 {
+        nodes.iter().map(|&n| self.hw_area_clbs(n)).sum()
+    }
+
+    /// Lower bound on makespan: critical path with per-node best-case
+    /// execution (min over all resources), ignoring communication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`cool_ir::IrError::Cycle`] for malformed graphs.
+    pub fn makespan_lower_bound(&self, g: &PartitioningGraph) -> Result<u64, cool_ir::IrError> {
+        let resources = self.target.resources();
+        cool_ir::topo::longest_path(g, |n| {
+            resources.iter().map(|&r| self.exec_cycles(n, r)).min().unwrap_or(0)
+        })
+    }
+}
+
+fn scale_cycles(cycles: u64, from_mhz: f64, to_mhz: f64) -> u64 {
+    if from_mhz <= 0.0 || to_mhz <= 0.0 {
+        return cycles;
+    }
+    ((cycles as f64) * to_mhz / from_mhz).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::{Behavior, Op};
+
+    fn small_graph() -> PartitioningGraph {
+        let mut g = PartitioningGraph::new("g");
+        let a = g.add_input("a", 16);
+        let m = g.add_function("mac", Behavior::mac()).unwrap();
+        let d = g.add_function("div", Behavior::binary(Op::Div)).unwrap();
+        let y = g.add_output("y", 16);
+        g.connect(a, 0, m, 0, 16).unwrap();
+        g.connect(a, 0, m, 1, 16).unwrap();
+        g.connect(a, 0, m, 2, 16).unwrap();
+        g.connect(m, 0, d, 0, 32).unwrap();
+        g.connect(a, 0, d, 1, 16).unwrap();
+        g.connect(d, 0, y, 0, 16).unwrap();
+        g
+    }
+
+    #[test]
+    fn io_nodes_are_free() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(cost.sw_cycles(a, 0), 0);
+        assert_eq!(cost.hw_area_clbs(a), 0);
+    }
+
+    #[test]
+    fn division_prefers_hardware_on_dsp() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let d = g.node_by_name("div").unwrap();
+        assert!(cost.hw_latency_cycles(d) < cost.sw_cycles(d, 0));
+    }
+
+    #[test]
+    fn comm_memory_mapped_dearer_than_direct() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let (_, e) = g.edges().next().unwrap();
+        assert!(
+            cost.comm_cycles(e, CommScheme::MemoryMapped)
+                > cost.comm_cycles(e, CommScheme::Direct)
+        );
+    }
+
+    #[test]
+    fn wide_edges_cost_more() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let narrow = g.edges().find(|(_, e)| e.bits == 16).unwrap().1;
+        let wide = g.edges().find(|(_, e)| e.bits == 32).unwrap().1;
+        assert!(
+            cost.comm_cycles(wide, CommScheme::MemoryMapped)
+                > cost.comm_cycles(narrow, CommScheme::MemoryMapped)
+        );
+    }
+
+    #[test]
+    fn exec_cycles_covers_all_resources() {
+        let g = small_graph();
+        let t = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &t);
+        let m = g.node_by_name("mac").unwrap();
+        for r in t.resources() {
+            assert!(cost.exec_cycles(m, r) > 0, "resource {r}");
+        }
+    }
+
+    #[test]
+    fn makespan_bound_positive() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        assert!(cost.makespan_lower_bound(&g).unwrap() > 0);
+    }
+
+    #[test]
+    fn cycles_to_us_uses_system_clock() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        assert!((cost.cycles_to_us(16) - 1.0).abs() < 1e-9); // 16 MHz system clock
+    }
+
+    #[test]
+    fn total_area_sums_function_nodes() {
+        let g = small_graph();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let nodes: Vec<NodeId> = g.function_nodes();
+        let total = cost.total_area(&nodes);
+        assert_eq!(
+            total,
+            nodes.iter().map(|&n| cost.hw_area_clbs(n)).sum::<u32>()
+        );
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! XC4000-class area and latency model.
+//!
+//! The paper's hardware resources are Xilinx XC4005 FPGAs with 196 CLBs
+//! each; partitioning feasibility hinges on CLB budgets. One XC4000 CLB
+//! holds two 4-input LUTs and two flip-flops, so as rules of thumb for a
+//! `w`-bit datapath:
+//!
+//! * a ripple/carry adder or subtractor needs ~`w/2` CLBs,
+//! * a combinational array multiplier is quadratic-ish; we charge
+//!   `w*w/8` CLBs and pipeline it over several cycles,
+//! * a sequential divider charges `w` CLBs and many cycles,
+//! * bitwise logic and muxes need ~`w/4`..`w/2` CLBs,
+//! * a `w`-bit register needs `w/2` CLBs (two FFs per CLB).
+
+use crate::binding::Binding;
+use crate::cdfg::Cdfg;
+use crate::schedule::Schedule;
+use crate::HlsOptions;
+use cool_ir::Op;
+
+/// Latency (hardware cycles) and area (CLBs) of one operator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorCost {
+    /// Cycles from operand ready to result valid.
+    pub latency: u64,
+    /// CLBs for one instance of the unit.
+    pub clbs: u32,
+}
+
+/// Cost of `op` on a `bits`-wide datapath.
+#[must_use]
+pub fn operator_cost(op: Op, bits: u16) -> OperatorCost {
+    let w = u32::from(bits.max(1));
+    match op {
+        Op::Add | Op::Sub => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
+        Op::Mul => OperatorCost { latency: 2, clbs: (w * w).div_ceil(8) },
+        Op::Div | Op::Rem => OperatorCost { latency: (u64::from(w)).max(4), clbs: w + w / 2 },
+        Op::Min | Op::Max => OperatorCost { latency: 1, clbs: w }, // compare + mux
+        Op::And | Op::Or | Op::Xor | Op::Not => OperatorCost { latency: 1, clbs: w.div_ceil(4) },
+        Op::Shl | Op::Shr => OperatorCost { latency: 1, clbs: w }, // barrel shifter slice
+        Op::Neg | Op::Abs => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
+        Op::Lt | Op::Le | Op::Eq => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
+        Op::Mux => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
+        // `Op` is non-exhaustive; price unknown future operators like an ALU op.
+        _ => OperatorCost { latency: 1, clbs: w },
+    }
+}
+
+/// CLBs of one `bits`-wide register (two flip-flops per CLB).
+#[must_use]
+pub fn register_clbs(bits: u16) -> u32 {
+    u32::from(bits.max(1)).div_ceil(2)
+}
+
+/// CLBs of one `bits`-wide 2:1 multiplexer.
+#[must_use]
+pub fn mux_clbs(bits: u16) -> u32 {
+    u32::from(bits.max(1)).div_ceil(2)
+}
+
+/// CLBs of a Moore FSM with `states` states and `outputs` control outputs:
+/// state register + next-state and output logic.
+#[must_use]
+pub fn fsm_clbs(states: usize, outputs: usize) -> u32 {
+    if states <= 1 {
+        return 1;
+    }
+    let state_bits = usize::BITS - (states - 1).leading_zeros();
+    let ff = state_bits.div_ceil(2);
+    let logic = (state_bits * 2 + outputs as u32).div_ceil(2);
+    ff + logic
+}
+
+/// Estimate the complete area of a bound design.
+///
+/// Functional units are charged at the *widest* instance of their class
+/// (the class's operations share the unit); registers, muxes and the FSM
+/// are added on top.
+#[must_use]
+pub fn estimate_area(
+    cdfg: &Cdfg,
+    _sched: &Schedule,
+    bind: &Binding,
+    fsm_states: usize,
+    options: &HlsOptions,
+) -> u32 {
+    let bits = options.bits;
+    // Representative unit cost per class: maximum operator cost over the
+    // operations of that class (a shared ALU must implement its most
+    // expensive operation).
+    let mut mul_unit = 0u32;
+    let mut div_unit = 0u32;
+    let mut alu_unit = 0u32;
+    for o in cdfg.ops() {
+        let c = operator_cost(o.op, bits).clbs;
+        match o.op {
+            Op::Mul => mul_unit = mul_unit.max(c),
+            Op::Div | Op::Rem => div_unit = div_unit.max(c),
+            _ => alu_unit = alu_unit.max(c),
+        }
+    }
+    let fu = mul_unit * bind.multipliers as u32
+        + div_unit * bind.dividers as u32
+        + alu_unit * bind.alus as u32;
+    let regs = register_clbs(bits) * bind.register_count as u32;
+    let muxes = mux_clbs(bits) * bind.mux_count as u32;
+    // Control outputs: one enable per register + one select per mux + FU ops.
+    let outputs = bind.register_count + bind.mux_count + cdfg.op_count();
+    let fsm = fsm_clbs(fsm_states, outputs);
+    fu + regs + muxes + fsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        assert!(operator_cost(Op::Mul, 16).clbs > operator_cost(Op::Add, 16).clbs);
+    }
+
+    #[test]
+    fn divider_is_slow() {
+        assert!(operator_cost(Op::Div, 16).latency >= 4);
+        assert_eq!(operator_cost(Op::Add, 16).latency, 1);
+    }
+
+    #[test]
+    fn area_scales_with_width() {
+        for op in [Op::Add, Op::Mul, Op::Div, Op::Shl] {
+            assert!(
+                operator_cost(op, 32).clbs > operator_cost(op, 16).clbs,
+                "{op} should cost more at 32 bits"
+            );
+        }
+    }
+
+    #[test]
+    fn register_and_mux_costs() {
+        assert_eq!(register_clbs(16), 8);
+        assert_eq!(mux_clbs(16), 8);
+        assert_eq!(register_clbs(1), 1);
+    }
+
+    #[test]
+    fn fsm_grows_with_states() {
+        let small = fsm_clbs(2, 4);
+        let large = fsm_clbs(40, 4);
+        assert!(large > small);
+        assert_eq!(fsm_clbs(1, 0), 1);
+    }
+
+    #[test]
+    fn a_16bit_mac_fits_an_xc4005() {
+        // Sanity for the case study: a single MAC block must fit 196 CLBs,
+        // otherwise no mixed partition of the fuzzy controller exists.
+        use crate::{synthesize, HlsOptions};
+        let d = synthesize("mac", &cool_ir::Behavior::mac(), &HlsOptions::default());
+        assert!(d.area_clbs <= 196, "MAC needs {} CLBs", d.area_clbs);
+    }
+}

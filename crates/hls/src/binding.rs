@@ -1,0 +1,217 @@
+//! Allocation and binding: functional units, registers (left-edge
+//! algorithm) and interconnect multiplexers.
+
+use crate::area::operator_cost;
+use crate::cdfg::{Cdfg, ValueRef};
+use crate::schedule::Schedule;
+use crate::HlsOptions;
+use cool_ir::Op;
+
+/// The binding result: how many physical resources the datapath needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Multiplier instances used.
+    pub multipliers: usize,
+    /// Divider instances used.
+    pub dividers: usize,
+    /// ALU instances used (all remaining operator classes share ALUs).
+    pub alus: usize,
+    /// Registers after left-edge lifetime packing (includes input
+    /// registers).
+    pub register_count: usize,
+    /// 2:1 multiplexer equivalents implied by FU and register sharing.
+    pub mux_count: usize,
+}
+
+fn class(op: Op) -> usize {
+    match op {
+        Op::Mul => 0,
+        Op::Div | Op::Rem => 1,
+        _ => 2,
+    }
+}
+
+/// Bind the scheduled CDFG to functional units and registers.
+///
+/// FU allocation counts, per class, the maximum number of operations of
+/// that class simultaneously executing in any cycle. Register allocation
+/// computes value lifetimes (definition finish to last use start) and
+/// packs them with the left-edge algorithm, which is optimal for interval
+/// colouring. Multiplexers are estimated from sharing degree: an FU
+/// executing `k > 1` operations needs `k - 1` mux equivalents per operand
+/// port.
+#[must_use]
+pub fn bind(cdfg: &Cdfg, sched: &Schedule, options: &HlsOptions) -> Binding {
+    let bits = options.bits;
+    let n = cdfg.op_count();
+
+    // --- FU allocation: peak concurrency per class. ---
+    let mut per_class_ops: [Vec<(u64, u64)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, o) in cdfg.ops().iter().enumerate() {
+        let s = sched.start[i];
+        let f = s + operator_cost(o.op, bits).latency;
+        per_class_ops[class(o.op)].push((s, f));
+    }
+    let peak = |intervals: &[(u64, u64)]| -> usize {
+        let mut events: Vec<(u64, i32)> = Vec::new();
+        for &(s, f) in intervals {
+            events.push((s, 1));
+            events.push((f, -1));
+        }
+        events.sort_by_key(|&(t, d)| (t, d)); // releases before acquires at same t
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for (_, d) in events {
+            cur += d;
+            max = max.max(cur);
+        }
+        max.max(0) as usize
+    };
+    let multipliers = peak(&per_class_ops[0]);
+    let dividers = peak(&per_class_ops[1]);
+    let alus = peak(&per_class_ops[2]);
+
+    // --- Register allocation: left-edge over value lifetimes. ---
+    // A value lives from the cycle its producer finishes until the last
+    // cycle a consumer starts (inclusive). Inputs live from cycle 0.
+    let mut lifetimes: Vec<(u64, u64)> = Vec::new();
+    // Input values.
+    for i in 0..cdfg.input_count() {
+        let last_use = cdfg
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.args.contains(&ValueRef::Input(i)))
+            .map(|(j, _)| sched.start[j])
+            .max();
+        let output_use = cdfg.outputs().contains(&ValueRef::Input(i)).then_some(sched.length);
+        if let Some(end) = last_use.into_iter().chain(output_use).max() {
+            lifetimes.push((0, end));
+        }
+    }
+    // Operation results.
+    for i in 0..n {
+        let def = sched.start[i] + operator_cost(cdfg.ops()[i].op, bits).latency;
+        let mut end = def;
+        for u in cdfg.users(i) {
+            end = end.max(sched.start[u]);
+        }
+        if cdfg.is_output(i) {
+            end = end.max(sched.length);
+        }
+        lifetimes.push((def, end));
+    }
+    let register_count = left_edge(&mut lifetimes);
+
+    // --- Mux estimation from sharing degree. ---
+    let share_mux = |instances: usize, ops: usize, ports: usize| -> usize {
+        if instances == 0 || ops <= instances {
+            0
+        } else {
+            // Each extra op bound to a unit adds one 2:1 mux per port.
+            (ops - instances) * ports
+        }
+    };
+    let mul_ops = per_class_ops[0].len();
+    let div_ops = per_class_ops[1].len();
+    let alu_ops = per_class_ops[2].len();
+    let mux_count = share_mux(multipliers, mul_ops, 2)
+        + share_mux(dividers, div_ops, 2)
+        + share_mux(alus, alu_ops, 2);
+
+    Binding { multipliers, dividers, alus, register_count, mux_count }
+}
+
+/// Left-edge interval packing: returns the minimum number of registers
+/// (tracks) needed so that overlapping lifetimes never share a register.
+/// Zero-length lifetimes still occupy their definition instant.
+fn left_edge(lifetimes: &mut [(u64, u64)]) -> usize {
+    lifetimes.sort_unstable();
+    // Greedy sweep: registers as a multiset of last-occupied-until values.
+    let mut tracks: Vec<u64> = Vec::new();
+    for &(s, f) in lifetimes.iter() {
+        // Find a track free at s (its current occupant ended at or before s).
+        if let Some(t) = tracks.iter_mut().find(|t| **t <= s) {
+            *t = f.max(s + 1);
+        } else {
+            tracks.push(f.max(s + 1));
+        }
+    }
+    tracks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::list_schedule;
+    use cool_ir::{Behavior, Expr};
+
+    #[test]
+    fn left_edge_packs_disjoint_intervals() {
+        let mut v = vec![(0, 2), (2, 4), (4, 6)];
+        assert_eq!(left_edge(&mut v), 1);
+    }
+
+    #[test]
+    fn left_edge_separates_overlaps() {
+        let mut v = vec![(0, 3), (1, 4), (2, 5)];
+        assert_eq!(left_edge(&mut v), 3);
+    }
+
+    #[test]
+    fn left_edge_mixed() {
+        let mut v = vec![(0, 2), (1, 3), (2, 4), (3, 5)];
+        assert_eq!(left_edge(&mut v), 2);
+    }
+
+    #[test]
+    fn mac_binding_counts() {
+        let cdfg = Cdfg::from_behavior(&Behavior::mac());
+        let opts = HlsOptions::default();
+        let sched = list_schedule(&cdfg, &opts, 0);
+        let b = bind(&cdfg, &sched, &opts);
+        assert_eq!(b.multipliers, 1);
+        assert_eq!(b.dividers, 0);
+        assert_eq!(b.alus, 1);
+        // 3 inputs + mul result + add result, overlapping at various times.
+        assert!(b.register_count >= 3);
+    }
+
+    #[test]
+    fn sharing_creates_muxes() {
+        // Three adds forced onto fewer ALUs.
+        let b = Behavior::new(
+            4,
+            vec![Expr::binary(
+                cool_ir::Op::Add,
+                Expr::binary(cool_ir::Op::Add, Expr::Input(0), Expr::Input(1)),
+                Expr::binary(cool_ir::Op::Add, Expr::Input(2), Expr::Input(3)),
+            )],
+        )
+        .unwrap();
+        let cdfg = Cdfg::from_behavior(&b);
+        let opts = HlsOptions { max_alus: 1, ..Default::default() };
+        let sched = list_schedule(&cdfg, &opts, 0);
+        let bd = bind(&cdfg, &sched, &opts);
+        assert_eq!(bd.alus, 1);
+        assert!(bd.mux_count >= 2, "3 adds on 1 ALU need muxes, got {}", bd.mux_count);
+    }
+
+    #[test]
+    fn fu_counts_respect_schedule_limits() {
+        let b = Behavior::new(
+            4,
+            vec![Expr::binary(
+                cool_ir::Op::Add,
+                Expr::binary(cool_ir::Op::Mul, Expr::Input(0), Expr::Input(1)),
+                Expr::binary(cool_ir::Op::Mul, Expr::Input(2), Expr::Input(3)),
+            )]
+        )
+        .unwrap();
+        let cdfg = Cdfg::from_behavior(&b);
+        let opts = HlsOptions { max_multipliers: 1, ..Default::default() };
+        let sched = list_schedule(&cdfg, &opts, 0);
+        let bd = bind(&cdfg, &sched, &opts);
+        assert!(bd.multipliers <= 1, "binding exceeded the scheduler's FU budget");
+    }
+}

@@ -1,0 +1,191 @@
+//! Control/data-flow graph extraction from node behaviours.
+//!
+//! Expression trees are flattened into a DAG of operations with
+//! common-subexpression sharing: structurally identical subtrees map to the
+//! same operation, which is what a real HLS front-end does before
+//! scheduling.
+
+use std::collections::HashMap;
+
+use cool_ir::{Behavior, Expr, Op};
+
+/// A value flowing through the CDFG: an external input, a constant, or the
+/// result of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueRef {
+    /// The behaviour's `n`-th input port (held in an input register).
+    Input(usize),
+    /// An immediate constant (wired, zero datapath cost).
+    Const(i64),
+    /// The result of operation `n`.
+    Op(usize),
+}
+
+/// One scheduled operation of the CDFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdfgOp {
+    /// The operator computed.
+    pub op: Op,
+    /// Operand values in operator order.
+    pub args: Vec<ValueRef>,
+}
+
+/// A behaviour flattened into an operation DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cdfg {
+    ops: Vec<CdfgOp>,
+    outputs: Vec<ValueRef>,
+    input_count: usize,
+}
+
+impl Cdfg {
+    /// Flatten `behavior` into a CDFG, sharing identical subexpressions.
+    #[must_use]
+    pub fn from_behavior(behavior: &Behavior) -> Cdfg {
+        let mut builder = Builder { ops: Vec::new(), memo: HashMap::new() };
+        let outputs = behavior
+            .output_exprs()
+            .iter()
+            .map(|e| builder.lower(e))
+            .collect();
+        Cdfg { ops: builder.ops, outputs, input_count: behavior.inputs() }
+    }
+
+    /// Operations in dependency order (operands always precede users).
+    #[must_use]
+    pub fn ops(&self) -> &[CdfgOp] {
+        &self.ops
+    }
+
+    /// Number of operations after sharing.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The values driving the behaviour's outputs, in port order.
+    #[must_use]
+    pub fn outputs(&self) -> &[ValueRef] {
+        &self.outputs
+    }
+
+    /// Number of behaviour inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Indices of operations that directly consume the result of `op`.
+    #[must_use]
+    pub fn users(&self, op: usize) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.args.contains(&ValueRef::Op(op)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Operation indices whose operands are all inputs/constants.
+    #[must_use]
+    pub fn sources(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.args.iter().any(|a| matches!(a, ValueRef::Op(_))))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` if the result of `op` feeds a behaviour output.
+    #[must_use]
+    pub fn is_output(&self, op: usize) -> bool {
+        self.outputs.contains(&ValueRef::Op(op))
+    }
+}
+
+struct Builder {
+    ops: Vec<CdfgOp>,
+    memo: HashMap<CdfgOp, usize>,
+}
+
+impl Builder {
+    fn lower(&mut self, e: &Expr) -> ValueRef {
+        match e {
+            Expr::Input(i) => ValueRef::Input(*i),
+            Expr::Const(c) => ValueRef::Const(*c),
+            Expr::Apply(op, args) => {
+                let lowered: Vec<ValueRef> = args.iter().map(|a| self.lower(a)).collect();
+                let key = CdfgOp { op: *op, args: lowered };
+                if let Some(&idx) = self.memo.get(&key) {
+                    return ValueRef::Op(idx);
+                }
+                let idx = self.ops.len();
+                self.ops.push(key.clone());
+                self.memo.insert(key, idx);
+                ValueRef::Op(idx)
+            }
+        }
+    }
+}
+
+// Manual Hash for CdfgOp is derivable since Op and ValueRef are Hash.
+impl std::hash::Hash for CdfgOp {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.op.hash(state);
+        self.args.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::Behavior;
+
+    #[test]
+    fn mac_has_two_ops() {
+        let c = Cdfg::from_behavior(&Behavior::mac());
+        assert_eq!(c.op_count(), 2);
+        assert_eq!(c.input_count(), 3);
+        assert_eq!(c.outputs().len(), 1);
+        // The add consumes the mul.
+        assert_eq!(c.users(0), vec![1]);
+        assert!(c.is_output(1));
+        assert!(!c.is_output(0));
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let b = Behavior::new(
+            2,
+            vec![
+                Expr::binary(
+                    Op::Add,
+                    Expr::binary(Op::Mul, Expr::Input(0), Expr::Input(1)),
+                    Expr::binary(Op::Mul, Expr::Input(0), Expr::Input(1)),
+                ),
+                Expr::binary(Op::Mul, Expr::Input(0), Expr::Input(1)),
+            ],
+        )
+        .unwrap();
+        let c = Cdfg::from_behavior(&b);
+        assert_eq!(c.op_count(), 2, "one shared mul + one add");
+        // Second output directly reuses the shared multiply.
+        assert_eq!(c.outputs()[1], ValueRef::Op(0));
+    }
+
+    #[test]
+    fn constant_only_output() {
+        let c = Cdfg::from_behavior(&Behavior::constant(5));
+        assert_eq!(c.op_count(), 0);
+        assert_eq!(c.outputs()[0], ValueRef::Const(5));
+    }
+
+    #[test]
+    fn sources_have_no_op_operands() {
+        let c = Cdfg::from_behavior(&Behavior::mac());
+        assert_eq!(c.sources(), vec![0]); // the mul
+    }
+
+    use cool_ir::{Expr, Op};
+}

@@ -1,0 +1,494 @@
+//! Operation scheduling: ASAP, ALAP and resource-constrained list
+//! scheduling with mobility priorities.
+
+use crate::area::operator_cost;
+use crate::cdfg::{Cdfg, ValueRef};
+use crate::HlsOptions;
+use cool_ir::Op;
+
+/// Which scheduler produced a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// As soon as possible (unconstrained lower bound).
+    Asap,
+    /// As late as possible under the ASAP latency bound.
+    Alap,
+    /// Resource-constrained list schedule.
+    List,
+    /// Force-directed schedule (balanced resource usage at fixed latency).
+    ForceDirected,
+}
+
+/// Start cycle per operation plus the overall latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Scheduler that produced this result.
+    pub kind: ScheduleKind,
+    /// Start cycle of each operation, indexed like [`Cdfg::ops`].
+    pub start: Vec<u64>,
+    /// Total latency in cycles (max finish over all operations; at least 1
+    /// even for pure-wiring behaviours, because results are registered).
+    pub length: u64,
+}
+
+impl Schedule {
+    /// Finish cycle (exclusive) of operation `i`.
+    #[must_use]
+    pub fn finish(&self, cdfg: &Cdfg, i: usize, bits: u16) -> u64 {
+        self.start[i] + operator_cost(cdfg.ops()[i].op, bits).latency
+    }
+}
+
+fn op_latency(op: Op, bits: u16) -> u64 {
+    operator_cost(op, bits).latency
+}
+
+/// ASAP schedule: every operation starts as soon as its operands are done.
+#[must_use]
+pub fn asap(cdfg: &Cdfg, bits: u16) -> Schedule {
+    let n = cdfg.op_count();
+    let mut start = vec![0u64; n];
+    for i in 0..n {
+        // Ops are in dependency order by construction.
+        let ready = cdfg.ops()[i]
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                ValueRef::Op(j) => Some(start[*j] + op_latency(cdfg.ops()[*j].op, bits)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        start[i] = ready;
+    }
+    let length = schedule_length(cdfg, &start, bits);
+    Schedule { kind: ScheduleKind::Asap, start, length }
+}
+
+/// ALAP schedule under `deadline` cycles.
+///
+/// # Panics
+///
+/// Panics if `deadline` is smaller than the ASAP length (no valid ALAP
+/// exists); pass `asap(...).length` or larger.
+#[must_use]
+pub fn alap(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
+    let n = cdfg.op_count();
+    let asap_len = asap(cdfg, bits).length;
+    assert!(deadline >= asap_len, "deadline {deadline} below ASAP bound {asap_len}");
+    let mut start = vec![0u64; n];
+    for i in (0..n).rev() {
+        let lat = op_latency(cdfg.ops()[i].op, bits);
+        let users = cdfg.users(i);
+        let latest_finish = if cdfg.is_output(i) || users.is_empty() {
+            deadline
+        } else {
+            users.iter().map(|&u| start[u]).min().unwrap_or(deadline)
+        };
+        // Outputs that also feed other ops must respect both.
+        let bound = if cdfg.is_output(i) && !users.is_empty() {
+            users.iter().map(|&u| start[u]).min().unwrap_or(deadline).min(deadline)
+        } else {
+            latest_finish
+        };
+        start[i] = bound.saturating_sub(lat);
+    }
+    let length = schedule_length(cdfg, &start, bits);
+    Schedule { kind: ScheduleKind::Alap, start, length }
+}
+
+/// Resource-constrained list scheduling.
+///
+/// Priority is ALAP urgency (smaller ALAP start = more urgent); the
+/// `perturbation` seed rotates tie-breaking so the synthesis refinement
+/// loop explores different schedules deterministically.
+#[must_use]
+pub fn list_schedule(cdfg: &Cdfg, options: &HlsOptions, perturbation: u64) -> Schedule {
+    let n = cdfg.op_count();
+    if n == 0 {
+        return Schedule { kind: ScheduleKind::List, start: Vec::new(), length: 1 };
+    }
+    let bits = options.bits;
+    let asap_sched = asap(cdfg, bits);
+    let alap_sched = alap(cdfg, bits, asap_sched.length);
+
+    let class = |op: Op| -> usize {
+        match op {
+            Op::Mul => 0,
+            Op::Div | Op::Rem => 1,
+            _ => 2,
+        }
+    };
+    let capacity = [options.max_multipliers.max(1), options.max_dividers.max(1), options.max_alus.max(1)];
+
+    let mut start = vec![u64::MAX; n];
+    let mut scheduled = vec![false; n];
+    let mut remaining = n;
+    let mut cycle = 0u64;
+    // busy[class] holds (until_cycle) entries for occupied units.
+    let mut busy: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+
+    while remaining > 0 {
+        for b in busy.iter_mut() {
+            b.retain(|&until| until > cycle);
+        }
+        // Ready ops: operands finished by `cycle`.
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i])
+            .filter(|&i| {
+                cdfg.ops()[i].args.iter().all(|a| match a {
+                    ValueRef::Op(j) => {
+                        scheduled[*j] && start[*j] + op_latency(cdfg.ops()[*j].op, bits) <= cycle
+                    }
+                    _ => true,
+                })
+            })
+            .collect();
+        // Urgency: ALAP start ascending, then perturbed index.
+        ready.sort_by_key(|&i| {
+            (alap_sched.start[i], (i as u64).wrapping_add(perturbation) % (n as u64 + 1), i)
+        });
+        for i in ready {
+            let c = class(cdfg.ops()[i].op);
+            if busy[c].len() < capacity[c] {
+                start[i] = cycle;
+                scheduled[i] = true;
+                remaining -= 1;
+                busy[c].push(cycle + op_latency(cdfg.ops()[i].op, bits));
+            }
+        }
+        cycle += 1;
+    }
+    let length = schedule_length(cdfg, &start, bits);
+    Schedule { kind: ScheduleKind::List, start, length }
+}
+
+fn schedule_length(cdfg: &Cdfg, start: &[u64], bits: u16) -> u64 {
+    cdfg.ops()
+        .iter()
+        .enumerate()
+        .map(|(i, o)| start[i] + op_latency(o.op, bits))
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::{Behavior, Expr};
+
+    fn two_muls_plus() -> Cdfg {
+        Cdfg::from_behavior(
+            &Behavior::new(
+                4,
+                vec![Expr::binary(
+                    Op::Add,
+                    Expr::binary(Op::Mul, Expr::Input(0), Expr::Input(1)),
+                    Expr::binary(Op::Mul, Expr::Input(2), Expr::Input(3)),
+                )],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn asap_respects_dependencies() {
+        let c = Cdfg::from_behavior(&Behavior::mac());
+        let s = asap(&c, 16);
+        // add (op 1) starts after mul (op 0) finishes.
+        assert!(s.start[1] >= s.start[0] + operator_cost(Op::Mul, 16).latency);
+    }
+
+    #[test]
+    fn alap_meets_deadline() {
+        let c = two_muls_plus();
+        let a = asap(&c, 16);
+        let l = alap(&c, 16, a.length + 3);
+        assert!(l.length <= a.length + 3);
+        // ALAP starts are never earlier than ASAP.
+        for i in 0..c.op_count() {
+            assert!(l.start[i] >= a.start[i], "op {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn alap_rejects_impossible_deadline() {
+        let c = Cdfg::from_behavior(&Behavior::mac());
+        let a = asap(&c, 16);
+        let _ = alap(&c, 16, a.length - 1);
+    }
+
+    #[test]
+    fn list_respects_resource_limits() {
+        let c = two_muls_plus();
+        let opts = HlsOptions { max_multipliers: 1, ..Default::default() };
+        let s = list_schedule(&c, &opts, 0);
+        // Both muls are ops 0 and 1 (add is 2); with one multiplier their
+        // intervals must not overlap.
+        let mul_lat = operator_cost(Op::Mul, 16).latency;
+        let (a, b) = (s.start[0], s.start[1]);
+        assert!(a + mul_lat <= b || b + mul_lat <= a, "muls overlap: {a} and {b}");
+    }
+
+    #[test]
+    fn list_with_enough_resources_matches_asap() {
+        let c = two_muls_plus();
+        let opts = HlsOptions { max_multipliers: 2, max_alus: 2, ..Default::default() };
+        let s = list_schedule(&c, &opts, 0);
+        let a = asap(&c, 16);
+        assert_eq!(s.length, a.length);
+    }
+
+    #[test]
+    fn list_dependencies_always_hold() {
+        let c = two_muls_plus();
+        for pert in 0..5 {
+            let s = list_schedule(&c, &HlsOptions::default(), pert);
+            for (i, o) in c.ops().iter().enumerate() {
+                for arg in &o.args {
+                    if let ValueRef::Op(j) = arg {
+                        assert!(
+                            s.start[*j] + operator_cost(c.ops()[*j].op, 16).latency
+                                <= s.start[i],
+                            "dependency violated at perturbation {pert}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cdfg_schedules_to_unit_latency() {
+        let c = Cdfg::from_behavior(&Behavior::identity());
+        let s = list_schedule(&c, &HlsOptions::default(), 0);
+        assert_eq!(s.length, 1);
+    }
+}
+
+/// Force-directed scheduling (Paulin & Knight), the algorithm family the
+/// original Oscar HLS used: operations are placed one at a time at the
+/// control step that minimizes the global "force" — the deviation of
+/// expected resource usage (distribution graphs) from a uniform profile —
+/// under an ALAP-derived deadline.
+///
+/// Compared to [`list_schedule`] it targets *balanced resource usage* at a
+/// fixed latency rather than minimum latency under fixed resources.
+///
+/// # Panics
+///
+/// Panics if `deadline` is below the ASAP bound.
+#[must_use]
+pub fn force_directed(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
+    let n = cdfg.op_count();
+    if n == 0 {
+        return Schedule { kind: ScheduleKind::ForceDirected, start: Vec::new(), length: 1 };
+    }
+    let asap_sched = asap(cdfg, bits);
+    assert!(deadline >= asap_sched.length, "deadline below ASAP bound");
+    let alap_sched = alap(cdfg, bits, deadline);
+
+    // Current time frames per op: [asap, alap] inclusive.
+    let mut lo: Vec<u64> = asap_sched.start.clone();
+    let mut hi: Vec<u64> = alap_sched.start.clone();
+    let mut fixed = vec![false; n];
+
+    let class = |op: Op| -> usize {
+        match op {
+            Op::Mul => 0,
+            Op::Div | Op::Rem => 1,
+            _ => 2,
+        }
+    };
+
+    // Distribution graph: expected usage of each class per control step,
+    // where an unfixed op contributes 1/|frame| to every step it may
+    // occupy (extended by its latency).
+    let distribution = |lo: &[u64], hi: &[u64]| -> [Vec<f64>; 3] {
+        let mut dg = [
+            vec![0.0; deadline as usize + 1],
+            vec![0.0; deadline as usize + 1],
+            vec![0.0; deadline as usize + 1],
+        ];
+        for i in 0..n {
+            let c = class(cdfg.ops()[i].op);
+            let lat = op_latency(cdfg.ops()[i].op, bits).max(1);
+            let width = (hi[i] - lo[i] + 1) as f64;
+            for s in lo[i]..=hi[i] {
+                for k in 0..lat {
+                    let step = (s + k).min(deadline) as usize;
+                    dg[c][step] += 1.0 / width;
+                }
+            }
+        }
+        dg
+    };
+
+    for _ in 0..n {
+        // Pick the unfixed op/step assignment with the lowest force.
+        let dg = distribution(&lo, &hi);
+        let mut best: Option<(f64, usize, u64)> = None;
+        for i in 0..n {
+            if fixed[i] {
+                continue;
+            }
+            let c = class(cdfg.ops()[i].op);
+            let lat = op_latency(cdfg.ops()[i].op, bits).max(1);
+            let width = (hi[i] - lo[i] + 1) as f64;
+            for s in lo[i]..=hi[i] {
+                // Self force: added load at the tentative steps minus the
+                // average load the op already spreads over its frame.
+                let mut force = 0.0;
+                for k in 0..lat {
+                    let step = (s + k).min(deadline) as usize;
+                    force += dg[c][step] - 1.0 / width;
+                }
+                let cand = (force, i, s);
+                let better = match best {
+                    None => true,
+                    Some((bf, bi, bs)) => {
+                        cand.0 < bf - 1e-12 || ((cand.0 - bf).abs() <= 1e-12 && (i, s) < (bi, bs))
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, i, s) = best.expect("an unfixed operation remains");
+        lo[i] = s;
+        hi[i] = s;
+        fixed[i] = true;
+        // Propagate frame tightening along dependencies.
+        propagate_frames(cdfg, bits, &mut lo, &mut hi);
+    }
+
+    let start = lo;
+    let length = schedule_length(cdfg, &start, bits);
+    Schedule { kind: ScheduleKind::ForceDirected, start, length }
+}
+
+/// Tighten `[lo, hi]` frames so dependencies stay satisfiable.
+fn propagate_frames(cdfg: &Cdfg, bits: u16, lo: &mut [u64], hi: &mut [u64]) {
+    let n = cdfg.op_count();
+    // Forward: an op cannot start before its operands finish.
+    for i in 0..n {
+        let ready = cdfg.ops()[i]
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                ValueRef::Op(j) => Some(lo[*j] + op_latency(cdfg.ops()[*j].op, bits)),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        lo[i] = lo[i].max(ready);
+        hi[i] = hi[i].max(lo[i]);
+    }
+    // Backward: an op must finish before its users' latest start.
+    for i in (0..n).rev() {
+        let lat = op_latency(cdfg.ops()[i].op, bits);
+        for u in cdfg.users(i) {
+            let bound = hi[u].saturating_sub(lat);
+            hi[i] = hi[i].min(bound);
+        }
+        if hi[i] < lo[i] {
+            hi[i] = lo[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod force_tests {
+    use super::*;
+    use crate::area::operator_cost;
+    use cool_ir::{Behavior, Expr};
+
+    fn four_muls() -> Cdfg {
+        // Two independent products summed: ((a*b) + (c*d)) * ((e*f) + (g*h))
+        let prod = |i: usize| Expr::binary(Op::Mul, Expr::Input(i), Expr::Input(i + 1));
+        Cdfg::from_behavior(
+            &Behavior::new(
+                8,
+                vec![Expr::binary(
+                    Op::Mul,
+                    Expr::binary(Op::Add, prod(0), prod(2)),
+                    Expr::binary(Op::Add, prod(4), prod(6)),
+                )],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let c = four_muls();
+        let a = asap(&c, 16);
+        let s = force_directed(&c, 16, a.length + 4);
+        for (i, o) in c.ops().iter().enumerate() {
+            for arg in &o.args {
+                if let ValueRef::Op(j) = arg {
+                    assert!(
+                        s.start[*j] + operator_cost(c.ops()[*j].op, 16).latency <= s.start[i],
+                        "dependency {j} -> {i} violated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meets_deadline() {
+        let c = four_muls();
+        let a = asap(&c, 16);
+        let deadline = a.length + 6;
+        let s = force_directed(&c, 16, deadline);
+        assert!(s.length <= deadline, "{} > {deadline}", s.length);
+    }
+
+    #[test]
+    fn slack_spreads_multiplier_pressure() {
+        // With slack, force-directed must not stack all multiplies into the
+        // same step: peak concurrent multiplier demand drops vs ASAP.
+        let c = four_muls();
+        let a = asap(&c, 16);
+        let peak = |s: &Schedule| -> usize {
+            let mul_lat = operator_cost(Op::Mul, 16).latency;
+            (0..=s.length)
+                .map(|t| {
+                    c.ops()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, o)| o.op == Op::Mul)
+                        .filter(|(i, _)| s.start[*i] <= t && t < s.start[*i] + mul_lat)
+                        .count()
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let fd = force_directed(&c, 16, a.length + 4);
+        assert!(
+            peak(&fd) <= peak(&a),
+            "force-directed peak {} vs ASAP peak {}",
+            peak(&fd),
+            peak(&a)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = four_muls();
+        let a = asap(&c, 16);
+        assert_eq!(force_directed(&c, 16, a.length + 3), force_directed(&c, 16, a.length + 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn rejects_tight_deadline() {
+        let c = four_muls();
+        let a = asap(&c, 16);
+        let _ = force_directed(&c, 16, a.length - 1);
+    }
+}

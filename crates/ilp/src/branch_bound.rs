@@ -1,0 +1,199 @@
+//! Branch & bound over binary variables.
+//!
+//! Depth-first search with best-bound pruning: each node solves the LP
+//! relaxation under the accumulated 0/1 fixings, branches on the most
+//! fractional binary, and explores the branch suggested by rounding first
+//! (which tends to find incumbents early on partitioning instances).
+
+use crate::simplex::{solve_lp, Fixing};
+use crate::{IlpError, Problem, Solution, SolveOptions, Status, VarKind};
+
+pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, IlpError> {
+    // Root relaxation.
+    match solve_lp(p, &[]) {
+        Ok(_) => {}
+        Err(IlpError::Infeasible) => return Err(IlpError::Infeasible),
+        Err(IlpError::Unbounded) => return Err(IlpError::Unbounded),
+        Err(e) => return Err(e),
+    }
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes = 0usize;
+    let mut stack: Vec<Vec<Fixing>> = vec![Vec::new()];
+    let mut limit_hit = false;
+
+    while let Some(fixings) = stack.pop() {
+        if nodes >= options.max_nodes {
+            limit_hit = true;
+            break;
+        }
+        nodes += 1;
+        let lp = match solve_lp(p, &fixings) {
+            Ok(lp) => lp,
+            Err(IlpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        // Bound: prune if it cannot beat the incumbent.
+        if let Some((best, _)) = &incumbent {
+            if lp.objective >= *best - 1e-9 {
+                continue;
+            }
+        }
+        // Find the most fractional binary.
+        let mut branch_var = usize::MAX;
+        let mut branch_frac = 0.0f64;
+        for (i, k) in p.kinds.iter().enumerate() {
+            if matches!(k, VarKind::Binary) {
+                let v = lp.values[i];
+                let frac = (v - v.round()).abs();
+                if frac > options.int_tol {
+                    let dist_to_half = (0.5 - (v - v.floor())).abs();
+                    let score = 0.5 - dist_to_half; // closer to 0.5 = higher
+                    if branch_var == usize::MAX || score > branch_frac {
+                        branch_var = i;
+                        branch_frac = score;
+                    }
+                }
+            }
+        }
+        if branch_var == usize::MAX {
+            // Integer feasible: candidate incumbent.
+            let better = incumbent
+                .as_ref()
+                .map(|(best, _)| lp.objective < *best - 1e-9)
+                .unwrap_or(true);
+            if better {
+                incumbent = Some((lp.objective, lp.values));
+            }
+            continue;
+        }
+        // Depth-first: push the less likely branch first so the rounded
+        // branch is explored next.
+        let v = lp.values[branch_var];
+        let (first, second) = if v >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
+        let mut far = fixings.clone();
+        far.push((branch_var, second, second));
+        stack.push(far);
+        let mut near = fixings;
+        near.push((branch_var, first, first));
+        stack.push(near);
+    }
+
+    match incumbent {
+        Some((objective, values)) => Ok(Solution {
+            objective,
+            values,
+            status: if limit_hit { Status::LimitReached } else { Status::Optimal },
+            nodes_explored: nodes,
+        }),
+        None if limit_hit => Err(IlpError::NoIncumbent),
+        None => Err(IlpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, Problem, SolveOptions, Status};
+
+    /// Brute-force a pure-binary problem by enumeration.
+    fn brute_force(p: &Problem) -> Option<f64> {
+        let n = p.var_count();
+        assert!(n <= 20);
+        let mut best: Option<f64> = None;
+        'outer: for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+            for c in &p.constraints {
+                let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v]).sum();
+                let ok = match c.cmp {
+                    Cmp::Le => lhs <= c.rhs + 1e-9,
+                    Cmp::Ge => lhs >= c.rhs - 1e-9,
+                    Cmp::Eq => (lhs - c.rhs).abs() < 1e-9,
+                };
+                if !ok {
+                    continue 'outer;
+                }
+            }
+            let obj: f64 = x.iter().zip(&p.costs).map(|(v, c)| v * c).sum();
+            if best.map(|b| obj < b).unwrap_or(true) {
+                best = Some(obj);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_knapsacks() {
+        // A family of deterministic small knapsacks.
+        for seed in 0..10u64 {
+            let mut p = Problem::minimize();
+            let mut vars = Vec::new();
+            let n = 8;
+            for i in 0..n {
+                let value = ((seed * 7 + i as u64 * 13) % 10 + 1) as f64;
+                vars.push(p.add_binary(-value));
+            }
+            let weights: Vec<f64> =
+                (0..n).map(|i| ((seed * 5 + i as u64 * 11) % 8 + 1) as f64).collect();
+            let cap = weights.iter().sum::<f64>() / 2.0;
+            let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+            p.add_constraint(&terms, Cmp::Le, cap);
+            let sol = p.solve(&SolveOptions::default()).unwrap();
+            let expected = brute_force(&p).unwrap();
+            assert!(
+                (sol.objective - expected).abs() < 1e-6,
+                "seed {seed}: got {}, expected {expected}",
+                sol.objective
+            );
+            assert_eq!(sol.status, Status::Optimal);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_equalities() {
+        for seed in 0..6u64 {
+            let mut p = Problem::minimize();
+            let n = 6;
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_binary(((seed + i as u64 * 3) % 7) as f64 - 3.0))
+                .collect();
+            // Exactly 3 variables set.
+            let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+            p.add_constraint(&terms, Cmp::Eq, 3.0);
+            let sol = p.solve(&SolveOptions::default()).unwrap();
+            let expected = brute_force(&p).unwrap();
+            assert!(
+                (sol.objective - expected).abs() < 1e-6,
+                "seed {seed}: got {}, expected {expected}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let mut p = Problem::minimize();
+        let n = 16;
+        let vars: Vec<_> = (0..n).map(|i| p.add_binary(-((i % 5) as f64) - 0.5)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Cmp::Le, (n / 2) as f64);
+        let sol = p.solve(&SolveOptions { max_nodes: 3, int_tol: 1e-6 });
+        // Either found an incumbent within 3 nodes (LimitReached/Optimal) or
+        // reports NoIncumbent; all are acceptable, crash is not.
+        if let Ok(s) = sol {
+            assert!(s.nodes_explored <= 3);
+        }
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min -y - 10 b  s.t. y <= 4 + 6 b, y <= 8, b binary.
+        // b=1: y=8, obj -18. b=0: y=4, obj -4. Optimal -18.
+        let mut p = Problem::minimize();
+        let y = p.add_continuous(0.0, 8.0, -1.0);
+        let b = p.add_binary(-10.0);
+        p.add_constraint(&[(y, 1.0), (b, -6.0)], Cmp::Le, 4.0);
+        let sol = p.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective + 18.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert_eq!(sol.int_value(b), 1);
+    }
+}

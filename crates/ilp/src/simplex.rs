@@ -1,0 +1,364 @@
+//! Two-phase dense primal simplex for the LP relaxation.
+//!
+//! The tableau is built from scratch per call: co-design instances are
+//! small (hundreds of rows/columns) and branch & bound fixes variables by
+//! adding bound rows, so an incremental implementation would buy little.
+
+use crate::{Cmp, IlpError, Problem, VarKind};
+
+/// Result of one LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective of the relaxation.
+    pub objective: f64,
+    /// Value per original decision variable.
+    pub values: Vec<f64>,
+}
+
+/// Extra bounds imposed by branch & bound: `(var, lo, hi)`.
+pub(crate) type Fixing = (usize, f64, f64);
+
+const EPS: f64 = 1e-9;
+const MAX_PIVOTS: usize = 100_000;
+
+/// Solve the LP relaxation of `p` with additional variable fixings.
+///
+/// Binary variables are relaxed to `[0, 1]` unless a fixing narrows them.
+///
+/// # Errors
+///
+/// [`IlpError::Infeasible`] when phase 1 cannot zero the artificials,
+/// [`IlpError::Unbounded`] when phase 2 finds an unbounded ray.
+pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError> {
+    let n = p.costs.len();
+
+    // Effective bounds per variable.
+    let mut lo = vec![0.0f64; n];
+    let mut hi = vec![0.0f64; n];
+    for (i, k) in p.kinds.iter().enumerate() {
+        match *k {
+            VarKind::Binary => {
+                lo[i] = 0.0;
+                hi[i] = 1.0;
+            }
+            VarKind::Continuous { lo: l, hi: h } => {
+                lo[i] = l;
+                hi[i] = h;
+            }
+        }
+    }
+    for &(v, l, h) in fixings {
+        lo[v] = lo[v].max(l);
+        hi[v] = hi[v].min(h);
+        if lo[v] > hi[v] + EPS {
+            return Err(IlpError::Infeasible);
+        }
+    }
+
+    // Shift x = lo + x', x' in [0, hi-lo]; x' >= 0 suits standard form.
+    // Rows: original constraints (rhs adjusted by lo), plus x' <= hi-lo
+    // upper-bound rows for variables with a finite positive range.
+    struct Row {
+        coeffs: Vec<f64>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in &p.constraints {
+        let mut coeffs = vec![0.0; n];
+        let mut rhs = c.rhs;
+        for &(v, a) in &c.terms {
+            coeffs[v] += a;
+            rhs -= a * lo[v];
+        }
+        rows.push(Row { coeffs, cmp: c.cmp, rhs });
+    }
+    for i in 0..n {
+        let range = hi[i] - lo[i];
+        if range <= EPS {
+            // Fixed variable: substituted away via lo; force x' = 0 with an
+            // upper-bound row of rhs 0 only if some constraint still touches
+            // it (cheap to always add).
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row { coeffs, cmp: Cmp::Le, rhs: 0.0 });
+        } else {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row { coeffs, cmp: Cmp::Le, rhs: range });
+        }
+    }
+
+    let m = rows.len();
+    // Count auxiliary columns: slack (Le/Ge) + artificial (Ge/Eq, and Le
+    // rows with negative rhs after normalization).
+    // Normalize to rhs >= 0 first.
+    for r in rows.iter_mut() {
+        if r.rhs < 0.0 {
+            for a in r.coeffs.iter_mut() {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let slack_count = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let art_count = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let total = n + slack_count + art_count;
+
+    // Tableau: m rows, total+1 columns (last is rhs).
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_art = n + slack_count;
+    let mut artificial_cols = Vec::new();
+    for (ri, r) in rows.iter().enumerate() {
+        t[ri][..n].copy_from_slice(&r.coeffs);
+        t[ri][total] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                t[ri][next_slack] = 1.0;
+                basis[ri] = next_slack;
+                next_slack += 1;
+            }
+            Cmp::Ge => {
+                t[ri][next_slack] = -1.0;
+                next_slack += 1;
+                t[ri][next_art] = 1.0;
+                basis[ri] = next_art;
+                artificial_cols.push(next_art);
+                next_art += 1;
+            }
+            Cmp::Eq => {
+                t[ri][next_art] = 1.0;
+                basis[ri] = next_art;
+                artificial_cols.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificial_cols.is_empty() {
+        let mut cost1 = vec![0.0f64; total];
+        for &c in &artificial_cols {
+            cost1[c] = 1.0;
+        }
+        let obj = run_simplex(&mut t, &mut basis, &cost1, total)?;
+        if obj > 1e-6 {
+            return Err(IlpError::Infeasible);
+        }
+        // Drive artificials out of the basis where possible.
+        for ri in 0..m {
+            if artificial_cols.contains(&basis[ri]) {
+                // Find a non-artificial column with nonzero coefficient.
+                if let Some(col) = (0..n + slack_count).find(|&c| t[ri][c].abs() > EPS) {
+                    pivot(&mut t, &mut basis, ri, col, total);
+                }
+                // If none exists the row is redundant (all-zero), leave it.
+            }
+        }
+    }
+
+    // Phase 2: original costs on the shifted variables. Zero-out artificial
+    // columns so they never re-enter.
+    let mut cost2 = vec![0.0f64; total];
+    cost2[..n].copy_from_slice(&p.costs);
+    for &c in &artificial_cols {
+        for row in t.iter_mut() {
+            row[c] = 0.0;
+        }
+    }
+    run_simplex(&mut t, &mut basis, &cost2, total)?;
+
+    // Extract solution.
+    let mut shifted = vec![0.0f64; total];
+    for ri in 0..m {
+        if basis[ri] < total {
+            shifted[basis[ri]] = t[ri][total];
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|i| lo[i] + shifted[i]).collect();
+    let objective: f64 = values.iter().zip(&p.costs).map(|(x, c)| x * c).sum();
+    Ok(LpSolution { objective, values })
+}
+
+/// Run primal simplex on the tableau with the given cost vector; returns
+/// the objective value of the cost vector at the final basis.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    costs: &[f64],
+    total: usize,
+) -> Result<f64, IlpError> {
+    let m = t.len();
+    // Reduced costs: z_j - c_j computed on demand from basis costs.
+    for _ in 0..MAX_PIVOTS {
+        // Compute y = c_B (costs of basic vars), reduced cost for column j:
+        // d_j = c_j - sum_i c_{B_i} * t[i][j].
+        let mut entering = usize::MAX;
+        for j in 0..total {
+            let mut d = costs[j];
+            for i in 0..m {
+                let cb = if basis[i] < total { costs[basis[i]] } else { 0.0 };
+                if cb != 0.0 {
+                    d -= cb * t[i][j];
+                }
+            }
+            if d < -1e-7 {
+                // Bland's rule: first improving column.
+                entering = j;
+                break;
+            }
+        }
+        if entering == usize::MAX {
+            // Optimal: objective = sum over basis of c_B * rhs.
+            let mut obj = 0.0;
+            for i in 0..m {
+                if basis[i] < total {
+                    obj += costs[basis[i]] * t[i][total];
+                }
+            }
+            return Ok(obj);
+        }
+        // Ratio test (Bland: smallest basis index tie-break).
+        let mut leaving = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][entering] > EPS {
+                let ratio = t[i][total] / t[i][entering];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving != usize::MAX
+                        && basis[i] < basis[leaving])
+                {
+                    best_ratio = ratio;
+                    leaving = i;
+                }
+            }
+        }
+        if leaving == usize::MAX {
+            return Err(IlpError::Unbounded);
+        }
+        pivot(t, basis, leaving, entering, total);
+    }
+    // Pivot limit: treat as unbounded-ish numerical trouble.
+    Err(IlpError::Unbounded)
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let m = t.len();
+    let pv = t[row][col];
+    debug_assert!(pv.abs() > EPS, "pivot on (near-)zero element");
+    for j in 0..=total {
+        t[row][j] /= pv;
+    }
+    for i in 0..m {
+        if i != row {
+            let factor = t[i][col];
+            if factor.abs() > EPS {
+                for j in 0..=total {
+                    t[i][j] -= factor * t[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Problem;
+
+    #[test]
+    fn simple_max_as_min() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  => min -3x - 2y = -12 (x=4,y=0).
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 100.0, -3.0);
+        let y = p.add_continuous(0.0, 100.0, -2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.objective + 12.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.values[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min x s.t. x >= 3  => 3.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 3.0);
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_phase1() {
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 1.0, 1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 5.0);
+        assert_eq!(solve_lp(&p, &[]).unwrap_err(), IlpError::Infeasible);
+    }
+
+    #[test]
+    fn fixings_narrow_bounds() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary(-1.0);
+        // Relaxation alone would take x = 1; fix to 0.
+        let sol = solve_lp(&p, &[(0, 0.0, 0.0)]).unwrap();
+        assert!(sol.values[0].abs() < 1e-9);
+        let _ = x;
+    }
+
+    #[test]
+    fn contradictory_fixings_infeasible() {
+        let mut p = Problem::minimize();
+        let _x = p.add_binary(1.0);
+        assert_eq!(
+            solve_lp(&p, &[(0, 1.0, 1.0), (0, 0.0, 0.0)]).unwrap_err(),
+            IlpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -2  (i.e. x >= 2).
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, -1.0)], Cmp::Le, -2.0);
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x + y, x in [2, 5], y in [1, 4], x + y >= 4 => 4 at (3,1) or (2,2).
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(2.0, 5.0, 1.0);
+        let y = p.add_continuous(1.0, 4.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(sol.values[0] >= 2.0 - 1e-9);
+        assert!(sol.values[1] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Several redundant constraints; Bland's rule must still terminate.
+        let mut p = Problem::minimize();
+        let x = p.add_continuous(0.0, 10.0, -1.0);
+        for _ in 0..5 {
+            p.add_constraint(&[(x, 1.0)], Cmp::Le, 7.0);
+        }
+        let sol = solve_lp(&p, &[]).unwrap();
+        assert!((sol.objective + 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared by all IR-level operations.
+
+use std::fmt;
+
+use crate::graph::{EdgeId, NodeId};
+
+/// Errors produced while building, validating or evaluating the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A node id referenced a node that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// An edge id referenced an edge that does not exist in the graph.
+    UnknownEdge(EdgeId),
+    /// A port index was out of range for the node's behaviour.
+    PortOutOfRange {
+        /// Node whose port was addressed.
+        node: NodeId,
+        /// The offending port index.
+        port: u16,
+        /// Number of ports of that direction the node actually has.
+        arity: u16,
+        /// `true` if an input port was addressed, `false` for an output port.
+        input: bool,
+    },
+    /// Two edges drive the same input port.
+    InputDrivenTwice {
+        /// Node whose input port is driven twice.
+        node: NodeId,
+        /// The doubly-driven input port.
+        port: u16,
+    },
+    /// An input port of a node is not driven by any edge.
+    UndrivenInput {
+        /// Node with the floating input.
+        node: NodeId,
+        /// The undriven input port.
+        port: u16,
+    },
+    /// The graph contains a cycle, which data-flow specifications must not.
+    Cycle {
+        /// A node that participates in the cycle.
+        witness: NodeId,
+    },
+    /// A primary input required for evaluation was not supplied.
+    MissingInput(String),
+    /// Two graph items were given the same name.
+    DuplicateName(String),
+    /// A behaviour expression referenced an input that the node lacks.
+    BadExprInput {
+        /// Index used by the expression.
+        index: usize,
+        /// Number of inputs the behaviour declares.
+        arity: usize,
+    },
+    /// The behaviour declares zero outputs, which is not executable.
+    NoOutputs,
+    /// A bit width of zero or above 64 was requested.
+    BadBitWidth(u16),
+    /// A resource referenced by a mapping does not exist in the target.
+    UnknownResource(String),
+    /// The mapping does not cover every node of the graph.
+    IncompleteMapping {
+        /// First node found without a mapping entry.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            IrError::UnknownEdge(id) => write!(f, "unknown edge {id}"),
+            IrError::PortOutOfRange { node, port, arity, input } => write!(
+                f,
+                "{} port {port} out of range for node {node} with arity {arity}",
+                if *input { "input" } else { "output" }
+            ),
+            IrError::InputDrivenTwice { node, port } => {
+                write!(f, "input port {port} of node {node} is driven by two edges")
+            }
+            IrError::UndrivenInput { node, port } => {
+                write!(f, "input port {port} of node {node} is not driven")
+            }
+            IrError::Cycle { witness } => {
+                write!(f, "graph contains a cycle through node {witness}")
+            }
+            IrError::MissingInput(name) => {
+                write!(f, "primary input `{name}` was not supplied")
+            }
+            IrError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            IrError::BadExprInput { index, arity } => {
+                write!(f, "expression reads input {index} but behaviour has {arity} inputs")
+            }
+            IrError::NoOutputs => write!(f, "behaviour declares zero outputs"),
+            IrError::BadBitWidth(w) => write!(f, "bit width {w} is not in 1..=64"),
+            IrError::UnknownResource(name) => write!(f, "unknown resource `{name}`"),
+            IrError::IncompleteMapping { node } => {
+                write!(f, "mapping does not assign node {node} to a resource")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

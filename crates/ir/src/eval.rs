@@ -1,0 +1,173 @@
+//! Reference evaluator: executes a partitioning graph functionally.
+//!
+//! This is the ground truth that every synthesized implementation —
+//! regardless of how its nodes were partitioned onto processors and ASICs —
+//! must reproduce. The co-simulator's functional-equivalence checks and the
+//! integration tests compare against it.
+
+use std::collections::BTreeMap;
+
+use crate::error::IrError;
+use crate::graph::{NodeKind, PartitioningGraph};
+use crate::topo;
+
+/// Evaluate the graph for one system invocation.
+///
+/// `inputs` maps primary-input names to values. The result maps primary-
+/// output names to the computed values.
+///
+/// # Errors
+///
+/// Returns [`IrError::MissingInput`] if a primary input is not supplied,
+/// [`IrError::Cycle`] / wiring errors if the graph is malformed (call
+/// [`PartitioningGraph::validate`] first to get precise diagnostics).
+pub fn evaluate(
+    g: &PartitioningGraph,
+    inputs: &BTreeMap<String, i64>,
+) -> Result<BTreeMap<String, i64>, IrError> {
+    let order = topo::topo_order(g)?;
+    // Per-node output values, indexed [node][out_port].
+    let mut values: Vec<Vec<i64>> = vec![Vec::new(); g.node_count()];
+    for id in order {
+        let node = g.node(id)?;
+        match node.kind() {
+            NodeKind::Input => {
+                let v = *inputs
+                    .get(node.name())
+                    .ok_or_else(|| IrError::MissingInput(node.name().to_string()))?;
+                values[id.index()] = vec![v];
+            }
+            NodeKind::Output | NodeKind::Function => {
+                let arity = match node.kind() {
+                    NodeKind::Output => 1,
+                    _ => node.behavior().inputs(),
+                };
+                let mut ins = vec![0i64; arity];
+                for (_, e) in g.in_edges(id) {
+                    ins[e.dst_port as usize] = values[e.src.index()][e.src_port as usize];
+                }
+                values[id.index()] = match node.kind() {
+                    NodeKind::Output => ins,
+                    _ => node.behavior().evaluate(&ins),
+                };
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for id in g.primary_outputs() {
+        let node = g.node(id)?;
+        out.insert(node.name().to_string(), values[id.index()][0]);
+    }
+    Ok(out)
+}
+
+/// Evaluate the graph over a stream of invocations (one input map each).
+///
+/// # Errors
+///
+/// Propagates the first error from [`evaluate`].
+pub fn evaluate_stream(
+    g: &PartitioningGraph,
+    stream: &[BTreeMap<String, i64>],
+) -> Result<Vec<BTreeMap<String, i64>>, IrError> {
+    stream.iter().map(|m| evaluate(g, m)).collect()
+}
+
+/// Build an input map from `(name, value)` pairs — convenience for tests
+/// and examples.
+#[must_use]
+pub fn input_map<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> BTreeMap<String, i64> {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, Expr, Op};
+
+    fn mac_graph() -> PartitioningGraph {
+        let mut g = PartitioningGraph::new("mac");
+        let x = g.add_input("x", 16);
+        let c = g.add_input("c", 16);
+        let acc = g.add_input("acc", 32);
+        let m = g.add_function("mac", Behavior::mac()).unwrap();
+        let y = g.add_output("y", 32);
+        g.connect(x, 0, m, 0, 16).unwrap();
+        g.connect(c, 0, m, 1, 16).unwrap();
+        g.connect(acc, 0, m, 2, 32).unwrap();
+        g.connect(m, 0, y, 0, 32).unwrap();
+        g
+    }
+
+    #[test]
+    fn mac_evaluates() {
+        let g = mac_graph();
+        g.validate().unwrap();
+        let out = evaluate(&g, &input_map([("x", 3), ("c", 7), ("acc", 10)])).unwrap();
+        assert_eq!(out["y"], 31);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let g = mac_graph();
+        let err = evaluate(&g, &input_map([("x", 3)])).unwrap_err();
+        assert!(matches!(err, IrError::MissingInput(_)));
+    }
+
+    #[test]
+    fn multi_output_node() {
+        // One node computing both sum and difference.
+        let mut g = PartitioningGraph::new("sumdiff");
+        let a = g.add_input("a", 16);
+        let b = g.add_input("b", 16);
+        let f = g
+            .add_function(
+                "sumdiff",
+                Behavior::new(
+                    2,
+                    vec![
+                        Expr::binary(Op::Add, Expr::Input(0), Expr::Input(1)),
+                        Expr::binary(Op::Sub, Expr::Input(0), Expr::Input(1)),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let s = g.add_output("sum", 16);
+        let d = g.add_output("diff", 16);
+        g.connect(a, 0, f, 0, 16).unwrap();
+        g.connect(b, 0, f, 1, 16).unwrap();
+        g.connect(f, 0, s, 0, 16).unwrap();
+        g.connect(f, 1, d, 0, 16).unwrap();
+        g.validate().unwrap();
+        let out = evaluate(&g, &input_map([("a", 10), ("b", 4)])).unwrap();
+        assert_eq!(out["sum"], 14);
+        assert_eq!(out["diff"], 6);
+    }
+
+    #[test]
+    fn stream_evaluation() {
+        let g = mac_graph();
+        let stream = vec![
+            input_map([("x", 1), ("c", 2), ("acc", 0)]),
+            input_map([("x", 2), ("c", 2), ("acc", 2)]),
+        ];
+        let outs = evaluate_stream(&g, &stream).unwrap();
+        assert_eq!(outs[0]["y"], 2);
+        assert_eq!(outs[1]["y"], 6);
+    }
+
+    #[test]
+    fn fanout_value_reused() {
+        let mut g = PartitioningGraph::new("fanout");
+        let a = g.add_input("a", 16);
+        let sq = g.add_function("sq", Behavior::binary(Op::Mul)).unwrap();
+        let y = g.add_output("y", 32);
+        g.connect(a, 0, sq, 0, 16).unwrap();
+        g.connect(a, 0, sq, 1, 16).unwrap();
+        g.connect(sq, 0, y, 0, 32).unwrap();
+        g.validate().unwrap();
+        let out = evaluate(&g, &input_map([("a", 9)])).unwrap();
+        assert_eq!(out["y"], 81);
+    }
+}

@@ -1,0 +1,625 @@
+//! The partitioning graph: the fundamental data structure of COOL.
+//!
+//! Nodes are functions of the system specification, edges are data
+//! transfers between them (paper Figure 2). Primary inputs and outputs of
+//! the system are modelled as dedicated node kinds so that the I/O
+//! controller synthesis and the co-simulator can treat them uniformly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::behavior::Behavior;
+use crate::error::IrError;
+
+/// Identifier of a node inside one [`PartitioningGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of the node (0-based insertion order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a `NodeId` from a dense index.
+    ///
+    /// Only meaningful for indices obtained from [`NodeId::index`] on the
+    /// same graph; mainly used by downstream crates that keep per-node
+    /// side tables.
+    #[must_use]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an edge inside one [`PartitioningGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// The dense index of the edge (0-based insertion order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build an `EdgeId` from a dense index (see [`NodeId::from_index`]).
+    #[must_use]
+    pub fn from_index(index: usize) -> EdgeId {
+        EdgeId(index as u32)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Role of a node in the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Primary input: receives one value per system invocation from the
+    /// environment (handled by the synthesized I/O controller).
+    Input,
+    /// Primary output: delivers one value per invocation to the environment.
+    Output,
+    /// An internal function node, subject to hardware/software partitioning.
+    Function,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeKind::Input => "input",
+            NodeKind::Output => "output",
+            NodeKind::Function => "function",
+        })
+    }
+}
+
+/// A node of the partitioning graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    kind: NodeKind,
+    behavior: Behavior,
+}
+
+impl Node {
+    /// The node's unique name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's role.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The pure function the node computes.
+    #[must_use]
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+}
+
+/// A directed data transfer between an output port and an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing node.
+    pub src: NodeId,
+    /// Output port on the producing node.
+    pub src_port: u16,
+    /// Consuming node.
+    pub dst: NodeId,
+    /// Input port on the consuming node.
+    pub dst_port: u16,
+    /// Width of the transferred value in bits (1..=64).
+    pub bits: u16,
+}
+
+impl Edge {
+    /// Number of bus words needed to transfer one value over a bus of
+    /// `bus_bits` width.
+    #[must_use]
+    pub fn words(&self, bus_bits: u16) -> u32 {
+        u32::from(self.bits.div_ceil(bus_bits.max(1)))
+    }
+}
+
+/// The coloured partitioning graph of COOL (before colouring).
+///
+/// The graph is a DAG of named nodes connected port-to-port. Use
+/// [`PartitioningGraph::validate`] after construction to check DAG-ness and
+/// port wiring; all downstream stages assume a validated graph.
+#[derive(Debug, Clone)]
+pub struct PartitioningGraph {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    by_name: BTreeMap<String, NodeId>,
+}
+
+impl PartitioningGraph {
+    /// Create an empty graph with the given design name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> PartitioningGraph {
+        PartitioningGraph {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            by_name: BTreeMap::new(),
+        }
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn add_node(&mut self, name: String, kind: NodeKind, behavior: Behavior) -> Result<NodeId, IrError> {
+        if self.by_name.contains_key(&name) {
+            return Err(IrError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, kind, behavior });
+        Ok(id)
+    }
+
+    /// Add a primary input of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same name already exists (inputs are
+    /// normally added first; use [`PartitioningGraph::add_function`] and
+    /// handle the error for dynamic construction).
+    pub fn add_input(&mut self, name: impl Into<String>, _bits: u16) -> NodeId {
+        self.add_node(name.into(), NodeKind::Input, Behavior::constant(0))
+            .expect("duplicate primary input name")
+    }
+
+    /// Add a primary output of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate name, like [`PartitioningGraph::add_input`].
+    pub fn add_output(&mut self, name: impl Into<String>, _bits: u16) -> NodeId {
+        self.add_node(name.into(), NodeKind::Output, Behavior::identity())
+            .expect("duplicate primary output name")
+    }
+
+    /// Add an internal function node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateName`] if the name is taken.
+    pub fn add_function(
+        &mut self,
+        name: impl Into<String>,
+        behavior: Behavior,
+    ) -> Result<NodeId, IrError> {
+        self.add_node(name.into(), NodeKind::Function, behavior)
+    }
+
+    /// Connect `src`'s output port `src_port` to `dst`'s input port
+    /// `dst_port`, transferring `bits`-wide values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node is unknown, a port index is out of
+    /// range for the node's behaviour, the destination port is already
+    /// driven, or the bit width is not in `1..=64`.
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        src_port: u16,
+        dst: NodeId,
+        dst_port: u16,
+        bits: u16,
+    ) -> Result<EdgeId, IrError> {
+        if bits == 0 || bits > 64 {
+            return Err(IrError::BadBitWidth(bits));
+        }
+        let src_node = self.node(src)?;
+        let src_arity = match src_node.kind {
+            NodeKind::Input => 1,
+            _ => src_node.behavior.outputs() as u16,
+        };
+        if src_port >= src_arity {
+            return Err(IrError::PortOutOfRange { node: src, port: src_port, arity: src_arity, input: false });
+        }
+        let dst_node = self.node(dst)?;
+        let dst_arity = match dst_node.kind {
+            NodeKind::Output => 1,
+            NodeKind::Input => 0,
+            NodeKind::Function => dst_node.behavior.inputs() as u16,
+        };
+        if dst_port >= dst_arity {
+            return Err(IrError::PortOutOfRange { node: dst, port: dst_port, arity: dst_arity, input: true });
+        }
+        if self.edges.iter().any(|e| e.dst == dst && e.dst_port == dst_port) {
+            return Err(IrError::InputDrivenTwice { node: dst, port: dst_port });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, src_port, dst, dst_port, bits });
+        Ok(id)
+    }
+
+    /// Look up a node by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownNode`] for stale ids.
+    pub fn node(&self, id: NodeId) -> Result<&Node, IrError> {
+        self.nodes.get(id.index()).ok_or(IrError::UnknownNode(id))
+    }
+
+    /// Look up an edge by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownEdge`] for stale ids.
+    pub fn edge(&self, id: EdgeId) -> Result<&Edge, IrError> {
+        self.edges.get(id.index()).ok_or(IrError::UnknownEdge(id))
+    }
+
+    /// Look up a node id by name.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterate over `(id, node)` pairs in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Iterate over `(id, edge)` pairs in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Ids of all primary inputs, in insertion order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind == NodeKind::Input)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all primary outputs, in insertion order.
+    #[must_use]
+    pub fn primary_outputs(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind == NodeKind::Output)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all internal function nodes, in insertion order.
+    #[must_use]
+    pub fn function_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind == NodeKind::Function)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Edges entering `node`, sorted by destination port.
+    #[must_use]
+    pub fn in_edges(&self, node: NodeId) -> Vec<(EdgeId, &Edge)> {
+        let mut v: Vec<_> = self
+            .edges()
+            .filter(|(_, e)| e.dst == node)
+            .collect();
+        v.sort_by_key(|(_, e)| e.dst_port);
+        v
+    }
+
+    /// Edges leaving `node`, sorted by source port.
+    #[must_use]
+    pub fn out_edges(&self, node: NodeId) -> Vec<(EdgeId, &Edge)> {
+        let mut v: Vec<_> = self
+            .edges()
+            .filter(|(_, e)| e.src == node)
+            .collect();
+        v.sort_by_key(|(_, e)| e.src_port);
+        v
+    }
+
+    /// Distinct predecessor nodes of `node`.
+    #[must_use]
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .edges
+            .iter()
+            .filter(|e| e.dst == node)
+            .map(|e| e.src)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct successor nodes of `node`.
+    #[must_use]
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .edges
+            .iter()
+            .filter(|e| e.src == node)
+            .map(|e| e.dst)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Validate the structural invariants assumed by all downstream stages:
+    /// acyclicity, every input port driven exactly once, ports in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), IrError> {
+        // Every function input port and output-node port must be driven.
+        for (id, n) in self.nodes() {
+            let wanted = match n.kind {
+                NodeKind::Input => 0,
+                NodeKind::Output => 1,
+                NodeKind::Function => n.behavior.inputs() as u16,
+            };
+            for port in 0..wanted {
+                let drivers = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.dst == id && e.dst_port == port)
+                    .count();
+                match drivers {
+                    0 => return Err(IrError::UndrivenInput { node: id, port }),
+                    1 => {}
+                    _ => return Err(IrError::InputDrivenTwice { node: id, port }),
+                }
+            }
+        }
+        // Acyclicity.
+        crate::topo::topo_order(self)?;
+        Ok(())
+    }
+
+    /// Render the graph in Graphviz DOT format. When `mapping` is given,
+    /// nodes are coloured by resource (software = ellipse, hardware = box),
+    /// mirroring the paper's coloured partitioning graph (Figure 2).
+    #[must_use]
+    pub fn to_dot(&self, mapping: Option<&crate::mapping::Mapping>) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=TB;");
+        for (id, n) in self.nodes() {
+            let shape = match n.kind() {
+                NodeKind::Input | NodeKind::Output => "invtrapezium",
+                NodeKind::Function => match mapping.map(|m| m.resource(id)) {
+                    Some(r) if r.is_hardware() => "box",
+                    _ => "ellipse",
+                },
+            };
+            let label = match mapping.map(|m| m.resource(id)) {
+                Some(r) if n.kind() == NodeKind::Function => {
+                    format!("{}\\n[{r}]", n.name())
+                }
+                _ => n.name().to_string(),
+            };
+            let _ = writeln!(s, "  {id} [shape={shape}, label=\"{label}\"];");
+        }
+        for (_, e) in self.edges() {
+            let _ = writeln!(s, "  {} -> {} [label=\"{}b\"];", e.src, e.dst, e.bits);
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Rough line-count of an equivalent textual specification, used by the
+    /// case-study report (the paper quotes "about 900 lines" for the fuzzy
+    /// controller). One line per node declaration plus one per connection,
+    /// plus a fixed header/footer allowance, scaled by behaviour size.
+    #[must_use]
+    pub fn spec_line_estimate(&self) -> usize {
+        let header = 12;
+        let decls: usize = self
+            .nodes
+            .iter()
+            .map(|n| 1 + n.behavior.op_count())
+            .sum();
+        header + decls + self.edges.len()
+    }
+}
+
+impl fmt::Display for PartitioningGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "graph `{}`: {} nodes, {} edges",
+            self.name,
+            self.nodes.len(),
+            self.edges.len()
+        )?;
+        for (id, n) in self.nodes() {
+            writeln!(f, "  {id} {} [{}]", n.name(), n.kind())?;
+        }
+        for (id, e) in self.edges() {
+            writeln!(f, "  {id} {}:{} -> {}:{} ({} bits)", e.src, e.src_port, e.dst, e.dst_port, e.bits)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Op;
+
+    fn diamond() -> PartitioningGraph {
+        let mut g = PartitioningGraph::new("diamond");
+        let a = g.add_input("a", 16);
+        let f1 = g.add_function("f1", Behavior::unary(Op::Neg)).unwrap();
+        let f2 = g.add_function("f2", Behavior::unary(Op::Abs)).unwrap();
+        let j = g.add_function("join", Behavior::binary(Op::Add)).unwrap();
+        let y = g.add_output("y", 16);
+        g.connect(a, 0, f1, 0, 16).unwrap();
+        g.connect(a, 0, f2, 0, 16).unwrap();
+        g.connect(f1, 0, j, 0, 16).unwrap();
+        g.connect(f2, 0, j, 1, 16).unwrap();
+        g.connect(j, 0, y, 0, 16).unwrap();
+        g
+    }
+
+    #[test]
+    fn diamond_validates() {
+        diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut g = PartitioningGraph::new("g");
+        g.add_function("x", Behavior::constant(1)).unwrap();
+        assert!(matches!(
+            g.add_function("x", Behavior::constant(2)),
+            Err(IrError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn double_drive_rejected() {
+        let mut g = PartitioningGraph::new("g");
+        let a = g.add_input("a", 8);
+        let b = g.add_input("b", 8);
+        let f = g.add_function("f", Behavior::unary(Op::Neg)).unwrap();
+        g.connect(a, 0, f, 0, 8).unwrap();
+        assert!(matches!(
+            g.connect(b, 0, f, 0, 8),
+            Err(IrError::InputDrivenTwice { .. })
+        ));
+    }
+
+    #[test]
+    fn port_range_checked() {
+        let mut g = PartitioningGraph::new("g");
+        let a = g.add_input("a", 8);
+        let f = g.add_function("f", Behavior::unary(Op::Neg)).unwrap();
+        assert!(matches!(
+            g.connect(a, 1, f, 0, 8),
+            Err(IrError::PortOutOfRange { input: false, .. })
+        ));
+        assert!(matches!(
+            g.connect(a, 0, f, 3, 8),
+            Err(IrError::PortOutOfRange { input: true, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bit_width_rejected() {
+        let mut g = PartitioningGraph::new("g");
+        let a = g.add_input("a", 8);
+        let f = g.add_function("f", Behavior::unary(Op::Neg)).unwrap();
+        assert_eq!(g.connect(a, 0, f, 0, 0).unwrap_err(), IrError::BadBitWidth(0));
+        assert_eq!(g.connect(a, 0, f, 0, 65).unwrap_err(), IrError::BadBitWidth(65));
+    }
+
+    #[test]
+    fn undriven_input_detected() {
+        let mut g = PartitioningGraph::new("g");
+        let _a = g.add_input("a", 8);
+        let _f = g.add_function("f", Behavior::unary(Op::Neg)).unwrap();
+        assert!(matches!(g.validate(), Err(IrError::UndrivenInput { .. })));
+    }
+
+    #[test]
+    fn neighbours() {
+        let g = diamond();
+        let a = g.node_by_name("a").unwrap();
+        let j = g.node_by_name("join").unwrap();
+        assert_eq!(g.successors(a).len(), 2);
+        assert_eq!(g.predecessors(j).len(), 2);
+        assert_eq!(g.in_edges(j).len(), 2);
+        assert_eq!(g.out_edges(a).len(), 2);
+    }
+
+    #[test]
+    fn kind_partitions() {
+        let g = diamond();
+        assert_eq!(g.primary_inputs().len(), 1);
+        assert_eq!(g.primary_outputs().len(), 1);
+        assert_eq!(g.function_nodes().len(), 3);
+    }
+
+    #[test]
+    fn words_rounds_up() {
+        let e = Edge { src: NodeId(0), src_port: 0, dst: NodeId(1), dst_port: 0, bits: 24 };
+        assert_eq!(e.words(16), 2);
+        assert_eq!(e.words(24), 1);
+        assert_eq!(e.words(8), 3);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let g = diamond();
+        let s = g.to_string();
+        assert!(s.contains("5 nodes"));
+        assert!(s.contains("join"));
+        assert!(s.contains("16 bits"));
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node() {
+        let g = diamond();
+        let dot = g.to_dot(None);
+        assert!(dot.starts_with("digraph"));
+        for (_, n) in g.nodes() {
+            assert!(dot.contains(n.name()), "missing {}", n.name());
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    }
+
+    #[test]
+    fn dot_export_colours_by_mapping() {
+        use crate::mapping::{Mapping, Resource};
+        let g = diamond();
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        m.assign(g.node_by_name("join").unwrap(), Resource::Hardware(0));
+        let dot = g.to_dot(Some(&m));
+        assert!(dot.contains("shape=box"), "hardware nodes must be boxes");
+        assert!(dot.contains("[hw0]"));
+    }
+
+    #[test]
+    fn spec_line_estimate_grows_with_graph() {
+        let g = diamond();
+        assert!(g.spec_line_estimate() > g.node_count());
+    }
+}

@@ -1,0 +1,63 @@
+//! Intermediate representation for the COOL hardware/software co-design flow.
+//!
+//! This crate provides the data structures that every other stage of the
+//! reproduction of *"Synthesis of Communicating Controllers for Concurrent
+//! Hardware/Software Systems"* (Niemann & Marwedel, DATE 1998) operates on:
+//!
+//! * the **partitioning graph** ([`PartitioningGraph`]) — nodes are functions
+//!   of the system specification, edges are data transfers (paper Figure 2);
+//! * **node behaviours** ([`behavior::Behavior`]) — side-effect free
+//!   data-flow expressions, so that every node can be executed functionally;
+//! * the **target architecture** ([`target::Target`]) — processors, hardware
+//!   resources (FPGAs/ASICs), the shared memory and the system bus of the
+//!   prototyping board used in the paper;
+//! * a **mapping/colouring** ([`mapping::Mapping`]) of nodes onto resources,
+//!   the output of hardware/software partitioning;
+//! * a **reference evaluator** ([`eval`]) used as functional ground truth by
+//!   the co-simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use cool_ir::prelude::*;
+//!
+//! # fn main() -> Result<(), cool_ir::IrError> {
+//! let mut g = PartitioningGraph::new("adder");
+//! let a = g.add_input("a", 16);
+//! let b = g.add_input("b", 16);
+//! let sum = g.add_function("sum", Behavior::binary(Op::Add))?;
+//! let y = g.add_output("y", 16);
+//! g.connect(a, 0, sum, 0, 16)?;
+//! g.connect(b, 0, sum, 1, 16)?;
+//! g.connect(sum, 0, y, 0, 16)?;
+//! g.validate()?;
+//!
+//! let out = cool_ir::eval::evaluate(&g, &[("a", 2), ("b", 40)].into_iter()
+//!     .map(|(k, v)| (k.to_string(), v)).collect())?;
+//! assert_eq!(out["y"], 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod behavior;
+pub mod error;
+pub mod eval;
+pub mod graph;
+pub mod mapping;
+pub mod target;
+pub mod topo;
+
+pub use behavior::{Behavior, Expr, Op};
+pub use error::IrError;
+pub use graph::{Edge, EdgeId, Node, NodeId, NodeKind, PartitioningGraph};
+pub use mapping::{Mapping, Resource};
+pub use target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::behavior::{Behavior, Expr, Op};
+    pub use crate::error::IrError;
+    pub use crate::graph::{Edge, EdgeId, Node, NodeId, NodeKind, PartitioningGraph};
+    pub use crate::mapping::{Mapping, Resource};
+    pub use crate::target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
+}

@@ -1,0 +1,245 @@
+//! Node-to-resource mappings: the "colours" of the coloured partitioning
+//! graph produced by hardware/software partitioning.
+
+use std::fmt;
+
+use crate::error::IrError;
+use crate::graph::{NodeId, NodeKind, PartitioningGraph};
+use crate::target::Target;
+
+/// A partitionable resource of the target: either the `i`-th processor
+/// (software) or the `i`-th hardware resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// Index into [`Target::processors`].
+    Software(usize),
+    /// Index into [`Target::hw`].
+    Hardware(usize),
+}
+
+impl Resource {
+    /// `true` if this is a software (processor) resource.
+    #[must_use]
+    pub fn is_software(self) -> bool {
+        matches!(self, Resource::Software(_))
+    }
+
+    /// `true` if this is a hardware resource.
+    #[must_use]
+    pub fn is_hardware(self) -> bool {
+        matches!(self, Resource::Hardware(_))
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Software(i) => write!(f, "sw{i}"),
+            Resource::Hardware(i) => write!(f, "hw{i}"),
+        }
+    }
+}
+
+/// A complete node-to-resource assignment for one partitioning graph.
+///
+/// Primary inputs/outputs are conventionally mapped to the first software
+/// resource (they are actually serviced by the synthesized I/O controller;
+/// the entry merely keeps the mapping total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    assignment: Vec<Resource>,
+}
+
+impl Mapping {
+    /// Create a mapping assigning every one of `node_count` nodes to `r`.
+    #[must_use]
+    pub fn uniform(node_count: usize, r: Resource) -> Mapping {
+        Mapping { assignment: vec![r; node_count] }
+    }
+
+    /// Create a mapping from a dense per-node assignment vector.
+    #[must_use]
+    pub fn from_vec(assignment: Vec<Resource>) -> Mapping {
+        Mapping { assignment }
+    }
+
+    /// The resource of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the mapped graph.
+    #[must_use]
+    pub fn resource(&self, node: NodeId) -> Resource {
+        self.assignment[node.index()]
+    }
+
+    /// Reassign `node` to `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn assign(&mut self, node: NodeId, r: Resource) {
+        self.assignment[node.index()] = r;
+    }
+
+    /// Number of mapped nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// `true` if the mapping covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Iterate over `(node, resource)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Resource)> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (NodeId::from_index(i), *r))
+    }
+
+    /// Nodes mapped onto `r`, in id order.
+    #[must_use]
+    pub fn nodes_on(&self, r: Resource) -> Vec<NodeId> {
+        self.iter().filter(|&(_, x)| x == r).map(|(n, _)| n).collect()
+    }
+
+    /// Number of function nodes (per `g`) mapped to software resources.
+    #[must_use]
+    pub fn software_node_count(&self, g: &PartitioningGraph) -> usize {
+        self.iter()
+            .filter(|&(n, r)| {
+                r.is_software()
+                    && g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Number of function nodes (per `g`) mapped to hardware resources.
+    #[must_use]
+    pub fn hardware_node_count(&self, g: &PartitioningGraph) -> usize {
+        self.iter()
+            .filter(|&(n, r)| {
+                r.is_hardware()
+                    && g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Edges of `g` whose endpoints lie on *different* resources; these are
+    /// exactly the transfers that receive memory cells during co-synthesis.
+    #[must_use]
+    pub fn cut_edges<'g>(
+        &self,
+        g: &'g PartitioningGraph,
+    ) -> Vec<(crate::graph::EdgeId, &'g crate::graph::Edge)> {
+        g.edges()
+            .filter(|(_, e)| self.resource(e.src) != self.resource(e.dst))
+            .collect()
+    }
+
+    /// Check the mapping is total for `g` and references only resources
+    /// that exist in `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::IncompleteMapping`] or [`IrError::UnknownResource`].
+    pub fn validate(&self, g: &PartitioningGraph, target: &Target) -> Result<(), IrError> {
+        if self.assignment.len() != g.node_count() {
+            let node = NodeId::from_index(self.assignment.len().min(g.node_count()));
+            return Err(IrError::IncompleteMapping { node });
+        }
+        for (n, r) in self.iter() {
+            let ok = match r {
+                Resource::Software(i) => i < target.processors.len(),
+                Resource::Hardware(i) => i < target.hw.len(),
+            };
+            if !ok {
+                let _ = n;
+                return Err(IrError::UnknownResource(r.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mapping[")?;
+        for (i, r) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, Op};
+
+    fn two_node_graph() -> PartitioningGraph {
+        let mut g = PartitioningGraph::new("g");
+        let a = g.add_input("a", 16);
+        let f = g.add_function("f", Behavior::unary(Op::Neg)).unwrap();
+        let h = g.add_function("h", Behavior::unary(Op::Abs)).unwrap();
+        let y = g.add_output("y", 16);
+        g.connect(a, 0, f, 0, 16).unwrap();
+        g.connect(f, 0, h, 0, 16).unwrap();
+        g.connect(h, 0, y, 0, 16).unwrap();
+        g
+    }
+
+    #[test]
+    fn uniform_mapping_has_no_cut_edges() {
+        let g = two_node_graph();
+        let m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        assert!(m.cut_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn cut_edges_found() {
+        let g = two_node_graph();
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        m.assign(g.node_by_name("h").unwrap(), Resource::Hardware(0));
+        // f->h and h->y cross the partition boundary.
+        assert_eq!(m.cut_edges(&g).len(), 2);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let g = two_node_graph();
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        m.assign(g.node_by_name("h").unwrap(), Resource::Hardware(1));
+        assert_eq!(m.software_node_count(&g), 1);
+        assert_eq!(m.hardware_node_count(&g), 1);
+    }
+
+    #[test]
+    fn validate_checks_resources() {
+        let g = two_node_graph();
+        let t = Target::minimal(); // 1 processor, 1 fpga
+        let m = Mapping::uniform(g.node_count(), Resource::Hardware(3));
+        assert!(matches!(m.validate(&g, &t), Err(IrError::UnknownResource(_))));
+        let short = Mapping::from_vec(vec![Resource::Software(0)]);
+        assert!(matches!(short.validate(&g, &t), Err(IrError::IncompleteMapping { .. })));
+        let ok = Mapping::uniform(g.node_count(), Resource::Software(0));
+        ok.validate(&g, &t).unwrap();
+    }
+
+    #[test]
+    fn nodes_on_filters() {
+        let g = two_node_graph();
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let h = g.node_by_name("h").unwrap();
+        m.assign(h, Resource::Hardware(0));
+        assert_eq!(m.nodes_on(Resource::Hardware(0)), vec![h]);
+    }
+}

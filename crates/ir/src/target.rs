@@ -1,0 +1,305 @@
+//! Target architecture description.
+//!
+//! The paper's target is a board with a Motorola DSP56001 on a PC plug-in
+//! card, two Xilinx XC4005 FPGAs (196 CLBs each), a 64 kB static RAM card
+//! and a bus card connecting everything. This module models exactly that
+//! class of multi-processor / multi-ASIC architectures.
+
+use std::fmt;
+
+/// Instruction-timing flavour of a processor.
+///
+/// The co-simulator and software cost model do not emulate real opcodes;
+/// they charge per-operation cycle counts from a table selected by this
+/// class. The tables reproduce the *cost structure* of the real parts
+/// (single-cycle MAC on the DSP, expensive division everywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TimingClass {
+    /// Motorola DSP56001 flavour: 1-cycle multiply/MAC, slow division.
+    Dsp56001,
+    /// A plain load/store RISC: uniform simple ops, multi-cycle multiply.
+    GenericRisc,
+    /// A slow microcontroller: everything is multi-cycle.
+    Microcontroller,
+}
+
+impl TimingClass {
+    /// Cycles charged for one application of `op` on this processor class.
+    #[must_use]
+    pub fn op_cycles(self, op: crate::behavior::Op) -> u64 {
+        use crate::behavior::Op;
+        match self {
+            TimingClass::Dsp56001 => match op {
+                Op::Mul => 1, // the 56001's hallmark single-cycle multiplier
+                Op::Div | Op::Rem => 20,
+                Op::Mux | Op::Lt | Op::Le | Op::Eq => 2,
+                _ => 1,
+            },
+            TimingClass::GenericRisc => match op {
+                Op::Mul => 4,
+                Op::Div | Op::Rem => 32,
+                Op::Mux | Op::Lt | Op::Le | Op::Eq => 2,
+                _ => 1,
+            },
+            TimingClass::Microcontroller => match op {
+                Op::Mul => 12,
+                Op::Div | Op::Rem => 60,
+                _ => 4,
+            },
+        }
+    }
+
+    /// Fixed per-node software overhead in cycles (call/loop framing).
+    #[must_use]
+    pub fn node_overhead_cycles(self) -> u64 {
+        match self {
+            TimingClass::Dsp56001 => 6,
+            TimingClass::GenericRisc => 8,
+            TimingClass::Microcontroller => 16,
+        }
+    }
+
+    /// Cycles for one memory-mapped word access (excluding memory waits).
+    #[must_use]
+    pub fn io_access_cycles(self) -> u64 {
+        match self {
+            TimingClass::Dsp56001 => 2,
+            TimingClass::GenericRisc => 2,
+            TimingClass::Microcontroller => 4,
+        }
+    }
+}
+
+impl fmt::Display for TimingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TimingClass::Dsp56001 => "dsp56001",
+            TimingClass::GenericRisc => "generic-risc",
+            TimingClass::Microcontroller => "microcontroller",
+        })
+    }
+}
+
+/// A software resource: one processor executing one static schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Processor {
+    /// Human-readable instance name, unique within the target.
+    pub name: String,
+    /// Core clock in MHz (the DSP56001 in the paper ran at 20 MHz).
+    pub clock_mhz: f64,
+    /// Instruction-timing flavour.
+    pub timing: TimingClass,
+}
+
+impl Processor {
+    /// A 20 MHz Motorola DSP56001, the paper's software resource.
+    #[must_use]
+    pub fn dsp56001(name: impl Into<String>) -> Processor {
+        Processor { name: name.into(), clock_mhz: 20.0, timing: TimingClass::Dsp56001 }
+    }
+
+    /// A generic 33 MHz RISC core, for ablation targets.
+    #[must_use]
+    pub fn generic_risc(name: impl Into<String>) -> Processor {
+        Processor { name: name.into(), clock_mhz: 33.0, timing: TimingClass::GenericRisc }
+    }
+}
+
+/// A hardware resource: one FPGA or ASIC region with an area budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwResource {
+    /// Human-readable instance name, unique within the target.
+    pub name: String,
+    /// Clock in MHz for logic mapped onto this resource.
+    pub clock_mhz: f64,
+    /// Area budget in CLBs (configurable logic blocks).
+    pub clb_capacity: u32,
+}
+
+impl HwResource {
+    /// A Xilinx XC4005 with 196 CLBs, as on the paper's board.
+    #[must_use]
+    pub fn xc4005(name: impl Into<String>) -> HwResource {
+        HwResource { name: name.into(), clock_mhz: 16.0, clb_capacity: 196 }
+    }
+}
+
+/// The shared static RAM used for memory-mapped communication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    /// Instance name.
+    pub name: String,
+    /// Capacity in bytes (64 kB on the paper's board).
+    pub size_bytes: u32,
+    /// Base address of the co-synthesis memory-cell allocation region.
+    pub base_address: u32,
+    /// Additional wait cycles per read.
+    pub read_wait: u8,
+    /// Additional wait cycles per write.
+    pub write_wait: u8,
+}
+
+impl Memory {
+    /// The paper's 64 kB SRAM card, allocation base `0x1000`, 1 wait state.
+    #[must_use]
+    pub fn sram_64k(name: impl Into<String>) -> Memory {
+        Memory {
+            name: name.into(),
+            size_bytes: 64 * 1024,
+            base_address: 0x1000,
+            read_wait: 1,
+            write_wait: 1,
+        }
+    }
+}
+
+/// The system bus connecting processors, ASICs and memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    /// Instance name.
+    pub name: String,
+    /// Data width in bits; transfers are charged per word of this width.
+    pub width_bits: u16,
+    /// Cycles for one word transfer once the bus is granted.
+    pub cycles_per_word: u8,
+}
+
+impl Bus {
+    /// A 16-bit backplane bus as on the paper's prototyping board.
+    #[must_use]
+    pub fn backplane_16(name: impl Into<String>) -> Bus {
+        Bus { name: name.into(), width_bits: 16, cycles_per_word: 2 }
+    }
+}
+
+/// A complete target architecture: the co-design "board".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Software resources.
+    pub processors: Vec<Processor>,
+    /// Hardware resources.
+    pub hw: Vec<HwResource>,
+    /// The shared memory.
+    pub memory: Memory,
+    /// The system bus.
+    pub bus: Bus,
+    /// Reference system clock in MHz used to convert cycles to time in
+    /// reports (the controllers are clocked at this rate).
+    pub system_clock_mhz: f64,
+}
+
+impl Target {
+    /// The board of the paper's fuzzy-controller case study: one DSP56001,
+    /// two XC4005 FPGAs, 64 kB SRAM, one 16-bit bus.
+    #[must_use]
+    pub fn fuzzy_board() -> Target {
+        Target {
+            processors: vec![Processor::dsp56001("dsp0")],
+            hw: vec![HwResource::xc4005("fpga0"), HwResource::xc4005("fpga1")],
+            memory: Memory::sram_64k("sram0"),
+            bus: Bus::backplane_16("bus0"),
+            system_clock_mhz: 16.0,
+        }
+    }
+
+    /// A minimal single-processor, single-FPGA target for small examples.
+    #[must_use]
+    pub fn minimal() -> Target {
+        Target {
+            processors: vec![Processor::dsp56001("dsp0")],
+            hw: vec![HwResource::xc4005("fpga0")],
+            memory: Memory::sram_64k("sram0"),
+            bus: Bus::backplane_16("bus0"),
+            system_clock_mhz: 16.0,
+        }
+    }
+
+    /// Total number of partitionable resources (processors + hardware).
+    #[must_use]
+    pub fn resource_count(&self) -> usize {
+        self.processors.len() + self.hw.len()
+    }
+
+    /// Name of resource `r` (see [`crate::mapping::Resource`] for indexing).
+    #[must_use]
+    pub fn resource_name(&self, r: crate::mapping::Resource) -> &str {
+        match r {
+            crate::mapping::Resource::Software(i) => &self.processors[i].name,
+            crate::mapping::Resource::Hardware(i) => &self.hw[i].name,
+        }
+    }
+
+    /// All resources, software first, in a stable order.
+    #[must_use]
+    pub fn resources(&self) -> Vec<crate::mapping::Resource> {
+        let mut v = Vec::with_capacity(self.resource_count());
+        for i in 0..self.processors.len() {
+            v.push(crate::mapping::Resource::Software(i));
+        }
+        for i in 0..self.hw.len() {
+            v.push(crate::mapping::Resource::Hardware(i));
+        }
+        v
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "target: {} processor(s), {} hw resource(s), {} kB memory, {}-bit bus",
+            self.processors.len(),
+            self.hw.len(),
+            self.memory.size_bytes / 1024,
+            self.bus.width_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Op;
+    use crate::mapping::Resource;
+
+    #[test]
+    fn fuzzy_board_matches_paper() {
+        let t = Target::fuzzy_board();
+        assert_eq!(t.processors.len(), 1);
+        assert_eq!(t.hw.len(), 2);
+        assert_eq!(t.hw[0].clb_capacity, 196);
+        assert_eq!(t.memory.size_bytes, 64 * 1024);
+        assert_eq!(t.resource_count(), 3);
+    }
+
+    #[test]
+    fn dsp_mac_is_single_cycle() {
+        assert_eq!(TimingClass::Dsp56001.op_cycles(Op::Mul), 1);
+        assert!(TimingClass::GenericRisc.op_cycles(Op::Mul) > 1);
+    }
+
+    #[test]
+    fn division_is_expensive_everywhere() {
+        for t in [TimingClass::Dsp56001, TimingClass::GenericRisc, TimingClass::Microcontroller] {
+            assert!(t.op_cycles(Op::Div) >= 10);
+        }
+    }
+
+    #[test]
+    fn resource_enumeration_is_stable() {
+        let t = Target::fuzzy_board();
+        assert_eq!(
+            t.resources(),
+            vec![Resource::Software(0), Resource::Hardware(0), Resource::Hardware(1)]
+        );
+        assert_eq!(t.resource_name(Resource::Hardware(1)), "fpga1");
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = Target::fuzzy_board().to_string();
+        assert!(s.contains("64 kB"));
+        assert!(s.contains("16-bit"));
+    }
+}

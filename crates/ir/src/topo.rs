@@ -1,0 +1,155 @@
+//! Topological utilities over the partitioning graph.
+
+use crate::error::IrError;
+use crate::graph::{NodeId, PartitioningGraph};
+
+/// Topologically order the graph's nodes (Kahn's algorithm).
+///
+/// Ties are broken by node id, so the order is deterministic for a given
+/// graph, which keeps schedules, STGs and generated code reproducible.
+///
+/// # Errors
+///
+/// Returns [`IrError::Cycle`] if the graph is not a DAG; the witness is a
+/// node with a non-zero residual in-degree.
+pub fn topo_order(g: &PartitioningGraph) -> Result<Vec<NodeId>, IrError> {
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for (_, e) in g.edges() {
+        indeg[e.dst.index()] += 1;
+    }
+    // A sorted ready "set" realised as a Vec we keep sorted: graph sizes in
+    // this domain are tiny (tens to low hundreds of nodes).
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.first() {
+        ready.remove(0);
+        let id = NodeId::from_index(i);
+        order.push(id);
+        // Decrement once per *edge*: parallel edges into the same successor
+        // (fan-out to several ports of one node) each contribute in-degree.
+        for (_, e) in g.edges() {
+            if e.src != id {
+                continue;
+            }
+            let d = &mut indeg[e.dst.index()];
+            *d -= 1;
+            if *d == 0 {
+                let pos = ready.binary_search(&e.dst.index()).unwrap_or_else(|p| p);
+                ready.insert(pos, e.dst.index());
+            }
+        }
+    }
+    if order.len() != n {
+        let witness = (0..n)
+            .find(|&i| indeg[i] > 0)
+            .map(NodeId::from_index)
+            .expect("cycle implies a node with residual in-degree");
+        return Err(IrError::Cycle { witness });
+    }
+    Ok(order)
+}
+
+/// Length (in nodes) of the longest path through the DAG, with every node
+/// weighted by `weight`. Useful for critical-path style bounds.
+///
+/// # Errors
+///
+/// Returns [`IrError::Cycle`] if the graph is not a DAG.
+pub fn longest_path(
+    g: &PartitioningGraph,
+    mut weight: impl FnMut(NodeId) -> u64,
+) -> Result<u64, IrError> {
+    let order = topo_order(g)?;
+    let mut dist = vec![0u64; g.node_count()];
+    let mut best = 0;
+    for id in order {
+        let w = weight(id);
+        let start = g
+            .predecessors(id)
+            .into_iter()
+            .map(|p| dist[p.index()])
+            .max()
+            .unwrap_or(0);
+        dist[id.index()] = start + w;
+        best = best.max(dist[id.index()]);
+    }
+    Ok(best)
+}
+
+/// Per-node depth: the number of edges on the longest path from any source
+/// node to the node. Sources have depth 0.
+///
+/// # Errors
+///
+/// Returns [`IrError::Cycle`] if the graph is not a DAG.
+pub fn depths(g: &PartitioningGraph) -> Result<Vec<usize>, IrError> {
+    let order = topo_order(g)?;
+    let mut depth = vec![0usize; g.node_count()];
+    for id in order {
+        for s in g.successors(id) {
+            depth[s.index()] = depth[s.index()].max(depth[id.index()] + 1);
+        }
+    }
+    Ok(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{Behavior, Op};
+
+    fn chain(n: usize) -> PartitioningGraph {
+        let mut g = PartitioningGraph::new("chain");
+        let mut prev = g.add_input("in", 16);
+        for i in 0..n {
+            let f = g
+                .add_function(format!("f{i}"), Behavior::unary(Op::Neg))
+                .unwrap();
+            g.connect(prev, 0, f, 0, 16).unwrap();
+            prev = f;
+        }
+        let y = g.add_output("out", 16);
+        g.connect(prev, 0, y, 0, 16).unwrap();
+        g
+    }
+
+    #[test]
+    fn chain_orders_in_sequence() {
+        let g = chain(5);
+        let order = topo_order(&g).unwrap();
+        assert_eq!(order.len(), g.node_count());
+        // Every edge must go forward in the order.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.node_count()];
+            for (i, id) in order.iter().enumerate() {
+                pos[id.index()] = i;
+            }
+            pos
+        };
+        for (_, e) in g.edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn longest_path_counts_nodes() {
+        let g = chain(4);
+        // input + 4 functions + output, each weight 1.
+        assert_eq!(longest_path(&g, |_| 1).unwrap(), 6);
+    }
+
+    #[test]
+    fn depths_increase_along_chain() {
+        let g = chain(3);
+        let d = depths(&g).unwrap();
+        let out = g.node_by_name("out").unwrap();
+        assert_eq!(d[out.index()], 4);
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let g = chain(6);
+        assert_eq!(topo_order(&g).unwrap(), topo_order(&g).unwrap());
+    }
+}

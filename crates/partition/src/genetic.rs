@@ -1,0 +1,299 @@
+//! Genetic-algorithm partitioning.
+//!
+//! Chromosomes assign one resource index to every function node. Fitness
+//! is the *real* list-scheduler makespan plus a steep penalty per CLB of
+//! area violation, so the GA optimizes exactly what the paper's schedule
+//! executes. Population evaluation is parallelized with crossbeam scoped
+//! threads.
+
+use cool_cost::{CommScheme, CostModel};
+use cool_ir::{Mapping, NodeId, PartitioningGraph, Resource};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Algorithm, PartitionError, PartitionResult};
+
+/// Genetic-algorithm knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOptions {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability (defaults to `1/genes` when `None`).
+    pub mutation_rate: Option<f64>,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Communication scheme assumed by the fitness schedule.
+    pub scheme: CommScheme,
+    /// Penalty in cycles per CLB of FPGA over-subscription.
+    pub area_penalty: u64,
+    /// Worker threads for fitness evaluation (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for GaOptions {
+    fn default() -> GaOptions {
+        GaOptions {
+            population: 32,
+            generations: 40,
+            tournament: 3,
+            mutation_rate: None,
+            seed: 42,
+            scheme: CommScheme::MemoryMapped,
+            area_penalty: 50,
+            threads: 4,
+        }
+    }
+}
+
+/// Partition `g` with a genetic algorithm.
+///
+/// Always returns an area-feasible mapping: infeasible survivors are
+/// repaired by demoting their largest hardware nodes to software.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (unreachable for validated graphs).
+pub fn partition(
+    g: &PartitioningGraph,
+    cost: &CostModel,
+    options: &GaOptions,
+) -> Result<PartitionResult, PartitionError> {
+    let functions = g.function_nodes();
+    let genes = functions.len();
+    let resources = cost.target().resources();
+    let r_count = resources.len();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mutation = options.mutation_rate.unwrap_or(1.0 / genes.max(1) as f64);
+
+    // Initial population: all-software, all-hardware-round-robin, randoms.
+    let mut pop: Vec<Vec<u8>> = Vec::with_capacity(options.population);
+    pop.push(vec![0u8; genes]);
+    if r_count > 1 {
+        pop.push((0..genes).map(|i| (1 + i % (r_count - 1)) as u8).collect());
+    }
+    while pop.len() < options.population.max(4) {
+        pop.push((0..genes).map(|_| rng.random_range(0..r_count) as u8).collect());
+    }
+
+    let evaluate_one = |chrom: &[u8]| -> u64 {
+        let mapping = decode(g, &functions, &resources, chrom);
+        fitness(g, &mapping, cost, options)
+    };
+
+    let mut fitnesses: Vec<u64> = evaluate_population(&pop, options.threads, &evaluate_one);
+    let mut best = best_of(&pop, &fitnesses);
+
+    for _gen in 0..options.generations {
+        let mut next: Vec<Vec<u8>> = Vec::with_capacity(pop.len());
+        // Elitism: carry the champion.
+        next.push(best.0.clone());
+        while next.len() < pop.len() {
+            let a = tournament(&pop, &fitnesses, options.tournament, &mut rng);
+            let b = tournament(&pop, &fitnesses, options.tournament, &mut rng);
+            let mut child: Vec<u8> = (0..genes)
+                .map(|i| if rng.random_range(0..2) == 0 { pop[a][i] } else { pop[b][i] })
+                .collect();
+            for gene in child.iter_mut() {
+                if rng.random::<f64>() < mutation {
+                    *gene = rng.random_range(0..r_count) as u8;
+                }
+            }
+            next.push(child);
+        }
+        pop = next;
+        fitnesses = evaluate_population(&pop, options.threads, &evaluate_one);
+        let gen_best = best_of(&pop, &fitnesses);
+        if gen_best.1 < best.1 {
+            best = gen_best;
+        }
+    }
+
+    // Decode and repair the champion to guaranteed feasibility.
+    let mut mapping = decode(g, &functions, &resources, &best.0);
+    repair(g, &mut mapping, cost);
+    let (makespan, hw_area) = crate::evaluate(g, &mapping, cost, options.scheme)?;
+    Ok(PartitionResult {
+        mapping,
+        algorithm: Algorithm::Genetic,
+        makespan,
+        hw_area,
+        work_units: options.population * (options.generations + 1),
+    })
+}
+
+fn decode(
+    g: &PartitioningGraph,
+    functions: &[NodeId],
+    resources: &[Resource],
+    chrom: &[u8],
+) -> Mapping {
+    let mut m = crate::all_software(g);
+    for (i, &n) in functions.iter().enumerate() {
+        m.assign(n, resources[chrom[i] as usize % resources.len()]);
+    }
+    m
+}
+
+fn fitness(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    cost: &CostModel,
+    options: &GaOptions,
+) -> u64 {
+    let usage = crate::area_usage(g, mapping, cost);
+    let violation: u64 = usage
+        .iter()
+        .zip(&cost.target().hw)
+        .map(|(&used, hw)| u64::from(used.saturating_sub(hw.clb_capacity)))
+        .sum();
+    match cool_schedule::schedule(g, mapping, cost, options.scheme) {
+        Ok(s) => s.makespan() + violation * options.area_penalty,
+        Err(_) => u64::MAX / 2,
+    }
+}
+
+fn evaluate_population(
+    pop: &[Vec<u8>],
+    threads: usize,
+    evaluate_one: &(impl Fn(&[u8]) -> u64 + Sync),
+) -> Vec<u64> {
+    if threads <= 1 || pop.len() < 8 {
+        return pop.iter().map(|c| evaluate_one(c)).collect();
+    }
+    let chunk = pop.len().div_ceil(threads);
+    let mut out = vec![0u64; pop.len()];
+    crossbeam::scope(|scope| {
+        for (slot, chunk_items) in out.chunks_mut(chunk).zip(pop.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (o, c) in slot.iter_mut().zip(chunk_items) {
+                    *o = evaluate_one(c);
+                }
+            });
+        }
+    })
+    .expect("fitness worker panicked");
+    out
+}
+
+fn tournament(
+    pop: &[Vec<u8>],
+    fit: &[u64],
+    k: usize,
+    rng: &mut StdRng,
+) -> usize {
+    let mut best = rng.random_range(0..pop.len());
+    for _ in 1..k.max(1) {
+        let c = rng.random_range(0..pop.len());
+        if fit[c] < fit[best] {
+            best = c;
+        }
+    }
+    best
+}
+
+fn best_of(pop: &[Vec<u8>], fit: &[u64]) -> (Vec<u8>, u64) {
+    let (i, &f) = fit
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, f)| *f)
+        .expect("population is never empty");
+    (pop[i].clone(), f)
+}
+
+/// Demote the largest hardware nodes to software until all CLB budgets
+/// hold. Terminates because software has no area constraint.
+fn repair(g: &PartitioningGraph, mapping: &mut Mapping, cost: &CostModel) {
+    loop {
+        let usage = crate::area_usage(g, mapping, cost);
+        let over: Vec<usize> = usage
+            .iter()
+            .zip(&cost.target().hw)
+            .enumerate()
+            .filter(|(_, (&used, hw))| used > hw.clb_capacity)
+            .map(|(i, _)| i)
+            .collect();
+        if over.is_empty() {
+            return;
+        }
+        for h in over {
+            // Largest node on the oversubscribed FPGA.
+            let victim = g
+                .function_nodes()
+                .into_iter()
+                .filter(|&n| mapping.resource(n) == Resource::Hardware(h))
+                .max_by_key(|&n| cost.hw_area_clbs(n));
+            if let Some(v) = victim {
+                mapping.assign(v, Resource::Software(0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    fn quick_options() -> GaOptions {
+        GaOptions { population: 12, generations: 8, threads: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn ga_is_reproducible() {
+        let g = workloads::equalizer(4);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let a = partition(&g, &cost, &quick_options()).unwrap();
+        let b = partition(&g, &cost, &quick_options()).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn ga_beats_random_start() {
+        let g = workloads::fuzzy_controller();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let res = partition(&g, &cost, &quick_options()).unwrap();
+        // Never worse than the all-software baseline it was seeded with.
+        let all_sw = crate::all_software(&g);
+        let (sw, _) = crate::evaluate(&g, &all_sw, &cost, CommScheme::MemoryMapped).unwrap();
+        assert!(res.makespan <= sw, "GA {} vs all-software {sw}", res.makespan);
+    }
+
+    #[test]
+    fn ga_respects_area() {
+        let g = workloads::fuzzy_controller();
+        let mut target = Target::fuzzy_board();
+        target.hw[0].clb_capacity = 60;
+        target.hw[1].clb_capacity = 60;
+        let cost = CostModel::new(&g, &target);
+        let res = partition(&g, &cost, &quick_options()).unwrap();
+        for (used, hw) in res.hw_area.iter().zip(&target.hw) {
+            assert!(used <= &hw.clb_capacity);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_fitness_agree() {
+        let g = workloads::equalizer(4);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let serial = partition(&g, &cost, &GaOptions { threads: 1, ..quick_options() }).unwrap();
+        let parallel =
+            partition(&g, &cost, &GaOptions { threads: 4, ..quick_options() }).unwrap();
+        assert_eq!(serial.mapping, parallel.mapping);
+    }
+
+    #[test]
+    fn repair_fixes_oversubscription() {
+        let g = workloads::fuzzy_controller();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let mut m = crate::all_hardware(&g, 1); // everything on fpga0: way over
+        repair(&g, &mut m, &cost);
+        let usage = crate::area_usage(&g, &m, &cost);
+        assert!(usage[0] <= cost.target().hw[0].clb_capacity);
+    }
+}

@@ -1,0 +1,249 @@
+//! Hardware/software partitioning — the three algorithms of COOL.
+//!
+//! The paper couples partitioning with co-synthesis; partitioning itself is
+//! "either based on mixed integer linear programming (MILP), a combination
+//! of MILP and a heuristic, or on genetic algorithms". This crate
+//! implements all three on the same cost model:
+//!
+//! * [`milp`] — the exact formulation (after reference \[4\]): binary
+//!   assignment variables, per-FPGA CLB capacity constraints, linearized
+//!   cut indicators for communication cost, solved by [`cool_ilp`];
+//! * [`heuristic`] — MILP + heuristic: communication-guided clustering
+//!   shrinks the graph until the exact solver is cheap, then the cluster
+//!   solution is expanded;
+//! * [`genetic`] — a genetic algorithm whose fitness is the *actual* list
+//!   scheduler makespan (plus area-violation penalties), with
+//!   crossbeam-parallel population evaluation.
+//!
+//! All partitioners return a [`PartitionResult`] containing the coloured
+//! graph ([`cool_ir::Mapping`]) and solver statistics, and all guarantee
+//! area-feasible mappings (or report infeasibility).
+
+pub mod genetic;
+pub mod heuristic;
+pub mod milp;
+
+use std::fmt;
+
+use cool_cost::{CommScheme, CostModel};
+use cool_ir::{Mapping, NodeKind, PartitioningGraph, Resource};
+
+pub use genetic::GaOptions;
+pub use heuristic::HeuristicOptions;
+pub use milp::MilpOptions;
+
+/// Errors common to all partitioners.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// No area-feasible assignment exists (e.g. a node larger than every
+    /// FPGA and no processor allowed).
+    Infeasible(String),
+    /// The underlying MILP solver failed.
+    Ilp(cool_ilp::IlpError),
+    /// The graph/mapping combination is structurally invalid.
+    Ir(cool_ir::IrError),
+    /// Scheduling the candidate failed.
+    Schedule(cool_schedule::ScheduleError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Infeasible(why) => write!(f, "partitioning infeasible: {why}"),
+            PartitionError::Ilp(e) => write!(f, "MILP solver failed: {e}"),
+            PartitionError::Ir(e) => write!(f, "invalid input: {e}"),
+            PartitionError::Schedule(e) => write!(f, "candidate scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Ilp(e) => Some(e),
+            PartitionError::Ir(e) => Some(e),
+            PartitionError::Schedule(e) => Some(e),
+            PartitionError::Infeasible(_) => None,
+        }
+    }
+}
+
+impl From<cool_ilp::IlpError> for PartitionError {
+    fn from(e: cool_ilp::IlpError) -> PartitionError {
+        match e {
+            cool_ilp::IlpError::Infeasible => {
+                PartitionError::Infeasible("MILP proved no feasible assignment".to_string())
+            }
+            other => PartitionError::Ilp(other),
+        }
+    }
+}
+
+impl From<cool_ir::IrError> for PartitionError {
+    fn from(e: cool_ir::IrError) -> PartitionError {
+        PartitionError::Ir(e)
+    }
+}
+
+impl From<cool_schedule::ScheduleError> for PartitionError {
+    fn from(e: cool_schedule::ScheduleError) -> PartitionError {
+        PartitionError::Schedule(e)
+    }
+}
+
+/// Which algorithm produced a result (for reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Exact MILP.
+    Milp,
+    /// Clustering + MILP.
+    Heuristic,
+    /// Genetic algorithm.
+    Genetic,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Algorithm::Milp => "milp",
+            Algorithm::Heuristic => "milp+heuristic",
+            Algorithm::Genetic => "genetic",
+        })
+    }
+}
+
+/// The outcome of one partitioning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionResult {
+    /// The node colouring.
+    pub mapping: Mapping,
+    /// Which algorithm produced it.
+    pub algorithm: Algorithm,
+    /// Makespan of the colouring under the list scheduler, system cycles.
+    pub makespan: u64,
+    /// CLB usage per hardware resource.
+    pub hw_area: Vec<u32>,
+    /// Solver work: B&B nodes for MILP variants, generations×population
+    /// for the GA.
+    pub work_units: usize,
+}
+
+impl PartitionResult {
+    /// Nodes mapped to hardware (function nodes only).
+    #[must_use]
+    pub fn hardware_nodes(&self, g: &PartitioningGraph) -> usize {
+        self.mapping.hardware_node_count(g)
+    }
+
+    /// Nodes mapped to software (function nodes only).
+    #[must_use]
+    pub fn software_nodes(&self, g: &PartitioningGraph) -> usize {
+        self.mapping.software_node_count(g)
+    }
+}
+
+/// Evaluate a candidate mapping: makespan via the real list scheduler and
+/// CLB usage per hardware resource.
+///
+/// # Errors
+///
+/// Propagates scheduling errors; returns `Infeasible` if an FPGA budget is
+/// exceeded.
+pub fn evaluate(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    cost: &CostModel,
+    scheme: CommScheme,
+) -> Result<(u64, Vec<u32>), PartitionError> {
+    let hw_area = area_usage(g, mapping, cost);
+    for (i, (&used, hw)) in hw_area.iter().zip(&cost.target().hw).enumerate() {
+        if used > hw.clb_capacity {
+            return Err(PartitionError::Infeasible(format!(
+                "hw{i} needs {used} CLBs, capacity {}",
+                hw.clb_capacity
+            )));
+        }
+    }
+    let sched = cool_schedule::schedule(g, mapping, cost, scheme)?;
+    Ok((sched.makespan(), hw_area))
+}
+
+/// CLB usage per hardware resource under `mapping`.
+#[must_use]
+pub fn area_usage(g: &PartitioningGraph, mapping: &Mapping, cost: &CostModel) -> Vec<u32> {
+    let mut usage = vec![0u32; cost.target().hw.len()];
+    for (id, node) in g.nodes() {
+        if node.kind() != NodeKind::Function {
+            continue;
+        }
+        if let Resource::Hardware(h) = mapping.resource(id) {
+            usage[h] += cost.hw_area_clbs(id);
+        }
+    }
+    usage
+}
+
+/// Baseline mapping: everything on the first processor (always feasible).
+#[must_use]
+pub fn all_software(g: &PartitioningGraph) -> Mapping {
+    Mapping::uniform(g.node_count(), Resource::Software(0))
+}
+
+/// Baseline mapping: all function nodes spread round-robin across hardware
+/// resources (primary I/O stays on software by convention). May be
+/// area-infeasible; check with [`evaluate`].
+#[must_use]
+pub fn all_hardware(g: &PartitioningGraph, hw_count: usize) -> Mapping {
+    let mut m = all_software(g);
+    if hw_count == 0 {
+        return m;
+    }
+    for (i, id) in g.function_nodes().into_iter().enumerate() {
+        m.assign(id, Resource::Hardware(i % hw_count));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    #[test]
+    fn all_software_is_feasible() {
+        let g = workloads::fuzzy_controller();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let m = all_software(&g);
+        let (makespan, area) = evaluate(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        assert!(makespan > 0);
+        assert_eq!(area, vec![0, 0]);
+    }
+
+    #[test]
+    fn area_usage_counts_hw_nodes() {
+        let g = workloads::equalizer(4);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let m = all_hardware(&g, 2);
+        let usage = area_usage(&g, &m, &cost);
+        assert!(usage[0] > 0 && usage[1] > 0);
+        let total: u32 = usage.iter().sum();
+        assert_eq!(total, cost.total_area(&g.function_nodes()));
+    }
+
+    #[test]
+    fn infeasible_area_detected() {
+        // Pile every fuzzy node onto one 196-CLB FPGA: cannot fit.
+        let g = workloads::fuzzy_controller();
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let mut m = all_software(&g);
+        for id in g.function_nodes() {
+            m.assign(id, Resource::Hardware(0));
+        }
+        assert!(matches!(
+            evaluate(&g, &m, &cost, CommScheme::MemoryMapped),
+            Err(PartitionError::Infeasible(_))
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Exact MILP partitioning (after Niemann & Marwedel, DAES 1997).
+//!
+//! Decision variables `x[n][r] ∈ {0,1}` assign function node `n` to
+//! resource `r`; continuous indicators `y[e] ∈ [0,1]` capture whether edge
+//! `e` is *cut* (its endpoints sit on different resources), linearized as
+//! `y_e ≥ x[u][r] − x[v][r]` for every resource `r`. Primary I/O nodes are
+//! fixed on the first processor (they are serviced by the synthesized I/O
+//! controller). Per-FPGA CLB capacities bound the hardware side.
+//!
+//! The objective is the classical weighted proxy
+//! `Σ time·exec + Σ comm·cut + Σ area·hw`: exact makespan would require
+//! scheduling variables, which the original formulation also approximates.
+//! The returned mapping is re-evaluated with the real list scheduler.
+
+use cool_cost::{CommScheme, CostModel};
+use cool_ilp::{Cmp, Problem, SolveOptions, VarId};
+use cool_ir::{NodeKind, PartitioningGraph, Resource};
+
+use crate::{Algorithm, PartitionError, PartitionResult};
+
+/// Weights and limits for the MILP partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpOptions {
+    /// Weight of the execution-load term.
+    pub time_weight: f64,
+    /// Weight of the communication term.
+    pub comm_weight: f64,
+    /// Weight of the hardware-area term (tie-break toward less hardware).
+    pub area_weight: f64,
+    /// Branch & bound node limit.
+    pub max_nodes: usize,
+    /// Communication scheme assumed for edge costs.
+    pub scheme: CommScheme,
+}
+
+impl Default for MilpOptions {
+    fn default() -> MilpOptions {
+        MilpOptions {
+            time_weight: 1.0,
+            comm_weight: 1.0,
+            area_weight: 0.05,
+            max_nodes: 50_000,
+            scheme: CommScheme::MemoryMapped,
+        }
+    }
+}
+
+/// Partition `g` by solving the MILP exactly.
+///
+/// # Errors
+///
+/// [`PartitionError::Infeasible`] when no assignment satisfies the CLB
+/// budgets, [`PartitionError::Ilp`] for solver limits.
+pub fn partition(
+    g: &PartitioningGraph,
+    cost: &CostModel,
+    options: &MilpOptions,
+) -> Result<PartitionResult, PartitionError> {
+    let target = cost.target();
+    let resources = target.resources();
+    let r_count = resources.len();
+    let functions = g.function_nodes();
+
+    let mut p = Problem::minimize();
+    // x[n][r] for function nodes only; dense index into `functions`.
+    let mut x: Vec<Vec<VarId>> = Vec::with_capacity(functions.len());
+    for &n in &functions {
+        let mut row = Vec::with_capacity(r_count);
+        for &r in &resources {
+            let exec = cost.exec_cycles(n, r) as f64;
+            let area = match r {
+                Resource::Hardware(_) => cost.hw_area_clbs(n) as f64,
+                Resource::Software(_) => 0.0,
+            };
+            row.push(p.add_binary(options.time_weight * exec + options.area_weight * area));
+        }
+        // Exactly one resource per node.
+        let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Cmp::Eq, 1.0);
+        x.push(row);
+    }
+
+    // CLB capacity per hardware resource.
+    for (h, hw) in target.hw.iter().enumerate() {
+        let r_index = resources
+            .iter()
+            .position(|&r| r == Resource::Hardware(h))
+            .expect("hardware resource enumerated");
+        let terms: Vec<(VarId, f64)> = functions
+            .iter()
+            .enumerate()
+            .map(|(fi, &n)| (x[fi][r_index], f64::from(cost.hw_area_clbs(n))))
+            .collect();
+        p.add_constraint(&terms, Cmp::Le, f64::from(hw.clb_capacity));
+    }
+
+    // Cut indicators. I/O nodes are fixed on Software(0) == resources[0].
+    let fun_index = |n: cool_ir::NodeId| functions.iter().position(|&f| f == n);
+    for (_, e) in g.edges() {
+        let u = fun_index(e.src);
+        let v = fun_index(e.dst);
+        let comm = options.comm_weight * cost.comm_cycles(e, options.scheme) as f64;
+        if comm == 0.0 {
+            continue;
+        }
+        let y = p.add_continuous(0.0, 1.0, comm);
+        match (u, v) {
+            (Some(ui), Some(vi)) => {
+                for ri in 0..r_count {
+                    p.add_constraint(
+                        &[(y, 1.0), (x[ui][ri], -1.0), (x[vi][ri], 1.0)],
+                        Cmp::Ge,
+                        0.0,
+                    );
+                    p.add_constraint(
+                        &[(y, 1.0), (x[vi][ri], -1.0), (x[ui][ri], 1.0)],
+                        Cmp::Ge,
+                        0.0,
+                    );
+                }
+            }
+            (Some(ui), None) => {
+                // Consumer fixed on resources[0]: cut iff u not on r0.
+                p.add_constraint(&[(y, 1.0), (x[ui][0], 1.0)], Cmp::Ge, 1.0);
+            }
+            (None, Some(vi)) => {
+                p.add_constraint(&[(y, 1.0), (x[vi][0], 1.0)], Cmp::Ge, 1.0);
+            }
+            (None, None) => {
+                // Both I/O: same resource, never cut.
+            }
+        }
+    }
+
+    let sol = p.solve(&SolveOptions { max_nodes: options.max_nodes, int_tol: 1e-6 })?;
+
+    // Extract mapping.
+    let mut mapping = crate::all_software(g);
+    for (fi, &n) in functions.iter().enumerate() {
+        let ri = (0..r_count)
+            .find(|&ri| sol.int_value(x[fi][ri]) == 1)
+            .ok_or_else(|| {
+                PartitionError::Infeasible(format!("MILP produced no assignment for {n}"))
+            })?;
+        mapping.assign(n, resources[ri]);
+    }
+    for (id, node) in g.nodes() {
+        if node.kind() != NodeKind::Function {
+            mapping.assign(id, Resource::Software(0));
+        }
+    }
+
+    let (makespan, hw_area) = crate::evaluate(g, &mapping, cost, options.scheme)?;
+    Ok(PartitionResult {
+        mapping,
+        algorithm: Algorithm::Milp,
+        makespan,
+        hw_area,
+        work_units: sol.nodes_explored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    #[test]
+    fn partitions_small_equalizer() {
+        let g = workloads::equalizer(2);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let res = partition(&g, &cost, &MilpOptions::default()).unwrap();
+        assert!(res.makespan > 0);
+        // Feasible: respects both FPGA budgets.
+        for (used, hw) in res.hw_area.iter().zip(&cost.target().hw) {
+            assert!(*used <= hw.clb_capacity);
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_all_software() {
+        let g = workloads::equalizer(2);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let res = partition(&g, &cost, &MilpOptions::default()).unwrap();
+        let all_sw = crate::all_software(&g);
+        let (sw_makespan, _) =
+            crate::evaluate(&g, &all_sw, &cost, CommScheme::MemoryMapped).unwrap();
+        // The proxy objective does not guarantee makespan dominance, but on
+        // this tiny DSP-friendly design it must not be absurdly worse.
+        assert!(res.makespan <= sw_makespan * 2, "{} vs {sw_makespan}", res.makespan);
+    }
+
+    #[test]
+    fn respects_tight_area_budget() {
+        let g = workloads::equalizer(2);
+        let mut target = Target::fuzzy_board();
+        target.hw[0].clb_capacity = 1; // nothing fits
+        target.hw[1].clb_capacity = 1;
+        let cost = CostModel::new(&g, &target);
+        let res = partition(&g, &cost, &MilpOptions::default()).unwrap();
+        assert_eq!(res.hardware_nodes(&g), 0, "nothing can fit 1 CLB");
+    }
+
+    #[test]
+    fn comm_weight_discourages_cuts() {
+        let g = workloads::equalizer(2);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let heavy = MilpOptions { comm_weight: 1000.0, ..Default::default() };
+        let res = partition(&g, &cost, &heavy).unwrap();
+        // With overwhelming comm penalty everything lands on one resource.
+        let cut = res.mapping.cut_edges(&g).len();
+        assert_eq!(cut, 0, "expected an uncut partition, got {cut} cut edges");
+    }
+}

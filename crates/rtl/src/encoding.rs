@@ -1,0 +1,144 @@
+//! FSM state-encoding optimization.
+//!
+//! Logic synthesis of the communicating controllers (Oscar + Synopsys in
+//! the paper) spends most of its time searching implementation spaces.
+//! This module reproduces the state-assignment part: given the system
+//! controller's STG, it searches binary state encodings that minimize the
+//! total Hamming distance across transitions — the classical proxy for
+//! next-state logic size. The search effort is configurable and is what
+//! makes hardware synthesis dominate end-to-end flow time, as the paper
+//! reports (> 90 %).
+
+use cool_stg::Stg;
+
+/// A state assignment: one binary code per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateEncoding {
+    /// Code per state, indexed like the STG's states.
+    pub codes: Vec<u32>,
+    /// Bits per code.
+    pub bits: u32,
+    /// Total Hamming distance over all transitions (lower = cheaper
+    /// next-state logic).
+    pub cost: u64,
+    /// Number of candidate encodings examined.
+    pub candidates_tried: usize,
+}
+
+/// Cost of an assignment: sum of Hamming distances across transitions.
+#[must_use]
+pub fn encoding_cost(stg: &Stg, codes: &[u32]) -> u64 {
+    stg.transitions()
+        .iter()
+        .map(|t| u64::from((codes[t.from.index()] ^ codes[t.to.index()]).count_ones()))
+        .sum()
+}
+
+/// Search a good binary encoding for the STG's states.
+///
+/// Deterministic: a seeded xorshift explores `effort × states` random
+/// permutations plus a greedy pairwise-improvement pass per candidate,
+/// keeping the cheapest. `effort = 0` returns the identity encoding.
+#[must_use]
+pub fn optimize_encoding(stg: &Stg, effort: u32) -> StateEncoding {
+    let n = stg.state_count();
+    let bits = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u32 };
+    let identity: Vec<u32> = (0..n as u32).collect();
+    let mut best = identity.clone();
+    let mut best_cost = encoding_cost(stg, &best);
+    let mut tried = 1usize;
+
+    let mut rng_state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+
+    let rounds = effort as usize * n;
+    let mut candidate = identity;
+    for _ in 0..rounds {
+        // Random swap mutation of the current best.
+        candidate.copy_from_slice(&best);
+        let i = (next() % n as u64) as usize;
+        let j = (next() % n as u64) as usize;
+        candidate.swap(i, j);
+        // Greedy improvement: try swapping each adjacent pair once.
+        let mut cost = encoding_cost(stg, &candidate);
+        for k in 0..n.saturating_sub(1) {
+            candidate.swap(k, k + 1);
+            let c2 = encoding_cost(stg, &candidate);
+            if c2 < cost {
+                cost = c2;
+            } else {
+                candidate.swap(k, k + 1);
+            }
+            tried += 1;
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best.copy_from_slice(&candidate);
+        }
+        tried += 1;
+    }
+    StateEncoding { codes: best, bits, cost: best_cost, candidates_tried: tried }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_cost::{CommScheme, CostModel};
+    use cool_ir::{Mapping, Resource, Target};
+    use cool_spec::workloads;
+
+    fn stg() -> Stg {
+        let g = workloads::equalizer(4);
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let sched =
+            cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+        let (min, _) = cool_stg::minimize(&cool_stg::generate(&g, &mapping, &sched));
+        min
+    }
+
+    #[test]
+    fn codes_are_a_permutation() {
+        let s = stg();
+        let enc = optimize_encoding(&s, 4);
+        let mut codes = enc.codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), s.state_count(), "codes must be unique");
+    }
+
+    #[test]
+    fn more_effort_never_hurts() {
+        let s = stg();
+        let low = optimize_encoding(&s, 1);
+        let high = optimize_encoding(&s, 8);
+        assert!(high.cost <= low.cost);
+        assert!(high.candidates_tried > low.candidates_tried);
+    }
+
+    #[test]
+    fn cost_matches_manual_computation() {
+        let s = stg();
+        let enc = optimize_encoding(&s, 2);
+        assert_eq!(enc.cost, encoding_cost(&s, &enc.codes));
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = stg();
+        assert_eq!(optimize_encoding(&s, 3), optimize_encoding(&s, 3));
+    }
+
+    #[test]
+    fn zero_effort_is_identity() {
+        let s = stg();
+        let enc = optimize_encoding(&s, 0);
+        assert_eq!(enc.codes, (0..s.state_count() as u32).collect::<Vec<_>>());
+    }
+}

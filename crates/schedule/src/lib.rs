@@ -1,0 +1,553 @@
+//! Static scheduling of coloured partitioning graphs.
+//!
+//! The output of COOL's partitioning phase is (1) a coloured partitioning
+//! graph and (2) a **static schedule** (paper Figure 2). This crate
+//! computes that schedule with priority-based list scheduling:
+//!
+//! * every processor executes its nodes strictly sequentially,
+//! * hardware nodes start as soon as their data is available (each node
+//!   owns its own datapath on the FPGA, so hardware is concurrent),
+//! * every *cut* edge (endpoints on different resources) becomes a bus
+//!   transfer; the single system bus serializes transfers,
+//! * priorities are critical-path lengths, so long chains schedule first.
+//!
+//! The resulting [`StaticSchedule`] is what co-synthesis turns into the
+//! state/transition graph and ultimately into the system controller.
+//!
+//! # Example
+//!
+//! ```
+//! use cool_cost::CostModel;
+//! use cool_ir::{Mapping, Resource, Target};
+//! use cool_spec::workloads;
+//!
+//! # fn main() -> Result<(), cool_schedule::ScheduleError> {
+//! let g = workloads::equalizer(4);
+//! let target = Target::fuzzy_board();
+//! let cost = CostModel::new(&g, &target);
+//! let mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+//! let sched = cool_schedule::schedule(&g, &mapping, &cost, Default::default())?;
+//! assert!(sched.makespan() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cool_cost::{CommScheme, CostModel};
+use cool_ir::{EdgeId, IrError, Mapping, NodeId, NodeKind, PartitioningGraph, Resource};
+
+/// Errors from the static scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The underlying graph or mapping is malformed.
+    Ir(IrError),
+    /// Internal progress failure: no event could advance time. Indicates a
+    /// dependency that can never be satisfied (should be unreachable for
+    /// validated DAGs).
+    Stuck {
+        /// Nodes that never became ready.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Ir(e) => write!(f, "schedule failed on invalid input: {e}"),
+            ScheduleError::Stuck { pending } => {
+                write!(f, "scheduler made no progress with {pending} nodes pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Ir(e) => Some(e),
+            ScheduleError::Stuck { .. } => None,
+        }
+    }
+}
+
+impl From<IrError> for ScheduleError {
+    fn from(e: IrError) -> ScheduleError {
+        ScheduleError::Ir(e)
+    }
+}
+
+/// One node's slot in the static schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledNode {
+    /// The scheduled node.
+    pub node: NodeId,
+    /// The resource it executes on.
+    pub resource: Resource,
+    /// Start time in system cycles.
+    pub start: u64,
+    /// Finish time (exclusive) in system cycles.
+    pub finish: u64,
+}
+
+/// One bus transfer in the static schedule (a cut edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommSlot {
+    /// The transferred edge.
+    pub edge: EdgeId,
+    /// Bus grant time in system cycles.
+    pub start: u64,
+    /// Bus release time (exclusive).
+    pub finish: u64,
+}
+
+/// The static schedule: execution order of all nodes and bus transfers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSchedule {
+    nodes: Vec<ScheduledNode>,
+    comm: Vec<CommSlot>,
+    makespan: u64,
+    scheme: CommScheme,
+}
+
+impl StaticSchedule {
+    /// Per-node slots, ordered by node id.
+    #[must_use]
+    pub fn nodes(&self) -> &[ScheduledNode] {
+        &self.nodes
+    }
+
+    /// Bus transfers, ordered by grant time.
+    #[must_use]
+    pub fn comm_slots(&self) -> &[CommSlot] {
+        &self.comm
+    }
+
+    /// Slot of a specific node.
+    #[must_use]
+    pub fn slot(&self, node: NodeId) -> ScheduledNode {
+        self.nodes[node.index()]
+    }
+
+    /// Overall completion time in system cycles.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// The communication scheme the schedule was built for.
+    #[must_use]
+    pub fn scheme(&self) -> CommScheme {
+        self.scheme
+    }
+
+    /// Nodes on `resource` in execution order.
+    #[must_use]
+    pub fn order_on(&self, resource: Resource) -> Vec<NodeId> {
+        let mut v: Vec<&ScheduledNode> =
+            self.nodes.iter().filter(|s| s.resource == resource).collect();
+        v.sort_by_key(|s| (s.start, s.node));
+        v.iter().map(|s| s.node).collect()
+    }
+
+    /// Verify schedule invariants against the graph and mapping:
+    /// precedence (consumers start after producers and transfers finish),
+    /// processor exclusivity, and bus exclusivity.
+    ///
+    /// Returns a human-readable description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// `Err(description)` if any invariant is violated.
+    pub fn verify(
+        &self,
+        g: &PartitioningGraph,
+        mapping: &Mapping,
+    ) -> Result<(), String> {
+        // Precedence over every edge.
+        let comm_by_edge: BTreeMap<EdgeId, &CommSlot> =
+            self.comm.iter().map(|c| (c.edge, c)).collect();
+        for (eid, e) in g.edges() {
+            let p = self.slot(e.src);
+            let c = self.slot(e.dst);
+            let cut = mapping.resource(e.src) != mapping.resource(e.dst);
+            if cut {
+                let t = comm_by_edge
+                    .get(&eid)
+                    .ok_or_else(|| format!("cut edge {eid} has no bus slot"))?;
+                if t.start < p.finish {
+                    return Err(format!("transfer {eid} starts before producer finishes"));
+                }
+                if c.start < t.finish {
+                    return Err(format!("consumer of {eid} starts before transfer finishes"));
+                }
+            } else if c.start < p.finish {
+                return Err(format!("edge {eid}: consumer starts before producer finishes"));
+            }
+        }
+        // Processor exclusivity.
+        for (i, a) in self.nodes.iter().enumerate() {
+            if !a.resource.is_software() || a.start == a.finish {
+                continue;
+            }
+            for b in &self.nodes[i + 1..] {
+                if b.resource == a.resource
+                    && b.start != b.finish
+                    && a.start < b.finish
+                    && b.start < a.finish
+                {
+                    return Err(format!(
+                        "nodes {} and {} overlap on {}",
+                        a.node, b.node, a.resource
+                    ));
+                }
+            }
+        }
+        // Bus exclusivity.
+        for (i, a) in self.comm.iter().enumerate() {
+            for b in &self.comm[i + 1..] {
+                if a.start < b.finish && b.start < a.finish && a.start != a.finish {
+                    return Err(format!("bus transfers {} and {} overlap", a.edge, b.edge));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render a compact Gantt-style text table (one row per node and
+    /// transfer), for reports and the Figure 2 regenerator.
+    #[must_use]
+    pub fn to_gantt(&self, g: &PartitioningGraph, target: &cool_ir::Target) -> String {
+        let mut s = String::new();
+        s.push_str("time      resource   activity\n");
+        let mut rows: Vec<(u64, u64, String, String)> = Vec::new();
+        for slot in &self.nodes {
+            let name = g.node(slot.node).map(|n| n.name().to_string()).unwrap_or_default();
+            rows.push((
+                slot.start,
+                slot.finish,
+                target.resource_name(slot.resource).to_string(),
+                name,
+            ));
+        }
+        for c in &self.comm {
+            rows.push((c.start, c.finish, target.bus.name.clone(), format!("xfer {}", c.edge)));
+        }
+        rows.sort();
+        for (start, finish, res, what) in rows {
+            s.push_str(&format!("{start:>5}-{finish:<5} {res:<10} {what}\n"));
+        }
+        s.push_str(&format!("makespan: {} cycles\n", self.makespan));
+        s
+    }
+}
+
+/// Compute the static schedule of `g` under `mapping`.
+///
+/// # Errors
+///
+/// [`ScheduleError::Ir`] for invalid graphs/mappings; [`ScheduleError::Stuck`]
+/// if progress stalls (unreachable for validated inputs).
+pub fn schedule(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    cost: &CostModel,
+    scheme: CommScheme,
+) -> Result<StaticSchedule, ScheduleError> {
+    mapping.validate(g, cost.target())?;
+    let order = cool_ir::topo::topo_order(g)?;
+
+    // Critical-path priority: longest path (in exec cycles on the mapped
+    // resource) from each node to any sink.
+    let n = g.node_count();
+    let exec: Vec<u64> = (0..n)
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            match g.node(id).expect("dense ids").kind() {
+                NodeKind::Function => cost.exec_cycles(id, mapping.resource(id)),
+                NodeKind::Input | NodeKind::Output => 0,
+            }
+        })
+        .collect();
+    let mut priority = vec![0u64; n];
+    for &id in order.iter().rev() {
+        let down = g
+            .successors(id)
+            .into_iter()
+            .map(|s| priority[s.index()])
+            .max()
+            .unwrap_or(0);
+        priority[id.index()] = exec[id.index()] + down;
+    }
+
+    // Simulation state.
+    let mut node_finish: Vec<Option<u64>> = vec![None; n];
+    let mut node_start: Vec<Option<u64>> = vec![None; n];
+    // Arrival time of each in-edge's data at the consumer's resource.
+    let mut edge_arrival: Vec<Option<u64>> = vec![None; g.edge_count()];
+    let mut comm_done: Vec<bool> = vec![false; g.edge_count()];
+    let mut comm_slots: Vec<CommSlot> = Vec::new();
+    let mut bus_free_at: u64 = 0;
+    let mut proc_free_at: Vec<u64> = vec![0; cost.target().processors.len()];
+    let mut t: u64 = 0;
+    let mut remaining = n;
+    let max_iter = 16 * (n as u64 + g.edge_count() as u64 + 4) * 1000;
+    let mut iter = 0u64;
+
+    while remaining > 0 {
+        iter += 1;
+        if iter > max_iter {
+            return Err(ScheduleError::Stuck { pending: remaining });
+        }
+        let mut progressed = false;
+
+        // 1. Launch bus transfers for finished producers of cut edges.
+        //    Highest consumer priority first.
+        let mut pending_xfers: Vec<(u64, EdgeId)> = Vec::new();
+        for (eid, e) in g.edges() {
+            if comm_done[eid.index()] {
+                continue;
+            }
+            let cut = mapping.resource(e.src) != mapping.resource(e.dst);
+            if !cut {
+                if let Some(f) = node_finish[e.src.index()] {
+                    edge_arrival[eid.index()] = Some(f);
+                    comm_done[eid.index()] = true;
+                    progressed = true;
+                }
+                continue;
+            }
+            if let Some(f) = node_finish[e.src.index()] {
+                if f <= t {
+                    pending_xfers.push((u64::MAX - priority[e.dst.index()], eid));
+                }
+            }
+        }
+        pending_xfers.sort();
+        for (_, eid) in pending_xfers {
+            if bus_free_at > t {
+                break;
+            }
+            let e = g.edge(eid).expect("dense edge ids");
+            let dur = cost.comm_cycles(e, scheme);
+            let start = t;
+            let finish = start + dur;
+            comm_slots.push(CommSlot { edge: eid, start, finish });
+            edge_arrival[eid.index()] = Some(finish);
+            comm_done[eid.index()] = true;
+            bus_free_at = finish;
+            progressed = true;
+        }
+
+        // 2. Start ready nodes.
+        let mut ready: Vec<(u64, usize)> = (0..n)
+            .filter(|&i| node_start[i].is_none())
+            .filter(|&i| {
+                g.in_edges(NodeId::from_index(i))
+                    .iter()
+                    .all(|(eid, _)| edge_arrival[eid.index()].map(|a| a <= t).unwrap_or(false))
+            })
+            .map(|i| (u64::MAX - priority[i], i))
+            .collect();
+        ready.sort();
+        for (_, i) in ready {
+            let id = NodeId::from_index(i);
+            let r = mapping.resource(id);
+            let kind = g.node(id).expect("dense ids").kind();
+            let can_start = match (kind, r) {
+                (NodeKind::Function, Resource::Software(p)) => proc_free_at[p] <= t,
+                _ => true, // hardware and I/O nodes are concurrent
+            };
+            if !can_start {
+                continue;
+            }
+            let dur = exec[i];
+            node_start[i] = Some(t);
+            node_finish[i] = Some(t + dur);
+            if let (NodeKind::Function, Resource::Software(p)) = (kind, r) {
+                proc_free_at[p] = t + dur;
+            }
+            remaining -= 1;
+            progressed = true;
+        }
+
+        if remaining == 0 {
+            break;
+        }
+
+        // 3. Advance time to the next event.
+        let mut next = u64::MAX;
+        for f in node_finish.iter().flatten() {
+            if *f > t {
+                next = next.min(*f);
+            }
+        }
+        if bus_free_at > t {
+            next = next.min(bus_free_at);
+        }
+        for &p in &proc_free_at {
+            if p > t {
+                next = next.min(p);
+            }
+        }
+        for a in edge_arrival.iter().flatten() {
+            if *a > t {
+                next = next.min(*a);
+            }
+        }
+        if next == u64::MAX {
+            if !progressed {
+                return Err(ScheduleError::Stuck { pending: remaining });
+            }
+            // Nodes may have started at t with zero duration; loop again.
+            continue;
+        }
+        if !progressed || next > t {
+            t = next.max(t + u64::from(!progressed));
+        }
+    }
+
+    let nodes: Vec<ScheduledNode> = (0..n)
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            ScheduledNode {
+                node: id,
+                resource: mapping.resource(id),
+                start: node_start[i].expect("all nodes scheduled"),
+                finish: node_finish[i].expect("all nodes scheduled"),
+            }
+        })
+        .collect();
+    let makespan = nodes
+        .iter()
+        .map(|s| s.finish)
+        .chain(comm_slots.iter().map(|c| c.finish))
+        .max()
+        .unwrap_or(0);
+    comm_slots.sort_by_key(|c| (c.start, c.edge));
+    Ok(StaticSchedule { nodes, comm: comm_slots, makespan, scheme })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    fn setup(
+        g: &PartitioningGraph,
+    ) -> (CostModel, Target) {
+        let t = Target::fuzzy_board();
+        (CostModel::new(g, &t), t)
+    }
+
+    #[test]
+    fn all_software_schedule_verifies() {
+        let g = workloads::equalizer(4);
+        let (cost, _) = setup(&g);
+        let m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        s.verify(&g, &m).unwrap();
+        assert!(s.comm_slots().is_empty(), "uniform mapping has no cut edges");
+    }
+
+    #[test]
+    fn mixed_schedule_has_transfers_and_verifies() {
+        let g = workloads::equalizer(4);
+        let (cost, _) = setup(&g);
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        for (i, id) in g.function_nodes().into_iter().enumerate() {
+            if i % 2 == 0 {
+                m.assign(id, Resource::Hardware(0));
+            }
+        }
+        let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        s.verify(&g, &m).unwrap();
+        assert!(!s.comm_slots().is_empty());
+    }
+
+    #[test]
+    fn software_serializes() {
+        let g = workloads::fir(8);
+        let (cost, _) = setup(&g);
+        let m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        s.verify(&g, &m).unwrap();
+        // Total busy time equals the sum of all exec times (no overlap).
+        let busy: u64 = g
+            .function_nodes()
+            .iter()
+            .map(|&id| {
+                let sl = s.slot(id);
+                sl.finish - sl.start
+            })
+            .sum();
+        assert!(s.makespan() >= busy);
+    }
+
+    #[test]
+    fn hardware_exploits_parallelism() {
+        let g = workloads::fir(8);
+        let (cost, _) = setup(&g);
+        let sw = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let hw = Mapping::uniform(g.node_count(), Resource::Hardware(0));
+        let ssw = schedule(&g, &sw, &cost, CommScheme::MemoryMapped).unwrap();
+        let shw = schedule(&g, &hw, &cost, CommScheme::MemoryMapped).unwrap();
+        shw.verify(&g, &hw).unwrap();
+        // The FIR taps are independent: hardware runs them concurrently.
+        assert!(shw.makespan() < ssw.makespan());
+    }
+
+    #[test]
+    fn direct_scheme_is_faster_for_cut_designs() {
+        let g = workloads::equalizer(4);
+        let (cost, _) = setup(&g);
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        for (i, id) in g.function_nodes().into_iter().enumerate() {
+            if i % 2 == 0 {
+                m.assign(id, Resource::Hardware(0));
+            }
+        }
+        let mm = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        let direct = schedule(&g, &m, &cost, CommScheme::Direct).unwrap();
+        assert!(direct.makespan() <= mm.makespan());
+    }
+
+    #[test]
+    fn order_on_is_sorted_by_start() {
+        let g = workloads::equalizer(2);
+        let (cost, _) = setup(&g);
+        let m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        let order = s.order_on(Resource::Software(0));
+        let starts: Vec<u64> = order.iter().map(|&id| s.slot(id).start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let g = workloads::equalizer(2);
+        let (cost, t) = setup(&g);
+        let m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        let gantt = s.to_gantt(&g, &t);
+        assert!(gantt.contains("makespan"));
+        assert!(gantt.contains("dsp0"));
+    }
+
+    #[test]
+    fn fuzzy_schedules_on_paper_board() {
+        let g = workloads::fuzzy_controller();
+        let (cost, _) = setup(&g);
+        let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+        // Put the expensive defuzz division in hardware.
+        m.assign(g.node_by_name("defuzz").unwrap(), Resource::Hardware(0));
+        let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        s.verify(&g, &m).unwrap();
+        assert!(s.makespan() > 0);
+    }
+}

@@ -1,0 +1,613 @@
+//! Cycle-level discrete-event co-simulation of a synthesized COOL system.
+//!
+//! The paper validates designs by running them on a prototyping board (a
+//! DSP56001, two XC4005 FPGAs, SRAM and a bus card). This crate is that
+//! board's stand-in: it executes the *synthesized* system — the system
+//! controller steering per-node start/done handshakes, processors running
+//! their static software order, hardware blocks with their HLS latencies,
+//! a single arbitrated bus, and the shared memory holding the allocated
+//! communication cells — cycle by cycle, while also computing the
+//! *functional* values so results can be checked against the
+//! [`cool_ir::eval`] reference.
+//!
+//! The simulator is an independent implementation of the execution
+//! semantics (it does not reuse the static scheduler's code), so agreement
+//! between predicted and simulated makespans is a genuine cross-check.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cool_cost::{CommScheme, CostModel};
+use cool_ir::{EdgeId, IrError, Mapping, NodeId, NodeKind, PartitioningGraph, Resource};
+use cool_schedule::StaticSchedule;
+use cool_stg::MemoryMap;
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A required primary input value was not supplied.
+    MissingInput(String),
+    /// The system did not finish within the cycle budget (deadlock or
+    /// runaway design).
+    Timeout {
+        /// The cycle budget that was exhausted.
+        budget: u64,
+    },
+    /// Underlying IR failure.
+    Ir(IrError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingInput(n) => write!(f, "primary input `{n}` not supplied"),
+            SimError::Timeout { budget } => {
+                write!(f, "simulation did not finish within {budget} cycles")
+            }
+            SimError::Ir(e) => write!(f, "simulation failed on invalid input: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for SimError {
+    fn from(e: IrError) -> SimError {
+        SimError::Ir(e)
+    }
+}
+
+/// One trace event (bounded log of interesting transitions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node's start signal was asserted.
+    NodeStart {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The started node.
+        node: NodeId,
+    },
+    /// A node raised done.
+    NodeDone {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The finished node.
+        node: NodeId,
+    },
+    /// The arbiter granted the bus for a transfer.
+    TransferStart {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The transferred edge.
+        edge: EdgeId,
+    },
+    /// A transfer completed and its memory cell holds the value.
+    TransferDone {
+        /// Simulation cycle.
+        cycle: u64,
+        /// The transferred edge.
+        edge: EdgeId,
+    },
+}
+
+/// Statistics and results of one simulated system invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Primary-output values (functionally exact).
+    pub outputs: BTreeMap<String, i64>,
+    /// Total cycles from system start to global done.
+    pub cycles: u64,
+    /// Number of bus transfers performed.
+    pub bus_transfers: usize,
+    /// Cycles the bus was occupied.
+    pub bus_busy_cycles: u64,
+    /// Busy cycles per resource (same order as `Target::resources`).
+    pub resource_busy: Vec<u64>,
+    /// Final contents of the allocated communication cells
+    /// (`address → value`).
+    pub memory_image: BTreeMap<u32, i64>,
+    /// Bounded event trace (first `trace_limit` events).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimResult {
+    /// Bus utilization in `0.0..=1.0`.
+    #[must_use]
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The co-simulator for one synthesized design.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    g: &'a PartitioningGraph,
+    mapping: &'a Mapping,
+    schedule: &'a StaticSchedule,
+    memory_map: &'a MemoryMap,
+    cost: &'a CostModel,
+    scheme: CommScheme,
+    /// Maximum cycles before declaring a timeout.
+    pub cycle_budget: u64,
+    /// Maximum retained trace events.
+    pub trace_limit: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Waiting,
+    Running { finish: u64 },
+    Done,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator over a fully co-synthesized design.
+    #[must_use]
+    pub fn new(
+        g: &'a PartitioningGraph,
+        mapping: &'a Mapping,
+        schedule: &'a StaticSchedule,
+        memory_map: &'a MemoryMap,
+        cost: &'a CostModel,
+        scheme: CommScheme,
+    ) -> Simulator<'a> {
+        Simulator {
+            g,
+            mapping,
+            schedule,
+            memory_map,
+            cost,
+            scheme,
+            cycle_budget: 10_000_000,
+            trace_limit: 4096,
+        }
+    }
+
+    /// Run one system invocation with the given primary-input values.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingInput`] if an input is absent,
+    /// [`SimError::Timeout`] if the design never reaches global done.
+    pub fn run(&self, inputs: &BTreeMap<String, i64>) -> Result<SimResult, SimError> {
+        let n = self.g.node_count();
+        let mut state = vec![NodeState::Waiting; n];
+        // Output values per node/port, filled when the node completes.
+        let mut values: Vec<Vec<i64>> = vec![Vec::new(); n];
+        // Data arrival per edge at the consumer's resource.
+        let mut arrived = vec![false; self.g.edge_count()];
+        let mut memory_image: BTreeMap<u32, i64> = BTreeMap::new();
+        let mut trace = Vec::new();
+        let mut bus_busy_until = 0u64;
+        let mut bus_busy_cycles = 0u64;
+        let mut bus_transfers = 0usize;
+        // Transfer completion bookkeeping: (finish_cycle, edge).
+        let mut inflight: Option<(u64, EdgeId)> = None;
+        // Pending transfer queue (edge ids, FIFO by readiness then id).
+        let mut xfer_queue: Vec<EdgeId> = Vec::new();
+        let mut xfer_enqueued = vec![false; self.g.edge_count()];
+        let resources = self.cost.target().resources();
+        let mut resource_busy = vec![0u64; resources.len()];
+        let resource_index = |r: Resource| -> usize {
+            resources.iter().position(|&x| x == r).expect("mapped resources exist")
+        };
+
+        // Software execution order per processor, from the static schedule
+        // (the system controller enforces this order).
+        let sw_order: Vec<Vec<NodeId>> = (0..self.cost.target().processors.len())
+            .map(|p| {
+                self.schedule
+                    .order_on(Resource::Software(p))
+                    .into_iter()
+                    .filter(|&id| {
+                        self.g
+                            .node(id)
+                            .map(|x| x.kind() == NodeKind::Function)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut sw_pos: Vec<usize> = vec![0; sw_order.len()];
+
+        // Primary inputs are provided by the I/O controller at cycle 0.
+        for id in self.g.primary_inputs() {
+            let node = self.g.node(id)?;
+            let v = *inputs
+                .get(node.name())
+                .ok_or_else(|| SimError::MissingInput(node.name().to_string()))?;
+            values[id.index()] = vec![v];
+            state[id.index()] = NodeState::Done;
+        }
+
+        let mut cycle = 0u64;
+        let mut done_count = self.g.primary_inputs().len();
+        while done_count < n {
+            if cycle > self.cycle_budget {
+                return Err(SimError::Timeout { budget: self.cycle_budget });
+            }
+
+            // 1. Complete the in-flight bus transfer.
+            if let Some((finish, eid)) = inflight {
+                if finish <= cycle {
+                    arrived[eid.index()] = true;
+                    let e = self.g.edge(eid)?;
+                    let v = values[e.src.index()][e.src_port as usize];
+                    if let Some(cell) = self.memory_map.cell(eid) {
+                        memory_image.insert(cell.address, v);
+                    }
+                    if trace.len() < self.trace_limit {
+                        trace.push(TraceEvent::TransferDone { cycle, edge: eid });
+                    }
+                    inflight = None;
+                }
+            }
+
+            // 2. Retire running nodes whose latency elapsed.
+            for i in 0..n {
+                if let NodeState::Running { finish } = state[i] {
+                    if finish <= cycle {
+                        let id = NodeId::from_index(i);
+                        let node = self.g.node(id)?;
+                        // Functional evaluation happens at completion.
+                        let ins: Vec<i64> = self
+                            .g
+                            .in_edges(id)
+                            .iter()
+                            .map(|(_, e)| values[e.src.index()][e.src_port as usize])
+                            .collect();
+                        values[i] = match node.kind() {
+                            NodeKind::Output => ins,
+                            NodeKind::Function => node.behavior().evaluate(&ins),
+                            NodeKind::Input => unreachable!("inputs are pre-done"),
+                        };
+                        state[i] = NodeState::Done;
+                        done_count += 1;
+                        if trace.len() < self.trace_limit {
+                            trace.push(TraceEvent::NodeDone { cycle, node: id });
+                        }
+                    }
+                }
+            }
+
+            // 3. Enqueue transfers whose producers are done (cut edges) and
+            //    mark same-resource edges as arrived.
+            for (eid, e) in self.g.edges() {
+                if arrived[eid.index()] || xfer_enqueued[eid.index()] {
+                    continue;
+                }
+                if state[e.src.index()] != NodeState::Done {
+                    continue;
+                }
+                if self.mapping.resource(e.src) == self.mapping.resource(e.dst) {
+                    arrived[eid.index()] = true;
+                } else {
+                    xfer_queue.push(eid);
+                    xfer_enqueued[eid.index()] = true;
+                }
+            }
+
+            // 4. Arbitrate the bus: one transfer at a time, FIFO.
+            if inflight.is_none() && bus_busy_until <= cycle {
+                if let Some(&eid) = xfer_queue.first() {
+                    xfer_queue.remove(0);
+                    let e = self.g.edge(eid)?;
+                    let dur = self.cost.comm_cycles(e, self.scheme).max(1);
+                    inflight = Some((cycle + dur, eid));
+                    bus_busy_until = cycle + dur;
+                    bus_busy_cycles += dur;
+                    bus_transfers += 1;
+                    if trace.len() < self.trace_limit {
+                        trace.push(TraceEvent::TransferStart { cycle, edge: eid });
+                    }
+                }
+            }
+
+            // 5. Start ready nodes. Hardware and outputs start freely; each
+            //    processor starts only the next node of its static order.
+            let ready = |i: usize, state: &[NodeState], arrived: &[bool]| -> bool {
+                state[i] == NodeState::Waiting
+                    && self
+                        .g
+                        .in_edges(NodeId::from_index(i))
+                        .iter()
+                        .all(|(eid, _)| arrived[eid.index()])
+            };
+            // Processors.
+            for (p, order) in sw_order.iter().enumerate() {
+                // Skip past already-done entries.
+                while sw_pos[p] < order.len()
+                    && state[order[sw_pos[p]].index()] == NodeState::Done
+                {
+                    sw_pos[p] += 1;
+                }
+                if sw_pos[p] >= order.len() {
+                    continue;
+                }
+                let id = order[sw_pos[p]];
+                let i = id.index();
+                let busy = matches!(state[i], NodeState::Running { .. });
+                if !busy && ready(i, &state, &arrived) {
+                    let dur = self.cost.exec_cycles(id, Resource::Software(p)).max(1);
+                    state[i] = NodeState::Running { finish: cycle + dur };
+                    resource_busy[resource_index(Resource::Software(p))] += dur;
+                    if trace.len() < self.trace_limit {
+                        trace.push(TraceEvent::NodeStart { cycle, node: id });
+                    }
+                }
+            }
+            // Hardware nodes and primary outputs.
+            for i in 0..n {
+                if !ready(i, &state, &arrived) {
+                    continue;
+                }
+                let id = NodeId::from_index(i);
+                let node = self.g.node(id)?;
+                match node.kind() {
+                    NodeKind::Output => {
+                        // Outputs latch instantly once data arrives.
+                        state[i] = NodeState::Running { finish: cycle };
+                    }
+                    NodeKind::Function => {
+                        if let Resource::Hardware(h) = self.mapping.resource(id) {
+                            let dur =
+                                self.cost.exec_cycles(id, Resource::Hardware(h)).max(1);
+                            state[i] = NodeState::Running { finish: cycle + dur };
+                            resource_busy[resource_index(Resource::Hardware(h))] += dur;
+                            if trace.len() < self.trace_limit {
+                                trace.push(TraceEvent::NodeStart { cycle, node: id });
+                            }
+                        }
+                    }
+                    NodeKind::Input => {}
+                }
+            }
+
+            cycle += 1;
+        }
+
+        let mut outputs = BTreeMap::new();
+        for id in self.g.primary_outputs() {
+            outputs.insert(
+                self.g.node(id)?.name().to_string(),
+                values[id.index()][0],
+            );
+        }
+        Ok(SimResult {
+            outputs,
+            cycles: cycle.saturating_sub(1),
+            bus_transfers,
+            bus_busy_cycles,
+            resource_busy,
+            memory_image,
+            trace,
+        })
+    }
+
+    /// Run and assert functional equivalence with the reference evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors, or [`SimError::Ir`]-wrapped evaluation failures;
+    /// a mismatch panics with a diff (it is a synthesis bug, not an input
+    /// error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated outputs differ from [`cool_ir::eval`].
+    pub fn run_checked(&self, inputs: &BTreeMap<String, i64>) -> Result<SimResult, SimError> {
+        let result = self.run(inputs)?;
+        let reference = cool_ir::eval::evaluate(self.g, inputs)?;
+        assert_eq!(
+            result.outputs, reference,
+            "synthesized system diverges from the specification"
+        );
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::eval::input_map;
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    struct Fixture {
+        g: PartitioningGraph,
+        mapping: Mapping,
+        schedule: StaticSchedule,
+        memory_map: MemoryMap,
+        cost: CostModel,
+    }
+
+    fn fixture(g: PartitioningGraph, mapping: Mapping) -> Fixture {
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let schedule =
+            cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+        let memory_map =
+            cool_stg::allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits)
+                .unwrap();
+        Fixture { g, mapping, schedule, memory_map, cost }
+    }
+
+    fn mixed_fuzzy() -> Fixture {
+        let g = workloads::fuzzy_controller();
+        let mut mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        mapping.assign(g.node_by_name("defuzz").unwrap(), Resource::Hardware(0));
+        mapping.assign(g.node_by_name("clip").unwrap(), Resource::Hardware(0));
+        fixture(g, mapping)
+    }
+
+    #[test]
+    fn fuzzy_simulation_matches_reference() {
+        let f = mixed_fuzzy();
+        let sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        for (e, d) in [(-100i64, 20i64), (0, 0), (64, -32), (127, 127)] {
+            let r = sim.run_checked(&input_map([("err", e), ("derr", d)])).unwrap();
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn transfers_touch_memory_cells() {
+        let f = mixed_fuzzy();
+        let sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        let r = sim.run(&input_map([("err", 50), ("derr", -10)])).unwrap();
+        assert!(r.bus_transfers > 0);
+        assert!(!r.memory_image.is_empty());
+        // Every touched address is an allocated cell.
+        for addr in r.memory_image.keys() {
+            assert!(
+                f.memory_map.cells().iter().any(|c| c.address == *addr),
+                "stray write at 0x{addr:04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_software_needs_no_bus() {
+        let g = workloads::equalizer(4);
+        let mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let f = fixture(g, mapping);
+        let sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        let r = sim
+            .run_checked(&input_map([("x0", 10), ("x1", 5), ("x2", -3)]))
+            .unwrap();
+        assert_eq!(r.bus_transfers, 0);
+        assert_eq!(r.bus_utilization(), 0.0);
+    }
+
+    #[test]
+    fn simulated_makespan_tracks_schedule_prediction() {
+        let f = mixed_fuzzy();
+        let sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        let r = sim.run(&input_map([("err", 10), ("derr", 10)])).unwrap();
+        let predicted = f.schedule.makespan();
+        // Independent implementations: allow 3x slack in either direction,
+        // but they must be the same order of magnitude.
+        assert!(
+            r.cycles <= predicted * 3 && predicted <= r.cycles * 3,
+            "simulated {} vs predicted {predicted}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn trace_is_bounded_and_ordered() {
+        let f = mixed_fuzzy();
+        let mut sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        sim.trace_limit = 16;
+        let r = sim.run(&input_map([("err", 1), ("derr", 2)])).unwrap();
+        assert!(r.trace.len() <= 16);
+        let cycles: Vec<u64> = r
+            .trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::NodeStart { cycle, .. }
+                | TraceEvent::NodeDone { cycle, .. }
+                | TraceEvent::TransferStart { cycle, .. }
+                | TraceEvent::TransferDone { cycle, .. } => *cycle,
+            })
+            .collect();
+        let mut sorted = cycles.clone();
+        sorted.sort_unstable();
+        assert_eq!(cycles, sorted, "trace must be chronological");
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let f = mixed_fuzzy();
+        let sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        let err = sim.run(&input_map([("err", 1)])).unwrap_err();
+        assert!(matches!(err, SimError::MissingInput(_)));
+    }
+
+    #[test]
+    fn timeout_detection() {
+        let f = mixed_fuzzy();
+        let mut sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        sim.cycle_budget = 1;
+        let err = sim.run(&input_map([("err", 1), ("derr", 2)])).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn direct_scheme_is_not_slower() {
+        let g = workloads::equalizer(4);
+        let mut mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        for (i, id) in g.function_nodes().into_iter().enumerate() {
+            if i % 2 == 0 {
+                mapping.assign(id, Resource::Hardware(0));
+            }
+        }
+        let f = fixture(g, mapping);
+        let ins = input_map([("x0", 100), ("x1", 50), ("x2", 25)]);
+        let mm = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        )
+        .run(&ins)
+        .unwrap();
+        let direct = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::Direct,
+        )
+        .run(&ins)
+        .unwrap();
+        assert!(direct.cycles <= mm.cycles);
+        assert_eq!(direct.outputs, mm.outputs, "scheme must not change semantics");
+    }
+
+    #[test]
+    fn hardware_heavy_mapping_still_correct() {
+        let g = workloads::fir(8);
+        let mut mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        for (i, id) in g.function_nodes().into_iter().enumerate() {
+            mapping.assign(id, Resource::Hardware(i % 2));
+        }
+        let f = fixture(g, mapping);
+        let sim = Simulator::new(
+            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            CommScheme::MemoryMapped,
+        );
+        let ins: BTreeMap<String, i64> =
+            (0..8).map(|i| (format!("x{i}"), i64::from(i) * 3 - 5)).collect();
+        let r = sim.run_checked(&ins).unwrap();
+        assert!(r.bus_transfers > 0);
+    }
+}

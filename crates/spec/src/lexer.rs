@@ -1,0 +1,252 @@
+//! Tokenizer for the COOL specification language.
+
+use std::fmt;
+
+/// One lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Token kinds of the specification language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Equals => f.write_str("`=`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Lexing failure: an unexpected character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LexError {
+    pub line: u32,
+    pub ch: char,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                tokens.push(Token { kind: TokenKind::Arrow, line });
+                i += 2;
+            }
+            '-' if bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                let (v, next) = lex_int(&bytes, i + 1);
+                tokens.push(Token { kind: TokenKind::Int(-v), line });
+                i = next;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Equals, line });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (v, next) = lex_int(&bytes, i);
+                tokens.push(Token { kind: TokenKind::Int(v), line });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                tokens.push(Token { kind: TokenKind::Ident(s), line });
+            }
+            other => return Err(LexError { line, ch: other }),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+fn lex_int(bytes: &[char], mut i: usize) -> (i64, usize) {
+    let start = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let s: String = bytes[start..i].iter().collect();
+    (s.parse().unwrap_or(i64::MAX), i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_statement() {
+        assert_eq!(
+            kinds("input a : 16;"),
+            vec![
+                TokenKind::Ident("input".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Colon,
+                TokenKind::Int(16),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("a -> b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("-5"), vec![TokenKind::Int(-5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- comment -> ignored\nb // other\nc"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn braces_and_parens() {
+        assert_eq!(
+            kinds("expr(2) { (add in0 in1) }"),
+            vec![
+                TokenKind::Ident("expr".into()),
+                TokenKind::LParen,
+                TokenKind::Int(2),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::LParen,
+                TokenKind::Ident("add".into()),
+                TokenKind::Ident("in0".into()),
+                TokenKind::Ident("in1".into()),
+                TokenKind::RParen,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

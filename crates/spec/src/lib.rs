@@ -1,0 +1,42 @@
+//! Specification front-end for the COOL co-design flow.
+//!
+//! COOL specifies systems in a subset of VHDL; all the subset carries is a
+//! data-flow network of pure function nodes. This crate provides the
+//! equivalent front-end for the reproduction:
+//!
+//! * a small textual **specification language** ([`parse`]) with the same
+//!   information content (designs, typed primary I/O, nodes with data-flow
+//!   behaviours, connections), plus a pretty-printer ([`print_spec`]) so
+//!   that specifications round-trip;
+//! * **workload generators** ([`workloads`]) for the designs the paper
+//!   uses: the 4-band equalizer of Figure 2, the 31-node fuzzy controller
+//!   of the results section, and parameterized FIR/random graphs for
+//!   scaling experiments.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), cool_spec::SpecError> {
+//! let src = "
+//!     design tiny;
+//!     input a : 16;
+//!     input b : 16;
+//!     node sum = add;
+//!     output y : 16;
+//!     connect a -> sum.0;
+//!     connect b -> sum.1;
+//!     connect sum -> y;
+//! ";
+//! let graph = cool_spec::parse(src)?;
+//! assert_eq!(graph.node_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod lexer;
+mod parser;
+mod printer;
+pub mod workloads;
+
+pub use parser::{parse, SpecError};
+pub use printer::{print_spec, spec_line_count};

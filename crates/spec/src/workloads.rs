@@ -1,0 +1,691 @@
+//! Workload generators for the designs evaluated in the paper.
+//!
+//! * [`equalizer`] — the 4-band audio equalizer whose partitioning graph is
+//!   paper Figure 2 (parameterized over the band count);
+//! * [`fuzzy_controller`] — the fuzzy controller of the results section:
+//!   exactly **31 nodes**, matching the partitioning-graph size the paper
+//!   reports for its ~900-line specification;
+//! * [`fir`] — parameterized FIR filters for scaling studies;
+//! * [`random_dag`] — seeded random data-flow graphs for partitioner
+//!   sweeps (the ablation benches).
+//!
+//! All generators return validated graphs.
+
+use cool_ir::{Behavior, Expr, Op, PartitioningGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Build an `n`-band equalizer (paper Figure 2 uses 4 bands).
+///
+/// The environment supplies the current sample and two delayed samples
+/// (`x0`, `x1`, `x2`); each band applies a 3-tap band-pass filter and a
+/// gain, and a balanced adder tree sums the bands into output `y`.
+///
+/// # Panics
+///
+/// Panics if `bands == 0`.
+#[must_use]
+pub fn equalizer(bands: usize) -> PartitioningGraph {
+    assert!(bands > 0, "an equalizer needs at least one band");
+    let mut g = PartitioningGraph::new(format!("equalizer{bands}"));
+    let x0 = g.add_input("x0", 16);
+    let x1 = g.add_input("x1", 16);
+    let x2 = g.add_input("x2", 16);
+
+    // Filter coefficients per band: simple integer band-pass shapes.
+    let coeffs = |band: usize| -> (i64, i64, i64) {
+        let b = band as i64;
+        (16 + 4 * b, -(8 + 2 * b), 16 + 4 * b)
+    };
+    let gains = |band: usize| -> i64 { 192 - 24 * (band as i64 % 5) };
+
+    let mut band_outs = Vec::new();
+    for k in 0..bands {
+        let (c0, c1, c2) = coeffs(k);
+        let bpf = g
+            .add_function(
+                format!("bpf{k}"),
+                Behavior::new(
+                    3,
+                    vec![Expr::binary(
+                        Op::Add,
+                        Expr::binary(
+                            Op::Add,
+                            Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(c0)),
+                            Expr::binary(Op::Mul, Expr::Input(1), Expr::Const(c1)),
+                        ),
+                        Expr::binary(Op::Mul, Expr::Input(2), Expr::Const(c2)),
+                    )],
+                )
+                .expect("static behaviour is well-formed"),
+            )
+            .expect("band names are unique");
+        g.connect(x0, 0, bpf, 0, 16).expect("wiring is static");
+        g.connect(x1, 0, bpf, 1, 16).expect("wiring is static");
+        g.connect(x2, 0, bpf, 2, 16).expect("wiring is static");
+
+        let gain = g
+            .add_function(
+                format!("gain{k}"),
+                Behavior::new(
+                    1,
+                    vec![Expr::binary(
+                        Op::Shr,
+                        Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(gains(k))),
+                        Expr::Const(8),
+                    )],
+                )
+                .expect("static behaviour is well-formed"),
+            )
+            .expect("gain names are unique");
+        g.connect(bpf, 0, gain, 0, 32).expect("wiring is static");
+        band_outs.push(gain);
+    }
+
+    // Balanced adder tree.
+    let mut level = band_outs;
+    let mut adder = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let a = g
+                    .add_function(format!("sum{adder}"), Behavior::binary(Op::Add))
+                    .expect("adder names are unique");
+                adder += 1;
+                g.connect(pair[0], 0, a, 0, 32).expect("wiring is static");
+                g.connect(pair[1], 0, a, 1, 32).expect("wiring is static");
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let y = g.add_output("y", 32);
+    g.connect(level[0], 0, y, 0, 32).expect("wiring is static");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Build the fuzzy controller of the paper's case study.
+///
+/// Two crisp inputs (`err`, the control error, and `derr`, its derivative)
+/// are fuzzified through four triangular membership functions each; a 4×4
+/// rule matrix computes rule activations with the *min* t-norm; the output
+/// is defuzzified with a weighted-average (centre-of-gravity) stage and
+/// clipped to 8 bits.
+///
+/// The resulting partitioning graph has **exactly 31 nodes** — the size the
+/// paper reports ("a partitioning graph containing 31 nodes").
+#[must_use]
+pub fn fuzzy_controller() -> PartitioningGraph {
+    let mut g = PartitioningGraph::new("fuzzy");
+    let err = g.add_input("err", 16);
+    let derr = g.add_input("derr", 16);
+
+    // Triangular membership: m(x) = max(0, 255 - |x - centre| * slope)
+    let membership = |centre: i64, slope: i64| -> Behavior {
+        Behavior::new(
+            1,
+            vec![Expr::binary(
+                Op::Max,
+                Expr::Const(0),
+                Expr::binary(
+                    Op::Sub,
+                    Expr::Const(255),
+                    Expr::binary(
+                        Op::Mul,
+                        Expr::unary(Op::Abs, Expr::binary(Op::Sub, Expr::Input(0), Expr::Const(centre))),
+                        Expr::Const(slope),
+                    ),
+                ),
+            )],
+        )
+        .expect("static behaviour is well-formed")
+    };
+
+    let centres = [-96i64, -32, 32, 96];
+    let mut m_err = Vec::new();
+    let mut m_derr = Vec::new();
+    for (i, &c) in centres.iter().enumerate() {
+        let me = g
+            .add_function(format!("m_err{i}"), membership(c, 4))
+            .expect("membership names are unique");
+        g.connect(err, 0, me, 0, 16).expect("wiring is static");
+        m_err.push(me);
+        let md = g
+            .add_function(format!("m_derr{i}"), membership(c, 4))
+            .expect("membership names are unique");
+        g.connect(derr, 0, md, 0, 16).expect("wiring is static");
+        m_derr.push(md);
+    }
+
+    // 4x4 rule matrix with the min t-norm.
+    let mut rules = Vec::new();
+    for i in 0..4 {
+        for j in 0..4 {
+            let r = g
+                .add_function(format!("rule{i}{j}"), Behavior::binary(Op::Min))
+                .expect("rule names are unique");
+            g.connect(m_err[i], 0, r, 0, 16).expect("wiring is static");
+            g.connect(m_derr[j], 0, r, 1, 16).expect("wiring is static");
+            rules.push(r);
+        }
+    }
+
+    // Output singletons per rule (a standard PD-like anti-diagonal table).
+    let weight = |i: usize, j: usize| -> i64 { ((i + j) as i64) * 255 / 6 };
+
+    // Weighted numerator: sum_k w_k * rule_k, as one 16-input node.
+    let mut num_expr = Expr::Const(0);
+    for (k, _) in rules.iter().enumerate() {
+        let (i, j) = (k / 4, k % 4);
+        num_expr = Expr::binary(
+            Op::Add,
+            num_expr,
+            Expr::binary(Op::Mul, Expr::Input(k), Expr::Const(weight(i, j))),
+        );
+    }
+    let num = g
+        .add_function("agg_num", Behavior::new(16, vec![num_expr]).expect("static"))
+        .expect("unique");
+    // Denominator: sum_k rule_k.
+    let mut den_expr = Expr::Const(1); // +1 avoids division by zero when no rule fires
+    for k in 0..rules.len() {
+        den_expr = Expr::binary(Op::Add, den_expr, Expr::Input(k));
+    }
+    let den = g
+        .add_function("agg_den", Behavior::new(16, vec![den_expr]).expect("static"))
+        .expect("unique");
+    for (k, &r) in rules.iter().enumerate() {
+        g.connect(r, 0, num, k as u16, 16).expect("wiring is static");
+        g.connect(r, 0, den, k as u16, 16).expect("wiring is static");
+    }
+
+    // Centre-of-gravity defuzzification.
+    let defuzz = g
+        .add_function("defuzz", Behavior::binary(Op::Div))
+        .expect("unique");
+    g.connect(num, 0, defuzz, 0, 32).expect("wiring is static");
+    g.connect(den, 0, defuzz, 1, 32).expect("wiring is static");
+
+    // Clip to the 8-bit actuator range.
+    let clip = g
+        .add_function(
+            "clip",
+            Behavior::new(
+                1,
+                vec![Expr::binary(
+                    Op::Min,
+                    Expr::Const(255),
+                    Expr::binary(Op::Max, Expr::Const(0), Expr::Input(0)),
+                )],
+            )
+            .expect("static"),
+        )
+        .expect("unique");
+    g.connect(defuzz, 0, clip, 0, 16).expect("wiring is static");
+
+    let u = g.add_output("u", 8);
+    g.connect(clip, 0, u, 0, 8).expect("wiring is static");
+    debug_assert!(g.validate().is_ok());
+    debug_assert_eq!(g.node_count(), 31);
+    g
+}
+
+/// Build a `taps`-tap FIR filter. The environment supplies the delay line
+/// as `taps` primary inputs; the graph holds one coefficient multiplier per
+/// tap and a balanced adder tree.
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+#[must_use]
+pub fn fir(taps: usize) -> PartitioningGraph {
+    assert!(taps > 0, "a FIR filter needs at least one tap");
+    let mut g = PartitioningGraph::new(format!("fir{taps}"));
+    let mut products = Vec::new();
+    for k in 0..taps {
+        let x = g.add_input(format!("x{k}"), 16);
+        // Symmetric triangular coefficient profile.
+        let c = 8 + (k.min(taps - 1 - k) as i64) * 4;
+        let mul = g
+            .add_function(
+                format!("h{k}"),
+                Behavior::new(
+                    1,
+                    vec![Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(c))],
+                )
+                .expect("static"),
+            )
+            .expect("unique");
+        g.connect(x, 0, mul, 0, 16).expect("wiring is static");
+        products.push(mul);
+    }
+    let mut level = products;
+    let mut adder = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let a = g
+                    .add_function(format!("acc{adder}"), Behavior::binary(Op::Add))
+                    .expect("unique");
+                adder += 1;
+                g.connect(pair[0], 0, a, 0, 32).expect("wiring is static");
+                g.connect(pair[1], 0, a, 1, 32).expect("wiring is static");
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let y = g.add_output("y", 32);
+    g.connect(level[0], 0, y, 0, 32).expect("wiring is static");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Build a cascade of `sections` IIR biquad sections in direct form I.
+///
+/// Feedback state is supplied by the environment (the specification is a
+/// per-invocation DAG): each section `k` receives its two delayed outputs
+/// `y{k}d1`, `y{k}d2` as primary inputs alongside the delayed inputs, and
+/// produces its output for the next section.
+///
+/// # Panics
+///
+/// Panics if `sections == 0`.
+#[must_use]
+pub fn iir(sections: usize) -> PartitioningGraph {
+    assert!(sections > 0, "an IIR cascade needs at least one section");
+    let mut g = PartitioningGraph::new(format!("iir{sections}"));
+    let x0 = g.add_input("x0", 16);
+    let x1 = g.add_input("x1", 16);
+    let x2 = g.add_input("x2", 16);
+    let mut stage_in = (x0, x1, x2);
+    let mut last = None;
+    for k in 0..sections {
+        let yd1 = g.add_input(format!("y{k}d1"), 16);
+        let yd2 = g.add_input(format!("y{k}d2"), 16);
+        // Feed-forward half: b0*x + b1*xd1 + b2*xd2.
+        let (b0, b1, b2) = (14 + k as i64, -(6 + k as i64), 14 + k as i64);
+        let ff = g
+            .add_function(
+                format!("ff{k}"),
+                Behavior::new(
+                    3,
+                    vec![Expr::binary(
+                        Op::Add,
+                        Expr::binary(
+                            Op::Add,
+                            Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(b0)),
+                            Expr::binary(Op::Mul, Expr::Input(1), Expr::Const(b1)),
+                        ),
+                        Expr::binary(Op::Mul, Expr::Input(2), Expr::Const(b2)),
+                    )],
+                )
+                .expect("static"),
+            )
+            .expect("unique");
+        g.connect(stage_in.0, 0, ff, 0, 16).expect("static wiring");
+        g.connect(stage_in.1, 0, ff, 1, 16).expect("static wiring");
+        g.connect(stage_in.2, 0, ff, 2, 16).expect("static wiring");
+        // Feedback half: - a1*yd1 - a2*yd2, then scale.
+        let (a1, a2) = (9 - k as i64 % 4, 3);
+        let fb = g
+            .add_function(
+                format!("fb{k}"),
+                Behavior::new(
+                    2,
+                    vec![Expr::unary(
+                        Op::Neg,
+                        Expr::binary(
+                            Op::Add,
+                            Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(a1)),
+                            Expr::binary(Op::Mul, Expr::Input(1), Expr::Const(a2)),
+                        ),
+                    )],
+                )
+                .expect("static"),
+            )
+            .expect("unique");
+        g.connect(yd1, 0, fb, 0, 16).expect("static wiring");
+        g.connect(yd2, 0, fb, 1, 16).expect("static wiring");
+        let sum = g
+            .add_function(
+                format!("sec{k}"),
+                Behavior::new(
+                    2,
+                    vec![Expr::binary(
+                        Op::Shr,
+                        Expr::binary(Op::Add, Expr::Input(0), Expr::Input(1)),
+                        Expr::Const(4),
+                    )],
+                )
+                .expect("static"),
+            )
+            .expect("unique");
+        g.connect(ff, 0, sum, 0, 32).expect("static wiring");
+        g.connect(fb, 0, sum, 1, 32).expect("static wiring");
+        // The next section sees this output plus its own delayed samples.
+        stage_in = (sum, yd1, yd2);
+        last = Some(sum);
+    }
+    let y = g.add_output("y", 16);
+    g.connect(last.expect("sections > 0"), 0, y, 0, 16).expect("static wiring");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Build an 8-point one-dimensional DCT-II (integer approximation): eight
+/// inputs, eight outputs, a butterfly-style two-stage structure with
+/// constant multipliers — the canonical data-flow dominated block of the
+/// paper's era.
+#[must_use]
+pub fn dct8() -> PartitioningGraph {
+    let mut g = PartitioningGraph::new("dct8");
+    let xs: Vec<_> = (0..8).map(|i| g.add_input(format!("x{i}"), 16)).collect();
+    // Stage 1: butterflies s_i = x_i + x_{7-i}, d_i = x_i - x_{7-i}.
+    let mut sums = Vec::new();
+    let mut diffs = Vec::new();
+    for i in 0..4 {
+        let s = g
+            .add_function(format!("s{i}"), Behavior::binary(Op::Add))
+            .expect("unique");
+        g.connect(xs[i], 0, s, 0, 16).expect("static wiring");
+        g.connect(xs[7 - i], 0, s, 1, 16).expect("static wiring");
+        sums.push(s);
+        let d = g
+            .add_function(format!("d{i}"), Behavior::binary(Op::Sub))
+            .expect("unique");
+        g.connect(xs[i], 0, d, 0, 16).expect("static wiring");
+        g.connect(xs[7 - i], 0, d, 1, 16).expect("static wiring");
+        diffs.push(d);
+    }
+    // Stage 2: each output is a weighted combination (integer cosine
+    // table, scaled by 256 and shifted back).
+    let cos = [[64i64, 64, 64, 64], [84, 35, -35, -84], [64, -64, -64, 64], [35, -84, 84, -35]];
+    let weighted = |g: &mut PartitioningGraph, name: String, w: [i64; 4]| {
+        let mut e = Expr::Const(0);
+        for (k, &c) in w.iter().enumerate() {
+            e = Expr::binary(e_add(), e, Expr::binary(Op::Mul, Expr::Input(k), Expr::Const(c)));
+        }
+        let e = Expr::binary(Op::Shr, e, Expr::Const(7));
+        g.add_function(name, Behavior::new(4, vec![e]).expect("static")).expect("unique")
+    };
+    fn e_add() -> Op {
+        Op::Add
+    }
+    for (o, row) in cos.iter().enumerate() {
+        // Even outputs from sums, odd outputs from diffs.
+        let even = weighted(&mut g, format!("c{}", 2 * o), *row);
+        for (k, &src) in sums.iter().enumerate() {
+            g.connect(src, 0, even, k as u16, 32).expect("static wiring");
+        }
+        let odd = weighted(&mut g, format!("c{}", 2 * o + 1), *row);
+        for (k, &src) in diffs.iter().enumerate() {
+            g.connect(src, 0, odd, k as u16, 32).expect("static wiring");
+        }
+    }
+    for o in 0..8 {
+        let y = g.add_output(format!("y{o}"), 16);
+        let c = g.node_by_name(&format!("c{o}")).expect("just added");
+        g.connect(c, 0, y, 0, 16).expect("static wiring");
+    }
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Configuration for [`random_dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomDagConfig {
+    /// Number of internal function nodes.
+    pub nodes: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// RNG seed; equal seeds produce identical graphs.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> RandomDagConfig {
+        RandomDagConfig { nodes: 20, inputs: 3, outputs: 2, seed: 1 }
+    }
+}
+
+/// Generate a seeded random data-flow DAG for partitioner sweeps.
+///
+/// Node behaviours are drawn from a DSP-flavoured pool (MACs, filters,
+/// arithmetic, comparisons, the occasional division); every input port is
+/// wired to a uniformly chosen earlier node, which guarantees a valid DAG.
+///
+/// # Panics
+///
+/// Panics if `nodes`, `inputs` or `outputs` is zero.
+#[must_use]
+pub fn random_dag(cfg: RandomDagConfig) -> PartitioningGraph {
+    assert!(cfg.nodes > 0 && cfg.inputs > 0 && cfg.outputs > 0, "degenerate random DAG config");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = PartitioningGraph::new(format!("rand{}_{}", cfg.nodes, cfg.seed));
+    let mut sources = Vec::new();
+    for i in 0..cfg.inputs {
+        sources.push(g.add_input(format!("in{i}"), 16));
+    }
+    let mut internals = Vec::new();
+    for i in 0..cfg.nodes {
+        let behavior = random_behavior(&mut rng);
+        let arity = behavior.inputs();
+        let node = g
+            .add_function(format!("n{i}"), behavior)
+            .expect("generated names are unique");
+        for port in 0..arity {
+            let pool_len = sources.len() + internals.len();
+            let pick = rng.random_range(0..pool_len);
+            let src = if pick < sources.len() {
+                sources[pick]
+            } else {
+                internals[pick - sources.len()]
+            };
+            let bits = if rng.random_range(0..4) == 0 { 32 } else { 16 };
+            g.connect(src, 0, node, port as u16, bits)
+                .expect("ports are freshly wired");
+        }
+        internals.push(node);
+    }
+    // Outputs read from the latest nodes to keep the whole graph live.
+    for o in 0..cfg.outputs {
+        let y = g.add_output(format!("out{o}"), 32);
+        let pick = internals[internals.len() - 1 - (o % internals.len())];
+        g.connect(pick, 0, y, 0, 32).expect("fresh output port");
+    }
+    g.validate().expect("generator produces valid DAGs");
+    g
+}
+
+fn random_behavior(rng: &mut StdRng) -> Behavior {
+    match rng.random_range(0..10) {
+        0 | 1 => Behavior::mac(),
+        2 => Behavior::binary(Op::Add),
+        3 => Behavior::binary(Op::Mul),
+        4 => Behavior::binary(Op::Sub),
+        5 => Behavior::binary(Op::Min),
+        6 => Behavior::unary(Op::Abs),
+        7 => Behavior::new(
+            2,
+            vec![Expr::binary(
+                Op::Shr,
+                Expr::binary(Op::Mul, Expr::Input(0), Expr::Input(1)),
+                Expr::Const(4),
+            )],
+        )
+        .expect("static"),
+        8 => Behavior::binary(Op::Div),
+        _ => Behavior::new(
+            3,
+            vec![Expr::binary(
+                Op::Add,
+                Expr::binary(
+                    Op::Mul,
+                    Expr::Input(0),
+                    Expr::binary(Op::Max, Expr::Input(1), Expr::Input(2)),
+                ),
+                Expr::Const(7),
+            )],
+        )
+        .expect("static"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_ir::eval::{evaluate, input_map};
+    use cool_ir::NodeKind;
+
+    #[test]
+    fn equalizer_matches_paper_shape() {
+        let g = equalizer(4);
+        g.validate().unwrap();
+        // 3 inputs + 4 bpf + 4 gain + 3 adders + 1 output = 15.
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.primary_inputs().len(), 3);
+        assert_eq!(g.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn equalizer_is_functional() {
+        let g = equalizer(4);
+        let out = evaluate(&g, &input_map([("x0", 100), ("x1", 50), ("x2", 25)])).unwrap();
+        // Band 0: (100*16 - 50*8 + 25*16) = 1600-400+400 = 1600; gain 192>>8.
+        assert_ne!(out["y"], 0);
+    }
+
+    #[test]
+    fn fuzzy_has_exactly_31_nodes() {
+        let g = fuzzy_controller();
+        g.validate().unwrap();
+        assert_eq!(g.node_count(), 31, "the paper reports a 31-node partitioning graph");
+        assert_eq!(
+            g.nodes().filter(|(_, n)| n.kind() == NodeKind::Function).count(),
+            28
+        );
+    }
+
+    #[test]
+    fn fuzzy_output_is_clipped() {
+        let g = fuzzy_controller();
+        for (e, d) in [(-120i64, 0i64), (0, 0), (60, -60), (120, 120)] {
+            let out = evaluate(&g, &input_map([("err", e), ("derr", d)])).unwrap();
+            assert!((0..=255).contains(&out["u"]), "u = {} out of range", out["u"]);
+        }
+    }
+
+    #[test]
+    fn fuzzy_responds_to_error_sign() {
+        let g = fuzzy_controller();
+        let low = evaluate(&g, &input_map([("err", -96), ("derr", -96)])).unwrap()["u"];
+        let high = evaluate(&g, &input_map([("err", 96), ("derr", 96)])).unwrap()["u"];
+        assert!(low < high, "control output must grow with the error ({low} !< {high})");
+    }
+
+    #[test]
+    fn fir_sizes() {
+        let g = fir(8);
+        g.validate().unwrap();
+        assert_eq!(g.primary_inputs().len(), 8);
+        // 8 multipliers + 7 adders.
+        assert_eq!(
+            g.nodes().filter(|(_, n)| n.kind() == NodeKind::Function).count(),
+            15
+        );
+    }
+
+    #[test]
+    fn random_dag_is_deterministic() {
+        let a = random_dag(RandomDagConfig { nodes: 25, seed: 7, ..Default::default() });
+        let b = random_dag(RandomDagConfig { nodes: 25, seed: 7, ..Default::default() });
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ins = input_map([("in0", 5), ("in1", -3), ("in2", 12)]);
+        assert_eq!(evaluate(&a, &ins).unwrap(), evaluate(&b, &ins).unwrap());
+    }
+
+    #[test]
+    fn random_dag_seeds_differ() {
+        let a = random_dag(RandomDagConfig { nodes: 25, seed: 1, ..Default::default() });
+        let b = random_dag(RandomDagConfig { nodes: 25, seed: 2, ..Default::default() });
+        // Extremely unlikely to coincide in edge count and semantics.
+        let ins = input_map([("in0", 5), ("in1", -3), ("in2", 12)]);
+        let same = a.edge_count() == b.edge_count()
+            && evaluate(&a, &ins).unwrap() == evaluate(&b, &ins).unwrap();
+        assert!(!same, "different seeds should give different graphs");
+    }
+
+
+    #[test]
+    fn iir_cascade_validates_and_runs() {
+        let g = iir(3);
+        g.validate().unwrap();
+        let mut ins = input_map([("x0", 100), ("x1", 50), ("x2", 25)]);
+        for k in 0..3 {
+            ins.insert(format!("y{k}d1"), 10);
+            ins.insert(format!("y{k}d2"), -5);
+        }
+        let out = evaluate(&g, &ins).unwrap();
+        assert!(out.contains_key("y"));
+    }
+
+    #[test]
+    fn dct8_shape_and_dc_term() {
+        let g = dct8();
+        g.validate().unwrap();
+        assert_eq!(g.primary_inputs().len(), 8);
+        assert_eq!(g.primary_outputs().len(), 8);
+        // Constant input: every AC output is 0, DC term is positive.
+        let ins: std::collections::BTreeMap<String, i64> =
+            (0..8).map(|i| (format!("x{i}"), 100)).collect();
+        let out = evaluate(&g, &ins).unwrap();
+        assert!(out["y0"] > 0, "DC term must be positive, got {}", out["y0"]);
+        assert_eq!(out["y2"], 0, "symmetric input has no y2 component");
+    }
+
+    #[test]
+    fn dct8_linearity() {
+        let g = dct8();
+        let a: std::collections::BTreeMap<String, i64> =
+            (0..8).map(|i| (format!("x{i}"), 10 * i64::from(i as u8))).collect();
+        let doubled: std::collections::BTreeMap<String, i64> =
+            (0..8).map(|i| (format!("x{i}"), 20 * i64::from(i as u8))).collect();
+        let oa = evaluate(&g, &a).unwrap();
+        let od = evaluate(&g, &doubled).unwrap();
+        // Integer shifts break exact 2x, but monotone scaling must hold.
+        for o in 0..8 {
+            let (va, vd) = (oa[&format!("y{o}")], od[&format!("y{o}")]);
+            assert!((vd - 2 * va).abs() <= 2, "y{o}: {va} vs {vd}");
+        }
+    }
+
+    #[test]
+    fn fuzzy_spec_prints_to_hundreds_of_lines() {
+        // The paper's fuzzy spec was "about 900 lines" of VHDL-subset; our
+        // DSL is terser but must still be a substantial document.
+        let g = fuzzy_controller();
+        let lines = crate::printer::spec_line_count(&g);
+        assert!(lines > 50, "got {lines} lines");
+    }
+
+    #[test]
+    fn printed_fuzzy_reparses() {
+        let g = fuzzy_controller();
+        let text = crate::print_spec(&g);
+        let g2 = crate::parse(&text).unwrap();
+        assert_eq!(g2.node_count(), 31);
+        let ins = input_map([("err", 40), ("derr", -20)]);
+        assert_eq!(evaluate(&g, &ins).unwrap(), evaluate(&g2, &ins).unwrap());
+    }
+}

@@ -1,0 +1,515 @@
+//! State/transition graph (STG) generation, minimization and memory
+//! allocation — the co-synthesis core of the reproduced paper.
+//!
+//! After partitioning, COOL builds an STG as "the fundamental data
+//! structure during co-synthesis":
+//!
+//! * for each node of the coloured partitioning graph, a **WAIT** (`w`),
+//!   **EXECUTION** (`x`) and **DONE** (`d`) state;
+//! * a **RESET** (`r`) state for each hardware resource and processor;
+//! * **global system states** `X`, `R` and `D`;
+//! * edges according to the computed schedule and the data dependencies.
+//!
+//! The state count is then **minimized**, and **memory cells are
+//! allocated** (starting from a base address) for each edge representing a
+//! data transfer between different processing units (paper Figure 3).
+//!
+//! This crate implements all three steps: [`generate`], [`minimize()`](minimize()) and
+//! [`allocate_memory`] / [`allocate_memory_packed`] (the packed variant is
+//! the lifetime-reuse ablation).
+
+pub mod memory;
+pub mod minimize;
+
+use std::fmt;
+
+use cool_ir::{EdgeId, Mapping, NodeId, NodeKind, PartitioningGraph, Resource};
+use cool_schedule::StaticSchedule;
+
+pub use memory::{allocate_memory, allocate_memory_packed, MemoryCell, MemoryError, MemoryMap};
+pub use minimize::{minimize, MinimizeStats};
+
+/// Identifier of an STG state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Dense index of the state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a `StateId` from a dense index obtained via [`StateId::index`]
+    /// on the same STG.
+    #[must_use]
+    pub fn from_index(index: usize) -> StateId {
+        StateId(index as u32)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The role of an STG state, exactly following the paper's construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// Global reset state `R`.
+    GlobalReset,
+    /// Global execution state `X` (the system invocation runs).
+    GlobalExecute,
+    /// Global done state `D`.
+    GlobalDone,
+    /// Per-resource reset state `r`.
+    ResourceReset(Resource),
+    /// WAIT state `w` of a node: dependencies not yet satisfied.
+    Wait(NodeId),
+    /// EXECUTION state `x` of a node: the function is running.
+    Exec(NodeId),
+    /// DONE state `d` of a node: result available.
+    Done(NodeId),
+}
+
+impl StateKind {
+    /// The control action the system controller asserts in this state:
+    /// `Some(node)` means "start signal for `node` is high".
+    #[must_use]
+    pub fn started_node(self) -> Option<NodeId> {
+        match self {
+            StateKind::Exec(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Short label in the paper's notation (`w3`, `x3`, `d3`, `r`, `X`…).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            StateKind::GlobalReset => "R".to_string(),
+            StateKind::GlobalExecute => "X".to_string(),
+            StateKind::GlobalDone => "D".to_string(),
+            StateKind::ResourceReset(r) => format!("r[{r}]"),
+            StateKind::Wait(n) => format!("w{}", n.index()),
+            StateKind::Exec(n) => format!("x{}", n.index()),
+            StateKind::Done(n) => format!("d{}", n.index()),
+        }
+    }
+}
+
+/// Condition guarding a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Condition {
+    /// Taken unconditionally on the next controller cycle.
+    Always,
+    /// The environment asserted the system start signal.
+    SystemStart,
+    /// All data dependencies of the node are satisfied (predecessor done
+    /// flags set and inbound transfers complete).
+    DepsReady(NodeId),
+    /// The processing unit executing the node raised its done signal.
+    UnitDone(NodeId),
+    /// All sink nodes of the design are done.
+    AllDone,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Always => f.write_str("1"),
+            Condition::SystemStart => f.write_str("start"),
+            Condition::DepsReady(n) => write!(f, "ready({})", n.index()),
+            Condition::UnitDone(n) => write!(f, "done({})", n.index()),
+            Condition::AllDone => f.write_str("all_done"),
+        }
+    }
+}
+
+/// A guarded transition between STG states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Guard condition.
+    pub condition: Condition,
+}
+
+/// One state with its role and owning resource (if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct State {
+    /// The state's role.
+    pub kind: StateKind,
+    /// The resource whose communicating controller hosts this state
+    /// (`None` for the three global states).
+    pub resource: Option<Resource>,
+}
+
+/// The state/transition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stg {
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+}
+
+impl Stg {
+    /// All states, indexed by [`StateId::index`].
+    #[must_use]
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// All transitions.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Outgoing transitions of `s`.
+    #[must_use]
+    pub fn outgoing(&self, s: StateId) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| t.from == s).collect()
+    }
+
+    /// The unique state with the given kind, if present.
+    #[must_use]
+    pub fn state_by_kind(&self, kind: StateKind) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.kind == kind)
+            .map(|i| StateId(i as u32))
+    }
+
+    /// States hosted by `resource`'s communicating controller, in id order.
+    #[must_use]
+    pub fn states_of(&self, resource: Resource) -> Vec<StateId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.resource == Some(resource))
+            .map(|(i, _)| StateId(i as u32))
+            .collect()
+    }
+
+    /// Structural sanity: every transition endpoint exists, the three
+    /// global states are present exactly once, and every non-global state
+    /// is reachable from `R`.
+    ///
+    /// # Errors
+    ///
+    /// `Err(description)` naming the first violation.
+    pub fn verify(&self) -> Result<(), String> {
+        for t in &self.transitions {
+            if t.from.index() >= self.states.len() || t.to.index() >= self.states.len() {
+                return Err(format!("dangling transition {} -> {}", t.from, t.to));
+            }
+        }
+        for kind in [StateKind::GlobalReset, StateKind::GlobalExecute, StateKind::GlobalDone] {
+            let count = self.states.iter().filter(|s| s.kind == kind).count();
+            if count != 1 {
+                return Err(format!("expected exactly one {kind:?}, found {count}"));
+            }
+        }
+        // Reachability from R.
+        let start = self.state_by_kind(StateKind::GlobalReset).expect("checked above");
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![start];
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut seen[s.index()], true) {
+                continue;
+            }
+            for t in self.outgoing(s) {
+                stack.push(t.to);
+            }
+        }
+        if let Some(unreached) = seen.iter().position(|&v| !v) {
+            return Err(format!(
+                "state {} ({}) unreachable from R",
+                unreached,
+                self.states[unreached].kind.label()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Render the STG in Graphviz DOT format (states labelled in the
+    /// paper's w/x/d notation, transitions labelled by guard).
+    #[must_use]
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{name}_stg\" {{");
+        for (i, st) in self.states.iter().enumerate() {
+            let shape = match st.kind {
+                StateKind::Exec(_) => "box",
+                StateKind::GlobalReset | StateKind::GlobalExecute | StateKind::GlobalDone => {
+                    "doublecircle"
+                }
+                _ => "circle",
+            };
+            let _ = writeln!(s, "  s{i} [shape={shape}, label=\"{}\"];", st.kind.label());
+        }
+        for t in &self.transitions {
+            let _ = writeln!(
+                s,
+                "  s{} -> s{} [label=\"{}\"];",
+                t.from.index(),
+                t.to.index(),
+                t.condition
+            );
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Render the STG as a table, resource by resource (Figure 3 style).
+    #[must_use]
+    pub fn to_table(&self, target: &cool_ir::Target) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "STG: {} states, {} transitions\n",
+            self.state_count(),
+            self.transition_count()
+        ));
+        s.push_str("global: R X D\n");
+        for r in target.resources() {
+            let states = self.states_of(r);
+            let labels: Vec<String> = states
+                .iter()
+                .map(|&id| self.states[id.index()].kind.label())
+                .collect();
+            s.push_str(&format!("{:<6} {}\n", target.resource_name(r), labels.join(" ")));
+        }
+        s
+    }
+}
+
+/// Generate the STG of a scheduled, coloured partitioning graph.
+///
+/// Construction follows the paper exactly:
+/// * `R → r[res]` for every resource (reset fan-out), `r[res]` chains into
+///   the first scheduled node's `w` state, gated on the global `X` state;
+/// * per node: `w → x` on [`Condition::DepsReady`], `x → d` on
+///   [`Condition::UnitDone`];
+/// * on processors, `d(prev) → w(next)` follows the static schedule order
+///   (software is sequential);
+/// * on hardware resources every node's `w` is entered from the resource
+///   reset (hardware nodes run concurrently);
+/// * sink completion leads to the global `D`, and `D → R` closes the loop
+///   for the next system invocation.
+#[must_use]
+pub fn generate(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    schedule: &StaticSchedule,
+) -> Stg {
+    let mut states = Vec::new();
+    let mut transitions = Vec::new();
+    let push = |kind: StateKind, resource: Option<Resource>, states: &mut Vec<State>| {
+        states.push(State { kind, resource });
+        StateId(states.len() as u32 - 1)
+    };
+
+    let r = push(StateKind::GlobalReset, None, &mut states);
+    let x = push(StateKind::GlobalExecute, None, &mut states);
+    let d = push(StateKind::GlobalDone, None, &mut states);
+    transitions.push(Transition { from: r, to: x, condition: Condition::SystemStart });
+
+    // Resources that actually host function nodes.
+    let target_resources: Vec<Resource> = {
+        let mut v: Vec<Resource> = g
+            .function_nodes()
+            .iter()
+            .map(|&n| mapping.resource(n))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    for &res in &target_resources {
+        let reset = push(StateKind::ResourceReset(res), Some(res), &mut states);
+        transitions.push(Transition { from: x, to: reset, condition: Condition::Always });
+
+        // Function nodes on this resource in schedule order.
+        let order: Vec<NodeId> = schedule
+            .order_on(res)
+            .into_iter()
+            .filter(|&n| {
+                g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+            })
+            .collect();
+
+        let sequential = res.is_software();
+        let mut prev_done: Option<StateId> = None;
+        for &n in &order {
+            let w = push(StateKind::Wait(n), Some(res), &mut states);
+            let xn = push(StateKind::Exec(n), Some(res), &mut states);
+            let dn = push(StateKind::Done(n), Some(res), &mut states);
+            transitions.push(Transition { from: w, to: xn, condition: Condition::DepsReady(n) });
+            transitions.push(Transition { from: xn, to: dn, condition: Condition::UnitDone(n) });
+            if sequential {
+                let entry = prev_done.unwrap_or(reset);
+                transitions.push(Transition { from: entry, to: w, condition: Condition::Always });
+                prev_done = Some(dn);
+            } else {
+                transitions.push(Transition { from: reset, to: w, condition: Condition::Always });
+            }
+        }
+        // Last done (software) or every done (hardware) can reach D.
+        if sequential {
+            if let Some(last) = prev_done {
+                transitions.push(Transition { from: last, to: d, condition: Condition::AllDone });
+            } else {
+                transitions.push(Transition { from: reset, to: d, condition: Condition::AllDone });
+            }
+        } else {
+            for &n in &order {
+                let dn = StateId(
+                    states
+                        .iter()
+                        .position(|s| s.kind == StateKind::Done(n))
+                        .expect("just pushed") as u32,
+                );
+                transitions.push(Transition { from: dn, to: d, condition: Condition::AllDone });
+            }
+            if order.is_empty() {
+                transitions.push(Transition { from: reset, to: d, condition: Condition::AllDone });
+            }
+        }
+    }
+    if target_resources.is_empty() {
+        // Pure wiring design: X completes immediately.
+        transitions.push(Transition { from: x, to: d, condition: Condition::AllDone });
+    }
+    transitions.push(Transition { from: d, to: r, condition: Condition::Always });
+
+    Stg { states, transitions }
+}
+
+/// Count of cut edges — the transfers that receive memory cells.
+#[must_use]
+pub fn transfer_edges(g: &PartitioningGraph, mapping: &Mapping) -> Vec<EdgeId> {
+    mapping.cut_edges(g).into_iter().map(|(id, _)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_cost::{CommScheme, CostModel};
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    fn scheduled_fuzzy() -> (PartitioningGraph, Mapping, StaticSchedule, Target) {
+        let g = workloads::fuzzy_controller();
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let mut mapping = cool_ir::Mapping::uniform(g.node_count(), Resource::Software(0));
+        // Mixed partition: defuzz + clip in hardware.
+        mapping.assign(g.node_by_name("defuzz").unwrap(), Resource::Hardware(0));
+        mapping.assign(g.node_by_name("clip").unwrap(), Resource::Hardware(0));
+        let schedule =
+            cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+        (g, mapping, schedule, target)
+    }
+
+    #[test]
+    fn stg_has_paper_state_inventory() {
+        let (g, mapping, schedule, _) = scheduled_fuzzy();
+        let stg = generate(&g, &mapping, &schedule);
+        stg.verify().unwrap();
+        // 3 global + per-resource reset + 3 per function node.
+        let functions = g.function_nodes().len();
+        let resources_used = 2; // dsp0 and fpga0
+        assert_eq!(stg.state_count(), 3 + resources_used + 3 * functions);
+    }
+
+    #[test]
+    fn every_function_node_has_wxd() {
+        let (g, mapping, schedule, _) = scheduled_fuzzy();
+        let stg = generate(&g, &mapping, &schedule);
+        for n in g.function_nodes() {
+            assert!(stg.state_by_kind(StateKind::Wait(n)).is_some(), "missing w for {n}");
+            assert!(stg.state_by_kind(StateKind::Exec(n)).is_some(), "missing x for {n}");
+            assert!(stg.state_by_kind(StateKind::Done(n)).is_some(), "missing d for {n}");
+        }
+    }
+
+    #[test]
+    fn software_chain_follows_schedule() {
+        let (g, mapping, schedule, _) = scheduled_fuzzy();
+        let stg = generate(&g, &mapping, &schedule);
+        let sw_order: Vec<NodeId> = schedule
+            .order_on(Resource::Software(0))
+            .into_iter()
+            .filter(|&n| g.node(n).unwrap().kind() == NodeKind::Function)
+            .collect();
+        // d(prev) -> w(next) transition must exist for each consecutive pair.
+        for pair in sw_order.windows(2) {
+            let dprev = stg.state_by_kind(StateKind::Done(pair[0])).unwrap();
+            let wnext = stg.state_by_kind(StateKind::Wait(pair[1])).unwrap();
+            assert!(
+                stg.outgoing(dprev).iter().any(|t| t.to == wnext),
+                "missing chain {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn global_cycle_exists() {
+        let (g, mapping, schedule, _) = scheduled_fuzzy();
+        let stg = generate(&g, &mapping, &schedule);
+        let r = stg.state_by_kind(StateKind::GlobalReset).unwrap();
+        let d = stg.state_by_kind(StateKind::GlobalDone).unwrap();
+        assert!(stg.outgoing(d).iter().any(|t| t.to == r), "D must loop back to R");
+        let x = stg.state_by_kind(StateKind::GlobalExecute).unwrap();
+        assert!(stg
+            .outgoing(r)
+            .iter()
+            .any(|t| t.to == x && t.condition == Condition::SystemStart));
+    }
+
+    #[test]
+    fn table_renders_resources() {
+        let (g, mapping, schedule, target) = scheduled_fuzzy();
+        let stg = generate(&g, &mapping, &schedule);
+        let table = stg.to_table(&target);
+        assert!(table.contains("dsp0"));
+        assert!(table.contains("fpga0"));
+        assert!(table.contains("states"));
+    }
+
+    #[test]
+    fn dot_export_has_all_states_and_transitions() {
+        let (g, mapping, schedule, _) = scheduled_fuzzy();
+        let stg = generate(&g, &mapping, &schedule);
+        let dot = stg.to_dot(g.name());
+        assert_eq!(dot.matches("shape=").count(), stg.state_count());
+        assert_eq!(dot.matches(" -> ").count(), stg.transition_count());
+        assert!(dot.contains("doublecircle"), "global states must stand out");
+    }
+
+    #[test]
+    fn transfer_edges_match_cut_edges() {
+        let (g, mapping, _, _) = scheduled_fuzzy();
+        assert_eq!(transfer_edges(&g, &mapping).len(), mapping.cut_edges(&g).len());
+        assert!(!transfer_edges(&g, &mapping).is_empty());
+    }
+}

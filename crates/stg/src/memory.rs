@@ -1,0 +1,327 @@
+//! Memory-cell allocation for inter-unit data transfers.
+//!
+//! "After the number of states of the STG has been minimized, memory cells
+//! are allocated (starting from a base address) for each edge representing
+//! a data transfer between different processing units." (paper, Section 2;
+//! the result is Figure 3's memory map.)
+//!
+//! Two allocators are provided:
+//!
+//! * [`allocate_memory`] — the paper's scheme: sequential cells from the
+//!   base address, one per cut edge, aligned to bus words;
+//! * [`allocate_memory_packed`] — an ablation that reuses cells whose
+//!   transfer lifetimes (from the static schedule) do not overlap,
+//!   left-edge packed.
+
+use std::fmt;
+
+use cool_ir::{EdgeId, Mapping, Memory, PartitioningGraph};
+use cool_schedule::StaticSchedule;
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryError {
+    /// The transfers do not fit the memory's capacity.
+    OutOfMemory {
+        /// Bytes required.
+        required: u32,
+        /// Bytes available from the base address.
+        available: u32,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { required, available } => write!(
+                f,
+                "memory allocation needs {required} bytes but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// One allocated communication cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryCell {
+    /// The cut edge this cell carries.
+    pub edge: EdgeId,
+    /// Byte address of the cell.
+    pub address: u32,
+    /// Cell size in bytes (bus-word aligned).
+    pub bytes: u32,
+}
+
+/// The memory map produced by allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMap {
+    cells: Vec<MemoryCell>,
+    base: u32,
+    bytes_used: u32,
+}
+
+impl MemoryMap {
+    /// All cells, ordered by edge id.
+    #[must_use]
+    pub fn cells(&self) -> &[MemoryCell] {
+        &self.cells
+    }
+
+    /// The cell of `edge`, if that edge was a cut edge.
+    #[must_use]
+    pub fn cell(&self, edge: EdgeId) -> Option<&MemoryCell> {
+        self.cells.iter().find(|c| c.edge == edge)
+    }
+
+    /// Base address of the allocation region.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Total bytes of address space consumed above the base.
+    #[must_use]
+    pub fn bytes_used(&self) -> u32 {
+        self.bytes_used
+    }
+
+    /// Number of allocated cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Figure-3-style rendering: `edge -> address (bytes)` rows.
+    #[must_use]
+    pub fn to_table(&self, g: &PartitioningGraph) -> String {
+        let mut s = format!(
+            "memory map: base 0x{:04x}, {} cells, {} bytes\n",
+            self.base,
+            self.cells.len(),
+            self.bytes_used
+        );
+        for c in &self.cells {
+            let desc = g
+                .edge(c.edge)
+                .ok()
+                .and_then(|e| {
+                    let src = g.node(e.src).ok()?.name().to_string();
+                    let dst = g.node(e.dst).ok()?.name().to_string();
+                    Some(format!("{src} -> {dst}"))
+                })
+                .unwrap_or_default();
+            s.push_str(&format!(
+                "  0x{:04x}  {:>2} B  {:<6} {desc}\n",
+                c.address,
+                c.bytes,
+                c.edge.to_string()
+            ));
+        }
+        s
+    }
+}
+
+fn cell_bytes(bits: u16, bus_bits: u16) -> u32 {
+    let word_bytes = u32::from(bus_bits.max(8)) / 8;
+    let words = u32::from(bits.div_ceil(bus_bits.max(1)));
+    words * word_bytes
+}
+
+/// Sequential allocation from the base address — the paper's scheme.
+///
+/// # Errors
+///
+/// [`MemoryError::OutOfMemory`] if the region overflows the memory size.
+pub fn allocate_memory(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    memory: &Memory,
+    bus_bits: u16,
+) -> Result<MemoryMap, MemoryError> {
+    let mut cells = Vec::new();
+    let mut addr = memory.base_address;
+    for (eid, e) in g.edges() {
+        if mapping.resource(e.src) == mapping.resource(e.dst) {
+            continue;
+        }
+        let bytes = cell_bytes(e.bits, bus_bits);
+        cells.push(MemoryCell { edge: eid, address: addr, bytes });
+        addr += bytes;
+    }
+    let bytes_used = addr - memory.base_address;
+    let available = memory.size_bytes.saturating_sub(memory.base_address);
+    if bytes_used > available {
+        return Err(MemoryError::OutOfMemory { required: bytes_used, available });
+    }
+    Ok(MemoryMap { cells, base: memory.base_address, bytes_used })
+}
+
+/// Lifetime-packed allocation: cells are reused across transfers whose
+/// live ranges (producer finish → consumer finish, from the schedule) do
+/// not overlap. Left-edge packing per cell size class.
+///
+/// # Errors
+///
+/// [`MemoryError::OutOfMemory`] if even the packed region overflows.
+pub fn allocate_memory_packed(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    schedule: &StaticSchedule,
+    memory: &Memory,
+    bus_bits: u16,
+) -> Result<MemoryMap, MemoryError> {
+    // Gather (size, live-from, live-to, edge), group by size class so a
+    // slot always has a uniform size.
+    let mut by_size: std::collections::BTreeMap<u32, Vec<(u64, u64, EdgeId)>> =
+        std::collections::BTreeMap::new();
+    for (eid, e) in g.edges() {
+        if mapping.resource(e.src) == mapping.resource(e.dst) {
+            continue;
+        }
+        let bytes = cell_bytes(e.bits, bus_bits);
+        let from = schedule.slot(e.src).finish;
+        let to = schedule.slot(e.dst).finish.max(from + 1);
+        by_size.entry(bytes).or_default().push((from, to, eid));
+    }
+    let mut cells = Vec::new();
+    let mut addr = memory.base_address;
+    for (bytes, mut intervals) in by_size {
+        intervals.sort_unstable();
+        // Left edge: slots store the time their occupant frees them.
+        let mut slots: Vec<(u32, u64)> = Vec::new(); // (address, free_at)
+        for (from, to, eid) in intervals {
+            if let Some(slot) = slots.iter_mut().find(|(_, free)| *free <= from) {
+                slot.1 = to;
+                cells.push(MemoryCell { edge: eid, address: slot.0, bytes });
+            } else {
+                let a = addr;
+                addr += bytes;
+                slots.push((a, to));
+                cells.push(MemoryCell { edge: eid, address: a, bytes });
+            }
+        }
+    }
+    cells.sort_by_key(|c| c.edge);
+    let bytes_used = addr - memory.base_address;
+    let available = memory.size_bytes.saturating_sub(memory.base_address);
+    if bytes_used > available {
+        return Err(MemoryError::OutOfMemory { required: bytes_used, available });
+    }
+    Ok(MemoryMap { cells, base: memory.base_address, bytes_used })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cool_cost::{CommScheme, CostModel};
+    use cool_ir::{Resource, Target};
+    use cool_spec::workloads;
+
+    fn mixed_equalizer() -> (PartitioningGraph, Mapping, StaticSchedule, Target) {
+        let g = workloads::equalizer(4);
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let mut mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        for (i, n) in g.function_nodes().into_iter().enumerate() {
+            if i % 2 == 1 {
+                mapping.assign(n, Resource::Hardware(0));
+            }
+        }
+        let schedule =
+            cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+        (g, mapping, schedule, target)
+    }
+
+    #[test]
+    fn one_cell_per_cut_edge() {
+        let (g, mapping, _, target) = mixed_equalizer();
+        let map = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap();
+        assert_eq!(map.cell_count(), mapping.cut_edges(&g).len());
+        assert_eq!(map.base(), target.memory.base_address);
+    }
+
+    #[test]
+    fn sequential_cells_do_not_overlap() {
+        let (g, mapping, _, target) = mixed_equalizer();
+        let map = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap();
+        let mut cells: Vec<&MemoryCell> = map.cells().iter().collect();
+        cells.sort_by_key(|c| c.address);
+        for pair in cells.windows(2) {
+            assert!(pair[0].address + pair[0].bytes <= pair[1].address);
+        }
+    }
+
+    #[test]
+    fn packed_never_uses_more_than_sequential() {
+        let (g, mapping, schedule, target) = mixed_equalizer();
+        let seq = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap();
+        let packed = allocate_memory_packed(
+            &g,
+            &mapping,
+            &schedule,
+            &target.memory,
+            target.bus.width_bits,
+        )
+        .unwrap();
+        assert!(packed.bytes_used() <= seq.bytes_used());
+        assert_eq!(packed.cell_count(), seq.cell_count());
+    }
+
+    #[test]
+    fn packed_cells_never_alias_while_live(){
+        let (g, mapping, schedule, target) = mixed_equalizer();
+        let packed = allocate_memory_packed(
+            &g,
+            &mapping,
+            &schedule,
+            &target.memory,
+            target.bus.width_bits,
+        )
+        .unwrap();
+        let live = |eid: EdgeId| -> (u64, u64) {
+            let e = g.edge(eid).unwrap();
+            let from = schedule.slot(e.src).finish;
+            (from, schedule.slot(e.dst).finish.max(from + 1))
+        };
+        for (i, a) in packed.cells().iter().enumerate() {
+            for b in &packed.cells()[i + 1..] {
+                if a.address == b.address {
+                    let (af, at) = live(a.edge);
+                    let (bf, bt) = live(b.edge);
+                    assert!(at <= bf || bt <= af, "aliased cells live simultaneously");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_memory_detected() {
+        let (g, mapping, _, mut target) = mixed_equalizer();
+        target.memory.size_bytes = target.memory.base_address + 2; // 2 bytes only
+        let err = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits)
+            .unwrap_err();
+        assert!(matches!(err, MemoryError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn uniform_mapping_allocates_nothing() {
+        let g = workloads::equalizer(4);
+        let target = Target::fuzzy_board();
+        let mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
+        let map = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap();
+        assert_eq!(map.cell_count(), 0);
+        assert_eq!(map.bytes_used(), 0);
+    }
+
+    #[test]
+    fn table_lists_cells() {
+        let (g, mapping, _, target) = mixed_equalizer();
+        let map = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap();
+        let t = map.to_table(&g);
+        assert!(t.contains("0x1000"), "table: {t}");
+        assert!(t.contains("->"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Compare COOL's three partitioning algorithms — exact MILP,
+//! MILP+heuristic clustering, and the genetic algorithm — on random
+//! data-flow graphs of growing size, reporting solution quality (schedule
+//! makespan) and solver work.
+//!
+//! Run with `cargo run --release --example partitioner_comparison`.
+
+use std::error::Error;
+use std::time::Instant;
+
+use cool_repro::cost::CostModel;
+use cool_repro::ir::Target;
+use cool_repro::partition::{self, GaOptions, HeuristicOptions, MilpOptions};
+use cool_repro::spec::workloads::{random_dag, RandomDagConfig};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let target = Target::fuzzy_board();
+    println!(
+        "{:>5} {:>16} {:>10} {:>10} {:>12}",
+        "nodes", "algorithm", "makespan", "ms", "work units"
+    );
+    for nodes in [10usize, 16, 24, 32] {
+        let graph = random_dag(RandomDagConfig { nodes, seed: 7, ..Default::default() });
+        let cost = CostModel::new(&graph, &target);
+
+        // Exact MILP only up to a size it solves in reasonable time.
+        if nodes <= 16 {
+            let t = Instant::now();
+            let res = partition::milp::partition(&graph, &cost, &MilpOptions::default())?;
+            report(nodes, "milp", res.makespan, t.elapsed().as_secs_f64(), res.work_units);
+        } else {
+            println!("{nodes:>5} {:>16} {:>10} {:>10} {:>12}", "milp", "-", "(skipped)", "-");
+        }
+
+        let t = Instant::now();
+        let res = partition::heuristic::partition(&graph, &cost, &HeuristicOptions::default())?;
+        report(nodes, "milp+heuristic", res.makespan, t.elapsed().as_secs_f64(), res.work_units);
+
+        let t = Instant::now();
+        let res = partition::genetic::partition(&graph, &cost, &GaOptions::default())?;
+        report(nodes, "genetic", res.makespan, t.elapsed().as_secs_f64(), res.work_units);
+
+        // Baseline for context.
+        let all_sw = partition::all_software(&graph);
+        let (sw, _) = partition::evaluate(&graph, &all_sw, &cost, Default::default())?;
+        report(nodes, "all-software", sw, 0.0, 0);
+        println!();
+    }
+    Ok(())
+}
+
+fn report(nodes: usize, algo: &str, makespan: u64, secs: f64, work: usize) {
+    println!("{nodes:>5} {algo:>16} {makespan:>10} {:>10.1} {work:>12}", secs * 1e3);
+}

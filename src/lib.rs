@@ -1,0 +1,47 @@
+//! COOL reproduction — umbrella crate.
+//!
+//! Re-exports every subsystem of the reproduction of *"Synthesis of
+//! Communicating Controllers for Concurrent Hardware/Software Systems"*
+//! (Niemann & Marwedel, DATE 1998) so examples and integration tests can
+//! depend on a single crate:
+//!
+//! * [`ir`] — partitioning-graph IR, target model, reference evaluator
+//! * [`spec`] — specification language + workload generators
+//! * [`ilp`] — the MILP solver substrate
+//! * [`cost`] — software/hardware/communication cost models
+//! * [`partition`] — MILP / heuristic / genetic partitioners
+//! * [`schedule`] — static list scheduling
+//! * [`stg`] — STG generation, minimization, memory allocation
+//! * [`hls`] — Oscar-style high-level synthesis
+//! * [`rtl`] — communicating controllers, netlist, VHDL
+//! * [`codegen`] — C generation for software partitions
+//! * [`sim`] — the cycle-level board stand-in
+//! * [`core`] — the end-to-end COOL design flow
+//!
+//! Start with [`core::run_flow`]:
+//!
+//! ```
+//! use cool_repro::core::{run_flow, FlowOptions};
+//! use cool_repro::ir::Target;
+//! use cool_repro::spec::workloads;
+//!
+//! # fn main() -> Result<(), cool_repro::core::FlowError> {
+//! let graph = workloads::equalizer(2);
+//! let artifacts = run_flow(&graph, &Target::fuzzy_board(), &FlowOptions::quick())?;
+//! println!("{}", artifacts.report());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cool_codegen as codegen;
+pub use cool_core as core;
+pub use cool_cost as cost;
+pub use cool_hls as hls;
+pub use cool_ilp as ilp;
+pub use cool_ir as ir;
+pub use cool_partition as partition;
+pub use cool_rtl as rtl;
+pub use cool_schedule as schedule;
+pub use cool_sim as sim;
+pub use cool_spec as spec;
+pub use cool_stg as stg;

@@ -1,0 +1,100 @@
+//! The paper targets "multi-processor and multi-ASIC target
+//! architectures"; these tests exercise a board with two processors plus
+//! two FPGAs end-to-end.
+
+use cool_repro::core::{run_flow_with_mapping, FlowOptions};
+use cool_repro::cost::{CommScheme, CostModel};
+use cool_repro::ir::eval::{evaluate, input_map};
+use cool_repro::ir::{Bus, HwResource, Memory, Processor, Resource, Target};
+use cool_repro::spec::workloads;
+
+fn two_cpu_board() -> Target {
+    Target {
+        processors: vec![Processor::dsp56001("dsp0"), Processor::generic_risc("risc0")],
+        hw: vec![HwResource::xc4005("fpga0"), HwResource::xc4005("fpga1")],
+        memory: Memory::sram_64k("sram0"),
+        bus: Bus::backplane_16("bus0"),
+        system_clock_mhz: 16.0,
+    }
+}
+
+#[test]
+fn fuzzy_splits_across_two_processors() {
+    let g = workloads::fuzzy_controller();
+    let target = two_cpu_board();
+    let cost = CostModel::new(&g, &target);
+    let mut mapping = cool_repro::partition::all_software(&g);
+    // err-side fuzzification on the DSP, derr side on the RISC, defuzz in
+    // hardware: a three-way split.
+    for (i, n) in g.function_nodes().into_iter().enumerate() {
+        let name = g.node(n).unwrap().name().to_string();
+        if name.starts_with("m_derr") {
+            mapping.assign(n, Resource::Software(1));
+        } else if name == "defuzz" {
+            mapping.assign(n, Resource::Hardware(0));
+        } else if i % 7 == 0 && name.starts_with("rule") {
+            mapping.assign(n, Resource::Software(1));
+        }
+    }
+    let schedule =
+        cool_repro::schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+    schedule.verify(&g, &mapping).unwrap();
+    // Both processors actually execute work.
+    assert!(!schedule.order_on(Resource::Software(0)).is_empty());
+    assert!(schedule
+        .order_on(Resource::Software(1))
+        .iter()
+        .any(|&n| g.node(n).unwrap().kind() == cool_repro::ir::NodeKind::Function));
+
+    let art = run_flow_with_mapping(&g, &target, mapping, &FlowOptions::quick()).unwrap();
+    // One C program per processor that hosts nodes.
+    assert_eq!(art.c_programs.len(), 2);
+    // Functional equivalence across the input space.
+    for (e, d) in [(-100i64, 30i64), (0, 0), (64, -64), (120, 90)] {
+        let ins = input_map([("err", e), ("derr", d)]);
+        let r = art.simulate(&ins).unwrap();
+        assert_eq!(r.outputs, evaluate(&g, &ins).unwrap());
+    }
+}
+
+#[test]
+fn processors_execute_concurrently() {
+    // Two independent chains mapped to two different processors must
+    // overlap: the makespan is far below the serialized sum.
+    use cool_repro::ir::{Behavior, Op, PartitioningGraph};
+    let mut g = PartitioningGraph::new("parallel");
+    for c in 0..2 {
+        let x = g.add_input(format!("x{c}"), 16);
+        let mut prev = x;
+        for k in 0..6 {
+            let f = g
+                .add_function(format!("f{c}_{k}"), Behavior::binary(Op::Div))
+                .unwrap();
+            g.connect(prev, 0, f, 0, 16).unwrap();
+            g.connect(x, 0, f, 1, 16).unwrap();
+            prev = f;
+        }
+        let y = g.add_output(format!("y{c}"), 16);
+        g.connect(prev, 0, y, 0, 16).unwrap();
+    }
+    g.validate().unwrap();
+    let target = two_cpu_board();
+    let cost = CostModel::new(&g, &target);
+
+    let single = cool_repro::partition::all_software(&g);
+    let mut dual = single.clone();
+    for n in g.function_nodes() {
+        if g.node(n).unwrap().name().starts_with("f1_") {
+            dual.assign(n, Resource::Software(1));
+        }
+    }
+    let s1 = cool_repro::schedule::schedule(&g, &single, &cost, CommScheme::MemoryMapped).unwrap();
+    let s2 = cool_repro::schedule::schedule(&g, &dual, &cost, CommScheme::MemoryMapped).unwrap();
+    s2.verify(&g, &dual).unwrap();
+    assert!(
+        s2.makespan() < s1.makespan(),
+        "two processors must beat one: {} vs {}",
+        s2.makespan(),
+        s1.makespan()
+    );
+}

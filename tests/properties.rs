@@ -1,0 +1,176 @@
+//! Property-based tests over the co-design pipeline's invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cool_repro::cost::{CommScheme, CostModel};
+use cool_repro::ir::{Mapping, Resource, Target};
+use cool_repro::spec::workloads::{random_dag, RandomDagConfig};
+
+fn arb_graph() -> impl Strategy<Value = cool_repro::ir::PartitioningGraph> {
+    (4usize..28, 0u64..500).prop_map(|(nodes, seed)| {
+        random_dag(RandomDagConfig { nodes, inputs: 3, outputs: 2, seed })
+    })
+}
+
+/// An arbitrary area-feasible mapping for a graph on the fuzzy board.
+fn feasible_mapping(
+    g: &cool_repro::ir::PartitioningGraph,
+    cost: &CostModel,
+    choices: &[u8],
+) -> Mapping {
+    let target = cost.target();
+    let mut m = Mapping::uniform(g.node_count(), Resource::Software(0));
+    let mut usage = vec![0u32; target.hw.len()];
+    for (i, n) in g.function_nodes().into_iter().enumerate() {
+        let c = choices[i % choices.len()] as usize % (1 + target.hw.len());
+        if c > 0 {
+            let h = c - 1;
+            let area = cost.hw_area_clbs(n);
+            if usage[h] + area <= target.hw[h].clb_capacity {
+                usage[h] += area;
+                m.assign(n, Resource::Hardware(h));
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any feasible mapping schedules without violating precedence,
+    /// processor exclusivity or bus exclusivity.
+    #[test]
+    fn schedules_always_verify(g in arb_graph(), choices in prop::collection::vec(0u8..8, 1..16)) {
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let m = feasible_mapping(&g, &cost, &choices);
+        let s = cool_repro::schedule::schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        prop_assert!(s.verify(&g, &m).is_ok());
+    }
+
+    /// STG generation + minimization preserves well-formedness and never
+    /// drops an execution state.
+    #[test]
+    fn stg_minimization_is_safe(g in arb_graph(), choices in prop::collection::vec(0u8..8, 1..16)) {
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let m = feasible_mapping(&g, &cost, &choices);
+        let s = cool_repro::schedule::schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        let stg = cool_repro::stg::generate(&g, &m, &s);
+        prop_assert!(stg.verify().is_ok());
+        let (min, stats) = cool_repro::stg::minimize(&stg);
+        prop_assert!(min.verify().is_ok());
+        prop_assert!(stats.states_after <= stats.states_before);
+        for n in g.function_nodes() {
+            prop_assert!(min.states().iter().any(|st| st.kind == cool_repro::stg::StateKind::Exec(n)));
+        }
+    }
+
+    /// Memory allocation: one cell per cut edge, no overlap (sequential),
+    /// and the packed allocator never uses more bytes.
+    #[test]
+    fn memory_allocators_are_consistent(g in arb_graph(), choices in prop::collection::vec(0u8..8, 1..16)) {
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let m = feasible_mapping(&g, &cost, &choices);
+        let s = cool_repro::schedule::schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        let seq = cool_repro::stg::allocate_memory(&g, &m, &target.memory, target.bus.width_bits).unwrap();
+        let packed = cool_repro::stg::allocate_memory_packed(&g, &m, &s, &target.memory, target.bus.width_bits).unwrap();
+        prop_assert_eq!(seq.cell_count(), m.cut_edges(&g).len());
+        prop_assert_eq!(packed.cell_count(), seq.cell_count());
+        prop_assert!(packed.bytes_used() <= seq.bytes_used());
+        let mut cells: Vec<_> = seq.cells().to_vec();
+        cells.sort_by_key(|c| c.address);
+        for pair in cells.windows(2) {
+            prop_assert!(pair[0].address + pair[0].bytes <= pair[1].address);
+        }
+    }
+
+    /// The co-simulator matches the reference evaluator for every feasible
+    /// mapping and random inputs (functional correctness of co-synthesis).
+    #[test]
+    fn simulation_matches_reference(
+        g in arb_graph(),
+        choices in prop::collection::vec(0u8..8, 1..16),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c in -1000i64..1000,
+    ) {
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let m = feasible_mapping(&g, &cost, &choices);
+        let s = cool_repro::schedule::schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
+        let map = cool_repro::stg::allocate_memory(&g, &m, &target.memory, target.bus.width_bits).unwrap();
+        let sim = cool_repro::sim::Simulator::new(&g, &m, &s, &map, &cost, CommScheme::MemoryMapped);
+        let inputs: BTreeMap<String, i64> =
+            [("in0", a), ("in1", b), ("in2", c)].into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let run = sim.run(&inputs).unwrap();
+        let reference = cool_repro::ir::eval::evaluate(&g, &inputs).unwrap();
+        prop_assert_eq!(run.outputs, reference);
+    }
+
+    /// The GA always returns an area-feasible mapping.
+    #[test]
+    fn genetic_always_feasible(seed in 0u64..100) {
+        let g = random_dag(RandomDagConfig { nodes: 14, seed, ..Default::default() });
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let opts = cool_repro::partition::GaOptions {
+            population: 8, generations: 3, threads: 1, seed, ..Default::default()
+        };
+        let res = cool_repro::partition::genetic::partition(&g, &cost, &opts).unwrap();
+        for (used, hw) in res.hw_area.iter().zip(&target.hw) {
+            prop_assert!(used <= &hw.clb_capacity);
+        }
+    }
+
+    /// Spec printing round-trips semantically for random graphs.
+    #[test]
+    fn spec_round_trip(seed in 0u64..200, a in -50i64..50, b in -50i64..50, c in -50i64..50) {
+        let g = random_dag(RandomDagConfig { nodes: 10, seed, ..Default::default() });
+        let text = cool_repro::spec::print_spec(&g);
+        let parsed = cool_repro::spec::parse(&text).unwrap();
+        let inputs: BTreeMap<String, i64> =
+            [("in0", a), ("in1", b), ("in2", c)].into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        prop_assert_eq!(
+            cool_repro::ir::eval::evaluate(&g, &inputs).unwrap(),
+            cool_repro::ir::eval::evaluate(&parsed, &inputs).unwrap()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The ILP solver agrees with brute force on random small knapsacks.
+    #[test]
+    fn ilp_matches_brute_force(values in prop::collection::vec(1u32..20, 3..9), cap_frac in 0.2f64..0.9) {
+        use cool_repro::ilp::{Cmp, Problem, SolveOptions};
+        let n = values.len();
+        let weights: Vec<f64> = values.iter().map(|&v| f64::from(v % 7 + 1)).collect();
+        let cap = weights.iter().sum::<f64>() * cap_frac;
+        let mut p = Problem::minimize();
+        let vars: Vec<_> = values.iter().map(|&v| p.add_binary(-f64::from(v))).collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+        p.add_constraint(&terms, Cmp::Le, cap);
+        let sol = p.solve(&SolveOptions::default()).unwrap();
+        // Brute force.
+        let mut best = 0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut val, mut w) = (0f64, 0f64);
+            for i in 0..n {
+                if (mask >> i) & 1 == 1 {
+                    val += f64::from(values[i]);
+                    w += weights[i];
+                }
+            }
+            if w <= cap + 1e-9 && val > best {
+                best = val;
+            }
+        }
+        prop_assert!((sol.objective + best).abs() < 1e-6, "solver {} vs brute {}", -sol.objective, best);
+    }
+}
