@@ -1,53 +1,45 @@
-//! Criterion bench: co-synthesis core — STG generation, minimization and
-//! memory allocation (FIG3 backing data).
+//! Bench: co-synthesis core — the engine's `stg` stage: STG generation,
+//! minimization (serial vs parallel refinement) and memory allocation
+//! (FIG3 backing data), plus the `schedule` stage feeding it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use cool_bench::harness::Group;
 use cool_cost::CostModel;
 use cool_spec::workloads::{random_dag, RandomDagConfig};
 
-fn bench_cosynthesis(c: &mut Criterion) {
+fn main() {
     let target = cool_bench::paper_board();
-    let mut group = c.benchmark_group("cosynthesis");
+    let mut group = Group::new("cosynthesis");
     for nodes in [16usize, 32, 64, 128] {
-        let graph = random_dag(RandomDagConfig { nodes, seed: 9, ..Default::default() });
+        let graph = random_dag(RandomDagConfig {
+            nodes,
+            seed: 9,
+            ..Default::default()
+        });
         let cost = CostModel::new(&graph, &target);
         let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
         let schedule =
             cool_schedule::schedule(&graph, &mapping, &cost, Default::default()).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("stg_generate", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(cool_stg::generate(&graph, &mapping, &schedule)));
+        group.bench(&format!("stg_generate/{nodes}"), || {
+            black_box(cool_stg::generate(&graph, &mapping, &schedule))
         });
         let stg = cool_stg::generate(&graph, &mapping, &schedule);
-        group.bench_with_input(BenchmarkId::new("stg_minimize", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(cool_stg::minimize(&stg)));
+        group.bench(&format!("stg_minimize/jobs=1/{nodes}"), || {
+            black_box(cool_stg::minimize_jobs(&stg, 1))
         });
-        group.bench_with_input(BenchmarkId::new("memory_alloc", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                black_box(
-                    cool_stg::allocate_memory(
-                        &graph,
-                        &mapping,
-                        &target.memory,
-                        target.bus.width_bits,
-                    )
+        group.bench(&format!("stg_minimize/jobs=4/{nodes}"), || {
+            black_box(cool_stg::minimize_jobs(&stg, 4))
+        });
+        group.bench(&format!("memory_alloc/{nodes}"), || {
+            black_box(
+                cool_stg::allocate_memory(&graph, &mapping, &target.memory, target.bus.width_bits)
                     .unwrap(),
-                )
-            });
+            )
         });
-        group.bench_with_input(BenchmarkId::new("schedule", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                black_box(
-                    cool_schedule::schedule(&graph, &mapping, &cost, Default::default())
-                        .unwrap(),
-                )
-            });
+        group.bench(&format!("schedule/{nodes}"), || {
+            black_box(cool_schedule::schedule(&graph, &mapping, &cost, Default::default()).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cosynthesis);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion bench: Oscar-style HLS — scheduling/binding effort and the
-//! FSM encoding search (RES3 backing data: hardware synthesis dominates).
+//! Bench: Oscar-style HLS — the engine's `hls` stage (RES3 backing
+//! data: hardware synthesis dominates). Covers single-node synthesis at
+//! two effort levels, the parallel `synthesize_many` fan-out, the
+//! force-directed scheduler, and the FSM encoding search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cool_hls::{synthesize, HlsOptions};
+use cool_bench::harness::Group;
+use cool_hls::{synthesize, synthesize_many, HlsOptions};
 use cool_ir::{Behavior, Expr, Op};
 
 fn deep_behavior(depth: usize) -> Behavior {
@@ -20,46 +22,61 @@ fn deep_behavior(depth: usize) -> Behavior {
     Behavior::new(4, vec![e]).expect("static behaviour")
 }
 
-fn bench_hls(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hls");
+fn main() {
+    let mut group = Group::new("hls");
     for depth in [4usize, 8, 16, 32] {
         let b = deep_behavior(depth);
-        group.bench_with_input(BenchmarkId::new("synthesize_e4", depth), &depth, |bench, _| {
-            bench.iter(|| {
-                black_box(synthesize("deep", &b, &HlsOptions { effort: 4, ..Default::default() }))
-            });
+        group.bench(&format!("synthesize_e4/{depth}"), || {
+            black_box(synthesize(
+                "deep",
+                &b,
+                &HlsOptions {
+                    effort: 4,
+                    ..Default::default()
+                },
+            ))
         });
-        group.bench_with_input(
-            BenchmarkId::new("synthesize_e48", depth),
-            &depth,
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(synthesize(
-                        "deep",
-                        &b,
-                        &HlsOptions { effort: 48, ..Default::default() },
-                    ))
-                });
-            },
-        );
+        group.bench(&format!("synthesize_e48/{depth}"), || {
+            black_box(synthesize(
+                "deep",
+                &b,
+                &HlsOptions {
+                    effort: 48,
+                    ..Default::default()
+                },
+            ))
+        });
     }
+
+    // The `hls` stage's fan-out: many nodes, serial vs parallel.
+    let behaviors: Vec<Behavior> = (0..12).map(|i| deep_behavior(8 + i % 5)).collect();
+    let named: Vec<(String, &Behavior)> = behaviors
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (format!("n{i}"), b))
+        .collect();
+    let items: Vec<(&str, &Behavior)> = named.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let opts = HlsOptions {
+        effort: 48,
+        ..Default::default()
+    };
+    for jobs in [1usize, 4] {
+        group.bench(&format!("synthesize_many_12/jobs={jobs}"), || {
+            black_box(synthesize_many(&items, &opts, jobs))
+        });
+    }
+
     // Force-directed vs list scheduling on the same CDFG.
     for depth in [8usize, 16] {
         let b = deep_behavior(depth);
         let cdfg = cool_hls::Cdfg::from_behavior(&b);
         let asap_len = cool_hls::schedule::asap(&cdfg, 16).length;
-        group.bench_with_input(
-            BenchmarkId::new("force_directed", depth),
-            &depth,
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(cool_hls::schedule::force_directed(&cdfg, 16, asap_len + 4))
-                });
-            },
-        );
+        group.bench(&format!("force_directed/{depth}"), || {
+            black_box(cool_hls::schedule::force_directed(&cdfg, 16, asap_len + 4))
+        });
     }
 
-    // Encoding search on a real controller STG.
+    // Encoding search on a real controller STG (part of the `rtl` stage).
     let graph = cool_spec::workloads::fuzzy_controller();
     let target = cool_bench::paper_board();
     let cost = cool_cost::CostModel::new(&graph, &target);
@@ -67,16 +84,8 @@ fn bench_hls(c: &mut Criterion) {
     let schedule = cool_schedule::schedule(&graph, &mapping, &cost, Default::default()).unwrap();
     let (stg, _) = cool_stg::minimize(&cool_stg::generate(&graph, &mapping, &schedule));
     for effort in [4u32, 16, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("fsm_encoding", effort),
-            &effort,
-            |bench, &effort| {
-                bench.iter(|| black_box(cool_rtl::encoding::optimize_encoding(&stg, effort)));
-            },
-        );
+        group.bench(&format!("fsm_encoding/{effort}"), || {
+            black_box(cool_rtl::encoding::optimize_encoding(&stg, effort))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_hls);
-criterion_main!(benches);

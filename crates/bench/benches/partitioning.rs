@@ -1,45 +1,46 @@
-//! Criterion bench: partitioner scaling (ABL1 backing data).
-//!
-//! Measures exact MILP, MILP+heuristic and GA partitioning time on random
-//! DAGs of growing size.
+//! Bench: the engine's `partition` stage — exact MILP, MILP+heuristic
+//! and GA partitioning time on random DAGs of growing size (ABL1 backing
+//! data).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use cool_bench::harness::Group;
 use cool_cost::CostModel;
 use cool_partition::{genetic, heuristic, milp, GaOptions, HeuristicOptions, MilpOptions};
 use cool_spec::workloads::{random_dag, RandomDagConfig};
 
-fn bench_partitioners(c: &mut Criterion) {
+fn main() {
     let target = cool_bench::paper_board();
-    let mut group = c.benchmark_group("partitioning");
-    group.sample_size(10);
+    let mut group = Group::new("partitioning");
     for nodes in [8usize, 12, 16] {
-        let graph = random_dag(RandomDagConfig { nodes, seed: 7, ..Default::default() });
+        let graph = random_dag(RandomDagConfig {
+            nodes,
+            seed: 7,
+            ..Default::default()
+        });
         let cost = CostModel::new(&graph, &target);
-        group.bench_with_input(BenchmarkId::new("milp", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                black_box(milp::partition(&graph, &cost, &MilpOptions::default()).unwrap())
-            });
+        group.bench(&format!("milp/{nodes}"), || {
+            black_box(milp::partition(&graph, &cost, &MilpOptions::default()).unwrap())
         });
     }
     for nodes in [16usize, 32, 48] {
-        let graph = random_dag(RandomDagConfig { nodes, seed: 7, ..Default::default() });
-        let cost = CostModel::new(&graph, &target);
-        group.bench_with_input(BenchmarkId::new("heuristic", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                black_box(
-                    heuristic::partition(&graph, &cost, &HeuristicOptions::default()).unwrap(),
-                )
-            });
+        let graph = random_dag(RandomDagConfig {
+            nodes,
+            seed: 7,
+            ..Default::default()
         });
-        let ga = GaOptions { population: 16, generations: 10, threads: 1, ..Default::default() };
-        group.bench_with_input(BenchmarkId::new("genetic", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(genetic::partition(&graph, &cost, &ga).unwrap()));
+        let cost = CostModel::new(&graph, &target);
+        group.bench(&format!("heuristic/{nodes}"), || {
+            black_box(heuristic::partition(&graph, &cost, &HeuristicOptions::default()).unwrap())
+        });
+        let ga = GaOptions {
+            population: 16,
+            generations: 10,
+            threads: 1,
+            ..Default::default()
+        };
+        group.bench(&format!("genetic/{nodes}"), || {
+            black_box(genetic::partition(&graph, &cost, &ga).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);

@@ -1,50 +1,49 @@
-//! Criterion bench: co-simulator throughput (ABL3 backing data) — cycles
-//! simulated per second over the two communication schemes.
+//! Bench: co-simulator throughput (ABL3 backing data) — cycles simulated
+//! per second over the two communication schemes, on artifacts produced
+//! by the engine's upstream stages.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use cool_bench::harness::Group;
 use cool_cost::{CommScheme, CostModel};
 use cool_ir::eval::input_map;
 use cool_sim::Simulator;
 use cool_spec::workloads;
 
-fn bench_simulation(c: &mut Criterion) {
+type Probe = Vec<(&'static str, i64)>;
+
+fn main() {
     let target = cool_bench::paper_board();
-    let mut group = c.benchmark_group("simulation");
-    let designs: Vec<(&str, cool_ir::PartitioningGraph, Vec<(&str, i64)>)> = vec![
-        ("equalizer4", workloads::equalizer(4), vec![("x0", 120), ("x1", 60), ("x2", -30)]),
-        ("fuzzy", workloads::fuzzy_controller(), vec![("err", 75), ("derr", -25)]),
+    let mut group = Group::new("simulation");
+    let designs: Vec<(&str, cool_ir::PartitioningGraph, Probe)> = vec![
+        (
+            "equalizer4",
+            workloads::equalizer(4),
+            vec![("x0", 120), ("x1", 60), ("x2", -30)],
+        ),
+        (
+            "fuzzy",
+            workloads::fuzzy_controller(),
+            vec![("err", 75), ("derr", -25)],
+        ),
     ];
-    for (name, graph, probe) in designs {
-        let cost = CostModel::new(&graph, &target);
-        let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
+    for (name, graph, probe) in &designs {
+        let cost = CostModel::new(graph, &target);
+        let mapping = cool_bench::greedy_mixed_mapping(graph, &cost);
         for scheme in [CommScheme::MemoryMapped, CommScheme::Direct] {
-            let schedule = cool_schedule::schedule(&graph, &mapping, &cost, scheme).unwrap();
-            let memory = cool_stg::allocate_memory(
-                &graph,
-                &mapping,
-                &target.memory,
-                target.bus.width_bits,
-            )
-            .unwrap();
-            let sim = Simulator::new(&graph, &mapping, &schedule, &memory, &cost, scheme);
+            let schedule = cool_schedule::schedule(graph, &mapping, &cost, scheme).unwrap();
+            let memory =
+                cool_stg::allocate_memory(graph, &mapping, &target.memory, target.bus.width_bits)
+                    .unwrap();
+            let sim = Simulator::new(graph, &mapping, &schedule, &memory, &cost, scheme);
             let inputs = input_map(probe.iter().copied());
             let label = match scheme {
                 CommScheme::MemoryMapped => "mmio",
                 CommScheme::Direct => "direct",
             };
-            group.bench_with_input(
-                BenchmarkId::new(format!("{name}_{label}"), graph.node_count()),
-                &graph.node_count(),
-                |b, _| {
-                    b.iter(|| black_box(sim.run(&inputs).unwrap()));
-                },
-            );
+            group.bench(&format!("{name}_{label}/{}", graph.node_count()), || {
+                black_box(sim.run(&inputs).unwrap())
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

@@ -21,24 +21,45 @@ fn main() {
         let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
         let seeds = [3u64, 11, 19];
         for &seed in &seeds {
-            let graph = random_dag(RandomDagConfig { nodes, seed, ..Default::default() });
+            let graph = random_dag(RandomDagConfig {
+                nodes,
+                seed,
+                ..Default::default()
+            });
             let cost = CostModel::new(&graph, &target);
 
             if nodes <= 16 {
                 let t = Instant::now();
-                let r = milp::partition(&graph, &cost, &MilpOptions::default())
-                    .expect("milp feasible");
-                accumulate(&mut rows, "milp", r.makespan, t.elapsed().as_secs_f64(), r.work_units);
+                let r =
+                    milp::partition(&graph, &cost, &MilpOptions::default()).expect("milp feasible");
+                accumulate(
+                    &mut rows,
+                    "milp",
+                    r.makespan,
+                    t.elapsed().as_secs_f64(),
+                    r.work_units,
+                );
             }
             let t = Instant::now();
             let r = heuristic::partition(&graph, &cost, &HeuristicOptions::default())
                 .expect("heuristic feasible");
-            accumulate(&mut rows, "milp+heuristic", r.makespan, t.elapsed().as_secs_f64(), r.work_units);
+            accumulate(
+                &mut rows,
+                "milp+heuristic",
+                r.makespan,
+                t.elapsed().as_secs_f64(),
+                r.work_units,
+            );
 
             let t = Instant::now();
-            let r = genetic::partition(&graph, &cost, &GaOptions::default())
-                .expect("ga feasible");
-            accumulate(&mut rows, "genetic", r.makespan, t.elapsed().as_secs_f64(), r.work_units);
+            let r = genetic::partition(&graph, &cost, &GaOptions::default()).expect("ga feasible");
+            accumulate(
+                &mut rows,
+                "genetic",
+                r.makespan,
+                t.elapsed().as_secs_f64(),
+                r.work_units,
+            );
         }
         for (algo, makespan, secs, work) in rows {
             let k = seeds.len() as f64;
@@ -59,7 +80,13 @@ fn main() {
     println!("cannot see — the reason COOL exposes all three back-ends.");
 }
 
-fn accumulate(rows: &mut Vec<(String, f64, f64, f64)>, algo: &str, makespan: u64, secs: f64, work: usize) {
+fn accumulate(
+    rows: &mut Vec<(String, f64, f64, f64)>,
+    algo: &str,
+    makespan: u64,
+    secs: f64,
+    work: usize,
+) {
     if let Some(row) = rows.iter_mut().find(|(a, ..)| a == algo) {
         row.1 += makespan as f64;
         row.2 += secs;

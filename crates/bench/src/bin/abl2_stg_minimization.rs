@@ -13,11 +13,14 @@ fn main() {
         ("equalizer8", workloads::equalizer(8)),
         ("fuzzy", workloads::fuzzy_controller()),
         ("fir16", workloads::fir(16)),
-        ("rand40", workloads::random_dag(cool_spec::workloads::RandomDagConfig {
-            nodes: 40,
-            seed: 5,
-            ..Default::default()
-        })),
+        (
+            "rand40",
+            workloads::random_dag(cool_spec::workloads::RandomDagConfig {
+                nodes: 40,
+                seed: 5,
+                ..Default::default()
+            }),
+        ),
     ];
     println!("ABL2: STG minimization — controller states, FFs and encoding cost\n");
     println!(
@@ -32,7 +35,11 @@ fn main() {
         let stg = cool_stg::generate(&graph, &mapping, &schedule);
         let (minimized, stats) = cool_stg::minimize(&stg);
         let ff = |states: usize| -> usize {
-            if states <= 1 { 1 } else { (usize::BITS - (states - 1).leading_zeros()) as usize }
+            if states <= 1 {
+                1
+            } else {
+                (usize::BITS - (states - 1).leading_zeros()) as usize
+            }
         };
         let enc_raw = optimize_encoding(&stg, 8);
         let enc_min = optimize_encoding(&minimized, 8);

@@ -2,14 +2,16 @@
 //! communication, the two mechanisms COOL's communication refinement
 //! inserts for cut edges.
 
-use cool_core::{run_flow_with_mapping, FlowOptions};
+use cool_core::{run_flow_with_cost, FlowOptions, Partitioner};
 use cool_cost::{CommScheme, CostModel};
 use cool_ir::eval::input_map;
 use cool_spec::workloads;
 
+type Probe = Vec<(&'static str, i64)>;
+
 fn main() {
     let target = cool_bench::paper_board();
-    let designs: Vec<(&str, cool_ir::PartitioningGraph, Vec<(&str, i64)>)> = vec![
+    let designs: Vec<(&str, cool_ir::PartitioningGraph, Probe)> = vec![
         (
             "equalizer4",
             workloads::equalizer(4),
@@ -30,11 +32,16 @@ fn main() {
         let cost = CostModel::new(&graph, &target);
         let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
         for scheme in [CommScheme::MemoryMapped, CommScheme::Direct] {
-            let art = run_flow_with_mapping(
+            // One estimation pass serves both schemes.
+            let art = run_flow_with_cost(
                 &graph,
                 &target,
-                mapping.clone(),
-                &FlowOptions { scheme, ..FlowOptions::default() },
+                cost.clone(),
+                &FlowOptions {
+                    scheme,
+                    partitioner: Partitioner::Fixed(mapping.clone()),
+                    ..FlowOptions::default()
+                },
             )
             .expect("flow succeeds");
             let r = art

@@ -11,7 +11,11 @@ fn main() {
     let graph = workloads::fuzzy_controller();
     let target = cool_bench::paper_board();
     println!("FIG1: design flow in COOL — fuzzy controller on the paper board\n");
-    println!("  [1] system specification      -> {} nodes / {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "  [1] system specification      -> {} nodes / {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     let art = run_flow(&graph, &target, &FlowOptions::default()).expect("flow succeeds");
     println!("  [2] cost estimation           -> per-node sw/hw costs");
     println!(
@@ -20,7 +24,10 @@ fn main() {
         art.partition.software_nodes(&graph),
         art.partition.hardware_nodes(&graph)
     );
-    println!("  [4] static scheduling         -> makespan {} cycles", art.schedule.makespan());
+    println!(
+        "  [4] static scheduling         -> makespan {} cycles",
+        art.schedule.makespan()
+    );
     println!(
         "  [5] STG generation + minimize -> {} -> {} states",
         art.minimize_stats.states_before, art.minimize_stats.states_after
@@ -37,7 +44,10 @@ fn main() {
         art.vhdl.len(),
         art.encoding.cost
     );
-    println!("  [8] software synthesis        -> {} C unit(s)", art.c_programs.len());
+    println!(
+        "  [8] software synthesis        -> {} C unit(s)",
+        art.c_programs.len()
+    );
     println!(
         "  [9] netlist                   -> {} component(s), {} net(s)",
         art.netlist.components.len(),

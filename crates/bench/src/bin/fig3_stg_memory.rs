@@ -13,8 +13,8 @@ fn main() {
     let target = cool_bench::paper_board();
     let cost = CostModel::new(&graph, &target);
     let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
-    let schedule = cool_schedule::schedule(&graph, &mapping, &cost, Default::default())
-        .expect("schedulable");
+    let schedule =
+        cool_schedule::schedule(&graph, &mapping, &cost, Default::default()).expect("schedulable");
 
     println!("FIG3: STG and memory allocation — 4-band equalizer, mixed partition\n");
     let stg = cool_stg::generate(&graph, &mapping, &schedule);

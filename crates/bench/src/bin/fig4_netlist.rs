@@ -25,7 +25,11 @@ fn main() {
     }
     println!("\ngenerated C units:");
     for p in &art.c_programs {
-        println!("  {:<28} {:>5} lines", p.file_name, p.source.lines().count());
+        println!(
+            "  {:<28} {:>5} lines",
+            p.file_name,
+            p.source.lines().count()
+        );
     }
     println!(
         "\nsystem controller: {} states ({} FF binary / {} FF one-hot), encoding cost {}",

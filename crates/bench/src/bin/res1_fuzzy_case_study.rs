@@ -14,12 +14,35 @@ fn main() {
 
     println!("RES1: fuzzy controller case study\n");
     println!("{:<38} {:>10} {:>12}", "quantity", "paper", "this repro");
-    println!("{:<38} {:>10} {:>12}", "specification lines", "~900", spec.lines().count());
-    println!("{:<38} {:>10} {:>12}", "partitioning graph nodes", 31, graph.node_count());
-    println!("{:<38} {:>10} {:>12}", "graph edges", "-", graph.edge_count());
-    println!("{:<38} {:>10} {:>12}", "processors (DSP56001)", 1, target.processors.len());
+    println!(
+        "{:<38} {:>10} {:>12}",
+        "specification lines",
+        "~900",
+        spec.lines().count()
+    );
+    println!(
+        "{:<38} {:>10} {:>12}",
+        "partitioning graph nodes",
+        31,
+        graph.node_count()
+    );
+    println!(
+        "{:<38} {:>10} {:>12}",
+        "graph edges",
+        "-",
+        graph.edge_count()
+    );
+    println!(
+        "{:<38} {:>10} {:>12}",
+        "processors (DSP56001)",
+        1,
+        target.processors.len()
+    );
     println!("{:<38} {:>10} {:>12}", "FPGAs (XC4005)", 2, target.hw.len());
-    println!("{:<38} {:>10} {:>12}", "CLBs per FPGA", 196, target.hw[0].clb_capacity);
+    println!(
+        "{:<38} {:>10} {:>12}",
+        "CLBs per FPGA", 196, target.hw[0].clb_capacity
+    );
     println!(
         "{:<38} {:>10} {:>12}",
         "static RAM (kB)",

@@ -10,7 +10,8 @@
 //! 1998 workstation times; the claim that *every* partition completes the
 //! full flow automatically is the reproduced result.
 
-use cool_core::{run_flow, FlowOptions, Partitioner};
+use cool_core::{run_flow_with_cost, FlowOptions, Partitioner};
+use cool_cost::CostModel;
 use cool_ir::eval::input_map;
 use cool_partition::GaOptions;
 use cool_spec::workloads;
@@ -23,6 +24,9 @@ fn main() {
         "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
         "budget", "sw", "hw", "makespan", "sim cyc", "flow ms", "hw-time%"
     );
+    // Estimation (one quick HLS run per node) does not depend on CLB
+    // budgets: pay it once and rebind per candidate target.
+    let base_cost = CostModel::new(&graph, &cool_bench::paper_board());
     for budget in [0u32, 48, 96, 144, 196] {
         let mut target = cool_bench::paper_board();
         target.hw[0].clb_capacity = budget;
@@ -36,7 +40,8 @@ fn main() {
             ..FlowOptions::default()
         };
         let t0 = Instant::now();
-        let art = run_flow(&graph, &target, &options).expect("flow succeeds");
+        let art = run_flow_with_cost(&graph, &target, base_cost.retarget(&target), &options)
+            .expect("flow succeeds");
         let wall = t0.elapsed();
         let sim = art
             .simulate(&input_map([("err", 80), ("derr", -40)]))

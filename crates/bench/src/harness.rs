@@ -1,0 +1,140 @@
+//! A small, dependency-free benchmark harness.
+//!
+//! The container this reproduction builds in has no registry access, so
+//! Criterion is unavailable; this module provides the subset the benches
+//! need: warmup, auto-calibrated iteration counts, and a min/mean/max
+//! report per labelled case. Benches are plain `harness = false` `main`
+//! binaries; run them with `cargo bench`.
+//!
+//! Set `COOL_BENCH_MS` (default 200) to change the per-case time budget,
+//! and `COOL_BENCH_QUICK=1` for a single-iteration smoke run.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One labelled timing result.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case label as printed.
+    pub label: String,
+    /// Iterations measured.
+    pub iters: u32,
+    /// Minimum iteration time.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Maximum iteration time.
+    pub max: Duration,
+}
+
+/// A named group of benchmark cases, printing one row per case.
+pub struct Group {
+    name: &'static str,
+    budget: Duration,
+    quick: bool,
+    results: Vec<CaseResult>,
+}
+
+impl Group {
+    /// Start a group; prints a header.
+    #[must_use]
+    pub fn new(name: &'static str) -> Group {
+        let budget_ms: u64 = std::env::var("COOL_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        let quick = std::env::var("COOL_BENCH_QUICK").is_ok_and(|v| v == "1");
+        println!("\n== bench group `{name}` ==");
+        println!(
+            "{:<40} {:>6} {:>12} {:>12} {:>12}",
+            "case", "iters", "min", "mean", "max"
+        );
+        Group {
+            name,
+            budget: Duration::from_millis(budget_ms),
+            quick,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, auto-calibrating the iteration count to the group's
+    /// time budget, and print the row.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> &CaseResult {
+        // Warmup + calibration probe.
+        let t0 = Instant::now();
+        black_box(f());
+        let probe = t0.elapsed().max(Duration::from_nanos(1));
+        let iters: u32 = if self.quick {
+            1
+        } else {
+            let fit = self.budget.as_nanos() / probe.as_nanos().max(1);
+            fit.clamp(1, 10_000) as u32
+        };
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        let result = CaseResult {
+            label: label.to_string(),
+            iters,
+            min,
+            mean: total / iters,
+            max,
+        };
+        println!(
+            "{:<40} {:>6} {:>12} {:>12} {:>12}",
+            result.label,
+            result.iters,
+            fmt(result.min),
+            fmt(result.mean),
+            fmt(result.max)
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    #[must_use]
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Group name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1_000.0 {
+        format!("{us:.1} µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{:.3} s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_result() {
+        std::env::set_var("COOL_BENCH_QUICK", "1");
+        let mut g = Group::new("harness-self-test");
+        let r = g.bench("noop", || 1 + 1).clone();
+        assert_eq!(r.iters, 1);
+        assert!(r.min <= r.mean && r.mean <= r.max);
+        assert_eq!(g.results().len(), 1);
+    }
+}

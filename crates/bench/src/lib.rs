@@ -2,8 +2,10 @@
 //!
 //! The `fig*`, `res*` and `abl*` binaries in `src/bin/` regenerate every
 //! figure and result of the paper (see `DESIGN.md` for the index); the
-//! Criterion benches in `benches/` measure the scaling behaviour of each
-//! pipeline stage.
+//! plain `harness = false` benches in `benches/` (built on [`harness`])
+//! measure the scaling behaviour of each engine stage.
+
+pub mod harness;
 
 use cool_cost::CostModel;
 use cool_ir::{Mapping, PartitioningGraph, Resource, Target};

@@ -1,0 +1,191 @@
+//! Everything one flow run produces.
+
+use std::collections::BTreeMap;
+
+use cool_cost::{CommScheme, CostModel};
+use cool_hls::HlsDesign;
+use cool_ir::{PartitioningGraph, Resource, Target};
+use cool_partition::PartitionResult;
+use cool_rtl::encoding::StateEncoding;
+use cool_rtl::{Netlist, SystemController};
+use cool_schedule::StaticSchedule;
+use cool_sim::{SimResult, Simulator};
+use cool_stg::{MemoryMap, MinimizeStats, Stg};
+
+use crate::stage::FlowContext;
+use crate::timing::{FlowTrace, StageTimings};
+use crate::FlowError;
+
+/// Everything one flow run produces.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    /// The input specification.
+    pub graph: PartitioningGraph,
+    /// The target board.
+    pub target: Target,
+    /// Cost model used by partitioning and scheduling.
+    pub cost: CostModel,
+    /// The partitioning outcome (mapping + stats).
+    pub partition: PartitionResult,
+    /// The static schedule.
+    pub schedule: StaticSchedule,
+    /// The raw STG.
+    pub stg: Stg,
+    /// The minimized STG.
+    pub stg_minimized: Stg,
+    /// Minimization statistics.
+    pub minimize_stats: MinimizeStats,
+    /// The communication memory map.
+    pub memory_map: MemoryMap,
+    /// Full-effort HLS results for every hardware node.
+    pub hls_designs: Vec<HlsDesign>,
+    /// The synthesized system controller.
+    pub controller: SystemController,
+    /// Its optimized state encoding.
+    pub encoding: StateEncoding,
+    /// CLB placement per hardware device (the Xilinx implementation
+    /// stand-in), one entry per FPGA hosting logic.
+    pub placements: Vec<(Resource, cool_rtl::place::Placement)>,
+    /// The generated netlist (Figure 4).
+    pub netlist: Netlist,
+    /// Emitted VHDL units: `(file name, source)`.
+    pub vhdl: Vec<(String, String)>,
+    /// Generated C programs.
+    pub c_programs: Vec<cool_codegen::CProgram>,
+    /// Per-stage wall-clock times (paper buckets, derived from `trace`).
+    pub timings: StageTimings,
+    /// The full engine timing journal, one record per stage.
+    pub trace: FlowTrace,
+    /// Communication scheme in effect.
+    pub scheme: CommScheme,
+}
+
+impl FlowArtifacts {
+    /// Assemble the artifact set from a completed engine context.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::MissingArtifact`] if a producing stage did not run
+    /// (i.e. a custom engine skipped part of the standard flow).
+    pub fn from_context(cx: FlowContext<'_>, trace: FlowTrace) -> Result<FlowArtifacts, FlowError> {
+        let timings = StageTimings::from_trace(&trace);
+        let scheme = cx.options.scheme;
+        Ok(FlowArtifacts {
+            graph: cx.graph.clone(),
+            target: cx.target.clone(),
+            cost: cx.cost.ok_or(FlowError::MissingArtifact("cost model"))?,
+            partition: cx
+                .partition
+                .ok_or(FlowError::MissingArtifact("partition result"))?,
+            schedule: cx
+                .schedule
+                .ok_or(FlowError::MissingArtifact("static schedule"))?,
+            stg: cx.stg.ok_or(FlowError::MissingArtifact("STG"))?,
+            stg_minimized: cx
+                .stg_minimized
+                .ok_or(FlowError::MissingArtifact("minimized STG"))?,
+            minimize_stats: cx
+                .minimize_stats
+                .ok_or(FlowError::MissingArtifact("minimization stats"))?,
+            memory_map: cx
+                .memory_map
+                .ok_or(FlowError::MissingArtifact("memory map"))?,
+            hls_designs: cx
+                .hls_designs
+                .ok_or(FlowError::MissingArtifact("HLS designs"))?,
+            controller: cx
+                .controller
+                .ok_or(FlowError::MissingArtifact("system controller"))?,
+            encoding: cx
+                .encoding
+                .ok_or(FlowError::MissingArtifact("state encoding"))?,
+            placements: cx
+                .placements
+                .ok_or(FlowError::MissingArtifact("placements"))?,
+            netlist: cx.netlist.ok_or(FlowError::MissingArtifact("netlist"))?,
+            vhdl: cx.vhdl.ok_or(FlowError::MissingArtifact("VHDL units"))?,
+            c_programs: cx
+                .c_programs
+                .ok_or(FlowError::MissingArtifact("C programs"))?,
+            timings,
+            trace,
+            scheme,
+        })
+    }
+
+    /// Simulate one system invocation on the board stand-in and check the
+    /// outputs against the reference evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn simulate(&self, inputs: &BTreeMap<String, i64>) -> Result<SimResult, FlowError> {
+        let sim = Simulator::new(
+            &self.graph,
+            &self.partition.mapping,
+            &self.schedule,
+            &self.memory_map,
+            &self.cost,
+            self.scheme,
+        );
+        Ok(sim.run_checked(inputs)?)
+    }
+
+    /// A human-readable design report: partition summary, schedule
+    /// makespan, STG sizes, memory usage, netlist inventory and timing
+    /// breakdown.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "design `{}` on {}\n",
+            self.graph.name(),
+            self.target
+        ));
+        s.push_str(&format!(
+            "partitioning ({}): {} sw node(s), {} hw node(s), makespan {} cycles\n",
+            self.partition.algorithm,
+            self.partition.software_nodes(&self.graph),
+            self.partition.hardware_nodes(&self.graph),
+            self.partition.makespan,
+        ));
+        for (i, used) in self.partition.hw_area.iter().enumerate() {
+            s.push_str(&format!(
+                "  {}: {used}/{} CLBs\n",
+                self.target.hw[i].name, self.target.hw[i].clb_capacity
+            ));
+        }
+        s.push_str(&format!(
+            "STG: {} -> {} states ({}% reduction), {} transfer cell(s), {} byte(s)\n",
+            self.minimize_stats.states_before,
+            self.minimize_stats.states_after,
+            (self.minimize_stats.reduction() * 100.0).round(),
+            self.memory_map.cell_count(),
+            self.memory_map.bytes_used(),
+        ));
+        s.push_str(&format!(
+            "netlist: {} component(s), {} net(s); controller: {} states, {} FF binary\n",
+            self.netlist.components.len(),
+            self.netlist.nets.len(),
+            self.controller.stg().state_count(),
+            self.controller.binary_ffs(),
+        ));
+        s.push_str(&format!(
+            "VHDL units: {}, C units: {}\n",
+            self.vhdl.len(),
+            self.c_programs.len()
+        ));
+        for (res, placed) in &self.placements {
+            s.push_str(&format!(
+                "placement {}: {} CLBs, HPWL {} ({:.0}% better than initial)\n",
+                self.target.resource_name(*res),
+                placed.positions.len(),
+                placed.wirelength,
+                placed.improvement() * 100.0,
+            ));
+        }
+        s.push_str("timing breakdown:\n");
+        s.push_str(&self.timings.to_table());
+        s
+    }
+}

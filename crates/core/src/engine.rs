@@ -1,0 +1,547 @@
+//! The stage-graph flow engine and the nine standard stages.
+//!
+//! [`Engine::standard`] wires the paper's design flow as a linear graph
+//! of [`Stage`]s over a shared [`FlowContext`]:
+//!
+//! ```text
+//! spec → cost → partition → schedule → stg → hls → rtl → codegen → sim-prep
+//! ```
+//!
+//! [`Engine::run`] executes the stages in order, timing each one into a
+//! [`FlowTrace`]. The compute-dominant stages fan work out across scoped
+//! worker threads when `FlowOptions::jobs > 1`:
+//!
+//! * `hls` — one [`cool_hls::synthesize`] call per hardware node
+//!   ([`cool_hls::synthesize_many`]);
+//! * `stg` — the per-state signature rounds of STG minimization
+//!   ([`cool_stg::minimize_jobs`]);
+//! * `rtl` — the FSM state-encoding search streams
+//!   ([`cool_rtl::encoding::optimize_encoding_jobs`]) and the
+//!   multi-start CLB placement chains
+//!   ([`cool_rtl::place::anneal_multistart`]).
+//!
+//! All three are deterministic: artifacts are byte-identical for every
+//! `jobs` value; only wall-clock changes.
+
+use std::time::Instant;
+
+use cool_ir::Resource;
+use cool_partition::PartitionResult;
+use cool_rtl::place::Placement;
+use cool_rtl::SystemController;
+
+use crate::stage::{FlowContext, Stage};
+use crate::timing::FlowTrace;
+use crate::{FlowError, Partitioner};
+
+/// A linear pipeline of named stages.
+pub struct Engine {
+    stages: Vec<Box<dyn Stage>>,
+}
+
+impl Engine {
+    /// Build an engine from an explicit stage list (for tests and custom
+    /// flows; most callers want [`Engine::standard`]).
+    #[must_use]
+    pub fn new(stages: Vec<Box<dyn Stage>>) -> Engine {
+        Engine { stages }
+    }
+
+    /// The paper's complete design flow, one stage per box of Figure 1.
+    #[must_use]
+    pub fn standard() -> Engine {
+        Engine::new(vec![
+            Box::new(SpecStage),
+            Box::new(CostStage),
+            Box::new(PartitionStage),
+            Box::new(ScheduleStage),
+            Box::new(StgStage),
+            Box::new(HlsStage),
+            Box::new(RtlStage),
+            Box::new(CodegenStage),
+            Box::new(SimPrepStage),
+        ])
+    }
+
+    /// The stage names, in execution order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Run every stage in order over `cx`, timing each into the returned
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// The first failing stage's error; `cx` keeps all artifacts produced
+    /// before the failure.
+    pub fn run(&self, cx: &mut FlowContext<'_>) -> Result<FlowTrace, FlowError> {
+        let mut trace = FlowTrace::new();
+        for stage in &self.stages {
+            let t0 = Instant::now();
+            stage.run(cx)?;
+            trace.push(stage.name(), t0.elapsed());
+        }
+        Ok(trace)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("stages", &self.stage_names())
+            .finish()
+    }
+}
+
+/// `spec` — validate the input specification graph.
+pub struct SpecStage;
+
+impl Stage for SpecStage {
+    fn name(&self) -> &'static str {
+        "spec"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        cx.graph.validate()?;
+        Ok(())
+    }
+}
+
+/// `cost` — software timings plus quick per-node HLS estimates. A no-op
+/// when the context was pre-seeded via [`FlowContext::with_cost`].
+pub struct CostStage;
+
+impl Stage for CostStage {
+    fn name(&self) -> &'static str {
+        "cost"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        if cx.cost.is_none() {
+            cx.cost = Some(cool_cost::CostModel::new(cx.graph, cx.target));
+        }
+        Ok(())
+    }
+}
+
+/// `partition` — hardware/software partitioning with the configured
+/// algorithm.
+pub struct PartitionStage;
+
+impl Stage for PartitionStage {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let cost = cx.cost()?;
+        let partition = match &cx.options.partitioner {
+            Partitioner::Milp(o) => cool_partition::milp::partition(cx.graph, cost, o)?,
+            Partitioner::Heuristic(o) => cool_partition::heuristic::partition(cx.graph, cost, o)?,
+            Partitioner::Genetic(o) => cool_partition::genetic::partition(cx.graph, cost, o)?,
+            Partitioner::Fixed(mapping) => {
+                let (makespan, hw_area) =
+                    cool_partition::evaluate(cx.graph, mapping, cost, cx.options.scheme)?;
+                PartitionResult {
+                    mapping: mapping.clone(),
+                    algorithm: cool_partition::Algorithm::Milp,
+                    makespan,
+                    hw_area,
+                    work_units: 0,
+                }
+            }
+        };
+        cx.partition = Some(partition);
+        Ok(())
+    }
+}
+
+/// `schedule` — static list scheduling, verified against the mapping.
+pub struct ScheduleStage;
+
+impl Stage for ScheduleStage {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let cost = cx.cost()?;
+        let mapping = &cx.partition()?.mapping;
+        let schedule = cool_schedule::schedule(cx.graph, mapping, cost, cx.options.scheme)?;
+        schedule
+            .verify(cx.graph, mapping)
+            .map_err(FlowError::Consistency)?;
+        cx.schedule = Some(schedule);
+        Ok(())
+    }
+}
+
+/// `stg` — co-synthesis core: STG generation, minimization (parallel
+/// refinement rounds under `jobs`), memory allocation.
+pub struct StgStage;
+
+impl Stage for StgStage {
+    fn name(&self) -> &'static str {
+        "stg"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let mapping = &cx.partition()?.mapping;
+        let schedule = cx.schedule()?;
+        let stg = cool_stg::generate(cx.graph, mapping, schedule);
+        stg.verify().map_err(FlowError::Consistency)?;
+        let (stg_minimized, minimize_stats) = cool_stg::minimize_jobs(&stg, cx.options.jobs);
+        stg_minimized.verify().map_err(FlowError::Consistency)?;
+        let memory_map = if cx.options.packed_memory {
+            cool_stg::allocate_memory_packed(
+                cx.graph,
+                mapping,
+                schedule,
+                &cx.target.memory,
+                cx.target.bus.width_bits,
+            )?
+        } else {
+            cool_stg::allocate_memory(
+                cx.graph,
+                mapping,
+                &cx.target.memory,
+                cx.target.bus.width_bits,
+            )?
+        };
+        cx.stg = Some(stg);
+        cx.stg_minimized = Some(stg_minimized);
+        cx.minimize_stats = Some(minimize_stats);
+        cx.memory_map = Some(memory_map);
+        Ok(())
+    }
+}
+
+/// `hls` — full-effort hardware synthesis of every hardware-mapped node,
+/// fanned out across `jobs` scoped worker threads. This is the stage the
+/// paper measures at > 90 % of design time.
+pub struct HlsStage;
+
+impl Stage for HlsStage {
+    fn name(&self) -> &'static str {
+        "hls"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let mapping = &cx.partition()?.mapping;
+        let hw_nodes: Vec<cool_ir::NodeId> = cx
+            .graph
+            .function_nodes()
+            .into_iter()
+            .filter(|&n| mapping.resource(n).is_hardware())
+            .collect();
+        let mut named = Vec::with_capacity(hw_nodes.len());
+        for &n in &hw_nodes {
+            let node = cx.graph.node(n)?;
+            named.push((node.name(), node.behavior()));
+        }
+        let hls_designs = cool_hls::synthesize_many(&named, &cx.options.hls, cx.options.jobs);
+        cx.hw_nodes = Some(hw_nodes);
+        cx.hls_designs = Some(hls_designs);
+        Ok(())
+    }
+}
+
+/// `rtl` — system controller + encoding search, netlist, all VHDL units,
+/// and the per-device CLB placement (encoding streams and placement
+/// chains parallel under `jobs`).
+pub struct RtlStage;
+
+impl Stage for RtlStage {
+    fn name(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let mapping = &cx.partition()?.mapping;
+        let schedule = cx.schedule()?;
+        let memory_map = cx.memory_map()?;
+        let hw_nodes = cx.hw_nodes()?;
+        let hls_designs = cx.hls_designs()?;
+        let graph = cx.graph;
+        let target = cx.target;
+
+        let controller = SystemController::from_stg(cx.stg_minimized()?.clone(), graph);
+        let encoding = cool_rtl::encoding::optimize_encoding_jobs(
+            controller.stg(),
+            cx.options.encoding_effort,
+            cx.options.jobs,
+        );
+        let netlist = cool_rtl::build_netlist(graph, mapping, target);
+        netlist.verify().map_err(FlowError::Consistency)?;
+
+        let mut vhdl = Vec::new();
+        vhdl.push((
+            "system_controller.vhd".to_string(),
+            cool_rtl::vhdl::emit_system_controller(&controller),
+        ));
+        let masters = netlist.count_kind(|k| {
+            matches!(
+                k,
+                cool_rtl::ComponentKind::Processor(_)
+                    | cool_rtl::ComponentKind::DatapathController(_)
+                    | cool_rtl::ComponentKind::IoController
+            )
+        });
+        vhdl.push((
+            "bus_arbiter.vhd".to_string(),
+            cool_rtl::vhdl::emit_bus_arbiter(masters),
+        ));
+        vhdl.push((
+            "io_controller.vhd".to_string(),
+            cool_rtl::vhdl::emit_io_controller(
+                graph.primary_inputs().len().max(1),
+                graph.primary_outputs().len().max(1),
+                target.bus.width_bits,
+            ),
+        ));
+        for (i, &n) in hw_nodes.iter().enumerate() {
+            let node = graph.node(n)?;
+            vhdl.push((
+                format!("hw_{}.vhd", node.name()),
+                cool_rtl::vhdl::emit_hw_block(graph, n, hls_designs[i].latency_cycles),
+            ));
+        }
+        // One datapath controller per FPGA in use: sequences the device's
+        // shared-memory transactions in schedule order.
+        for h in 0..target.hw.len() {
+            let res = Resource::Hardware(h);
+            if !hw_nodes.iter().any(|&n| mapping.resource(n) == res) {
+                continue;
+            }
+            let mut transfers: Vec<(u64, cool_rtl::vhdl::BusTransfer)> = Vec::new();
+            for cell in memory_map.cells() {
+                let e = graph.edge(cell.edge)?;
+                if mapping.resource(e.src) == res {
+                    transfers.push((
+                        schedule.slot(e.src).finish,
+                        cool_rtl::vhdl::BusTransfer {
+                            address: cell.address,
+                            write: true,
+                        },
+                    ));
+                }
+                if mapping.resource(e.dst) == res {
+                    transfers.push((
+                        schedule.slot(e.dst).start,
+                        cool_rtl::vhdl::BusTransfer {
+                            address: cell.address,
+                            write: false,
+                        },
+                    ));
+                }
+            }
+            transfers.sort_by_key(|&(t, x)| (t, x.address, x.write));
+            let ordered: Vec<cool_rtl::vhdl::BusTransfer> =
+                transfers.into_iter().map(|(_, x)| x).collect();
+            let name = target.resource_name(res).to_string();
+            vhdl.push((
+                format!("dpctl_{name}.vhd"),
+                cool_rtl::vhdl::emit_datapath_controller(&name, &ordered, target.bus.width_bits),
+            ));
+        }
+        vhdl.push((
+            format!("{}_top.vhd", graph.name()),
+            cool_rtl::vhdl::emit_toplevel(&netlist, graph.name()),
+        ));
+        for (name, unit) in &vhdl {
+            cool_rtl::vhdl::check_well_formed(unit)
+                .map_err(|e| FlowError::Consistency(format!("{name}: {e}")))?;
+        }
+
+        // Xilinx implementation stand-in: anneal a CLB placement per
+        // device. The system controller shares the first FPGA with its
+        // blocks, every other device hosts its blocks plus a datapath
+        // controller. Each device runs a deterministic multi-start anneal
+        // whose chains fan out across workers without affecting the
+        // result.
+        let mut problems: Vec<(Resource, cool_rtl::place::PlacementProblem, u64)> = Vec::new();
+        for h in 0..target.hw.len() {
+            let block_clbs: Vec<u32> = hw_nodes
+                .iter()
+                .zip(hls_designs)
+                .filter(|(&n, _)| mapping.resource(n) == Resource::Hardware(h))
+                .map(|(_, d)| d.area_clbs)
+                .collect();
+            if block_clbs.is_empty() && h > 0 {
+                continue;
+            }
+            let blocks_total: u32 = block_clbs.iter().sum();
+            let wanted_ctrl = if h == 0 {
+                cool_hls::area::fsm_clbs(
+                    controller.stg().state_count(),
+                    graph.function_nodes().len(),
+                )
+            } else {
+                8 // datapath controller
+            };
+            let grid = (14u16, 14u16); // XC4005 CLB array
+            let capacity = u32::from(grid.0) * u32::from(grid.1);
+            let ctrl_clbs = wanted_ctrl
+                .min(capacity.saturating_sub(blocks_total))
+                .max(1);
+            let problem = cool_rtl::place::PlacementProblem::for_device(
+                &block_clbs,
+                ctrl_clbs,
+                grid.0,
+                grid.1,
+            );
+            if problem.fits() {
+                problems.push((Resource::Hardware(h), problem, 0x5eed + h as u64));
+            }
+        }
+        let placements: Vec<(Resource, Placement)> = problems
+            .iter()
+            .map(|(res, problem, seed)| {
+                (
+                    *res,
+                    cool_rtl::place::anneal_multistart(
+                        problem,
+                        cx.options.placement_effort,
+                        *seed,
+                        cx.options.jobs,
+                    ),
+                )
+            })
+            .collect();
+
+        cx.controller = Some(controller);
+        cx.encoding = Some(encoding);
+        cx.netlist = Some(netlist);
+        cx.vhdl = Some(vhdl);
+        cx.placements = Some(placements);
+        Ok(())
+    }
+}
+
+/// `codegen` — C program generation for every software partition.
+pub struct CodegenStage;
+
+impl Stage for CodegenStage {
+    fn name(&self) -> &'static str {
+        "codegen"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let mapping = &cx.partition()?.mapping;
+        let c_programs =
+            cool_codegen::emit_programs(cx.graph, mapping, cx.schedule()?, cx.memory_map()?);
+        for p in &c_programs {
+            cool_codegen::check_c_structure(&p.source)
+                .map_err(|e| FlowError::Consistency(format!("{}: {e}", p.file_name)))?;
+        }
+        cx.c_programs = Some(c_programs);
+        Ok(())
+    }
+}
+
+/// `sim-prep` — validate that the produced artifact set is complete and
+/// wires up into a simulator, so `FlowArtifacts::simulate` cannot fail on
+/// missing pieces later.
+pub struct SimPrepStage;
+
+impl Stage for SimPrepStage {
+    fn name(&self) -> &'static str {
+        "sim-prep"
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let sim = cool_sim::Simulator::new(
+            cx.graph,
+            cx.mapping()?,
+            cx.schedule()?,
+            cx.memory_map()?,
+            cx.cost()?,
+            cx.options.scheme,
+        );
+        let _ = sim;
+        // Every remaining artifact slot the simulator does not touch —
+        // the full set `FlowArtifacts::from_context` will demand, so a
+        // custom engine that skipped a producer fails here, inside a
+        // named stage, rather than after the run.
+        cx.stg_minimized()?;
+        cx.controller()?;
+        cx.netlist()?;
+        cx.hw_nodes()?;
+        cx.hls_designs()?;
+        if cx.stg.is_none() {
+            return Err(FlowError::MissingArtifact("STG"));
+        }
+        if cx.minimize_stats.is_none() {
+            return Err(FlowError::MissingArtifact("minimization stats"));
+        }
+        if cx.encoding.is_none() {
+            return Err(FlowError::MissingArtifact("state encoding"));
+        }
+        if cx.placements.is_none() {
+            return Err(FlowError::MissingArtifact("placements"));
+        }
+        if cx.vhdl.is_none() {
+            return Err(FlowError::MissingArtifact("VHDL units"));
+        }
+        if cx.c_programs.is_none() {
+            return Err(FlowError::MissingArtifact("C programs"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowOptions;
+    use cool_ir::Target;
+    use cool_spec::workloads;
+
+    #[test]
+    fn standard_engine_stage_order_matches_paper_flow() {
+        assert_eq!(
+            Engine::standard().stage_names(),
+            vec![
+                "spec",
+                "cost",
+                "partition",
+                "schedule",
+                "stg",
+                "hls",
+                "rtl",
+                "codegen",
+                "sim-prep"
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_covers_every_stage_in_order() {
+        let g = workloads::equalizer(2);
+        let target = Target::fuzzy_board();
+        let options = FlowOptions::quick();
+        let engine = Engine::standard();
+        let mut cx = FlowContext::new(&g, &target, &options);
+        let trace = engine.run(&mut cx).unwrap();
+        assert_eq!(trace.stage_names(), engine.stage_names());
+        assert!(trace.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn misordered_engine_reports_missing_artifact() {
+        let g = workloads::equalizer(2);
+        let target = Target::fuzzy_board();
+        let options = FlowOptions::quick();
+        // Scheduling before partitioning must fail cleanly.
+        let engine = Engine::new(vec![
+            Box::new(SpecStage),
+            Box::new(CostStage),
+            Box::new(ScheduleStage),
+        ]);
+        let mut cx = FlowContext::new(&g, &target, &options);
+        let err = engine.run(&mut cx).unwrap_err();
+        assert!(matches!(err, FlowError::MissingArtifact(_)), "{err}");
+    }
+}

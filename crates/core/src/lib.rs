@@ -1,25 +1,42 @@
 //! The COOL co-design flow: coupled hardware/software partitioning and
-//! co-synthesis of communicating controllers.
+//! co-synthesis of communicating controllers, as a stage-graph engine.
 //!
-//! This crate is the tool the paper describes — it wires every substrate
-//! of the reproduction into the complete design flow of paper Figure 1:
+//! This crate is the tool the paper describes. The complete design flow
+//! of paper Figure 1 is modelled as a linear graph of named stages
+//! ([`engine::Engine::standard`]):
 //!
-//! 1. **system specification** (a [`cool_ir::PartitioningGraph`], parsed
-//!    from the DSL or built by a workload generator),
-//! 2. **cost estimation** ([`cool_cost`]),
-//! 3. **hardware/software partitioning** (MILP / MILP+heuristic / genetic,
-//!    [`cool_partition`]),
-//! 4. **static scheduling** ([`cool_schedule`]),
-//! 5. **co-synthesis**: STG generation + minimization + memory allocation
-//!    ([`cool_stg`]), hardware synthesis of every hardware node
-//!    ([`cool_hls`]), synthesis of the system controller, I/O controller,
-//!    bus arbiter and netlist with VHDL emission ([`cool_rtl`]), C code
-//!    generation ([`cool_codegen`]),
-//! 6. **validation** on the board stand-in ([`cool_sim`]).
+//! ```text
+//! spec → cost → partition → schedule → stg → hls → rtl → codegen → sim-prep
+//! ```
 //!
-//! Every stage is timed; [`FlowArtifacts::timings`] reproduces the paper's
-//! observation that hardware synthesis consumes the bulk (> 90 %) of the
-//! design time.
+//! * **`spec`** — validate the [`cool_ir::PartitioningGraph`] (parsed
+//!   from the DSL or built by a workload generator);
+//! * **`cost`** — cost estimation ([`cool_cost`]);
+//! * **`partition`** — hardware/software partitioning (MILP /
+//!   MILP+heuristic / genetic, [`cool_partition`]);
+//! * **`schedule`** — static scheduling ([`cool_schedule`]);
+//! * **`stg`** — STG generation + minimization + memory allocation
+//!   ([`cool_stg`]);
+//! * **`hls`** — hardware synthesis of every hardware node
+//!   ([`cool_hls`]);
+//! * **`rtl`** — the system controller, I/O controller, bus arbiter,
+//!   netlist, VHDL and CLB placement ([`cool_rtl`]);
+//! * **`codegen`** — C code generation ([`cool_codegen`]);
+//! * **`sim-prep`** — validation that the artifact set wires up on the
+//!   board stand-in ([`cool_sim`]).
+//!
+//! Each stage is an individually timed, individually testable
+//! [`stage::Stage`] over a typed [`stage::FlowContext`];
+//! [`run_flow`]/[`run_flow_with_mapping`]/[`run_flow_with_cost`] are thin
+//! drivers over the engine. [`FlowArtifacts::trace`] holds the per-stage
+//! timing journal and [`FlowArtifacts::timings`] the paper's six-bucket
+//! summary, reproducing the paper's observation that hardware synthesis
+//! consumes the bulk (> 90 %) of the design time.
+//!
+//! The dominant stages parallelize across [`FlowOptions::jobs`] scoped
+//! worker threads (per-node HLS, STG-minimization refinement rounds,
+//! per-device placement anneals); artifacts are byte-identical for every
+//! `jobs` value.
 //!
 //! # Example
 //!
@@ -38,89 +55,22 @@
 //! # }
 //! ```
 
-use std::collections::BTreeMap;
-use std::fmt;
-use std::time::{Duration, Instant};
+pub mod artifacts;
+pub mod engine;
+pub mod error;
+pub mod stage;
+pub mod timing;
+
+pub use artifacts::FlowArtifacts;
+pub use engine::Engine;
+pub use error::FlowError;
+pub use stage::{FlowContext, Stage};
+pub use timing::{FlowTrace, StageRecord, StageTimings};
 
 use cool_cost::{CommScheme, CostModel};
-use cool_hls::{HlsDesign, HlsOptions};
+use cool_hls::HlsOptions;
 use cool_ir::{Mapping, PartitioningGraph, Resource, Target};
-use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, PartitionResult};
-use cool_rtl::encoding::StateEncoding;
-use cool_rtl::{Netlist, SystemController};
-use cool_schedule::StaticSchedule;
-use cool_sim::{SimResult, Simulator};
-use cool_stg::{MemoryMap, MinimizeStats, Stg};
-
-/// Flow-level errors (wrapping every stage's failure mode).
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum FlowError {
-    /// Invalid specification graph.
-    Ir(cool_ir::IrError),
-    /// Partitioning failed or proved infeasible.
-    Partition(cool_partition::PartitionError),
-    /// Static scheduling failed.
-    Schedule(cool_schedule::ScheduleError),
-    /// Memory allocation overflowed the shared memory.
-    Memory(cool_stg::MemoryError),
-    /// Co-simulation failed.
-    Sim(cool_sim::SimError),
-    /// An internal consistency check failed (synthesis bug).
-    Consistency(String),
-}
-
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Ir(e) => write!(f, "specification error: {e}"),
-            FlowError::Partition(e) => write!(f, "partitioning error: {e}"),
-            FlowError::Schedule(e) => write!(f, "scheduling error: {e}"),
-            FlowError::Memory(e) => write!(f, "memory allocation error: {e}"),
-            FlowError::Sim(e) => write!(f, "co-simulation error: {e}"),
-            FlowError::Consistency(why) => write!(f, "internal consistency error: {why}"),
-        }
-    }
-}
-
-impl std::error::Error for FlowError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            FlowError::Ir(e) => Some(e),
-            FlowError::Partition(e) => Some(e),
-            FlowError::Schedule(e) => Some(e),
-            FlowError::Memory(e) => Some(e),
-            FlowError::Sim(e) => Some(e),
-            FlowError::Consistency(_) => None,
-        }
-    }
-}
-
-impl From<cool_ir::IrError> for FlowError {
-    fn from(e: cool_ir::IrError) -> FlowError {
-        FlowError::Ir(e)
-    }
-}
-impl From<cool_partition::PartitionError> for FlowError {
-    fn from(e: cool_partition::PartitionError) -> FlowError {
-        FlowError::Partition(e)
-    }
-}
-impl From<cool_schedule::ScheduleError> for FlowError {
-    fn from(e: cool_schedule::ScheduleError) -> FlowError {
-        FlowError::Schedule(e)
-    }
-}
-impl From<cool_stg::MemoryError> for FlowError {
-    fn from(e: cool_stg::MemoryError) -> FlowError {
-        FlowError::Memory(e)
-    }
-}
-impl From<cool_sim::SimError> for FlowError {
-    fn from(e: cool_sim::SimError) -> FlowError {
-        FlowError::Sim(e)
-    }
-}
+use cool_partition::{GaOptions, HeuristicOptions, MilpOptions};
 
 /// Which partitioner the flow runs.
 #[derive(Debug, Clone)]
@@ -153,6 +103,10 @@ pub struct FlowOptions {
     /// Use the lifetime-packed memory allocator instead of the paper's
     /// sequential one.
     pub packed_memory: bool,
+    /// Worker threads for the parallel stages (per-node HLS, STG
+    /// minimization, per-device placement). `1` = serial, `0` = all
+    /// available cores. Never affects artifacts, only wall-clock.
+    pub jobs: usize,
 }
 
 impl Default for FlowOptions {
@@ -165,10 +119,14 @@ impl Default for FlowOptions {
             // proxy is the point, e.g. in the partitioner ablation).
             partitioner: Partitioner::Genetic(GaOptions::default()),
             scheme: CommScheme::MemoryMapped,
-            hls: HlsOptions { effort: 48, ..HlsOptions::default() },
+            hls: HlsOptions {
+                effort: 48,
+                ..HlsOptions::default()
+            },
             encoding_effort: 320,
             placement_effort: 768,
             packed_memory: false,
+            jobs: 1,
         }
     }
 }
@@ -186,184 +144,22 @@ impl FlowOptions {
                 ..GaOptions::default()
             }),
             scheme: CommScheme::MemoryMapped,
-            hls: HlsOptions { effort: 2, ..HlsOptions::default() },
+            hls: HlsOptions {
+                effort: 2,
+                ..HlsOptions::default()
+            },
             encoding_effort: 2,
             placement_effort: 1,
             packed_memory: false,
-        }
-    }
-}
-
-/// Wall-clock time per flow stage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageTimings {
-    /// Cost estimation (software timing + quick HLS estimates).
-    pub estimation: Duration,
-    /// Hardware/software partitioning.
-    pub partitioning: Duration,
-    /// Static scheduling.
-    pub scheduling: Duration,
-    /// STG generation + minimization + memory allocation.
-    pub cosynthesis: Duration,
-    /// Hardware synthesis: full-effort HLS per hardware node, VHDL
-    /// emission, FSM encoding search.
-    pub hardware_synthesis: Duration,
-    /// C code generation.
-    pub software_synthesis: Duration,
-}
-
-impl StageTimings {
-    /// Total flow time.
-    #[must_use]
-    pub fn total(&self) -> Duration {
-        self.estimation
-            + self.partitioning
-            + self.scheduling
-            + self.cosynthesis
-            + self.hardware_synthesis
-            + self.software_synthesis
-    }
-
-    /// Fraction of total time spent in hardware synthesis (the paper
-    /// reports > 0.9 on its workloads).
-    #[must_use]
-    pub fn hardware_fraction(&self) -> f64 {
-        let total = self.total().as_secs_f64();
-        if total == 0.0 {
-            0.0
-        } else {
-            self.hardware_synthesis.as_secs_f64() / total
+            jobs: 1,
         }
     }
 
-    /// One row per stage, for reports.
+    /// The same options with a different `jobs` knob.
     #[must_use]
-    pub fn to_table(&self) -> String {
-        let row = |name: &str, d: Duration| -> String {
-            let total = self.total().as_secs_f64().max(1e-12);
-            format!("{name:<20} {:>10.3} ms {:>5.1} %\n", d.as_secs_f64() * 1e3, 100.0 * d.as_secs_f64() / total)
-        };
-        let mut s = String::new();
-        s.push_str(&row("estimation", self.estimation));
-        s.push_str(&row("partitioning", self.partitioning));
-        s.push_str(&row("scheduling", self.scheduling));
-        s.push_str(&row("co-synthesis", self.cosynthesis));
-        s.push_str(&row("hardware synthesis", self.hardware_synthesis));
-        s.push_str(&row("software synthesis", self.software_synthesis));
-        s.push_str(&format!("total                {:>10.3} ms\n", self.total().as_secs_f64() * 1e3));
-        s
-    }
-}
-
-/// Everything one flow run produces.
-#[derive(Debug, Clone)]
-pub struct FlowArtifacts {
-    /// The input specification.
-    pub graph: PartitioningGraph,
-    /// The target board.
-    pub target: Target,
-    /// Cost model used by partitioning and scheduling.
-    pub cost: CostModel,
-    /// The partitioning outcome (mapping + stats).
-    pub partition: PartitionResult,
-    /// The static schedule.
-    pub schedule: StaticSchedule,
-    /// The raw STG.
-    pub stg: Stg,
-    /// The minimized STG.
-    pub stg_minimized: Stg,
-    /// Minimization statistics.
-    pub minimize_stats: MinimizeStats,
-    /// The communication memory map.
-    pub memory_map: MemoryMap,
-    /// Full-effort HLS results for every hardware node.
-    pub hls_designs: Vec<HlsDesign>,
-    /// The synthesized system controller.
-    pub controller: SystemController,
-    /// Its optimized state encoding.
-    pub encoding: StateEncoding,
-    /// CLB placement per hardware device (the Xilinx implementation
-    /// stand-in), one entry per FPGA hosting logic.
-    pub placements: Vec<(Resource, cool_rtl::place::Placement)>,
-    /// The generated netlist (Figure 4).
-    pub netlist: Netlist,
-    /// Emitted VHDL units: `(file name, source)`.
-    pub vhdl: Vec<(String, String)>,
-    /// Generated C programs.
-    pub c_programs: Vec<cool_codegen::CProgram>,
-    /// Per-stage wall-clock times.
-    pub timings: StageTimings,
-    /// Communication scheme in effect.
-    pub scheme: CommScheme,
-}
-
-impl FlowArtifacts {
-    /// Simulate one system invocation on the board stand-in and check the
-    /// outputs against the reference evaluator.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures.
-    pub fn simulate(&self, inputs: &BTreeMap<String, i64>) -> Result<SimResult, FlowError> {
-        let sim = Simulator::new(
-            &self.graph,
-            &self.partition.mapping,
-            &self.schedule,
-            &self.memory_map,
-            &self.cost,
-            self.scheme,
-        );
-        Ok(sim.run_checked(inputs)?)
-    }
-
-    /// A human-readable design report: partition summary, schedule
-    /// makespan, STG sizes, memory usage, netlist inventory and timing
-    /// breakdown.
-    #[must_use]
-    pub fn report(&self) -> String {
-        let mut s = String::new();
-        s.push_str(&format!("design `{}` on {}\n", self.graph.name(), self.target));
-        s.push_str(&format!(
-            "partitioning ({}): {} sw node(s), {} hw node(s), makespan {} cycles\n",
-            self.partition.algorithm,
-            self.partition.software_nodes(&self.graph),
-            self.partition.hardware_nodes(&self.graph),
-            self.partition.makespan,
-        ));
-        for (i, used) in self.partition.hw_area.iter().enumerate() {
-            s.push_str(&format!(
-                "  {}: {used}/{} CLBs\n",
-                self.target.hw[i].name, self.target.hw[i].clb_capacity
-            ));
-        }
-        s.push_str(&format!(
-            "STG: {} -> {} states ({}% reduction), {} transfer cell(s), {} byte(s)\n",
-            self.minimize_stats.states_before,
-            self.minimize_stats.states_after,
-            (self.minimize_stats.reduction() * 100.0).round(),
-            self.memory_map.cell_count(),
-            self.memory_map.bytes_used(),
-        ));
-        s.push_str(&format!(
-            "netlist: {} component(s), {} net(s); controller: {} states, {} FF binary\n",
-            self.netlist.components.len(),
-            self.netlist.nets.len(),
-            self.controller.stg().state_count(),
-            self.controller.binary_ffs(),
-        ));
-        s.push_str(&format!("VHDL units: {}, C units: {}\n", self.vhdl.len(), self.c_programs.len()));
-        for (res, placed) in &self.placements {
-            s.push_str(&format!(
-                "placement {}: {} CLBs, HPWL {} ({:.0}% better than initial)\n",
-                self.target.resource_name(*res),
-                placed.positions.len(),
-                placed.wirelength,
-                placed.improvement() * 100.0,
-            ));
-        }
-        s.push_str("timing breakdown:\n");
-        s.push_str(&self.timings.to_table());
-        s
+    pub fn with_jobs(mut self, jobs: usize) -> FlowOptions {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -377,223 +173,32 @@ pub fn run_flow(
     target: &Target,
     options: &FlowOptions,
 ) -> Result<FlowArtifacts, FlowError> {
-    graph.validate()?;
+    let mut cx = FlowContext::new(graph, target, options);
+    let trace = Engine::standard().run(&mut cx)?;
+    FlowArtifacts::from_context(cx, trace)
+}
 
-    // --- Estimation. ---
-    let t0 = Instant::now();
-    let cost = CostModel::new(graph, target);
-    let estimation = t0.elapsed();
-
-    // --- Partitioning. ---
-    let t0 = Instant::now();
-    let partition = match &options.partitioner {
-        Partitioner::Milp(o) => cool_partition::milp::partition(graph, &cost, o)?,
-        Partitioner::Heuristic(o) => cool_partition::heuristic::partition(graph, &cost, o)?,
-        Partitioner::Genetic(o) => cool_partition::genetic::partition(graph, &cost, o)?,
-        Partitioner::Fixed(mapping) => {
-            let (makespan, hw_area) =
-                cool_partition::evaluate(graph, mapping, &cost, options.scheme)?;
-            PartitionResult {
-                mapping: mapping.clone(),
-                algorithm: cool_partition::Algorithm::Milp,
-                makespan,
-                hw_area,
-                work_units: 0,
-            }
-        }
-    };
-    let partitioning = t0.elapsed();
-
-    // --- Scheduling. ---
-    let t0 = Instant::now();
-    let schedule = cool_schedule::schedule(graph, &partition.mapping, &cost, options.scheme)?;
-    schedule
-        .verify(graph, &partition.mapping)
-        .map_err(FlowError::Consistency)?;
-    let scheduling = t0.elapsed();
-
-    // --- Co-synthesis: STG, minimization, memory. ---
-    let t0 = Instant::now();
-    let stg = cool_stg::generate(graph, &partition.mapping, &schedule);
-    stg.verify().map_err(FlowError::Consistency)?;
-    let (stg_minimized, minimize_stats) = cool_stg::minimize(&stg);
-    stg_minimized.verify().map_err(FlowError::Consistency)?;
-    let memory_map = if options.packed_memory {
-        cool_stg::allocate_memory_packed(
-            graph,
-            &partition.mapping,
-            &schedule,
-            &target.memory,
-            target.bus.width_bits,
-        )?
-    } else {
-        cool_stg::allocate_memory(
-            graph,
-            &partition.mapping,
-            &target.memory,
-            target.bus.width_bits,
-        )?
-    };
-    let cosynthesis = t0.elapsed();
-
-    // --- Hardware synthesis: full-effort HLS per hardware node, system
-    // controller + encoding search, VHDL for every generated piece. ---
-    let t0 = Instant::now();
-    let hw_nodes: Vec<cool_ir::NodeId> = graph
-        .function_nodes()
-        .into_iter()
-        .filter(|&n| partition.mapping.resource(n).is_hardware())
-        .collect();
-    let mut hls_designs = Vec::with_capacity(hw_nodes.len());
-    for &n in &hw_nodes {
-        let node = graph.node(n)?;
-        hls_designs.push(cool_hls::synthesize(node.name(), node.behavior(), &options.hls));
-    }
-    let controller = SystemController::from_stg(stg_minimized.clone(), graph);
-    let encoding = cool_rtl::encoding::optimize_encoding(
-        controller.stg(),
-        options.encoding_effort,
-    );
-    let netlist = cool_rtl::build_netlist(graph, &partition.mapping, target);
-    netlist.verify().map_err(FlowError::Consistency)?;
-    let mut vhdl = Vec::new();
-    vhdl.push((
-        "system_controller.vhd".to_string(),
-        cool_rtl::vhdl::emit_system_controller(&controller),
-    ));
-    let masters = netlist.count_kind(|k| {
-        matches!(
-            k,
-            cool_rtl::ComponentKind::Processor(_)
-                | cool_rtl::ComponentKind::DatapathController(_)
-                | cool_rtl::ComponentKind::IoController
-        )
-    });
-    vhdl.push(("bus_arbiter.vhd".to_string(), cool_rtl::vhdl::emit_bus_arbiter(masters)));
-    vhdl.push((
-        "io_controller.vhd".to_string(),
-        cool_rtl::vhdl::emit_io_controller(
-            graph.primary_inputs().len().max(1),
-            graph.primary_outputs().len().max(1),
-            target.bus.width_bits,
-        ),
-    ));
-    for (i, &n) in hw_nodes.iter().enumerate() {
-        let node = graph.node(n)?;
-        vhdl.push((
-            format!("hw_{}.vhd", node.name()),
-            cool_rtl::vhdl::emit_hw_block(graph, n, hls_designs[i].latency_cycles),
-        ));
-    }
-    // One datapath controller per FPGA in use: sequences the device's
-    // shared-memory transactions in schedule order.
-    for h in 0..target.hw.len() {
-        let res = Resource::Hardware(h);
-        if !hw_nodes.iter().any(|&n| partition.mapping.resource(n) == res) {
-            continue;
-        }
-        let mut transfers: Vec<(u64, cool_rtl::vhdl::BusTransfer)> = Vec::new();
-        for cell in memory_map.cells() {
-            let e = graph.edge(cell.edge)?;
-            if partition.mapping.resource(e.src) == res {
-                transfers.push((
-                    schedule.slot(e.src).finish,
-                    cool_rtl::vhdl::BusTransfer { address: cell.address, write: true },
-                ));
-            }
-            if partition.mapping.resource(e.dst) == res {
-                transfers.push((
-                    schedule.slot(e.dst).start,
-                    cool_rtl::vhdl::BusTransfer { address: cell.address, write: false },
-                ));
-            }
-        }
-        transfers.sort_by_key(|&(t, x)| (t, x.address, x.write));
-        let ordered: Vec<cool_rtl::vhdl::BusTransfer> =
-            transfers.into_iter().map(|(_, x)| x).collect();
-        let name = target.resource_name(res).to_string();
-        vhdl.push((
-            format!("dpctl_{name}.vhd"),
-            cool_rtl::vhdl::emit_datapath_controller(&name, &ordered, target.bus.width_bits),
-        ));
-    }
-    vhdl.push((
-        format!("{}_top.vhd", graph.name()),
-        cool_rtl::vhdl::emit_toplevel(&netlist, graph.name()),
-    ));
-    for (name, unit) in &vhdl {
-        cool_rtl::vhdl::check_well_formed(unit)
-            .map_err(|e| FlowError::Consistency(format!("{name}: {e}")))?;
-    }
-    // Xilinx implementation stand-in: anneal a CLB placement per device.
-    // The system controller shares the first FPGA with its blocks, every
-    // other device hosts its blocks plus a datapath controller.
-    let mut placements = Vec::new();
-    for h in 0..target.hw.len() {
-        let block_clbs: Vec<u32> = hw_nodes
-            .iter()
-            .zip(&hls_designs)
-            .filter(|(&n, _)| partition.mapping.resource(n) == Resource::Hardware(h))
-            .map(|(_, d)| d.area_clbs)
-            .collect();
-        if block_clbs.is_empty() && h > 0 {
-            continue;
-        }
-        let blocks_total: u32 = block_clbs.iter().sum();
-        let wanted_ctrl = if h == 0 {
-            cool_hls::area::fsm_clbs(controller.stg().state_count(), graph.function_nodes().len())
-        } else {
-            8 // datapath controller
-        };
-        let grid = (14u16, 14u16); // XC4005 CLB array
-        let capacity = u32::from(grid.0) * u32::from(grid.1);
-        let ctrl_clbs = wanted_ctrl.min(capacity.saturating_sub(blocks_total)).max(1);
-        let problem =
-            cool_rtl::place::PlacementProblem::for_device(&block_clbs, ctrl_clbs, grid.0, grid.1);
-        if problem.fits() {
-            let placed = cool_rtl::place::anneal(&problem, options.placement_effort, 0x5eed + h as u64);
-            placements.push((Resource::Hardware(h), placed));
-        }
-    }
-    let hardware_synthesis = t0.elapsed();
-
-    // --- Software synthesis: C generation. ---
-    let t0 = Instant::now();
-    let c_programs =
-        cool_codegen::emit_programs(graph, &partition.mapping, &schedule, &memory_map);
-    for p in &c_programs {
-        cool_codegen::check_c_structure(&p.source)
-            .map_err(|e| FlowError::Consistency(format!("{}: {e}", p.file_name)))?;
-    }
-    let software_synthesis = t0.elapsed();
-
-    Ok(FlowArtifacts {
-        graph: graph.clone(),
-        target: target.clone(),
-        cost,
-        partition,
-        schedule,
-        stg,
-        stg_minimized,
-        minimize_stats,
-        memory_map,
-        hls_designs,
-        controller,
-        encoding,
-        placements,
-        netlist,
-        vhdl,
-        c_programs,
-        timings: StageTimings {
-            estimation,
-            partitioning,
-            scheduling,
-            cosynthesis,
-            hardware_synthesis,
-            software_synthesis,
-        },
-        scheme: options.scheme,
-    })
+/// Run the flow reusing an already-built cost model (the estimation
+/// stage becomes a no-op).
+///
+/// This is the sharing seam for sweeps that implement many partitions of
+/// one specification: cost estimation — one quick HLS run per node — is
+/// paid once instead of once per candidate. Combine with
+/// [`CostModel::retarget`] when only resource budgets vary between
+/// candidates.
+///
+/// # Errors
+///
+/// Same as [`run_flow`].
+pub fn run_flow_with_cost(
+    graph: &PartitioningGraph,
+    target: &Target,
+    cost: CostModel,
+    options: &FlowOptions,
+) -> Result<FlowArtifacts, FlowError> {
+    let mut cx = FlowContext::with_cost(graph, target, options, cost);
+    let trace = Engine::standard().run(&mut cx)?;
+    FlowArtifacts::from_context(cx, trace)
 }
 
 /// Convenience: run the flow with a fixed, caller-chosen mapping.
@@ -624,6 +229,7 @@ mod tests {
     use super::*;
     use cool_ir::eval::input_map;
     use cool_spec::workloads;
+    use std::time::Duration;
 
     #[test]
     fn full_flow_on_equalizer() {
@@ -636,7 +242,9 @@ mod tests {
         assert!(!art.c_programs.is_empty() || art.partition.software_nodes(&g) == 0);
         assert!(art.minimize_stats.states_after <= art.minimize_stats.states_before);
         // Functional check.
-        let r = art.simulate(&input_map([("x0", 7), ("x1", -2), ("x2", 3)])).unwrap();
+        let r = art
+            .simulate(&input_map([("x0", 7), ("x1", -2), ("x2", 3)]))
+            .unwrap();
         assert!(r.cycles > 0);
     }
 
@@ -649,7 +257,9 @@ mod tests {
         let art = run_flow_with_mapping(&g, &target, mapping, &FlowOptions::quick()).unwrap();
         assert_eq!(art.hls_designs.len(), 1);
         assert_eq!(art.partition.hardware_nodes(&g), 1);
-        let r = art.simulate(&input_map([("err", 60), ("derr", -30)])).unwrap();
+        let r = art
+            .simulate(&input_map([("err", 60), ("derr", -30)]))
+            .unwrap();
         assert!((0..=255).contains(&r.outputs["u"]));
     }
 
@@ -658,7 +268,13 @@ mod tests {
         let g = workloads::equalizer(2);
         let art = run_flow(&g, &Target::fuzzy_board(), &FlowOptions::quick()).unwrap();
         let rep = art.report();
-        for needle in ["partitioning", "STG", "netlist", "timing breakdown", "total"] {
+        for needle in [
+            "partitioning",
+            "STG",
+            "netlist",
+            "timing breakdown",
+            "total",
+        ] {
             assert!(rep.contains(needle), "report lacks `{needle}`:\n{rep}");
         }
     }
@@ -670,6 +286,8 @@ mod tests {
         assert!(art.timings.total() > Duration::ZERO);
         let f = art.timings.hardware_fraction();
         assert!((0.0..=1.0).contains(&f));
+        // The trace journal covers the whole standard engine.
+        assert_eq!(art.trace.stage_names(), Engine::standard().stage_names());
     }
 
     #[test]
@@ -681,13 +299,16 @@ mod tests {
         // while staying far below the 196-CLB budget.
         mapping.assign(g.node_by_name("gain0").unwrap(), Resource::Hardware(0));
         mapping.assign(g.node_by_name("gain2").unwrap(), Resource::Hardware(0));
-        let seq = run_flow_with_mapping(&g, &target, mapping.clone(), &FlowOptions::quick())
-            .unwrap();
+        let seq =
+            run_flow_with_mapping(&g, &target, mapping.clone(), &FlowOptions::quick()).unwrap();
         let packed = run_flow_with_mapping(
             &g,
             &target,
             mapping,
-            &FlowOptions { packed_memory: true, ..FlowOptions::quick() },
+            &FlowOptions {
+                packed_memory: true,
+                ..FlowOptions::quick()
+            },
         )
         .unwrap();
         assert!(packed.memory_map.bytes_used() <= seq.memory_map.bytes_used());
@@ -696,8 +317,22 @@ mod tests {
     #[test]
     fn invalid_graph_is_rejected() {
         let mut g = PartitioningGraph::new("broken");
-        let _ = g.add_function("f", cool_ir::Behavior::unary(cool_ir::Op::Neg)).unwrap();
+        let _ = g
+            .add_function("f", cool_ir::Behavior::unary(cool_ir::Op::Neg))
+            .unwrap();
         let err = run_flow(&g, &Target::fuzzy_board(), &FlowOptions::quick()).unwrap_err();
         assert!(matches!(err, FlowError::Ir(_)));
+    }
+
+    #[test]
+    fn shared_cost_model_matches_fresh_flow() {
+        let g = workloads::equalizer(4);
+        let target = Target::fuzzy_board();
+        let options = FlowOptions::quick();
+        let fresh = run_flow(&g, &target, &options).unwrap();
+        let cost = CostModel::new(&g, &target);
+        let shared = run_flow_with_cost(&g, &target, cost, &options).unwrap();
+        assert_eq!(fresh.partition.mapping, shared.partition.mapping);
+        assert_eq!(fresh.vhdl, shared.vhdl);
     }
 }

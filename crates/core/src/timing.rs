@@ -1,0 +1,238 @@
+//! Per-stage wall-clock accounting.
+//!
+//! The engine times every stage individually and records the result as a
+//! [`FlowTrace`] — one [`StageRecord`] per executed stage, in execution
+//! order. [`StageTimings`] is the paper-shaped six-bucket summary derived
+//! from a trace (the paper's Figure 1 stages), kept because the paper's
+//! headline timing claim — hardware synthesis takes > 90 % of design
+//! time — is stated over those buckets.
+
+use std::time::Duration;
+
+/// Wall-clock time of one executed stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Engine stage name (`"hls"`, `"partition"`, …).
+    pub name: &'static str,
+    /// Wall-clock duration of the stage's `run`.
+    pub duration: Duration,
+}
+
+/// The timing journal of one engine run: every stage, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowTrace {
+    records: Vec<StageRecord>,
+}
+
+impl FlowTrace {
+    /// An empty trace (stages append as they run).
+    #[must_use]
+    pub fn new() -> FlowTrace {
+        FlowTrace::default()
+    }
+
+    /// Append one stage's record.
+    pub fn push(&mut self, name: &'static str, duration: Duration) {
+        self.records.push(StageRecord { name, duration });
+    }
+
+    /// All records, in execution order.
+    #[must_use]
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Stage names in execution order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.records.iter().map(|r| r.name).collect()
+    }
+
+    /// Duration of the named stage (zero if it did not run).
+    #[must_use]
+    pub fn duration_of(&self, name: &str) -> Duration {
+        self.records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.duration)
+            .sum()
+    }
+
+    /// Total wall-clock time across all stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.records.iter().map(|r| r.duration).sum()
+    }
+
+    /// One row per executed stage, for `cool flow --trace` and reports.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let total = self.total().as_secs_f64().max(1e-12);
+        let mut s = String::new();
+        for r in &self.records {
+            s.push_str(&format!(
+                "{:<12} {:>10.3} ms {:>5.1} %\n",
+                r.name,
+                r.duration.as_secs_f64() * 1e3,
+                100.0 * r.duration.as_secs_f64() / total
+            ));
+        }
+        s.push_str(&format!(
+            "total        {:>10.3} ms\n",
+            self.total().as_secs_f64() * 1e3
+        ));
+        s
+    }
+}
+
+/// Wall-clock time per paper flow stage (the six buckets of Figure 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Cost estimation (software timing + quick HLS estimates), plus the
+    /// spec-validation stage (negligible).
+    pub estimation: Duration,
+    /// Hardware/software partitioning.
+    pub partitioning: Duration,
+    /// Static scheduling.
+    pub scheduling: Duration,
+    /// STG generation + minimization + memory allocation.
+    pub cosynthesis: Duration,
+    /// Hardware synthesis: full-effort HLS per hardware node plus RTL
+    /// (controller synthesis, encoding search, netlist, VHDL, placement).
+    pub hardware_synthesis: Duration,
+    /// C code generation, plus simulation preparation (negligible).
+    pub software_synthesis: Duration,
+}
+
+impl StageTimings {
+    /// Derive the six-bucket summary from an engine trace. Engine stage
+    /// names map onto the paper buckets as follows: `spec` and `cost` →
+    /// estimation, `partition` → partitioning, `schedule` → scheduling,
+    /// `stg` → co-synthesis, `hls` and `rtl` → hardware synthesis,
+    /// `codegen` and `sim-prep` → software synthesis. Unknown stage names
+    /// (from custom engines) are ignored.
+    #[must_use]
+    pub fn from_trace(trace: &FlowTrace) -> StageTimings {
+        let mut t = StageTimings::default();
+        for r in trace.records() {
+            match r.name {
+                "spec" | "cost" => t.estimation += r.duration,
+                "partition" => t.partitioning += r.duration,
+                "schedule" => t.scheduling += r.duration,
+                "stg" => t.cosynthesis += r.duration,
+                "hls" | "rtl" => t.hardware_synthesis += r.duration,
+                "codegen" | "sim-prep" => t.software_synthesis += r.duration,
+                _ => {}
+            }
+        }
+        t
+    }
+
+    /// Total flow time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.estimation
+            + self.partitioning
+            + self.scheduling
+            + self.cosynthesis
+            + self.hardware_synthesis
+            + self.software_synthesis
+    }
+
+    /// Fraction of total time spent in hardware synthesis (the paper
+    /// reports > 0.9 on its workloads).
+    #[must_use]
+    pub fn hardware_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hardware_synthesis.as_secs_f64() / total
+        }
+    }
+
+    /// One row per stage, for reports.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let row = |name: &str, d: Duration| -> String {
+            let total = self.total().as_secs_f64().max(1e-12);
+            format!(
+                "{name:<20} {:>10.3} ms {:>5.1} %\n",
+                d.as_secs_f64() * 1e3,
+                100.0 * d.as_secs_f64() / total
+            )
+        };
+        let mut s = String::new();
+        s.push_str(&row("estimation", self.estimation));
+        s.push_str(&row("partitioning", self.partitioning));
+        s.push_str(&row("scheduling", self.scheduling));
+        s.push_str(&row("co-synthesis", self.cosynthesis));
+        s.push_str(&row("hardware synthesis", self.hardware_synthesis));
+        s.push_str(&row("software synthesis", self.software_synthesis));
+        s.push_str(&format!(
+            "total                {:>10.3} ms\n",
+            self.total().as_secs_f64() * 1e3
+        ));
+        s
+    }
+}
+
+impl From<&FlowTrace> for StageTimings {
+    fn from(trace: &FlowTrace) -> StageTimings {
+        StageTimings::from_trace(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn trace_accumulates_in_order() {
+        let mut t = FlowTrace::new();
+        t.push("cost", ms(1));
+        t.push("hls", ms(90));
+        t.push("rtl", ms(5));
+        assert_eq!(t.stage_names(), vec!["cost", "hls", "rtl"]);
+        assert_eq!(t.total(), ms(96));
+        assert_eq!(t.duration_of("hls"), ms(90));
+        assert_eq!(t.duration_of("nope"), Duration::ZERO);
+    }
+
+    #[test]
+    fn buckets_map_stage_names() {
+        let mut t = FlowTrace::new();
+        t.push("spec", ms(1));
+        t.push("cost", ms(2));
+        t.push("partition", ms(3));
+        t.push("schedule", ms(4));
+        t.push("stg", ms(5));
+        t.push("hls", ms(80));
+        t.push("rtl", ms(10));
+        t.push("codegen", ms(6));
+        t.push("sim-prep", ms(1));
+        let s = StageTimings::from_trace(&t);
+        assert_eq!(s.estimation, ms(3));
+        assert_eq!(s.partitioning, ms(3));
+        assert_eq!(s.scheduling, ms(4));
+        assert_eq!(s.cosynthesis, ms(5));
+        assert_eq!(s.hardware_synthesis, ms(90));
+        assert_eq!(s.software_synthesis, ms(7));
+        assert_eq!(s.total(), t.total());
+    }
+
+    #[test]
+    fn tables_render_every_row() {
+        let mut t = FlowTrace::new();
+        t.push("hls", ms(9));
+        let table = t.to_table();
+        assert!(table.contains("hls"));
+        assert!(table.contains("total"));
+        let s = StageTimings::from_trace(&t);
+        assert!(s.to_table().contains("hardware synthesis"));
+    }
+}

@@ -1,0 +1,161 @@
+//! CLI-level tests of the `cool` binary: `cool check` must reject
+//! malformed specifications with a diagnostic and a failing exit code —
+//! never a panic — and accept well-formed ones.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cool"))
+}
+
+fn write_spec(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cool-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn check_accepts_well_formed_spec() {
+    let dir = temp_dir("ok");
+    let spec = write_spec(
+        &dir,
+        "adder.cool",
+        "design adder; input a : 16; input b : 16; node s = add; output y : 16;\n\
+         connect a -> s.0; connect b -> s.1; connect s -> y;\n",
+    );
+    let out = cool().arg("check").arg(&spec).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok: design `adder`"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_malformed_specs_without_panicking() {
+    let dir = temp_dir("bad");
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "negative_width.cool",
+            "design d; input a : -16;",
+            "bit width",
+        ),
+        (
+            "bad_char.cool",
+            "design d; input a @ 16;",
+            "unexpected character",
+        ),
+        (
+            "unknown_node.cool",
+            "design d; input a : 8; connect a -> nosuch;",
+            "unknown node",
+        ),
+        (
+            "unknown_behavior.cool",
+            "design d; node f = frobnicate;",
+            "unknown behaviour",
+        ),
+        ("truncated.cool", "design", "expected"),
+        (
+            "bad_arity.cool",
+            "design d; node f = expr(-1) { in0 };",
+            "arity",
+        ),
+        (
+            "invalid_graph.cool",
+            "design d; node f = neg;",
+            "invalid graph",
+        ),
+    ];
+    for (name, content, needle) in cases {
+        let spec = write_spec(&dir, name, content);
+        let out = cool().arg("check").arg(&spec).output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !out.status.success(),
+            "`{name}` was accepted; stderr: {stderr}"
+        );
+        assert!(
+            stderr.to_lowercase().contains(&needle.to_lowercase()),
+            "`{name}`: diagnostic lacks `{needle}`: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "`{name}` panicked: {stderr}");
+    }
+}
+
+#[test]
+fn check_reports_missing_file() {
+    let out = cool()
+        .arg("check")
+        .arg("/nonexistent/x.cool")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn flow_jobs_flag_is_validated() {
+    let dir = temp_dir("jobs");
+    let spec = write_spec(
+        &dir,
+        "adder.cool",
+        "design adder; input a : 16; input b : 16; node s = add; output y : 16;\n\
+         connect a -> s.0; connect b -> s.1; connect s -> y;\n",
+    );
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(["--quick", "--jobs", "banana"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
+fn flow_trace_prints_stage_table() {
+    let dir = temp_dir("trace");
+    let spec = write_spec(
+        &dir,
+        "adder.cool",
+        "design adder; input a : 16; input b : 16; node s = add; output y : 16;\n\
+         connect a -> s.0; connect b -> s.1; connect s -> y;\n",
+    );
+    let out_dir = dir.join("out");
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(["--quick", "--jobs", "2", "--trace", "--out"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for stage in [
+        "spec",
+        "cost",
+        "partition",
+        "schedule",
+        "stg",
+        "hls",
+        "rtl",
+        "codegen",
+    ] {
+        assert!(stdout.contains(stage), "trace lacks `{stage}`:\n{stdout}");
+    }
+    assert!(stdout.contains("engine trace (2 worker(s))"), "{stdout}");
+}

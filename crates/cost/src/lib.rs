@@ -63,11 +63,7 @@ impl CostModel {
 
     /// Build the model with explicit HLS options.
     #[must_use]
-    pub fn with_hls_options(
-        g: &PartitioningGraph,
-        target: &Target,
-        hls: &HlsOptions,
-    ) -> CostModel {
+    pub fn with_hls_options(g: &PartitioningGraph, target: &Target, hls: &HlsOptions) -> CostModel {
         let mut sw = Vec::with_capacity(g.node_count());
         let mut hw = Vec::with_capacity(g.node_count());
         for (_, node) in g.nodes() {
@@ -93,7 +89,56 @@ impl CostModel {
                 }
             }
         }
-        CostModel { sw, hw, target: target.clone() }
+        CostModel {
+            sw,
+            hw,
+            target: target.clone(),
+        }
+    }
+
+    /// Rebind the model to a target that differs only in resource
+    /// *budgets* (CLB capacities, memory size) — the expensive per-node
+    /// HLS estimates and instruction timings are reused instead of being
+    /// recomputed.
+    ///
+    /// This is the sharing seam for partition sweeps: `res2` re-runs the
+    /// flow over many FPGA area budgets, and per-node costs do not depend
+    /// on capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` changes the processor or hardware-resource
+    /// inventory (count or clocks) — such a change invalidates the cached
+    /// estimates, so a fresh [`CostModel::new`] is required.
+    #[must_use]
+    pub fn retarget(&self, target: &Target) -> CostModel {
+        assert_eq!(
+            self.target.processors.len(),
+            target.processors.len(),
+            "retarget must not change the processor inventory"
+        );
+        assert_eq!(
+            self.target.hw.len(),
+            target.hw.len(),
+            "retarget must not change the hardware-resource inventory"
+        );
+        for (old, new) in self.target.processors.iter().zip(&target.processors) {
+            assert!(
+                (old.clock_mhz - new.clock_mhz).abs() < f64::EPSILON,
+                "retarget must not change processor clocks"
+            );
+        }
+        for (old, new) in self.target.hw.iter().zip(&target.hw) {
+            assert!(
+                (old.clock_mhz - new.clock_mhz).abs() < f64::EPSILON,
+                "retarget must not change hardware clocks"
+            );
+        }
+        CostModel {
+            sw: self.sw.clone(),
+            hw: self.hw.clone(),
+            target: target.clone(),
+        }
     }
 
     /// Software execution cycles of `node` on processor `proc`.
@@ -114,7 +159,9 @@ impl CostModel {
     /// nodes).
     #[must_use]
     pub fn hw_latency_cycles(&self, node: NodeId) -> u64 {
-        self.hw[node.index()].as_ref().map_or(0, |d| d.latency_cycles)
+        self.hw[node.index()]
+            .as_ref()
+            .map_or(0, |d| d.latency_cycles)
     }
 
     /// Hardware area of `node` in CLBs (0 for I/O nodes).
@@ -146,7 +193,11 @@ impl CostModel {
             }
             Resource::Hardware(h) => {
                 let cycles = self.hw_latency_cycles(node);
-                scale_cycles(cycles, self.target.hw[h].clock_mhz, self.target.system_clock_mhz)
+                scale_cycles(
+                    cycles,
+                    self.target.hw[h].clock_mhz,
+                    self.target.system_clock_mhz,
+                )
             }
         }
     }
@@ -195,7 +246,11 @@ impl CostModel {
     pub fn makespan_lower_bound(&self, g: &PartitioningGraph) -> Result<u64, cool_ir::IrError> {
         let resources = self.target.resources();
         cool_ir::topo::longest_path(g, |n| {
-            resources.iter().map(|&r| self.exec_cycles(n, r)).min().unwrap_or(0)
+            resources
+                .iter()
+                .map(|&r| self.exec_cycles(n, r))
+                .min()
+                .unwrap_or(0)
         })
     }
 }
@@ -250,8 +305,7 @@ mod tests {
         let cost = CostModel::new(&g, &Target::fuzzy_board());
         let (_, e) = g.edges().next().unwrap();
         assert!(
-            cost.comm_cycles(e, CommScheme::MemoryMapped)
-                > cost.comm_cycles(e, CommScheme::Direct)
+            cost.comm_cycles(e, CommScheme::MemoryMapped) > cost.comm_cycles(e, CommScheme::Direct)
         );
     }
 
@@ -290,6 +344,33 @@ mod tests {
         let g = small_graph();
         let cost = CostModel::new(&g, &Target::fuzzy_board());
         assert!((cost.cycles_to_us(16) - 1.0).abs() < 1e-9); // 16 MHz system clock
+    }
+
+    #[test]
+    fn retarget_keeps_estimates_and_swaps_budgets() {
+        let g = small_graph();
+        let mut target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        target.hw[0].clb_capacity = 48;
+        target.hw[1].clb_capacity = 48;
+        let rebound = cost.retarget(&target);
+        assert_eq!(rebound.target().hw[0].clb_capacity, 48);
+        for n in g.function_nodes() {
+            assert_eq!(rebound.hw_area_clbs(n), cost.hw_area_clbs(n));
+            assert_eq!(rebound.hw_latency_cycles(n), cost.hw_latency_cycles(n));
+            assert_eq!(rebound.sw_cycles(n, 0), cost.sw_cycles(n, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "processor inventory")]
+    fn retarget_rejects_inventory_changes() {
+        let g = small_graph();
+        let target = Target::fuzzy_board();
+        let cost = CostModel::new(&g, &target);
+        let mut bigger = target.clone();
+        bigger.processors.push(bigger.processors[0].clone());
+        let _ = cost.retarget(&bigger);
     }
 
     #[test]

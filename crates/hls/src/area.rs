@@ -32,17 +32,47 @@ pub struct OperatorCost {
 pub fn operator_cost(op: Op, bits: u16) -> OperatorCost {
     let w = u32::from(bits.max(1));
     match op {
-        Op::Add | Op::Sub => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
-        Op::Mul => OperatorCost { latency: 2, clbs: (w * w).div_ceil(8) },
-        Op::Div | Op::Rem => OperatorCost { latency: (u64::from(w)).max(4), clbs: w + w / 2 },
-        Op::Min | Op::Max => OperatorCost { latency: 1, clbs: w }, // compare + mux
-        Op::And | Op::Or | Op::Xor | Op::Not => OperatorCost { latency: 1, clbs: w.div_ceil(4) },
-        Op::Shl | Op::Shr => OperatorCost { latency: 1, clbs: w }, // barrel shifter slice
-        Op::Neg | Op::Abs => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
-        Op::Lt | Op::Le | Op::Eq => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
-        Op::Mux => OperatorCost { latency: 1, clbs: w.div_ceil(2) },
+        Op::Add | Op::Sub => OperatorCost {
+            latency: 1,
+            clbs: w.div_ceil(2),
+        },
+        Op::Mul => OperatorCost {
+            latency: 2,
+            clbs: (w * w).div_ceil(8),
+        },
+        Op::Div | Op::Rem => OperatorCost {
+            latency: (u64::from(w)).max(4),
+            clbs: w + w / 2,
+        },
+        Op::Min | Op::Max => OperatorCost {
+            latency: 1,
+            clbs: w,
+        }, // compare + mux
+        Op::And | Op::Or | Op::Xor | Op::Not => OperatorCost {
+            latency: 1,
+            clbs: w.div_ceil(4),
+        },
+        Op::Shl | Op::Shr => OperatorCost {
+            latency: 1,
+            clbs: w,
+        }, // barrel shifter slice
+        Op::Neg | Op::Abs => OperatorCost {
+            latency: 1,
+            clbs: w.div_ceil(2),
+        },
+        Op::Lt | Op::Le | Op::Eq => OperatorCost {
+            latency: 1,
+            clbs: w.div_ceil(2),
+        },
+        Op::Mux => OperatorCost {
+            latency: 1,
+            clbs: w.div_ceil(2),
+        },
         // `Op` is non-exhaustive; price unknown future operators like an ALU op.
-        _ => OperatorCost { latency: 1, clbs: w },
+        _ => OperatorCost {
+            latency: 1,
+            clbs: w,
+        },
     }
 }
 

@@ -84,7 +84,10 @@ pub fn bind(cdfg: &Cdfg, sched: &Schedule, options: &HlsOptions) -> Binding {
             .filter(|(_, o)| o.args.contains(&ValueRef::Input(i)))
             .map(|(j, _)| sched.start[j])
             .max();
-        let output_use = cdfg.outputs().contains(&ValueRef::Input(i)).then_some(sched.length);
+        let output_use = cdfg
+            .outputs()
+            .contains(&ValueRef::Input(i))
+            .then_some(sched.length);
         if let Some(end) = last_use.into_iter().chain(output_use).max() {
             lifetimes.push((0, end));
         }
@@ -119,7 +122,13 @@ pub fn bind(cdfg: &Cdfg, sched: &Schedule, options: &HlsOptions) -> Binding {
         + share_mux(dividers, div_ops, 2)
         + share_mux(alus, alu_ops, 2);
 
-    Binding { multipliers, dividers, alus, register_count, mux_count }
+    Binding {
+        multipliers,
+        dividers,
+        alus,
+        register_count,
+        mux_count,
+    }
 }
 
 /// Left-edge interval packing: returns the minimum number of registers
@@ -190,11 +199,18 @@ mod tests {
         )
         .unwrap();
         let cdfg = Cdfg::from_behavior(&b);
-        let opts = HlsOptions { max_alus: 1, ..Default::default() };
+        let opts = HlsOptions {
+            max_alus: 1,
+            ..Default::default()
+        };
         let sched = list_schedule(&cdfg, &opts, 0);
         let bd = bind(&cdfg, &sched, &opts);
         assert_eq!(bd.alus, 1);
-        assert!(bd.mux_count >= 2, "3 adds on 1 ALU need muxes, got {}", bd.mux_count);
+        assert!(
+            bd.mux_count >= 2,
+            "3 adds on 1 ALU need muxes, got {}",
+            bd.mux_count
+        );
     }
 
     #[test]
@@ -205,13 +221,19 @@ mod tests {
                 cool_ir::Op::Add,
                 Expr::binary(cool_ir::Op::Mul, Expr::Input(0), Expr::Input(1)),
                 Expr::binary(cool_ir::Op::Mul, Expr::Input(2), Expr::Input(3)),
-            )]
+            )],
         )
         .unwrap();
         let cdfg = Cdfg::from_behavior(&b);
-        let opts = HlsOptions { max_multipliers: 1, ..Default::default() };
+        let opts = HlsOptions {
+            max_multipliers: 1,
+            ..Default::default()
+        };
         let sched = list_schedule(&cdfg, &opts, 0);
         let bd = bind(&cdfg, &sched, &opts);
-        assert!(bd.multipliers <= 1, "binding exceeded the scheduler's FU budget");
+        assert!(
+            bd.multipliers <= 1,
+            "binding exceeded the scheduler's FU budget"
+        );
     }
 }

@@ -42,13 +42,20 @@ impl Cdfg {
     /// Flatten `behavior` into a CDFG, sharing identical subexpressions.
     #[must_use]
     pub fn from_behavior(behavior: &Behavior) -> Cdfg {
-        let mut builder = Builder { ops: Vec::new(), memo: HashMap::new() };
+        let mut builder = Builder {
+            ops: Vec::new(),
+            memo: HashMap::new(),
+        };
         let outputs = behavior
             .output_exprs()
             .iter()
             .map(|e| builder.lower(e))
             .collect();
-        Cdfg { ops: builder.ops, outputs, input_count: behavior.inputs() }
+        Cdfg {
+            ops: builder.ops,
+            outputs,
+            input_count: behavior.inputs(),
+        }
     }
 
     /// Operations in dependency order (operands always precede users).
@@ -116,7 +123,10 @@ impl Builder {
             Expr::Const(c) => ValueRef::Const(*c),
             Expr::Apply(op, args) => {
                 let lowered: Vec<ValueRef> = args.iter().map(|a| self.lower(a)).collect();
-                let key = CdfgOp { op: *op, args: lowered };
+                let key = CdfgOp {
+                    op: *op,
+                    args: lowered,
+                };
                 if let Some(&idx) = self.memo.get(&key) {
                     return ValueRef::Op(idx);
                 }

@@ -62,7 +62,13 @@ pub struct HlsOptions {
 
 impl Default for HlsOptions {
     fn default() -> HlsOptions {
-        HlsOptions { max_multipliers: 1, max_dividers: 1, max_alus: 2, bits: 16, effort: 4 }
+        HlsOptions {
+            max_multipliers: 1,
+            max_dividers: 1,
+            max_alus: 2,
+            bits: 16,
+            effort: 4,
+        }
     }
 }
 
@@ -144,6 +150,31 @@ pub fn estimate(name: &str, behavior: &Behavior, options: &HlsOptions) -> HlsDes
     synthesize(name, behavior, &opts)
 }
 
+/// Synthesize many independent behaviours, fanning the [`synthesize`]
+/// calls out over `jobs` scoped worker threads.
+///
+/// Hardware synthesis of distinct nodes shares no state, so this is the
+/// embarrassingly parallel layer of the COOL flow (the paper measures
+/// hardware synthesis at > 90 % of design time). Work is distributed via
+/// an atomic index queue, so unevenly sized behaviours still balance.
+/// The result order matches the input order and every design is
+/// bit-identical to what a serial [`synthesize`] loop produces, for any
+/// `jobs` value.
+///
+/// `jobs == 0` uses [`std::thread::available_parallelism`].
+#[must_use]
+pub fn synthesize_many(
+    items: &[(&str, &Behavior)],
+    options: &HlsOptions,
+    jobs: usize,
+) -> Vec<HlsDesign> {
+    cool_ir::par::par_map(items, jobs, |(name, behavior)| {
+        synthesize(name, behavior, options)
+    })
+}
+
+pub use cool_ir::par::effective_jobs;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +183,7 @@ mod tests {
     #[test]
     fn mac_uses_two_steps_minimum() {
         let d = synthesize("mac", &Behavior::mac(), &HlsOptions::default());
-        assert!(d.latency_cycles >= 1 + area::operator_cost(Op::Mul, 16).latency);
+        assert!(d.latency_cycles > area::operator_cost(Op::Mul, 16).latency);
         assert_eq!(d.operation_count, 2);
     }
 
@@ -168,10 +199,27 @@ mod tests {
             )],
         )
         .unwrap();
-        let one = synthesize("m1", &b, &HlsOptions { max_multipliers: 1, ..Default::default() });
-        let two = synthesize("m2", &b, &HlsOptions { max_multipliers: 2, ..Default::default() });
+        let one = synthesize(
+            "m1",
+            &b,
+            &HlsOptions {
+                max_multipliers: 1,
+                ..Default::default()
+            },
+        );
+        let two = synthesize(
+            "m2",
+            &b,
+            &HlsOptions {
+                max_multipliers: 2,
+                ..Default::default()
+            },
+        );
         assert!(one.latency_cycles > two.latency_cycles);
-        assert!(two.area_clbs > one.area_clbs, "more FUs must cost more area");
+        assert!(
+            two.area_clbs > one.area_clbs,
+            "more FUs must cost more area"
+        );
     }
 
     #[test]
@@ -201,8 +249,22 @@ mod tests {
     #[test]
     fn wider_datapath_costs_more() {
         let b = Behavior::mac();
-        let d16 = synthesize("w16", &b, &HlsOptions { bits: 16, ..Default::default() });
-        let d32 = synthesize("w32", &b, &HlsOptions { bits: 32, ..Default::default() });
+        let d16 = synthesize(
+            "w16",
+            &b,
+            &HlsOptions {
+                bits: 16,
+                ..Default::default()
+            },
+        );
+        let d32 = synthesize(
+            "w32",
+            &b,
+            &HlsOptions {
+                bits: 32,
+                ..Default::default()
+            },
+        );
         assert!(d32.area_clbs > d16.area_clbs);
     }
 
@@ -219,5 +281,35 @@ mod tests {
         let d = synthesize("f", &Behavior::mac(), &HlsOptions::default());
         assert!(d.fits(d.area_clbs));
         assert!(!d.fits(d.area_clbs - 1));
+    }
+
+    #[test]
+    fn synthesize_many_matches_serial_for_any_job_count() {
+        let behaviors = [
+            Behavior::mac(),
+            Behavior::unary(Op::Neg),
+            Behavior::binary(Op::Div),
+            Behavior::binary(Op::Mul),
+            Behavior::mac(),
+        ];
+        let named: Vec<(String, &Behavior)> = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (format!("n{i}"), b))
+            .collect();
+        let items: Vec<(&str, &Behavior)> = named.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+        let opts = HlsOptions::default();
+        let serial = synthesize_many(&items, &opts, 1);
+        for jobs in [2usize, 4, 7, 0] {
+            assert_eq!(synthesize_many(&items, &opts, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn effective_jobs_clamps() {
+        assert_eq!(effective_jobs(4, 2), 2);
+        assert_eq!(effective_jobs(1, 100), 1);
+        assert!(effective_jobs(0, 100) >= 1);
+        assert_eq!(effective_jobs(3, 0), 1);
     }
 }

@@ -62,7 +62,11 @@ pub fn asap(cdfg: &Cdfg, bits: u16) -> Schedule {
         start[i] = ready;
     }
     let length = schedule_length(cdfg, &start, bits);
-    Schedule { kind: ScheduleKind::Asap, start, length }
+    Schedule {
+        kind: ScheduleKind::Asap,
+        start,
+        length,
+    }
 }
 
 /// ALAP schedule under `deadline` cycles.
@@ -75,7 +79,10 @@ pub fn asap(cdfg: &Cdfg, bits: u16) -> Schedule {
 pub fn alap(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
     let n = cdfg.op_count();
     let asap_len = asap(cdfg, bits).length;
-    assert!(deadline >= asap_len, "deadline {deadline} below ASAP bound {asap_len}");
+    assert!(
+        deadline >= asap_len,
+        "deadline {deadline} below ASAP bound {asap_len}"
+    );
     let mut start = vec![0u64; n];
     for i in (0..n).rev() {
         let lat = op_latency(cdfg.ops()[i].op, bits);
@@ -87,14 +94,23 @@ pub fn alap(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
         };
         // Outputs that also feed other ops must respect both.
         let bound = if cdfg.is_output(i) && !users.is_empty() {
-            users.iter().map(|&u| start[u]).min().unwrap_or(deadline).min(deadline)
+            users
+                .iter()
+                .map(|&u| start[u])
+                .min()
+                .unwrap_or(deadline)
+                .min(deadline)
         } else {
             latest_finish
         };
         start[i] = bound.saturating_sub(lat);
     }
     let length = schedule_length(cdfg, &start, bits);
-    Schedule { kind: ScheduleKind::Alap, start, length }
+    Schedule {
+        kind: ScheduleKind::Alap,
+        start,
+        length,
+    }
 }
 
 /// Resource-constrained list scheduling.
@@ -106,7 +122,11 @@ pub fn alap(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
 pub fn list_schedule(cdfg: &Cdfg, options: &HlsOptions, perturbation: u64) -> Schedule {
     let n = cdfg.op_count();
     if n == 0 {
-        return Schedule { kind: ScheduleKind::List, start: Vec::new(), length: 1 };
+        return Schedule {
+            kind: ScheduleKind::List,
+            start: Vec::new(),
+            length: 1,
+        };
     }
     let bits = options.bits;
     let asap_sched = asap(cdfg, bits);
@@ -119,7 +139,11 @@ pub fn list_schedule(cdfg: &Cdfg, options: &HlsOptions, perturbation: u64) -> Sc
             _ => 2,
         }
     };
-    let capacity = [options.max_multipliers.max(1), options.max_dividers.max(1), options.max_alus.max(1)];
+    let capacity = [
+        options.max_multipliers.max(1),
+        options.max_dividers.max(1),
+        options.max_alus.max(1),
+    ];
 
     let mut start = vec![u64::MAX; n];
     let mut scheduled = vec![false; n];
@@ -146,7 +170,11 @@ pub fn list_schedule(cdfg: &Cdfg, options: &HlsOptions, perturbation: u64) -> Sc
             .collect();
         // Urgency: ALAP start ascending, then perturbed index.
         ready.sort_by_key(|&i| {
-            (alap_sched.start[i], (i as u64).wrapping_add(perturbation) % (n as u64 + 1), i)
+            (
+                alap_sched.start[i],
+                (i as u64).wrapping_add(perturbation) % (n as u64 + 1),
+                i,
+            )
         });
         for i in ready {
             let c = class(cdfg.ops()[i].op);
@@ -160,7 +188,11 @@ pub fn list_schedule(cdfg: &Cdfg, options: &HlsOptions, perturbation: u64) -> Sc
         cycle += 1;
     }
     let length = schedule_length(cdfg, &start, bits);
-    Schedule { kind: ScheduleKind::List, start, length }
+    Schedule {
+        kind: ScheduleKind::List,
+        start,
+        length,
+    }
 }
 
 fn schedule_length(cdfg: &Cdfg, start: &[u64], bits: u16) -> u64 {
@@ -223,19 +255,29 @@ mod tests {
     #[test]
     fn list_respects_resource_limits() {
         let c = two_muls_plus();
-        let opts = HlsOptions { max_multipliers: 1, ..Default::default() };
+        let opts = HlsOptions {
+            max_multipliers: 1,
+            ..Default::default()
+        };
         let s = list_schedule(&c, &opts, 0);
         // Both muls are ops 0 and 1 (add is 2); with one multiplier their
         // intervals must not overlap.
         let mul_lat = operator_cost(Op::Mul, 16).latency;
         let (a, b) = (s.start[0], s.start[1]);
-        assert!(a + mul_lat <= b || b + mul_lat <= a, "muls overlap: {a} and {b}");
+        assert!(
+            a + mul_lat <= b || b + mul_lat <= a,
+            "muls overlap: {a} and {b}"
+        );
     }
 
     #[test]
     fn list_with_enough_resources_matches_asap() {
         let c = two_muls_plus();
-        let opts = HlsOptions { max_multipliers: 2, max_alus: 2, ..Default::default() };
+        let opts = HlsOptions {
+            max_multipliers: 2,
+            max_alus: 2,
+            ..Default::default()
+        };
         let s = list_schedule(&c, &opts, 0);
         let a = asap(&c, 16);
         assert_eq!(s.length, a.length);
@@ -250,8 +292,7 @@ mod tests {
                 for arg in &o.args {
                     if let ValueRef::Op(j) = arg {
                         assert!(
-                            s.start[*j] + operator_cost(c.ops()[*j].op, 16).latency
-                                <= s.start[i],
+                            s.start[*j] + operator_cost(c.ops()[*j].op, 16).latency <= s.start[i],
                             "dependency violated at perturbation {pert}"
                         );
                     }
@@ -284,7 +325,11 @@ mod tests {
 pub fn force_directed(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
     let n = cdfg.op_count();
     if n == 0 {
-        return Schedule { kind: ScheduleKind::ForceDirected, start: Vec::new(), length: 1 };
+        return Schedule {
+            kind: ScheduleKind::ForceDirected,
+            start: Vec::new(),
+            length: 1,
+        };
     }
     let asap_sched = asap(cdfg, bits);
     assert!(deadline >= asap_sched.length, "deadline below ASAP bound");
@@ -367,7 +412,11 @@ pub fn force_directed(cdfg: &Cdfg, bits: u16, deadline: u64) -> Schedule {
 
     let start = lo;
     let length = schedule_length(cdfg, &start, bits);
-    Schedule { kind: ScheduleKind::ForceDirected, start, length }
+    Schedule {
+        kind: ScheduleKind::ForceDirected,
+        start,
+        length,
+    }
 }
 
 /// Tighten `[lo, hi]` frames so dependencies stay satisfiable.
@@ -481,7 +530,10 @@ mod force_tests {
     fn deterministic() {
         let c = four_muls();
         let a = asap(&c, 16);
-        assert_eq!(force_directed(&c, 16, a.length + 3), force_directed(&c, 16, a.length + 3));
+        assert_eq!(
+            force_directed(&c, 16, a.length + 3),
+            force_directed(&c, 16, a.length + 3)
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
         Some((objective, values)) => Ok(Solution {
             objective,
             values,
-            status: if limit_hit { Status::LimitReached } else { Status::Optimal },
+            status: if limit_hit {
+                Status::LimitReached
+            } else {
+                Status::Optimal
+            },
             nodes_explored: nodes,
         }),
         None if limit_hit => Err(IlpError::NoIncumbent),
@@ -132,8 +136,9 @@ mod tests {
                 let value = ((seed * 7 + i as u64 * 13) % 10 + 1) as f64;
                 vars.push(p.add_binary(-value));
             }
-            let weights: Vec<f64> =
-                (0..n).map(|i| ((seed * 5 + i as u64 * 11) % 8 + 1) as f64).collect();
+            let weights: Vec<f64> = (0..n)
+                .map(|i| ((seed * 5 + i as u64 * 11) % 8 + 1) as f64)
+                .collect();
             let cap = weights.iter().sum::<f64>() / 2.0;
             let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
             p.add_constraint(&terms, Cmp::Le, cap);
@@ -173,10 +178,15 @@ mod tests {
     fn node_limit_respected() {
         let mut p = Problem::minimize();
         let n = 16;
-        let vars: Vec<_> = (0..n).map(|i| p.add_binary(-((i % 5) as f64) - 0.5)).collect();
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_binary(-((i % 5) as f64) - 0.5))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         p.add_constraint(&terms, Cmp::Le, (n / 2) as f64);
-        let sol = p.solve(&SolveOptions { max_nodes: 3, int_tol: 1e-6 });
+        let sol = p.solve(&SolveOptions {
+            max_nodes: 3,
+            int_tol: 1e-6,
+        });
         // Either found an incumbent within 3 nodes (LimitReached/Optimal) or
         // reports NoIncumbent; all are acceptable, crash is not.
         if let Ok(s) = sol {
@@ -193,7 +203,11 @@ mod tests {
         let b = p.add_binary(-10.0);
         p.add_constraint(&[(y, 1.0), (b, -6.0)], Cmp::Le, 4.0);
         let sol = p.solve(&SolveOptions::default()).unwrap();
-        assert!((sol.objective + 18.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 18.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert_eq!(sol.int_value(b), 1);
     }
 }

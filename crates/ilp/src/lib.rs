@@ -164,7 +164,10 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> SolveOptions {
-        SolveOptions { max_nodes: 200_000, int_tol: 1e-6 }
+        SolveOptions {
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+        }
     }
 }
 
@@ -310,14 +313,20 @@ mod tests {
         let mut p = Problem::minimize();
         let a = p.add_binary(1.0);
         p.add_constraint(&[(a, 1.0)], Cmp::Ge, 2.0);
-        assert_eq!(p.solve(&SolveOptions::default()).unwrap_err(), IlpError::Infeasible);
+        assert_eq!(
+            p.solve(&SolveOptions::default()).unwrap_err(),
+            IlpError::Infeasible
+        );
     }
 
     #[test]
     fn bad_bounds_detected() {
         let mut p = Problem::minimize();
         let _ = p.add_continuous(5.0, 1.0, 0.0);
-        assert!(matches!(p.solve(&SolveOptions::default()), Err(IlpError::BadBounds { .. })));
+        assert!(matches!(
+            p.solve(&SolveOptions::default()),
+            Err(IlpError::BadBounds { .. })
+        ));
     }
 
     #[test]
@@ -326,7 +335,10 @@ mod tests {
         let a = p.add_binary(1.0);
         let ghost = VarId(7);
         p.add_constraint(&[(a, 1.0), (ghost, 1.0)], Cmp::Le, 1.0);
-        assert_eq!(p.solve(&SolveOptions::default()).unwrap_err(), IlpError::UnknownVar(7));
+        assert_eq!(
+            p.solve(&SolveOptions::default()).unwrap_err(),
+            IlpError::UnknownVar(7)
+        );
     }
 
     #[test]
@@ -337,7 +349,11 @@ mod tests {
         let y = p.add_continuous(0.0, 7.0, -1.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
         let sol = p.solve(&SolveOptions::default()).unwrap();
-        assert!((sol.objective + 10.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 10.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
             coeffs[v] += a;
             rhs -= a * lo[v];
         }
-        rows.push(Row { coeffs, cmp: c.cmp, rhs });
+        rows.push(Row {
+            coeffs,
+            cmp: c.cmp,
+            rhs,
+        });
     }
     for i in 0..n {
         let range = hi[i] - lo[i];
@@ -81,11 +85,19 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
             // it (cheap to always add).
             let mut coeffs = vec![0.0; n];
             coeffs[i] = 1.0;
-            rows.push(Row { coeffs, cmp: Cmp::Le, rhs: 0.0 });
+            rows.push(Row {
+                coeffs,
+                cmp: Cmp::Le,
+                rhs: 0.0,
+            });
         } else {
             let mut coeffs = vec![0.0; n];
             coeffs[i] = 1.0;
-            rows.push(Row { coeffs, cmp: Cmp::Le, rhs: range });
+            rows.push(Row {
+                coeffs,
+                cmp: Cmp::Le,
+                rhs: range,
+            });
         }
     }
 
@@ -205,7 +217,11 @@ fn run_simplex(
         for j in 0..total {
             let mut d = costs[j];
             for i in 0..m {
-                let cb = if basis[i] < total { costs[basis[i]] } else { 0.0 };
+                let cb = if basis[i] < total {
+                    costs[basis[i]]
+                } else {
+                    0.0
+                };
                 if cb != 0.0 {
                     d -= cb * t[i][j];
                 }
@@ -251,6 +267,9 @@ fn run_simplex(
     Err(IlpError::Unbounded)
 }
 
+// Index loops keep the split borrows of the tableau obvious; iterator
+// forms would need per-pivot row clones.
+#[allow(clippy::needless_range_loop)]
 fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
     let m = t.len();
     let pv = t[row][col];
@@ -285,7 +304,11 @@ mod tests {
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
         p.add_constraint(&[(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
         let sol = solve_lp(&p, &[]).unwrap();
-        assert!((sol.objective + 12.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 12.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.values[0] - 4.0).abs() < 1e-6);
     }
 
@@ -345,7 +368,11 @@ mod tests {
         let y = p.add_continuous(1.0, 4.0, 1.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
         let sol = solve_lp(&p, &[]).unwrap();
-        assert!((sol.objective - 4.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 4.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(sol.values[0] >= 2.0 - 1e-9);
         assert!(sol.values[1] >= 1.0 - 1e-9);
     }

@@ -141,7 +141,11 @@ impl Op {
     /// construction time so this cannot happen for well-formed behaviours.
     #[must_use]
     pub fn apply(self, args: &[i64]) -> i64 {
-        assert_eq!(args.len(), self.arity(), "operand count mismatch for {self}");
+        assert_eq!(
+            args.len(),
+            self.arity(),
+            "operand count mismatch for {self}"
+        );
         match self {
             Op::Add => args[0].wrapping_add(args[1]),
             Op::Sub => args[0].wrapping_sub(args[1]),
@@ -324,7 +328,10 @@ impl Behavior {
             validate_arity(e)?;
             if let Some(max) = e.max_input() {
                 if max >= inputs {
-                    return Err(IrError::BadExprInput { index: max, arity: inputs });
+                    return Err(IrError::BadExprInput {
+                        index: max,
+                        arity: inputs,
+                    });
                 }
             }
         }
@@ -353,20 +360,29 @@ impl Behavior {
     #[must_use]
     pub fn unary(op: Op) -> Behavior {
         assert_eq!(op.arity(), 1, "Behavior::unary needs a unary operator");
-        Behavior { inputs: 1, outputs: vec![Expr::unary(op, Expr::Input(0))] }
+        Behavior {
+            inputs: 1,
+            outputs: vec![Expr::unary(op, Expr::Input(0))],
+        }
     }
 
     /// The identity behaviour (one input copied to one output), used for
     /// primary inputs/outputs and buffer nodes.
     #[must_use]
     pub fn identity() -> Behavior {
-        Behavior { inputs: 1, outputs: vec![Expr::Input(0)] }
+        Behavior {
+            inputs: 1,
+            outputs: vec![Expr::Input(0)],
+        }
     }
 
     /// A constant source with no inputs.
     #[must_use]
     pub fn constant(value: i64) -> Behavior {
-        Behavior { inputs: 0, outputs: vec![Expr::Const(value)] }
+        Behavior {
+            inputs: 0,
+            outputs: vec![Expr::Const(value)],
+        }
     }
 
     /// Multiply-accumulate `in0 * in1 + in2`, the bread-and-butter operation
@@ -443,7 +459,10 @@ fn validate_arity(e: &Expr) -> Result<(), IrError> {
             // would be nicer; arity mismatches can only be produced through
             // `Expr::Apply` construction by hand, so fold them into the
             // closest existing variant.
-            return Err(IrError::BadExprInput { index: args.len(), arity: op.arity() });
+            return Err(IrError::BadExprInput {
+                index: args.len(),
+                arity: op.arity(),
+            });
         }
         for a in args {
             validate_arity(a)?;

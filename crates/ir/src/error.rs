@@ -71,7 +71,12 @@ impl fmt::Display for IrError {
         match self {
             IrError::UnknownNode(id) => write!(f, "unknown node {id}"),
             IrError::UnknownEdge(id) => write!(f, "unknown edge {id}"),
-            IrError::PortOutOfRange { node, port, arity, input } => write!(
+            IrError::PortOutOfRange {
+                node,
+                port,
+                arity,
+                input,
+            } => write!(
                 f,
                 "{} port {port} out of range for node {node} with arity {arity}",
                 if *input { "input" } else { "output" }
@@ -90,7 +95,10 @@ impl fmt::Display for IrError {
             }
             IrError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
             IrError::BadExprInput { index, arity } => {
-                write!(f, "expression reads input {index} but behaviour has {arity} inputs")
+                write!(
+                    f,
+                    "expression reads input {index} but behaviour has {arity} inputs"
+                )
             }
             IrError::NoOutputs => write!(f, "behaviour declares zero outputs"),
             IrError::BadBitWidth(w) => write!(f, "bit width {w} is not in 1..=64"),

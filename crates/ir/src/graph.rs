@@ -168,13 +168,22 @@ impl PartitioningGraph {
         &self.name
     }
 
-    fn add_node(&mut self, name: String, kind: NodeKind, behavior: Behavior) -> Result<NodeId, IrError> {
+    fn add_node(
+        &mut self,
+        name: String,
+        kind: NodeKind,
+        behavior: Behavior,
+    ) -> Result<NodeId, IrError> {
         if self.by_name.contains_key(&name) {
             return Err(IrError::DuplicateName(name));
         }
         let id = NodeId(self.nodes.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.nodes.push(Node { name, kind, behavior });
+        self.nodes.push(Node {
+            name,
+            kind,
+            behavior,
+        });
         Ok(id)
     }
 
@@ -238,7 +247,12 @@ impl PartitioningGraph {
             _ => src_node.behavior.outputs() as u16,
         };
         if src_port >= src_arity {
-            return Err(IrError::PortOutOfRange { node: src, port: src_port, arity: src_arity, input: false });
+            return Err(IrError::PortOutOfRange {
+                node: src,
+                port: src_port,
+                arity: src_arity,
+                input: false,
+            });
         }
         let dst_node = self.node(dst)?;
         let dst_arity = match dst_node.kind {
@@ -247,13 +261,31 @@ impl PartitioningGraph {
             NodeKind::Function => dst_node.behavior.inputs() as u16,
         };
         if dst_port >= dst_arity {
-            return Err(IrError::PortOutOfRange { node: dst, port: dst_port, arity: dst_arity, input: true });
+            return Err(IrError::PortOutOfRange {
+                node: dst,
+                port: dst_port,
+                arity: dst_arity,
+                input: true,
+            });
         }
-        if self.edges.iter().any(|e| e.dst == dst && e.dst_port == dst_port) {
-            return Err(IrError::InputDrivenTwice { node: dst, port: dst_port });
+        if self
+            .edges
+            .iter()
+            .any(|e| e.dst == dst && e.dst_port == dst_port)
+        {
+            return Err(IrError::InputDrivenTwice {
+                node: dst,
+                port: dst_port,
+            });
         }
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { src, src_port, dst, dst_port, bits });
+        self.edges.push(Edge {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            bits,
+        });
         Ok(id)
     }
 
@@ -295,12 +327,18 @@ impl PartitioningGraph {
 
     /// Iterate over `(id, node)` pairs in insertion order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Iterate over `(id, edge)` pairs in insertion order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
     /// Ids of all primary inputs, in insertion order.
@@ -333,10 +371,7 @@ impl PartitioningGraph {
     /// Edges entering `node`, sorted by destination port.
     #[must_use]
     pub fn in_edges(&self, node: NodeId) -> Vec<(EdgeId, &Edge)> {
-        let mut v: Vec<_> = self
-            .edges()
-            .filter(|(_, e)| e.dst == node)
-            .collect();
+        let mut v: Vec<_> = self.edges().filter(|(_, e)| e.dst == node).collect();
         v.sort_by_key(|(_, e)| e.dst_port);
         v
     }
@@ -344,10 +379,7 @@ impl PartitioningGraph {
     /// Edges leaving `node`, sorted by source port.
     #[must_use]
     pub fn out_edges(&self, node: NodeId) -> Vec<(EdgeId, &Edge)> {
-        let mut v: Vec<_> = self
-            .edges()
-            .filter(|(_, e)| e.src == node)
-            .collect();
+        let mut v: Vec<_> = self.edges().filter(|(_, e)| e.src == node).collect();
         v.sort_by_key(|(_, e)| e.src_port);
         v
     }
@@ -451,11 +483,7 @@ impl PartitioningGraph {
     #[must_use]
     pub fn spec_line_estimate(&self) -> usize {
         let header = 12;
-        let decls: usize = self
-            .nodes
-            .iter()
-            .map(|n| 1 + n.behavior.op_count())
-            .sum();
+        let decls: usize = self.nodes.iter().map(|n| 1 + n.behavior.op_count()).sum();
         header + decls + self.edges.len()
     }
 }
@@ -473,7 +501,11 @@ impl fmt::Display for PartitioningGraph {
             writeln!(f, "  {id} {} [{}]", n.name(), n.kind())?;
         }
         for (id, e) in self.edges() {
-            writeln!(f, "  {id} {}:{} -> {}:{} ({} bits)", e.src, e.src_port, e.dst, e.dst_port, e.bits)?;
+            writeln!(
+                f,
+                "  {id} {}:{} -> {}:{} ({} bits)",
+                e.src, e.src_port, e.dst, e.dst_port, e.bits
+            )?;
         }
         Ok(())
     }
@@ -547,8 +579,14 @@ mod tests {
         let mut g = PartitioningGraph::new("g");
         let a = g.add_input("a", 8);
         let f = g.add_function("f", Behavior::unary(Op::Neg)).unwrap();
-        assert_eq!(g.connect(a, 0, f, 0, 0).unwrap_err(), IrError::BadBitWidth(0));
-        assert_eq!(g.connect(a, 0, f, 0, 65).unwrap_err(), IrError::BadBitWidth(65));
+        assert_eq!(
+            g.connect(a, 0, f, 0, 0).unwrap_err(),
+            IrError::BadBitWidth(0)
+        );
+        assert_eq!(
+            g.connect(a, 0, f, 0, 65).unwrap_err(),
+            IrError::BadBitWidth(65)
+        );
     }
 
     #[test]
@@ -580,7 +618,13 @@ mod tests {
 
     #[test]
     fn words_rounds_up() {
-        let e = Edge { src: NodeId(0), src_port: 0, dst: NodeId(1), dst_port: 0, bits: 24 };
+        let e = Edge {
+            src: NodeId(0),
+            src_port: 0,
+            dst: NodeId(1),
+            dst_port: 0,
+            bits: 24,
+        };
         assert_eq!(e.words(16), 2);
         assert_eq!(e.words(24), 1);
         assert_eq!(e.words(8), 3);

@@ -44,6 +44,8 @@ pub mod error;
 pub mod eval;
 pub mod graph;
 pub mod mapping;
+pub mod par;
+pub mod rng;
 pub mod target;
 pub mod topo;
 

@@ -54,7 +54,9 @@ impl Mapping {
     /// Create a mapping assigning every one of `node_count` nodes to `r`.
     #[must_use]
     pub fn uniform(node_count: usize, r: Resource) -> Mapping {
-        Mapping { assignment: vec![r; node_count] }
+        Mapping {
+            assignment: vec![r; node_count],
+        }
     }
 
     /// Create a mapping from a dense per-node assignment vector.
@@ -105,7 +107,10 @@ impl Mapping {
     /// Nodes mapped onto `r`, in id order.
     #[must_use]
     pub fn nodes_on(&self, r: Resource) -> Vec<NodeId> {
-        self.iter().filter(|&(_, x)| x == r).map(|(n, _)| n).collect()
+        self.iter()
+            .filter(|&(_, x)| x == r)
+            .map(|(n, _)| n)
+            .collect()
     }
 
     /// Number of function nodes (per `g`) mapped to software resources.
@@ -114,7 +119,9 @@ impl Mapping {
         self.iter()
             .filter(|&(n, r)| {
                 r.is_software()
-                    && g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+                    && g.node(n)
+                        .map(|x| x.kind() == NodeKind::Function)
+                        .unwrap_or(false)
             })
             .count()
     }
@@ -125,7 +132,9 @@ impl Mapping {
         self.iter()
             .filter(|&(n, r)| {
                 r.is_hardware()
-                    && g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+                    && g.node(n)
+                        .map(|x| x.kind() == NodeKind::Function)
+                        .unwrap_or(false)
             })
             .count()
     }
@@ -227,9 +236,15 @@ mod tests {
         let g = two_node_graph();
         let t = Target::minimal(); // 1 processor, 1 fpga
         let m = Mapping::uniform(g.node_count(), Resource::Hardware(3));
-        assert!(matches!(m.validate(&g, &t), Err(IrError::UnknownResource(_))));
+        assert!(matches!(
+            m.validate(&g, &t),
+            Err(IrError::UnknownResource(_))
+        ));
         let short = Mapping::from_vec(vec![Resource::Software(0)]);
-        assert!(matches!(short.validate(&g, &t), Err(IrError::IncompleteMapping { .. })));
+        assert!(matches!(
+            short.validate(&g, &t),
+            Err(IrError::IncompleteMapping { .. })
+        ));
         let ok = Mapping::uniform(g.node_count(), Resource::Software(0));
         ok.validate(&g, &t).unwrap();
     }

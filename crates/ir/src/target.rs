@@ -96,13 +96,21 @@ impl Processor {
     /// A 20 MHz Motorola DSP56001, the paper's software resource.
     #[must_use]
     pub fn dsp56001(name: impl Into<String>) -> Processor {
-        Processor { name: name.into(), clock_mhz: 20.0, timing: TimingClass::Dsp56001 }
+        Processor {
+            name: name.into(),
+            clock_mhz: 20.0,
+            timing: TimingClass::Dsp56001,
+        }
     }
 
     /// A generic 33 MHz RISC core, for ablation targets.
     #[must_use]
     pub fn generic_risc(name: impl Into<String>) -> Processor {
-        Processor { name: name.into(), clock_mhz: 33.0, timing: TimingClass::GenericRisc }
+        Processor {
+            name: name.into(),
+            clock_mhz: 33.0,
+            timing: TimingClass::GenericRisc,
+        }
     }
 }
 
@@ -121,7 +129,11 @@ impl HwResource {
     /// A Xilinx XC4005 with 196 CLBs, as on the paper's board.
     #[must_use]
     pub fn xc4005(name: impl Into<String>) -> HwResource {
-        HwResource { name: name.into(), clock_mhz: 16.0, clb_capacity: 196 }
+        HwResource {
+            name: name.into(),
+            clock_mhz: 16.0,
+            clb_capacity: 196,
+        }
     }
 }
 
@@ -169,7 +181,11 @@ impl Bus {
     /// A 16-bit backplane bus as on the paper's prototyping board.
     #[must_use]
     pub fn backplane_16(name: impl Into<String>) -> Bus {
-        Bus { name: name.into(), width_bits: 16, cycles_per_word: 2 }
+        Bus {
+            name: name.into(),
+            width_bits: 16,
+            cycles_per_word: 2,
+        }
     }
 }
 
@@ -281,7 +297,11 @@ mod tests {
 
     #[test]
     fn division_is_expensive_everywhere() {
-        for t in [TimingClass::Dsp56001, TimingClass::GenericRisc, TimingClass::Microcontroller] {
+        for t in [
+            TimingClass::Dsp56001,
+            TimingClass::GenericRisc,
+            TimingClass::Microcontroller,
+        ] {
             assert!(t.op_cycles(Op::Div) >= 10);
         }
     }
@@ -291,7 +311,11 @@ mod tests {
         let t = Target::fuzzy_board();
         assert_eq!(
             t.resources(),
-            vec![Resource::Software(0), Resource::Hardware(0), Resource::Hardware(1)]
+            vec![
+                Resource::Software(0),
+                Resource::Hardware(0),
+                Resource::Hardware(1)
+            ]
         );
         assert_eq!(t.resource_name(Resource::Hardware(1)), "fpga1");
     }

@@ -3,13 +3,12 @@
 //! Chromosomes assign one resource index to every function node. Fitness
 //! is the *real* list-scheduler makespan plus a steep penalty per CLB of
 //! area violation, so the GA optimizes exactly what the paper's schedule
-//! executes. Population evaluation is parallelized with crossbeam scoped
-//! threads.
+//! executes. Population evaluation is parallelized with `std::thread`
+//! scoped workers.
 
 use cool_cost::{CommScheme, CostModel};
+use cool_ir::rng::StdRng;
 use cool_ir::{Mapping, NodeId, PartitioningGraph, Resource};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::{Algorithm, PartitionError, PartitionResult};
 
@@ -76,7 +75,11 @@ pub fn partition(
         pop.push((0..genes).map(|i| (1 + i % (r_count - 1)) as u8).collect());
     }
     while pop.len() < options.population.max(4) {
-        pop.push((0..genes).map(|_| rng.random_range(0..r_count) as u8).collect());
+        pop.push(
+            (0..genes)
+                .map(|_| rng.random_range(0..r_count) as u8)
+                .collect(),
+        );
     }
 
     let evaluate_one = |chrom: &[u8]| -> u64 {
@@ -95,10 +98,16 @@ pub fn partition(
             let a = tournament(&pop, &fitnesses, options.tournament, &mut rng);
             let b = tournament(&pop, &fitnesses, options.tournament, &mut rng);
             let mut child: Vec<u8> = (0..genes)
-                .map(|i| if rng.random_range(0..2) == 0 { pop[a][i] } else { pop[b][i] })
+                .map(|i| {
+                    if rng.random_range(0..2) == 0 {
+                        pop[a][i]
+                    } else {
+                        pop[b][i]
+                    }
+                })
                 .collect();
             for gene in child.iter_mut() {
-                if rng.random::<f64>() < mutation {
+                if rng.random_f64() < mutation {
                     *gene = rng.random_range(0..r_count) as u8;
                 }
             }
@@ -138,12 +147,7 @@ fn decode(
     m
 }
 
-fn fitness(
-    g: &PartitioningGraph,
-    mapping: &Mapping,
-    cost: &CostModel,
-    options: &GaOptions,
-) -> u64 {
+fn fitness(g: &PartitioningGraph, mapping: &Mapping, cost: &CostModel, options: &GaOptions) -> u64 {
     let usage = crate::area_usage(g, mapping, cost);
     let violation: u64 = usage
         .iter()
@@ -166,25 +170,19 @@ fn evaluate_population(
     }
     let chunk = pop.len().div_ceil(threads);
     let mut out = vec![0u64; pop.len()];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, chunk_items) in out.chunks_mut(chunk).zip(pop.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (o, c) in slot.iter_mut().zip(chunk_items) {
                     *o = evaluate_one(c);
                 }
             });
         }
-    })
-    .expect("fitness worker panicked");
+    });
     out
 }
 
-fn tournament(
-    pop: &[Vec<u8>],
-    fit: &[u64],
-    k: usize,
-    rng: &mut StdRng,
-) -> usize {
+fn tournament(pop: &[Vec<u8>], fit: &[u64], k: usize, rng: &mut StdRng) -> usize {
     let mut best = rng.random_range(0..pop.len());
     for _ in 1..k.max(1) {
         let c = rng.random_range(0..pop.len());
@@ -240,7 +238,12 @@ mod tests {
     use cool_spec::workloads;
 
     fn quick_options() -> GaOptions {
-        GaOptions { population: 12, generations: 8, threads: 1, ..Default::default() }
+        GaOptions {
+            population: 12,
+            generations: 8,
+            threads: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -261,7 +264,11 @@ mod tests {
         // Never worse than the all-software baseline it was seeded with.
         let all_sw = crate::all_software(&g);
         let (sw, _) = crate::evaluate(&g, &all_sw, &cost, CommScheme::MemoryMapped).unwrap();
-        assert!(res.makespan <= sw, "GA {} vs all-software {sw}", res.makespan);
+        assert!(
+            res.makespan <= sw,
+            "GA {} vs all-software {sw}",
+            res.makespan
+        );
     }
 
     #[test]
@@ -281,9 +288,24 @@ mod tests {
     fn parallel_and_serial_fitness_agree() {
         let g = workloads::equalizer(4);
         let cost = CostModel::new(&g, &Target::fuzzy_board());
-        let serial = partition(&g, &cost, &GaOptions { threads: 1, ..quick_options() }).unwrap();
-        let parallel =
-            partition(&g, &cost, &GaOptions { threads: 4, ..quick_options() }).unwrap();
+        let serial = partition(
+            &g,
+            &cost,
+            &GaOptions {
+                threads: 1,
+                ..quick_options()
+            },
+        )
+        .unwrap();
+        let parallel = partition(
+            &g,
+            &cost,
+            &GaOptions {
+                threads: 4,
+                ..quick_options()
+            },
+        )
+        .unwrap();
         assert_eq!(serial.mapping, parallel.mapping);
     }
 

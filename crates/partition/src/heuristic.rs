@@ -27,7 +27,10 @@ pub struct HeuristicOptions {
 
 impl Default for HeuristicOptions {
     fn default() -> HeuristicOptions {
-        HeuristicOptions { max_clusters: 12, milp: MilpOptions::default() }
+        HeuristicOptions {
+            max_clusters: 12,
+            milp: MilpOptions::default(),
+        }
     }
 }
 
@@ -66,9 +69,7 @@ pub fn partition(
 
     let mut edges: Vec<(u64, NodeId, NodeId)> = g
         .edges()
-        .filter(|(_, e)| {
-            is_function(g, e.src) && is_function(g, e.dst)
-        })
+        .filter(|(_, e)| is_function(g, e.src) && is_function(g, e.dst))
         .map(|(_, e)| (cost.comm_cycles(e, options.milp.scheme), e.src, e.dst))
         .collect();
     edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
@@ -92,10 +93,7 @@ pub fn partition(
     // If area caps blocked us above the target, merge smallest pairs of
     // clusters regardless of adjacency (still respecting the cap).
     while cluster_count > options.max_clusters {
-        let mut roots: Vec<usize> = functions
-            .iter()
-            .map(|&n| uf.find(n.index()))
-            .collect();
+        let mut roots: Vec<usize> = functions.iter().map(|&n| uf.find(n.index())).collect();
         roots.sort_unstable();
         roots.dedup();
         roots.sort_by_key(|&r| cluster_area[r]);
@@ -197,22 +195,16 @@ pub fn partition(
     let r_count = resources.len();
     let mut p = cool_ilp::Problem::minimize();
     let mut x: Vec<Vec<cool_ilp::VarId>> = Vec::with_capacity(k);
-    for c in 0..k {
+    for members in cluster_members.iter().take(k) {
         let mut row = Vec::with_capacity(r_count);
         for &r in &resources {
-            let exec: u64 = cluster_members[c]
-                .iter()
-                .map(|&n| cost.exec_cycles(n, r))
-                .sum();
+            let exec: u64 = members.iter().map(|&n| cost.exec_cycles(n, r)).sum();
             let area: u32 = match r {
-                Resource::Hardware(_) => {
-                    cluster_members[c].iter().map(|&n| cost.hw_area_clbs(n)).sum()
-                }
+                Resource::Hardware(_) => members.iter().map(|&n| cost.hw_area_clbs(n)).sum(),
                 Resource::Software(_) => 0,
             };
             row.push(p.add_binary(
-                options.milp.time_weight * exec as f64
-                    + options.milp.area_weight * f64::from(area),
+                options.milp.time_weight * exec as f64 + options.milp.area_weight * f64::from(area),
             ));
         }
         let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
@@ -226,8 +218,10 @@ pub fn partition(
             .expect("hw enumerated");
         let terms: Vec<_> = (0..k)
             .map(|c| {
-                let area: u32 =
-                    cluster_members[c].iter().map(|&n| cost.hw_area_clbs(n)).sum();
+                let area: u32 = cluster_members[c]
+                    .iter()
+                    .map(|&n| cost.hw_area_clbs(n))
+                    .sum();
                 (x[c][ri], f64::from(area))
             })
             .collect();
@@ -235,17 +229,9 @@ pub fn partition(
     }
     for (&(a, b), &w) in &inter {
         let y = p.add_continuous(0.0, 1.0, options.milp.comm_weight * w as f64);
-        for ri in 0..r_count {
-            p.add_constraint(
-                &[(y, 1.0), (x[a][ri], -1.0), (x[b][ri], 1.0)],
-                cool_ilp::Cmp::Ge,
-                0.0,
-            );
-            p.add_constraint(
-                &[(y, 1.0), (x[b][ri], -1.0), (x[a][ri], 1.0)],
-                cool_ilp::Cmp::Ge,
-                0.0,
-            );
+        for (&xa, &xb) in x[a].iter().zip(&x[b]).take(r_count) {
+            p.add_constraint(&[(y, 1.0), (xa, -1.0), (xb, 1.0)], cool_ilp::Cmp::Ge, 0.0);
+            p.add_constraint(&[(y, 1.0), (xb, -1.0), (xa, 1.0)], cool_ilp::Cmp::Ge, 0.0);
         }
     }
     for (&c, &w) in &io_cut {
@@ -279,7 +265,9 @@ pub fn partition(
 }
 
 fn is_function(g: &PartitioningGraph, n: NodeId) -> bool {
-    g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+    g.node(n)
+        .map(|x| x.kind() == NodeKind::Function)
+        .unwrap_or(false)
 }
 
 fn cluster_of(
@@ -302,9 +290,7 @@ fn rebase_inputs(e: &cool_ir::Expr) -> cool_ir::Expr {
     match e {
         Expr::Input(_) => Expr::Input(0),
         Expr::Const(c) => Expr::Const(*c),
-        Expr::Apply(op, args) => {
-            Expr::Apply(*op, args.iter().map(rebase_inputs).collect())
-        }
+        Expr::Apply(op, args) => Expr::Apply(*op, args.iter().map(rebase_inputs).collect()),
     }
 }
 
@@ -315,7 +301,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).map(std::cell::Cell::new).collect() }
+        UnionFind {
+            parent: (0..n).map(std::cell::Cell::new).collect(),
+        }
     }
 
     fn find(&mut self, i: usize) -> usize {
@@ -373,7 +361,10 @@ mod tests {
             ..Default::default()
         });
         let cost = CostModel::new(&g, &Target::fuzzy_board());
-        let opts = HeuristicOptions { max_clusters: 8, ..Default::default() };
+        let opts = HeuristicOptions {
+            max_clusters: 8,
+            ..Default::default()
+        };
         let res = partition(&g, &cost, &opts).unwrap();
         let (makespan, _) =
             crate::evaluate(&g, &res.mapping, &cost, CommScheme::MemoryMapped).unwrap();

@@ -13,7 +13,7 @@
 //!   solution is expanded;
 //! * [`genetic`] — a genetic algorithm whose fitness is the *actual* list
 //!   scheduler makespan (plus area-violation penalties), with
-//!   crossbeam-parallel population evaluation.
+//!   scoped-thread-parallel population evaluation.
 //!
 //! All partitioners return a [`PartitionResult`] containing the coloured
 //! graph ([`cool_ir::Mapping`]) and solver statistics, and all guarantee

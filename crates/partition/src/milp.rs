@@ -106,17 +106,9 @@ pub fn partition(
         let y = p.add_continuous(0.0, 1.0, comm);
         match (u, v) {
             (Some(ui), Some(vi)) => {
-                for ri in 0..r_count {
-                    p.add_constraint(
-                        &[(y, 1.0), (x[ui][ri], -1.0), (x[vi][ri], 1.0)],
-                        Cmp::Ge,
-                        0.0,
-                    );
-                    p.add_constraint(
-                        &[(y, 1.0), (x[vi][ri], -1.0), (x[ui][ri], 1.0)],
-                        Cmp::Ge,
-                        0.0,
-                    );
+                for (&xu, &xv) in x[ui].iter().zip(&x[vi]).take(r_count) {
+                    p.add_constraint(&[(y, 1.0), (xu, -1.0), (xv, 1.0)], Cmp::Ge, 0.0);
+                    p.add_constraint(&[(y, 1.0), (xv, -1.0), (xu, 1.0)], Cmp::Ge, 0.0);
                 }
             }
             (Some(ui), None) => {
@@ -132,7 +124,10 @@ pub fn partition(
         }
     }
 
-    let sol = p.solve(&SolveOptions { max_nodes: options.max_nodes, int_tol: 1e-6 })?;
+    let sol = p.solve(&SolveOptions {
+        max_nodes: options.max_nodes,
+        int_tol: 1e-6,
+    })?;
 
     // Extract mapping.
     let mut mapping = crate::all_software(g);
@@ -188,7 +183,11 @@ mod tests {
             crate::evaluate(&g, &all_sw, &cost, CommScheme::MemoryMapped).unwrap();
         // The proxy objective does not guarantee makespan dominance, but on
         // this tiny DSP-friendly design it must not be absurdly worse.
-        assert!(res.makespan <= sw_makespan * 2, "{} vs {sw_makespan}", res.makespan);
+        assert!(
+            res.makespan <= sw_makespan * 2,
+            "{} vs {sw_makespan}",
+            res.makespan
+        );
     }
 
     #[test]
@@ -206,7 +205,10 @@ mod tests {
     fn comm_weight_discourages_cuts() {
         let g = workloads::equalizer(2);
         let cost = CostModel::new(&g, &Target::fuzzy_board());
-        let heavy = MilpOptions { comm_weight: 1000.0, ..Default::default() };
+        let heavy = MilpOptions {
+            comm_weight: 1000.0,
+            ..Default::default()
+        };
         let res = partition(&g, &cost, &heavy).unwrap();
         // With overwhelming comm penalty everything lands on one resource.
         let cut = res.mapping.cut_edges(&g).len();

@@ -36,19 +36,89 @@ pub fn encoding_cost(stg: &Stg, codes: &[u32]) -> u64 {
 
 /// Search a good binary encoding for the STG's states.
 ///
-/// Deterministic: a seeded xorshift explores `effort × states` random
-/// permutations plus a greedy pairwise-improvement pass per candidate,
-/// keeping the cheapest. `effort = 0` returns the identity encoding.
+/// Deterministic: `effort` is split across up to [`ENCODING_STREAMS`]
+/// independent seeded search streams; each stream explores random swap
+/// mutations plus a greedy pairwise-improvement pass per candidate,
+/// keeping the cheapest (ties broken by stream index). `effort = 0`
+/// returns the identity encoding.
 #[must_use]
 pub fn optimize_encoding(stg: &Stg, effort: u32) -> StateEncoding {
+    optimize_encoding_jobs(stg, effort, 1)
+}
+
+/// Number of independent search streams [`optimize_encoding_jobs`]
+/// splits its effort across. Fixed (never derived from the jobs knob) so
+/// that the result is identical for every worker count.
+pub const ENCODING_STREAMS: u32 = 8;
+
+/// Like [`optimize_encoding`], but running the independent search
+/// streams on `jobs` scoped worker threads (`0` = all cores).
+///
+/// Stream count and seeds depend only on `effort`, so the returned
+/// encoding is identical for every `jobs` value; only wall-clock
+/// changes.
+#[must_use]
+pub fn optimize_encoding_jobs(stg: &Stg, effort: u32, jobs: usize) -> StateEncoding {
     let n = stg.state_count();
-    let bits = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as u32 };
+    let bits = if n <= 1 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    };
+    let streams = ENCODING_STREAMS.min(effort.max(1));
+    let base = effort / streams;
+    let rem = effort % streams;
+    let runs: Vec<(u32, u64)> = (0..streams)
+        .map(|k| {
+            let stream_effort = base + u32::from(k < rem);
+            // SplitMix64 over the stream index; stream 0 keeps the
+            // historical constant so low-effort searches stay comparable.
+            let mut z = 0x9e37_79b9_7f4a_7c15u64
+                .wrapping_add(u64::from(k).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (
+                stream_effort,
+                if k == 0 {
+                    0x9e37_79b9_7f4a_7c15
+                } else {
+                    z ^ (z >> 31)
+                },
+            )
+        })
+        .collect();
+
+    let results: Vec<StreamResult> =
+        cool_ir::par::par_map(&runs, jobs, |&(e, s)| search_stream(stg, e, s));
+
+    let tried: usize = results.iter().map(|(_, _, t)| t).sum::<usize>() - (results.len() - 1);
+    let (codes, cost, _) = results
+        .into_iter()
+        .enumerate()
+        .min_by_key(|(k, (_, cost, _))| (*cost, *k))
+        .map(|(_, r)| r)
+        .expect("at least one stream");
+    StateEncoding {
+        codes,
+        bits,
+        cost,
+        candidates_tried: tried,
+    }
+}
+
+/// Result of one search stream: `(codes, cost, candidates tried)`.
+type StreamResult = (Vec<u32>, u64, usize);
+
+/// One sequential search stream: `effort × states` random swap mutations
+/// of the stream's best, each followed by a greedy adjacent-swap pass.
+fn search_stream(stg: &Stg, effort: u32, seed: u64) -> StreamResult {
+    let n = stg.state_count();
     let identity: Vec<u32> = (0..n as u32).collect();
     let mut best = identity.clone();
     let mut best_cost = encoding_cost(stg, &best);
     let mut tried = 1usize;
 
-    let mut rng_state = 0x9e3779b97f4a7c15u64;
+    let mut rng_state = seed | 1;
     let mut next = move || {
         rng_state ^= rng_state << 13;
         rng_state ^= rng_state >> 7;
@@ -61,8 +131,8 @@ pub fn optimize_encoding(stg: &Stg, effort: u32) -> StateEncoding {
     for _ in 0..rounds {
         // Random swap mutation of the current best.
         candidate.copy_from_slice(&best);
-        let i = (next() % n as u64) as usize;
-        let j = (next() % n as u64) as usize;
+        let i = (next() % n.max(1) as u64) as usize;
+        let j = (next() % n.max(1) as u64) as usize;
         candidate.swap(i, j);
         // Greedy improvement: try swapping each adjacent pair once.
         let mut cost = encoding_cost(stg, &candidate);
@@ -82,7 +152,7 @@ pub fn optimize_encoding(stg: &Stg, effort: u32) -> StateEncoding {
         }
         tried += 1;
     }
-    StateEncoding { codes: best, bits, cost: best_cost, candidates_tried: tried }
+    (best, best_cost, tried)
 }
 
 #[cfg(test)]
@@ -97,8 +167,7 @@ mod tests {
         let target = Target::fuzzy_board();
         let cost = CostModel::new(&g, &target);
         let mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
-        let sched =
-            cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+        let sched = cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
         let (min, _) = cool_stg::minimize(&cool_stg::generate(&g, &mapping, &sched));
         min
     }
@@ -140,5 +209,16 @@ mod tests {
         let s = stg();
         let enc = optimize_encoding(&s, 0);
         assert_eq!(enc.codes, (0..s.state_count() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_invariant() {
+        let s = stg();
+        let serial = optimize_encoding_jobs(&s, 24, 1);
+        for jobs in [2usize, 4, 0] {
+            assert_eq!(optimize_encoding_jobs(&s, 24, jobs), serial, "jobs={jobs}");
+        }
+        // And the single-threaded entry point is the jobs=1 result.
+        assert_eq!(optimize_encoding(&s, 24), serial);
     }
 }

@@ -41,7 +41,10 @@ impl SystemController {
     /// Build the controller from a (preferably minimized) STG.
     #[must_use]
     pub fn from_stg(stg: Stg, g: &PartitioningGraph) -> SystemController {
-        SystemController { stg, nodes: g.function_nodes() }
+        SystemController {
+            stg,
+            nodes: g.function_nodes(),
+        }
     }
 
     /// The controller's state machine.
@@ -208,10 +211,9 @@ impl Netlist {
                     .components
                     .get(ci)
                     .ok_or_else(|| format!("net {} references missing component {ci}", n.name))?;
-                let p = c
-                    .ports
-                    .get(pi)
-                    .ok_or_else(|| format!("net {} references missing port {pi} of {}", n.name, c.name))?;
+                let p = c.ports.get(pi).ok_or_else(|| {
+                    format!("net {} references missing port {pi} of {}", n.name, c.name)
+                })?;
                 if p.bits != n.bits {
                     return Err(format!(
                         "net {} ({} bits) connected to port {}.{} ({} bits)",
@@ -250,11 +252,7 @@ fn bit() -> u16 {
 /// memory — then wires start/done pairs, bus request/grant pairs and the
 /// shared address/data bus.
 #[must_use]
-pub fn build_netlist(
-    g: &PartitioningGraph,
-    mapping: &Mapping,
-    target: &Target,
-) -> Netlist {
+pub fn build_netlist(g: &PartitioningGraph, mapping: &Mapping, target: &Target) -> Netlist {
     let mut nl = Netlist::default();
     let data_bits = target.bus.width_bits;
 
@@ -286,14 +284,38 @@ pub fn build_netlist(
 
     let functions = g.function_nodes();
     let mut sysctl_ports = vec![
-        Port { name: "clk".into(), dir: PortDir::In, bits: bit() },
-        Port { name: "reset".into(), dir: PortDir::In, bits: bit() },
-        Port { name: "sys_start".into(), dir: PortDir::In, bits: bit() },
-        Port { name: "sys_done".into(), dir: PortDir::Out, bits: bit() },
+        Port {
+            name: "clk".into(),
+            dir: PortDir::In,
+            bits: bit(),
+        },
+        Port {
+            name: "reset".into(),
+            dir: PortDir::In,
+            bits: bit(),
+        },
+        Port {
+            name: "sys_start".into(),
+            dir: PortDir::In,
+            bits: bit(),
+        },
+        Port {
+            name: "sys_done".into(),
+            dir: PortDir::Out,
+            bits: bit(),
+        },
     ];
     for &n in &functions {
-        sysctl_ports.push(Port { name: format!("start_{}", n.index()), dir: PortDir::Out, bits: bit() });
-        sysctl_ports.push(Port { name: format!("done_{}", n.index()), dir: PortDir::In, bits: bit() });
+        sysctl_ports.push(Port {
+            name: format!("start_{}", n.index()),
+            dir: PortDir::Out,
+            bits: bit(),
+        });
+        sysctl_ports.push(Port {
+            name: format!("done_{}", n.index()),
+            dir: PortDir::In,
+            bits: bit(),
+        });
     }
     let sysctl = nl.components.len();
     nl.components.push(Component {
@@ -312,11 +334,31 @@ pub fn build_netlist(
             name: target.processors[p].name.clone(),
             kind: ComponentKind::Processor(p),
             ports: vec![
-                Port { name: "clk".into(), dir: PortDir::In, bits: bit() },
-                Port { name: "bus_req".into(), dir: PortDir::Out, bits: bit() },
-                Port { name: "bus_gnt".into(), dir: PortDir::In, bits: bit() },
-                Port { name: "data".into(), dir: PortDir::InOut, bits: data_bits },
-                Port { name: "addr".into(), dir: PortDir::Out, bits: 16 },
+                Port {
+                    name: "clk".into(),
+                    dir: PortDir::In,
+                    bits: bit(),
+                },
+                Port {
+                    name: "bus_req".into(),
+                    dir: PortDir::Out,
+                    bits: bit(),
+                },
+                Port {
+                    name: "bus_gnt".into(),
+                    dir: PortDir::In,
+                    bits: bit(),
+                },
+                Port {
+                    name: "data".into(),
+                    dir: PortDir::InOut,
+                    bits: data_bits,
+                },
+                Port {
+                    name: "addr".into(),
+                    dir: PortDir::Out,
+                    bits: 16,
+                },
             ],
         });
         masters.push(idx);
@@ -328,11 +370,31 @@ pub fn build_netlist(
             name: format!("dpctl_{}", target.resource_name(r)),
             kind: ComponentKind::DatapathController(r),
             ports: vec![
-                Port { name: "clk".into(), dir: PortDir::In, bits: bit() },
-                Port { name: "bus_req".into(), dir: PortDir::Out, bits: bit() },
-                Port { name: "bus_gnt".into(), dir: PortDir::In, bits: bit() },
-                Port { name: "data".into(), dir: PortDir::InOut, bits: data_bits },
-                Port { name: "addr".into(), dir: PortDir::Out, bits: 16 },
+                Port {
+                    name: "clk".into(),
+                    dir: PortDir::In,
+                    bits: bit(),
+                },
+                Port {
+                    name: "bus_req".into(),
+                    dir: PortDir::Out,
+                    bits: bit(),
+                },
+                Port {
+                    name: "bus_gnt".into(),
+                    dir: PortDir::In,
+                    bits: bit(),
+                },
+                Port {
+                    name: "data".into(),
+                    dir: PortDir::InOut,
+                    bits: data_bits,
+                },
+                Port {
+                    name: "addr".into(),
+                    dir: PortDir::Out,
+                    bits: 16,
+                },
             ],
         });
         masters.push(idx);
@@ -343,21 +405,61 @@ pub fn build_netlist(
         name: "ioctl0".into(),
         kind: ComponentKind::IoController,
         ports: vec![
-            Port { name: "clk".into(), dir: PortDir::In, bits: bit() },
-            Port { name: "bus_req".into(), dir: PortDir::Out, bits: bit() },
-            Port { name: "bus_gnt".into(), dir: PortDir::In, bits: bit() },
-            Port { name: "data".into(), dir: PortDir::InOut, bits: data_bits },
-            Port { name: "addr".into(), dir: PortDir::Out, bits: 16 },
-            Port { name: "env_in".into(), dir: PortDir::In, bits: data_bits },
-            Port { name: "env_out".into(), dir: PortDir::Out, bits: data_bits },
+            Port {
+                name: "clk".into(),
+                dir: PortDir::In,
+                bits: bit(),
+            },
+            Port {
+                name: "bus_req".into(),
+                dir: PortDir::Out,
+                bits: bit(),
+            },
+            Port {
+                name: "bus_gnt".into(),
+                dir: PortDir::In,
+                bits: bit(),
+            },
+            Port {
+                name: "data".into(),
+                dir: PortDir::InOut,
+                bits: data_bits,
+            },
+            Port {
+                name: "addr".into(),
+                dir: PortDir::Out,
+                bits: 16,
+            },
+            Port {
+                name: "env_in".into(),
+                dir: PortDir::In,
+                bits: data_bits,
+            },
+            Port {
+                name: "env_out".into(),
+                dir: PortDir::Out,
+                bits: data_bits,
+            },
         ],
     });
     masters.push(ioctl);
 
-    let mut arb_ports = vec![Port { name: "clk".into(), dir: PortDir::In, bits: bit() }];
+    let mut arb_ports = vec![Port {
+        name: "clk".into(),
+        dir: PortDir::In,
+        bits: bit(),
+    }];
     for (i, _) in masters.iter().enumerate() {
-        arb_ports.push(Port { name: format!("req{i}"), dir: PortDir::In, bits: bit() });
-        arb_ports.push(Port { name: format!("gnt{i}"), dir: PortDir::Out, bits: bit() });
+        arb_ports.push(Port {
+            name: format!("req{i}"),
+            dir: PortDir::In,
+            bits: bit(),
+        });
+        arb_ports.push(Port {
+            name: format!("gnt{i}"),
+            dir: PortDir::Out,
+            bits: bit(),
+        });
     }
     let arbiter = nl.components.len();
     nl.components.push(Component {
@@ -369,15 +471,35 @@ pub fn build_netlist(
     for &n in &hw_nodes {
         let node = g.node(n).expect("hw node exists");
         let mut ports = vec![
-            Port { name: "clk".into(), dir: PortDir::In, bits: bit() },
-            Port { name: "start".into(), dir: PortDir::In, bits: bit() },
-            Port { name: "done".into(), dir: PortDir::Out, bits: bit() },
+            Port {
+                name: "clk".into(),
+                dir: PortDir::In,
+                bits: bit(),
+            },
+            Port {
+                name: "start".into(),
+                dir: PortDir::In,
+                bits: bit(),
+            },
+            Port {
+                name: "done".into(),
+                dir: PortDir::Out,
+                bits: bit(),
+            },
         ];
         for i in 0..node.behavior().inputs() {
-            ports.push(Port { name: format!("op{i}"), dir: PortDir::In, bits: data_bits });
+            ports.push(Port {
+                name: format!("op{i}"),
+                dir: PortDir::In,
+                bits: data_bits,
+            });
         }
         for o in 0..node.behavior().outputs() {
-            ports.push(Port { name: format!("res{o}"), dir: PortDir::Out, bits: data_bits });
+            ports.push(Port {
+                name: format!("res{o}"),
+                dir: PortDir::Out,
+                bits: data_bits,
+            });
         }
         nl.components.push(Component {
             name: format!("hw_{}", node.name()),
@@ -391,10 +513,26 @@ pub fn build_netlist(
         name: target.memory.name.clone(),
         kind: ComponentKind::Memory,
         ports: vec![
-            Port { name: "clk".into(), dir: PortDir::In, bits: bit() },
-            Port { name: "data".into(), dir: PortDir::InOut, bits: data_bits },
-            Port { name: "addr".into(), dir: PortDir::In, bits: 16 },
-            Port { name: "we".into(), dir: PortDir::In, bits: bit() },
+            Port {
+                name: "clk".into(),
+                dir: PortDir::In,
+                bits: bit(),
+            },
+            Port {
+                name: "data".into(),
+                dir: PortDir::InOut,
+                bits: data_bits,
+            },
+            Port {
+                name: "addr".into(),
+                dir: PortDir::In,
+                bits: 16,
+            },
+            Port {
+                name: "we".into(),
+                dir: PortDir::In,
+                bits: bit(),
+            },
         ],
     });
 
@@ -414,7 +552,11 @@ pub fn build_netlist(
             clk_eps.push((ci, pi));
         }
     }
-    nl.nets.push(Net { name: "clk".into(), bits: bit(), endpoints: clk_eps });
+    nl.nets.push(Net {
+        name: "clk".into(),
+        bits: bit(),
+        endpoints: clk_eps,
+    });
 
     // start/done pairs between system controller and the executing side.
     for &n in &functions {
@@ -472,13 +614,21 @@ pub fn build_netlist(
         .map(|&m| (m, port_index(&nl, m, "data")))
         .collect();
     data_eps.push((memory, port_index(&nl, memory, "data")));
-    nl.nets.push(Net { name: "bus_data".into(), bits: data_bits, endpoints: data_eps });
+    nl.nets.push(Net {
+        name: "bus_data".into(),
+        bits: data_bits,
+        endpoints: data_eps,
+    });
     let mut addr_eps: Vec<(usize, usize)> = masters
         .iter()
         .map(|&m| (m, port_index(&nl, m, "addr")))
         .collect();
     addr_eps.push((memory, port_index(&nl, memory, "addr")));
-    nl.nets.push(Net { name: "bus_addr".into(), bits: 16, endpoints: addr_eps });
+    nl.nets.push(Net {
+        name: "bus_addr".into(),
+        bits: 16,
+        endpoints: addr_eps,
+    });
 
     nl
 }
@@ -500,8 +650,7 @@ mod tests {
                 mapping.assign(n, Resource::Hardware(i % 2));
             }
         }
-        let sched =
-            cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
+        let sched = cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
         let stg = cool_stg::generate(&g, &mapping, &sched);
         (g, mapping, target, stg)
     }
@@ -517,7 +666,10 @@ mod tests {
         assert_eq!(nl.count_kind(|k| *k == ComponentKind::Memory), 1);
         assert!(nl.count_kind(|k| matches!(k, ComponentKind::DatapathController(_))) >= 1);
         assert!(nl.count_kind(|k| matches!(k, ComponentKind::HwBlock(_))) >= 1);
-        assert_eq!(nl.count_kind(|k| matches!(k, ComponentKind::Processor(_))), 1);
+        assert_eq!(
+            nl.count_kind(|k| matches!(k, ComponentKind::Processor(_))),
+            1
+        );
     }
 
     #[test]
@@ -529,7 +681,10 @@ mod tests {
             .into_iter()
             .filter(|&n| mapping.resource(n).is_hardware())
             .count();
-        assert_eq!(nl.count_kind(|k| matches!(k, ComponentKind::HwBlock(_))), hw_nodes);
+        assert_eq!(
+            nl.count_kind(|k| matches!(k, ComponentKind::HwBlock(_))),
+            hw_nodes
+        );
     }
 
     #[test]
@@ -540,7 +695,10 @@ mod tests {
         let nl = build_netlist(&g, &mapping, &target);
         nl.verify().unwrap();
         assert_eq!(nl.count_kind(|k| matches!(k, ComponentKind::HwBlock(_))), 0);
-        assert_eq!(nl.count_kind(|k| matches!(k, ComponentKind::DatapathController(_))), 0);
+        assert_eq!(
+            nl.count_kind(|k| matches!(k, ComponentKind::DatapathController(_))),
+            0
+        );
     }
 
     #[test]
@@ -554,7 +712,7 @@ mod tests {
     }
 
     #[test]
-    fn controller_outputs_only_in_exec_states(){
+    fn controller_outputs_only_in_exec_states() {
         let (g, _, _, stg) = mixed_design();
         let ctrl = SystemController::from_stg(stg, &g);
         for (i, s) in ctrl.stg().states().iter().enumerate() {

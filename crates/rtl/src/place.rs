@@ -34,7 +34,12 @@ impl PlacementProblem {
     /// `block_clbs` lists the CLB count of each hardware block on this
     /// device; `controller_clbs` is the datapath controller's size.
     #[must_use]
-    pub fn for_device(block_clbs: &[u32], controller_clbs: u32, width: u16, height: u16) -> PlacementProblem {
+    pub fn for_device(
+        block_clbs: &[u32],
+        controller_clbs: u32,
+        width: u16,
+        height: u16,
+    ) -> PlacementProblem {
         let mut nets: Vec<Vec<usize>> = Vec::new();
         let mut first_cell_of_block = Vec::new();
         let mut next = 0usize;
@@ -57,7 +62,12 @@ impl PlacementProblem {
         for &f in &first_cell_of_block {
             nets.push(vec![ctrl_start, f]);
         }
-        PlacementProblem { cells: next, nets, width, height }
+        PlacementProblem {
+            cells: next,
+            nets,
+            width,
+            height,
+        }
     }
 
     /// `true` if the problem fits the grid.
@@ -133,7 +143,13 @@ pub fn wirelength(problem: &PlacementProblem, positions: &[(u16, u16)]) -> u64 {
 /// Panics if the problem does not fit the grid.
 #[must_use]
 pub fn anneal(problem: &PlacementProblem, effort: u32, seed: u64) -> Placement {
-    assert!(problem.fits(), "{} cells exceed the {}x{} grid", problem.cells, problem.width, problem.height);
+    assert!(
+        problem.fits(),
+        "{} cells exceed the {}x{} grid",
+        problem.cells,
+        problem.width,
+        problem.height
+    );
     let sites = usize::from(problem.width) * usize::from(problem.height);
     // site_of_cell / cell_of_site bookkeeping; initial placement row-major.
     let mut pos: Vec<usize> = (0..problem.cells).collect();
@@ -141,7 +157,10 @@ pub fn anneal(problem: &PlacementProblem, effort: u32, seed: u64) -> Placement {
         .map(|s| if s < problem.cells { Some(s) } else { None })
         .collect();
     let coord = |site: usize| -> (u16, u16) {
-        ((site % usize::from(problem.width)) as u16, (site / usize::from(problem.width)) as u16)
+        (
+            (site % usize::from(problem.width)) as u16,
+            (site / usize::from(problem.width)) as u16,
+        )
     };
     let positions = |pos: &[usize]| -> Vec<(u16, u16)> { pos.iter().map(|&s| coord(s)).collect() };
 
@@ -177,7 +196,11 @@ pub fn anneal(problem: &PlacementProblem, effort: u32, seed: u64) -> Placement {
 
     let moves = effort as usize * problem.cells * 32;
     let mut temperature = (problem.width + problem.height) as f64;
-    let cooling = if moves > 0 { (0.005f64 / temperature).powf(1.0 / moves as f64) } else { 1.0 };
+    let cooling = if moves > 0 {
+        (0.005f64 / temperature).powf(1.0 / moves as f64)
+    } else {
+        1.0
+    };
 
     for _ in 0..moves {
         let cell = (next_u64() % problem.cells as u64) as usize;
@@ -195,13 +218,19 @@ pub fn anneal(problem: &PlacementProblem, effort: u32, seed: u64) -> Placement {
         }
         affected.sort_unstable();
         affected.dedup();
-        let before: i64 = affected.iter().map(|&ni| net_wl(&problem.nets[ni], &pos)).sum();
+        let before: i64 = affected
+            .iter()
+            .map(|&ni| net_wl(&problem.nets[ni], &pos))
+            .sum();
         // Apply move.
         pos[cell] = target_site;
         if let Some(o) = other {
             pos[o] = old_site;
         }
-        let after: i64 = affected.iter().map(|&ni| net_wl(&problem.nets[ni], &pos)).sum();
+        let after: i64 = affected
+            .iter()
+            .map(|&ni| net_wl(&problem.nets[ni], &pos))
+            .sum();
         let delta = after - before;
         let accept = delta <= 0 || {
             let p = (-(delta as f64) / temperature.max(1e-9)).exp();
@@ -231,9 +260,99 @@ pub fn anneal(problem: &PlacementProblem, effort: u32, seed: u64) -> Placement {
     }
 }
 
+/// Number of independent chains [`anneal_multistart`] splits its move
+/// budget across. Fixed (never derived from the jobs knob) so that the
+/// result is identical for every worker count.
+pub const MULTISTART_CHAINS: u32 = 8;
+
+/// Deterministic multi-start annealing: split `effort` across up to
+/// [`MULTISTART_CHAINS`] independent seeded chains, keep the best final
+/// placement (ties broken by chain index).
+///
+/// A single annealing chain is a sequential Markov process and cannot be
+/// parallelized without changing its trajectory; independent restarts
+/// can. The chain count and per-chain seeds depend only on `effort` and
+/// `seed`, so the returned placement is byte-identical for every `jobs`
+/// value — `jobs` (`0` = all cores) only spreads the chains across
+/// scoped worker threads. The total move budget matches a single
+/// [`anneal`] call of the same `effort`.
+///
+/// # Panics
+///
+/// Panics if the problem does not fit the grid.
+#[must_use]
+pub fn anneal_multistart(
+    problem: &PlacementProblem,
+    effort: u32,
+    seed: u64,
+    jobs: usize,
+) -> Placement {
+    let chains = MULTISTART_CHAINS.min(effort.max(1));
+    let base = effort / chains;
+    let rem = effort % chains;
+    let runs: Vec<(u32, u64)> = (0..chains)
+        .map(|k| {
+            let chain_effort = base + u32::from(k < rem);
+            // SplitMix64 over (seed, k): decorrelates chains cheaply.
+            let mut z = seed
+                .wrapping_add(u64::from(k).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (chain_effort, z ^ (z >> 31))
+        })
+        .collect();
+
+    let results: Vec<Placement> =
+        cool_ir::par::par_map(&runs, jobs, |&(e, s)| anneal(problem, e, s));
+
+    let total_moves: usize = results.iter().map(|p| p.moves).sum();
+    let mut best = results
+        .into_iter()
+        .enumerate()
+        .min_by_key(|(k, p)| (p.wirelength, *k))
+        .map(|(_, p)| p)
+        .expect("at least one chain");
+    best.moves = total_moves;
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multistart_is_jobs_invariant() {
+        let cells = 60;
+        let p = PlacementProblem {
+            cells,
+            nets: (1..cells).map(|i| vec![0, i]).collect(),
+            width: 14,
+            height: 14,
+        };
+        let serial = anneal_multistart(&p, 32, 42, 1);
+        for jobs in [2usize, 4, 0] {
+            let par = anneal_multistart(&p, 32, 42, jobs);
+            assert_eq!(par.positions, serial.positions, "jobs={jobs}");
+            assert_eq!(par.wirelength, serial.wirelength, "jobs={jobs}");
+            assert_eq!(par.moves, serial.moves, "jobs={jobs}");
+        }
+        assert!(serial.wirelength <= serial.initial_wirelength);
+    }
+
+    #[test]
+    fn multistart_move_budget_matches_single_anneal() {
+        let cells = 30;
+        let p = PlacementProblem {
+            cells,
+            nets: (1..cells).map(|i| vec![0, i]).collect(),
+            width: 14,
+            height: 14,
+        };
+        let single = anneal(&p, 16, 7);
+        let multi = anneal_multistart(&p, 16, 7, 1);
+        assert_eq!(multi.moves, single.moves);
+    }
 
     fn chain_problem(cells: usize) -> PlacementProblem {
         PlacementProblem {
@@ -291,7 +410,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed")]
     fn overfull_grid_rejected() {
-        let p = PlacementProblem { cells: 300, nets: vec![], width: 14, height: 14 };
+        let p = PlacementProblem {
+            cells: 300,
+            nets: vec![],
+            width: 14,
+            height: 14,
+        };
         let _ = anneal(&p, 1, 0);
     }
 
@@ -315,6 +439,11 @@ mod tests {
         };
         let low = anneal(&p, 1, 7);
         let high = anneal(&p, 16, 7);
-        assert!(high.wirelength <= low.wirelength + low.wirelength / 4, "high-effort placement much worse: {} vs {}", high.wirelength, low.wirelength);
+        assert!(
+            high.wirelength <= low.wirelength + low.wirelength / 4,
+            "high-effort placement much worse: {} vs {}",
+            high.wirelength,
+            low.wirelength
+        );
     }
 }

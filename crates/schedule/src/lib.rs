@@ -146,8 +146,11 @@ impl StaticSchedule {
     /// Nodes on `resource` in execution order.
     #[must_use]
     pub fn order_on(&self, resource: Resource) -> Vec<NodeId> {
-        let mut v: Vec<&ScheduledNode> =
-            self.nodes.iter().filter(|s| s.resource == resource).collect();
+        let mut v: Vec<&ScheduledNode> = self
+            .nodes
+            .iter()
+            .filter(|s| s.resource == resource)
+            .collect();
         v.sort_by_key(|s| (s.start, s.node));
         v.iter().map(|s| s.node).collect()
     }
@@ -161,11 +164,7 @@ impl StaticSchedule {
     /// # Errors
     ///
     /// `Err(description)` if any invariant is violated.
-    pub fn verify(
-        &self,
-        g: &PartitioningGraph,
-        mapping: &Mapping,
-    ) -> Result<(), String> {
+    pub fn verify(&self, g: &PartitioningGraph, mapping: &Mapping) -> Result<(), String> {
         // Precedence over every edge.
         let comm_by_edge: BTreeMap<EdgeId, &CommSlot> =
             self.comm.iter().map(|c| (c.edge, c)).collect();
@@ -184,7 +183,9 @@ impl StaticSchedule {
                     return Err(format!("consumer of {eid} starts before transfer finishes"));
                 }
             } else if c.start < p.finish {
-                return Err(format!("edge {eid}: consumer starts before producer finishes"));
+                return Err(format!(
+                    "edge {eid}: consumer starts before producer finishes"
+                ));
             }
         }
         // Processor exclusivity.
@@ -224,7 +225,10 @@ impl StaticSchedule {
         s.push_str("time      resource   activity\n");
         let mut rows: Vec<(u64, u64, String, String)> = Vec::new();
         for slot in &self.nodes {
-            let name = g.node(slot.node).map(|n| n.name().to_string()).unwrap_or_default();
+            let name = g
+                .node(slot.node)
+                .map(|n| n.name().to_string())
+                .unwrap_or_default();
             rows.push((
                 slot.start,
                 slot.finish,
@@ -233,7 +237,12 @@ impl StaticSchedule {
             ));
         }
         for c in &self.comm {
-            rows.push((c.start, c.finish, target.bus.name.clone(), format!("xfer {}", c.edge)));
+            rows.push((
+                c.start,
+                c.finish,
+                target.bus.name.clone(),
+                format!("xfer {}", c.edge),
+            ));
         }
         rows.sort();
         for (start, finish, res, what) in rows {
@@ -334,7 +343,11 @@ pub fn schedule(
             let dur = cost.comm_cycles(e, scheme);
             let start = t;
             let finish = start + dur;
-            comm_slots.push(CommSlot { edge: eid, start, finish });
+            comm_slots.push(CommSlot {
+                edge: eid,
+                start,
+                finish,
+            });
             edge_arrival[eid.index()] = Some(finish);
             comm_done[eid.index()] = true;
             bus_free_at = finish;
@@ -427,7 +440,12 @@ pub fn schedule(
         .max()
         .unwrap_or(0);
     comm_slots.sort_by_key(|c| (c.start, c.edge));
-    Ok(StaticSchedule { nodes, comm: comm_slots, makespan, scheme })
+    Ok(StaticSchedule {
+        nodes,
+        comm: comm_slots,
+        makespan,
+        scheme,
+    })
 }
 
 #[cfg(test)]
@@ -436,9 +454,7 @@ mod tests {
     use cool_ir::Target;
     use cool_spec::workloads;
 
-    fn setup(
-        g: &PartitioningGraph,
-    ) -> (CostModel, Target) {
+    fn setup(g: &PartitioningGraph) -> (CostModel, Target) {
         let t = Target::fuzzy_board();
         (CostModel::new(g, &t), t)
     }
@@ -450,7 +466,10 @@ mod tests {
         let m = Mapping::uniform(g.node_count(), Resource::Software(0));
         let s = schedule(&g, &m, &cost, CommScheme::MemoryMapped).unwrap();
         s.verify(&g, &m).unwrap();
-        assert!(s.comm_slots().is_empty(), "uniform mapping has no cut edges");
+        assert!(
+            s.comm_slots().is_empty(),
+            "uniform mapping has no cut edges"
+        );
     }
 
     #[test]

@@ -201,7 +201,10 @@ impl<'a> Simulator<'a> {
         let resources = self.cost.target().resources();
         let mut resource_busy = vec![0u64; resources.len()];
         let resource_index = |r: Resource| -> usize {
-            resources.iter().position(|&x| x == r).expect("mapped resources exist")
+            resources
+                .iter()
+                .position(|&x| x == r)
+                .expect("mapped resources exist")
         };
 
         // Software execution order per processor, from the static schedule
@@ -236,7 +239,9 @@ impl<'a> Simulator<'a> {
         let mut done_count = self.g.primary_inputs().len();
         while done_count < n {
             if cycle > self.cycle_budget {
-                return Err(SimError::Timeout { budget: self.cycle_budget });
+                return Err(SimError::Timeout {
+                    budget: self.cycle_budget,
+                });
             }
 
             // 1. Complete the in-flight bus transfer.
@@ -328,8 +333,7 @@ impl<'a> Simulator<'a> {
             // Processors.
             for (p, order) in sw_order.iter().enumerate() {
                 // Skip past already-done entries.
-                while sw_pos[p] < order.len()
-                    && state[order[sw_pos[p]].index()] == NodeState::Done
+                while sw_pos[p] < order.len() && state[order[sw_pos[p]].index()] == NodeState::Done
                 {
                     sw_pos[p] += 1;
                 }
@@ -341,7 +345,9 @@ impl<'a> Simulator<'a> {
                 let busy = matches!(state[i], NodeState::Running { .. });
                 if !busy && ready(i, &state, &arrived) {
                     let dur = self.cost.exec_cycles(id, Resource::Software(p)).max(1);
-                    state[i] = NodeState::Running { finish: cycle + dur };
+                    state[i] = NodeState::Running {
+                        finish: cycle + dur,
+                    };
                     resource_busy[resource_index(Resource::Software(p))] += dur;
                     if trace.len() < self.trace_limit {
                         trace.push(TraceEvent::NodeStart { cycle, node: id });
@@ -362,9 +368,10 @@ impl<'a> Simulator<'a> {
                     }
                     NodeKind::Function => {
                         if let Resource::Hardware(h) = self.mapping.resource(id) {
-                            let dur =
-                                self.cost.exec_cycles(id, Resource::Hardware(h)).max(1);
-                            state[i] = NodeState::Running { finish: cycle + dur };
+                            let dur = self.cost.exec_cycles(id, Resource::Hardware(h)).max(1);
+                            state[i] = NodeState::Running {
+                                finish: cycle + dur,
+                            };
                             resource_busy[resource_index(Resource::Hardware(h))] += dur;
                             if trace.len() < self.trace_limit {
                                 trace.push(TraceEvent::NodeStart { cycle, node: id });
@@ -380,10 +387,7 @@ impl<'a> Simulator<'a> {
 
         let mut outputs = BTreeMap::new();
         for id in self.g.primary_outputs() {
-            outputs.insert(
-                self.g.node(id)?.name().to_string(),
-                values[id.index()][0],
-            );
+            outputs.insert(self.g.node(id)?.name().to_string(), values[id.index()][0]);
         }
         Ok(SimResult {
             outputs,
@@ -439,9 +443,14 @@ mod tests {
         let schedule =
             cool_schedule::schedule(&g, &mapping, &cost, CommScheme::MemoryMapped).unwrap();
         let memory_map =
-            cool_stg::allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits)
-                .unwrap();
-        Fixture { g, mapping, schedule, memory_map, cost }
+            cool_stg::allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap();
+        Fixture {
+            g,
+            mapping,
+            schedule,
+            memory_map,
+            cost,
+        }
     }
 
     fn mixed_fuzzy() -> Fixture {
@@ -456,11 +465,17 @@ mod tests {
     fn fuzzy_simulation_matches_reference() {
         let f = mixed_fuzzy();
         let sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         for (e, d) in [(-100i64, 20i64), (0, 0), (64, -32), (127, 127)] {
-            let r = sim.run_checked(&input_map([("err", e), ("derr", d)])).unwrap();
+            let r = sim
+                .run_checked(&input_map([("err", e), ("derr", d)]))
+                .unwrap();
             assert!(r.cycles > 0);
         }
     }
@@ -469,7 +484,11 @@ mod tests {
     fn transfers_touch_memory_cells() {
         let f = mixed_fuzzy();
         let sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         let r = sim.run(&input_map([("err", 50), ("derr", -10)])).unwrap();
@@ -490,7 +509,11 @@ mod tests {
         let mapping = Mapping::uniform(g.node_count(), Resource::Software(0));
         let f = fixture(g, mapping);
         let sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         let r = sim
@@ -504,7 +527,11 @@ mod tests {
     fn simulated_makespan_tracks_schedule_prediction() {
         let f = mixed_fuzzy();
         let sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         let r = sim.run(&input_map([("err", 10), ("derr", 10)])).unwrap();
@@ -522,7 +549,11 @@ mod tests {
     fn trace_is_bounded_and_ordered() {
         let f = mixed_fuzzy();
         let mut sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         sim.trace_limit = 16;
@@ -547,7 +578,11 @@ mod tests {
     fn missing_input_is_reported() {
         let f = mixed_fuzzy();
         let sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         let err = sim.run(&input_map([("err", 1)])).unwrap_err();
@@ -558,7 +593,11 @@ mod tests {
     fn timeout_detection() {
         let f = mixed_fuzzy();
         let mut sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
         sim.cycle_budget = 1;
@@ -578,19 +617,30 @@ mod tests {
         let f = fixture(g, mapping);
         let ins = input_map([("x0", 100), ("x1", 50), ("x2", 25)]);
         let mm = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         )
         .run(&ins)
         .unwrap();
         let direct = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::Direct,
         )
         .run(&ins)
         .unwrap();
         assert!(direct.cycles <= mm.cycles);
-        assert_eq!(direct.outputs, mm.outputs, "scheme must not change semantics");
+        assert_eq!(
+            direct.outputs, mm.outputs,
+            "scheme must not change semantics"
+        );
     }
 
     #[test]
@@ -602,11 +652,16 @@ mod tests {
         }
         let f = fixture(g, mapping);
         let sim = Simulator::new(
-            &f.g, &f.mapping, &f.schedule, &f.memory_map, &f.cost,
+            &f.g,
+            &f.mapping,
+            &f.schedule,
+            &f.memory_map,
+            &f.cost,
             CommScheme::MemoryMapped,
         );
-        let ins: BTreeMap<String, i64> =
-            (0..8).map(|i| (format!("x{i}"), i64::from(i) * 3 - 5)).collect();
+        let ins: BTreeMap<String, i64> = (0..8)
+            .map(|i| (format!("x{i}"), i64::from(i) * 3 - 5))
+            .collect();
         let r = sim.run_checked(&ins).unwrap();
         assert!(r.bus_transfers > 0);
     }

@@ -91,53 +91,89 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '-' if bytes.get(i + 1) == Some(&'>') => {
-                tokens.push(Token { kind: TokenKind::Arrow, line });
+                tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    line,
+                });
                 i += 2;
             }
             '-' if bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
                 let (v, next) = lex_int(&bytes, i + 1);
-                tokens.push(Token { kind: TokenKind::Int(-v), line });
+                tokens.push(Token {
+                    kind: TokenKind::Int(-v),
+                    line,
+                });
                 i = next;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { kind: TokenKind::Colon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, line });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Equals, line });
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit() => {
                 let (v, next) = lex_int(&bytes, i);
-                tokens.push(Token { kind: TokenKind::Int(v), line });
+                tokens.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
                 i = next;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -146,12 +182,18 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let s: String = bytes[start..i].iter().collect();
-                tokens.push(Token { kind: TokenKind::Ident(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
             }
             other => return Err(LexError { line, ch: other }),
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 

@@ -68,7 +68,11 @@ impl fmt::Display for SpecError {
             SpecError::BadChar { line, ch } => {
                 write!(f, "line {line}: unexpected character `{ch}`")
             }
-            SpecError::Unexpected { line, found, expected } => {
+            SpecError::Unexpected {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: expected {expected}, found {found}")
             }
             SpecError::UnknownNode { line, name } => {
@@ -99,7 +103,10 @@ impl From<IrError> for SpecError {
 
 impl From<LexError> for SpecError {
     fn from(e: LexError) -> SpecError {
-        SpecError::BadChar { line: e.line, ch: e.ch }
+        SpecError::BadChar {
+            line: e.line,
+            ch: e.ch,
+        }
     }
 }
 
@@ -112,7 +119,11 @@ impl From<LexError> for SpecError {
 /// [`PartitioningGraph::validate`].
 pub fn parse(src: &str) -> Result<PartitioningGraph, SpecError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, graph: PartitioningGraph::new("unnamed") };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        graph: PartitioningGraph::new("unnamed"),
+    };
     p.parse_spec()?;
     p.graph.validate()?;
     Ok(p.graph)
@@ -139,7 +150,11 @@ impl Parser {
 
     fn unexpected(&self, expected: &'static str) -> SpecError {
         let t = self.peek();
-        SpecError::Unexpected { line: t.line, found: t.kind.to_string(), expected }
+        SpecError::Unexpected {
+            line: t.line,
+            found: t.kind.to_string(),
+            expected,
+        }
     }
 
     fn expect_ident(&mut self) -> Result<(String, u32), SpecError> {
@@ -159,6 +174,23 @@ impl Parser {
                 Ok(v)
             }
             _ => Err(self.unexpected("an integer")),
+        }
+    }
+
+    /// An integer constrained to `0..=max` (widths, arities, ports).
+    /// Returning an error instead of `as`-casting keeps a malformed spec
+    /// (e.g. `input a : -16;`) from silently building a garbage graph.
+    fn expect_uint(&mut self, max: i64, what: &'static str) -> Result<i64, SpecError> {
+        let line = self.peek().line;
+        let v = self.expect_int()?;
+        if (0..=max).contains(&v) {
+            Ok(v)
+        } else {
+            Err(SpecError::Unexpected {
+                line,
+                found: format!("integer `{v}`"),
+                expected: what,
+            })
         }
     }
 
@@ -226,9 +258,26 @@ impl Parser {
             }
         }
         for (_, e) in g.edges() {
-            let src = self.graph.node_by_name(g.node(e.src)?.name()).expect("copied");
-            let dst = self.graph.node_by_name(g.node(e.dst)?.name()).expect("copied");
-            self.graph.connect(src, e.src_port, dst, e.dst_port, e.bits)?;
+            // The nodes were copied just above; if a lookup misses, the
+            // source graph had duplicate names — report, don't panic.
+            let src_name = g.node(e.src)?.name();
+            let src = self
+                .graph
+                .node_by_name(src_name)
+                .ok_or_else(|| SpecError::UnknownNode {
+                    line: 0,
+                    name: src_name.to_string(),
+                })?;
+            let dst_name = g.node(e.dst)?.name();
+            let dst = self
+                .graph
+                .node_by_name(dst_name)
+                .ok_or_else(|| SpecError::UnknownNode {
+                    line: 0,
+                    name: dst_name.to_string(),
+                })?;
+            self.graph
+                .connect(src, e.src_port, dst, e.dst_port, e.bits)?;
         }
         Ok(())
     }
@@ -237,7 +286,7 @@ impl Parser {
         self.bump(); // input/output
         let (name, _) = self.expect_ident()?;
         self.expect(&TokenKind::Colon, "`:`")?;
-        let bits = self.expect_int()? as u16;
+        let bits = self.expect_uint(i64::from(u16::MAX), "a bit width in 0..=65535")? as u16;
         self.expect(&TokenKind::Semi, "`;`")?;
         if input {
             self.graph.add_input(name, bits);
@@ -270,7 +319,7 @@ impl Parser {
             }
             "expr" => {
                 self.expect(&TokenKind::LParen, "`(`")?;
-                let arity = self.expect_int()? as usize;
+                let arity = self.expect_uint(64, "an arity in 0..=64")? as usize;
                 self.expect(&TokenKind::RParen, "`)`")?;
                 self.expect(&TokenKind::LBrace, "`{`")?;
                 let mut outputs = vec![self.parse_sexpr()?];
@@ -282,14 +331,19 @@ impl Parser {
                 Ok(Behavior::new(arity, outputs)?)
             }
             op => {
-                let op = op_by_name(op)
-                    .ok_or(SpecError::UnknownBehavior { line, name: name.clone() })?;
+                let op = op_by_name(op).ok_or(SpecError::UnknownBehavior {
+                    line,
+                    name: name.clone(),
+                })?;
                 Ok(match op.arity() {
                     1 => Behavior::unary(op),
                     2 => Behavior::binary(op),
                     _ => Behavior::new(
                         3,
-                        vec![Expr::Apply(op, vec![Expr::Input(0), Expr::Input(1), Expr::Input(2)])],
+                        vec![Expr::Apply(
+                            op,
+                            vec![Expr::Input(0), Expr::Input(1), Expr::Input(2)],
+                        )],
                     )?,
                 })
             }
@@ -314,8 +368,8 @@ impl Parser {
             TokenKind::LParen => {
                 self.bump();
                 let (opname, line) = self.expect_ident()?;
-                let op = op_by_name(&opname)
-                    .ok_or(SpecError::UnknownBehavior { line, name: opname })?;
+                let op =
+                    op_by_name(&opname).ok_or(SpecError::UnknownBehavior { line, name: opname })?;
                 let mut args = Vec::new();
                 while self.peek().kind != TokenKind::RParen {
                     args.push(self.parse_sexpr()?);
@@ -341,7 +395,7 @@ impl Parser {
         let (dst, dst_port, _) = self.parse_endpoint()?;
         let bits = if self.peek().kind == TokenKind::Colon {
             self.bump();
-            self.expect_int()? as u16
+            self.expect_uint(i64::from(u16::MAX), "a bit width in 0..=65535")? as u16
         } else {
             16
         };
@@ -354,7 +408,8 @@ impl Parser {
             .graph
             .node_by_name(&dst)
             .ok_or(SpecError::UnknownNode { line, name: dst })?;
-        self.graph.connect(src_id, src_port, dst_id, dst_port, bits)?;
+        self.graph
+            .connect(src_id, src_port, dst_id, dst_port, bits)?;
         Ok(())
     }
 
@@ -362,7 +417,7 @@ impl Parser {
         let (name, line) = self.expect_ident()?;
         let port = if self.peek().kind == TokenKind::Dot {
             self.bump();
-            self.expect_int()? as u16
+            self.expect_uint(i64::from(u16::MAX), "a port index in 0..=65535")? as u16
         } else {
             0
         };
@@ -468,5 +523,39 @@ mod tests {
     fn display_formats() {
         let err = parse("design d; node f = frobnicate;").unwrap_err();
         assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn malformed_specs_error_instead_of_panicking() {
+        // Every entry must produce a SpecError — never a panic, never a
+        // silently-wrapped garbage value.
+        let cases = [
+            "input a : -16;",                                          // negative width
+            "design d; input a : 99999;",                              // width over u16
+            "design d; node f = expr(-2) { in0 };",                    // negative arity
+            "design d; node f = expr(999) { in0 };",                   // absurd arity
+            "design d; input a : 8; output y : 8; connect a.-1 -> y;", // negative port
+            "design d; connect -> ;",                                  // junk connect
+            "node",                                                    // truncated input
+            "design",                                                  // truncated input
+            "design d; input a : 8; connect a -> a;",                  // self loop (IR error)
+            "\u{1F980}",                                               // non-ASCII char
+        ];
+        for src in cases {
+            let err = parse(src).expect_err(src);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn negative_width_reports_line_and_expectation() {
+        let err = parse("design d;\ninput a : -4;").unwrap_err();
+        match &err {
+            SpecError::Unexpected { line, expected, .. } => {
+                assert_eq!(*line, 2);
+                assert!(expected.contains("bit width"), "{err}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
     }
 }

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn line_count_positive() {
-        let g = parse("design d; input a : 8; node f = neg; output y : 8; connect a -> f; connect f -> y;").unwrap();
+        let g = parse(
+            "design d; input a : 8; node f = neg; output y : 8; connect a -> f; connect f -> y;",
+        )
+        .unwrap();
         assert!(spec_line_count(&g) >= 5);
     }
 }

@@ -11,9 +11,8 @@
 //!
 //! All generators return validated graphs.
 
+use cool_ir::rng::StdRng;
 use cool_ir::{Behavior, Expr, Op, PartitioningGraph};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Build an `n`-band equalizer (paper Figure 2 uses 4 bands).
 ///
@@ -136,7 +135,10 @@ pub fn fuzzy_controller() -> PartitioningGraph {
                     Expr::Const(255),
                     Expr::binary(
                         Op::Mul,
-                        Expr::unary(Op::Abs, Expr::binary(Op::Sub, Expr::Input(0), Expr::Const(centre))),
+                        Expr::unary(
+                            Op::Abs,
+                            Expr::binary(Op::Sub, Expr::Input(0), Expr::Const(centre)),
+                        ),
                         Expr::Const(slope),
                     ),
                 ),
@@ -163,13 +165,13 @@ pub fn fuzzy_controller() -> PartitioningGraph {
 
     // 4x4 rule matrix with the min t-norm.
     let mut rules = Vec::new();
-    for i in 0..4 {
-        for j in 0..4 {
+    for (i, &me) in m_err.iter().enumerate().take(4) {
+        for (j, &md) in m_derr.iter().enumerate().take(4) {
             let r = g
                 .add_function(format!("rule{i}{j}"), Behavior::binary(Op::Min))
                 .expect("rule names are unique");
-            g.connect(m_err[i], 0, r, 0, 16).expect("wiring is static");
-            g.connect(m_derr[j], 0, r, 1, 16).expect("wiring is static");
+            g.connect(me, 0, r, 0, 16).expect("wiring is static");
+            g.connect(md, 0, r, 1, 16).expect("wiring is static");
             rules.push(r);
         }
     }
@@ -188,7 +190,10 @@ pub fn fuzzy_controller() -> PartitioningGraph {
         );
     }
     let num = g
-        .add_function("agg_num", Behavior::new(16, vec![num_expr]).expect("static"))
+        .add_function(
+            "agg_num",
+            Behavior::new(16, vec![num_expr]).expect("static"),
+        )
         .expect("unique");
     // Denominator: sum_k rule_k.
     let mut den_expr = Expr::Const(1); // +1 avoids division by zero when no rule fires
@@ -196,11 +201,16 @@ pub fn fuzzy_controller() -> PartitioningGraph {
         den_expr = Expr::binary(Op::Add, den_expr, Expr::Input(k));
     }
     let den = g
-        .add_function("agg_den", Behavior::new(16, vec![den_expr]).expect("static"))
+        .add_function(
+            "agg_den",
+            Behavior::new(16, vec![den_expr]).expect("static"),
+        )
         .expect("unique");
     for (k, &r) in rules.iter().enumerate() {
-        g.connect(r, 0, num, k as u16, 16).expect("wiring is static");
-        g.connect(r, 0, den, k as u16, 16).expect("wiring is static");
+        g.connect(r, 0, num, k as u16, 16)
+            .expect("wiring is static");
+        g.connect(r, 0, den, k as u16, 16)
+            .expect("wiring is static");
     }
 
     // Centre-of-gravity defuzzification.
@@ -375,7 +385,8 @@ pub fn iir(sections: usize) -> PartitioningGraph {
         last = Some(sum);
     }
     let y = g.add_output("y", 16);
-    g.connect(last.expect("sections > 0"), 0, y, 0, 16).expect("static wiring");
+    g.connect(last.expect("sections > 0"), 0, y, 0, 16)
+        .expect("static wiring");
     debug_assert!(g.validate().is_ok());
     g
 }
@@ -407,14 +418,24 @@ pub fn dct8() -> PartitioningGraph {
     }
     // Stage 2: each output is a weighted combination (integer cosine
     // table, scaled by 256 and shifted back).
-    let cos = [[64i64, 64, 64, 64], [84, 35, -35, -84], [64, -64, -64, 64], [35, -84, 84, -35]];
+    let cos = [
+        [64i64, 64, 64, 64],
+        [84, 35, -35, -84],
+        [64, -64, -64, 64],
+        [35, -84, 84, -35],
+    ];
     let weighted = |g: &mut PartitioningGraph, name: String, w: [i64; 4]| {
         let mut e = Expr::Const(0);
         for (k, &c) in w.iter().enumerate() {
-            e = Expr::binary(e_add(), e, Expr::binary(Op::Mul, Expr::Input(k), Expr::Const(c)));
+            e = Expr::binary(
+                e_add(),
+                e,
+                Expr::binary(Op::Mul, Expr::Input(k), Expr::Const(c)),
+            );
         }
         let e = Expr::binary(Op::Shr, e, Expr::Const(7));
-        g.add_function(name, Behavior::new(4, vec![e]).expect("static")).expect("unique")
+        g.add_function(name, Behavior::new(4, vec![e]).expect("static"))
+            .expect("unique")
     };
     fn e_add() -> Op {
         Op::Add
@@ -423,7 +444,8 @@ pub fn dct8() -> PartitioningGraph {
         // Even outputs from sums, odd outputs from diffs.
         let even = weighted(&mut g, format!("c{}", 2 * o), *row);
         for (k, &src) in sums.iter().enumerate() {
-            g.connect(src, 0, even, k as u16, 32).expect("static wiring");
+            g.connect(src, 0, even, k as u16, 32)
+                .expect("static wiring");
         }
         let odd = weighted(&mut g, format!("c{}", 2 * o + 1), *row);
         for (k, &src) in diffs.iter().enumerate() {
@@ -454,7 +476,12 @@ pub struct RandomDagConfig {
 
 impl Default for RandomDagConfig {
     fn default() -> RandomDagConfig {
-        RandomDagConfig { nodes: 20, inputs: 3, outputs: 2, seed: 1 }
+        RandomDagConfig {
+            nodes: 20,
+            inputs: 3,
+            outputs: 2,
+            seed: 1,
+        }
     }
 }
 
@@ -469,7 +496,10 @@ impl Default for RandomDagConfig {
 /// Panics if `nodes`, `inputs` or `outputs` is zero.
 #[must_use]
 pub fn random_dag(cfg: RandomDagConfig) -> PartitioningGraph {
-    assert!(cfg.nodes > 0 && cfg.inputs > 0 && cfg.outputs > 0, "degenerate random DAG config");
+    assert!(
+        cfg.nodes > 0 && cfg.inputs > 0 && cfg.outputs > 0,
+        "degenerate random DAG config"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut g = PartitioningGraph::new(format!("rand{}_{}", cfg.nodes, cfg.seed));
     let mut sources = Vec::new();
@@ -569,9 +599,15 @@ mod tests {
     fn fuzzy_has_exactly_31_nodes() {
         let g = fuzzy_controller();
         g.validate().unwrap();
-        assert_eq!(g.node_count(), 31, "the paper reports a 31-node partitioning graph");
         assert_eq!(
-            g.nodes().filter(|(_, n)| n.kind() == NodeKind::Function).count(),
+            g.node_count(),
+            31,
+            "the paper reports a 31-node partitioning graph"
+        );
+        assert_eq!(
+            g.nodes()
+                .filter(|(_, n)| n.kind() == NodeKind::Function)
+                .count(),
             28
         );
     }
@@ -581,7 +617,11 @@ mod tests {
         let g = fuzzy_controller();
         for (e, d) in [(-120i64, 0i64), (0, 0), (60, -60), (120, 120)] {
             let out = evaluate(&g, &input_map([("err", e), ("derr", d)])).unwrap();
-            assert!((0..=255).contains(&out["u"]), "u = {} out of range", out["u"]);
+            assert!(
+                (0..=255).contains(&out["u"]),
+                "u = {} out of range",
+                out["u"]
+            );
         }
     }
 
@@ -590,7 +630,10 @@ mod tests {
         let g = fuzzy_controller();
         let low = evaluate(&g, &input_map([("err", -96), ("derr", -96)])).unwrap()["u"];
         let high = evaluate(&g, &input_map([("err", 96), ("derr", 96)])).unwrap()["u"];
-        assert!(low < high, "control output must grow with the error ({low} !< {high})");
+        assert!(
+            low < high,
+            "control output must grow with the error ({low} !< {high})"
+        );
     }
 
     #[test]
@@ -600,15 +643,25 @@ mod tests {
         assert_eq!(g.primary_inputs().len(), 8);
         // 8 multipliers + 7 adders.
         assert_eq!(
-            g.nodes().filter(|(_, n)| n.kind() == NodeKind::Function).count(),
+            g.nodes()
+                .filter(|(_, n)| n.kind() == NodeKind::Function)
+                .count(),
             15
         );
     }
 
     #[test]
     fn random_dag_is_deterministic() {
-        let a = random_dag(RandomDagConfig { nodes: 25, seed: 7, ..Default::default() });
-        let b = random_dag(RandomDagConfig { nodes: 25, seed: 7, ..Default::default() });
+        let a = random_dag(RandomDagConfig {
+            nodes: 25,
+            seed: 7,
+            ..Default::default()
+        });
+        let b = random_dag(RandomDagConfig {
+            nodes: 25,
+            seed: 7,
+            ..Default::default()
+        });
         assert_eq!(a.node_count(), b.node_count());
         assert_eq!(a.edge_count(), b.edge_count());
         let ins = input_map([("in0", 5), ("in1", -3), ("in2", 12)]);
@@ -617,15 +670,22 @@ mod tests {
 
     #[test]
     fn random_dag_seeds_differ() {
-        let a = random_dag(RandomDagConfig { nodes: 25, seed: 1, ..Default::default() });
-        let b = random_dag(RandomDagConfig { nodes: 25, seed: 2, ..Default::default() });
+        let a = random_dag(RandomDagConfig {
+            nodes: 25,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_dag(RandomDagConfig {
+            nodes: 25,
+            seed: 2,
+            ..Default::default()
+        });
         // Extremely unlikely to coincide in edge count and semantics.
         let ins = input_map([("in0", 5), ("in1", -3), ("in2", 12)]);
         let same = a.edge_count() == b.edge_count()
             && evaluate(&a, &ins).unwrap() == evaluate(&b, &ins).unwrap();
         assert!(!same, "different seeds should give different graphs");
     }
-
 
     #[test]
     fn iir_cascade_validates_and_runs() {
@@ -657,10 +717,12 @@ mod tests {
     #[test]
     fn dct8_linearity() {
         let g = dct8();
-        let a: std::collections::BTreeMap<String, i64> =
-            (0..8).map(|i| (format!("x{i}"), 10 * i64::from(i as u8))).collect();
-        let doubled: std::collections::BTreeMap<String, i64> =
-            (0..8).map(|i| (format!("x{i}"), 20 * i64::from(i as u8))).collect();
+        let a: std::collections::BTreeMap<String, i64> = (0..8)
+            .map(|i| (format!("x{i}"), 10 * i64::from(i as u8)))
+            .collect();
+        let doubled: std::collections::BTreeMap<String, i64> = (0..8)
+            .map(|i| (format!("x{i}"), 20 * i64::from(i as u8)))
+            .collect();
         let oa = evaluate(&g, &a).unwrap();
         let od = evaluate(&g, &doubled).unwrap();
         // Integer shifts break exact 2x, but monotone scaling must hold.

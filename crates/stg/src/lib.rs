@@ -26,8 +26,9 @@ use std::fmt;
 use cool_ir::{EdgeId, Mapping, NodeId, NodeKind, PartitioningGraph, Resource};
 use cool_schedule::StaticSchedule;
 
+pub use cool_ir::par::effective_jobs;
 pub use memory::{allocate_memory, allocate_memory_packed, MemoryCell, MemoryError, MemoryMap};
-pub use minimize::{minimize, MinimizeStats};
+pub use minimize::{minimize, minimize_jobs, MinimizeStats};
 
 /// Identifier of an STG state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -219,14 +220,20 @@ impl Stg {
                 return Err(format!("dangling transition {} -> {}", t.from, t.to));
             }
         }
-        for kind in [StateKind::GlobalReset, StateKind::GlobalExecute, StateKind::GlobalDone] {
+        for kind in [
+            StateKind::GlobalReset,
+            StateKind::GlobalExecute,
+            StateKind::GlobalDone,
+        ] {
             let count = self.states.iter().filter(|s| s.kind == kind).count();
             if count != 1 {
                 return Err(format!("expected exactly one {kind:?}, found {count}"));
             }
         }
         // Reachability from R.
-        let start = self.state_by_kind(StateKind::GlobalReset).expect("checked above");
+        let start = self
+            .state_by_kind(StateKind::GlobalReset)
+            .expect("checked above");
         let mut seen = vec![false; self.states.len()];
         let mut stack = vec![start];
         while let Some(s) = stack.pop() {
@@ -293,7 +300,11 @@ impl Stg {
                 .iter()
                 .map(|&id| self.states[id.index()].kind.label())
                 .collect();
-            s.push_str(&format!("{:<6} {}\n", target.resource_name(r), labels.join(" ")));
+            s.push_str(&format!(
+                "{:<6} {}\n",
+                target.resource_name(r),
+                labels.join(" ")
+            ));
         }
         s
     }
@@ -313,11 +324,7 @@ impl Stg {
 /// * sink completion leads to the global `D`, and `D → R` closes the loop
 ///   for the next system invocation.
 #[must_use]
-pub fn generate(
-    g: &PartitioningGraph,
-    mapping: &Mapping,
-    schedule: &StaticSchedule,
-) -> Stg {
+pub fn generate(g: &PartitioningGraph, mapping: &Mapping, schedule: &StaticSchedule) -> Stg {
     let mut states = Vec::new();
     let mut transitions = Vec::new();
     let push = |kind: StateKind, resource: Option<Resource>, states: &mut Vec<State>| {
@@ -328,7 +335,11 @@ pub fn generate(
     let r = push(StateKind::GlobalReset, None, &mut states);
     let x = push(StateKind::GlobalExecute, None, &mut states);
     let d = push(StateKind::GlobalDone, None, &mut states);
-    transitions.push(Transition { from: r, to: x, condition: Condition::SystemStart });
+    transitions.push(Transition {
+        from: r,
+        to: x,
+        condition: Condition::SystemStart,
+    });
 
     // Resources that actually host function nodes.
     let target_resources: Vec<Resource> = {
@@ -344,14 +355,20 @@ pub fn generate(
 
     for &res in &target_resources {
         let reset = push(StateKind::ResourceReset(res), Some(res), &mut states);
-        transitions.push(Transition { from: x, to: reset, condition: Condition::Always });
+        transitions.push(Transition {
+            from: x,
+            to: reset,
+            condition: Condition::Always,
+        });
 
         // Function nodes on this resource in schedule order.
         let order: Vec<NodeId> = schedule
             .order_on(res)
             .into_iter()
             .filter(|&n| {
-                g.node(n).map(|x| x.kind() == NodeKind::Function).unwrap_or(false)
+                g.node(n)
+                    .map(|x| x.kind() == NodeKind::Function)
+                    .unwrap_or(false)
             })
             .collect();
 
@@ -361,22 +378,46 @@ pub fn generate(
             let w = push(StateKind::Wait(n), Some(res), &mut states);
             let xn = push(StateKind::Exec(n), Some(res), &mut states);
             let dn = push(StateKind::Done(n), Some(res), &mut states);
-            transitions.push(Transition { from: w, to: xn, condition: Condition::DepsReady(n) });
-            transitions.push(Transition { from: xn, to: dn, condition: Condition::UnitDone(n) });
+            transitions.push(Transition {
+                from: w,
+                to: xn,
+                condition: Condition::DepsReady(n),
+            });
+            transitions.push(Transition {
+                from: xn,
+                to: dn,
+                condition: Condition::UnitDone(n),
+            });
             if sequential {
                 let entry = prev_done.unwrap_or(reset);
-                transitions.push(Transition { from: entry, to: w, condition: Condition::Always });
+                transitions.push(Transition {
+                    from: entry,
+                    to: w,
+                    condition: Condition::Always,
+                });
                 prev_done = Some(dn);
             } else {
-                transitions.push(Transition { from: reset, to: w, condition: Condition::Always });
+                transitions.push(Transition {
+                    from: reset,
+                    to: w,
+                    condition: Condition::Always,
+                });
             }
         }
         // Last done (software) or every done (hardware) can reach D.
         if sequential {
             if let Some(last) = prev_done {
-                transitions.push(Transition { from: last, to: d, condition: Condition::AllDone });
+                transitions.push(Transition {
+                    from: last,
+                    to: d,
+                    condition: Condition::AllDone,
+                });
             } else {
-                transitions.push(Transition { from: reset, to: d, condition: Condition::AllDone });
+                transitions.push(Transition {
+                    from: reset,
+                    to: d,
+                    condition: Condition::AllDone,
+                });
             }
         } else {
             for &n in &order {
@@ -386,20 +427,39 @@ pub fn generate(
                         .position(|s| s.kind == StateKind::Done(n))
                         .expect("just pushed") as u32,
                 );
-                transitions.push(Transition { from: dn, to: d, condition: Condition::AllDone });
+                transitions.push(Transition {
+                    from: dn,
+                    to: d,
+                    condition: Condition::AllDone,
+                });
             }
             if order.is_empty() {
-                transitions.push(Transition { from: reset, to: d, condition: Condition::AllDone });
+                transitions.push(Transition {
+                    from: reset,
+                    to: d,
+                    condition: Condition::AllDone,
+                });
             }
         }
     }
     if target_resources.is_empty() {
         // Pure wiring design: X completes immediately.
-        transitions.push(Transition { from: x, to: d, condition: Condition::AllDone });
+        transitions.push(Transition {
+            from: x,
+            to: d,
+            condition: Condition::AllDone,
+        });
     }
-    transitions.push(Transition { from: d, to: r, condition: Condition::Always });
+    transitions.push(Transition {
+        from: d,
+        to: r,
+        condition: Condition::Always,
+    });
 
-    Stg { states, transitions }
+    Stg {
+        states,
+        transitions,
+    }
 }
 
 /// Count of cut edges — the transfers that receive memory cells.
@@ -444,9 +504,18 @@ mod tests {
         let (g, mapping, schedule, _) = scheduled_fuzzy();
         let stg = generate(&g, &mapping, &schedule);
         for n in g.function_nodes() {
-            assert!(stg.state_by_kind(StateKind::Wait(n)).is_some(), "missing w for {n}");
-            assert!(stg.state_by_kind(StateKind::Exec(n)).is_some(), "missing x for {n}");
-            assert!(stg.state_by_kind(StateKind::Done(n)).is_some(), "missing d for {n}");
+            assert!(
+                stg.state_by_kind(StateKind::Wait(n)).is_some(),
+                "missing w for {n}"
+            );
+            assert!(
+                stg.state_by_kind(StateKind::Exec(n)).is_some(),
+                "missing x for {n}"
+            );
+            assert!(
+                stg.state_by_kind(StateKind::Done(n)).is_some(),
+                "missing d for {n}"
+            );
         }
     }
 
@@ -478,7 +547,10 @@ mod tests {
         let stg = generate(&g, &mapping, &schedule);
         let r = stg.state_by_kind(StateKind::GlobalReset).unwrap();
         let d = stg.state_by_kind(StateKind::GlobalDone).unwrap();
-        assert!(stg.outgoing(d).iter().any(|t| t.to == r), "D must loop back to R");
+        assert!(
+            stg.outgoing(d).iter().any(|t| t.to == r),
+            "D must loop back to R"
+        );
         let x = stg.state_by_kind(StateKind::GlobalExecute).unwrap();
         assert!(stg
             .outgoing(r)
@@ -509,7 +581,10 @@ mod tests {
     #[test]
     fn transfer_edges_match_cut_edges() {
         let (g, mapping, _, _) = scheduled_fuzzy();
-        assert_eq!(transfer_edges(&g, &mapping).len(), mapping.cut_edges(&g).len());
+        assert_eq!(
+            transfer_edges(&g, &mapping).len(),
+            mapping.cut_edges(&g).len()
+        );
         assert!(!transfer_edges(&g, &mapping).is_empty());
     }
 }

@@ -34,7 +34,10 @@ pub enum MemoryError {
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemoryError::OutOfMemory { required, available } => write!(
+            MemoryError::OutOfMemory {
+                required,
+                available,
+            } => write!(
                 f,
                 "memory allocation needs {required} bytes but only {available} are available"
             ),
@@ -148,15 +151,26 @@ pub fn allocate_memory(
             continue;
         }
         let bytes = cell_bytes(e.bits, bus_bits);
-        cells.push(MemoryCell { edge: eid, address: addr, bytes });
+        cells.push(MemoryCell {
+            edge: eid,
+            address: addr,
+            bytes,
+        });
         addr += bytes;
     }
     let bytes_used = addr - memory.base_address;
     let available = memory.size_bytes.saturating_sub(memory.base_address);
     if bytes_used > available {
-        return Err(MemoryError::OutOfMemory { required: bytes_used, available });
+        return Err(MemoryError::OutOfMemory {
+            required: bytes_used,
+            available,
+        });
     }
-    Ok(MemoryMap { cells, base: memory.base_address, bytes_used })
+    Ok(MemoryMap {
+        cells,
+        base: memory.base_address,
+        bytes_used,
+    })
 }
 
 /// Lifetime-packed allocation: cells are reused across transfers whose
@@ -195,12 +209,20 @@ pub fn allocate_memory_packed(
         for (from, to, eid) in intervals {
             if let Some(slot) = slots.iter_mut().find(|(_, free)| *free <= from) {
                 slot.1 = to;
-                cells.push(MemoryCell { edge: eid, address: slot.0, bytes });
+                cells.push(MemoryCell {
+                    edge: eid,
+                    address: slot.0,
+                    bytes,
+                });
             } else {
                 let a = addr;
                 addr += bytes;
                 slots.push((a, to));
-                cells.push(MemoryCell { edge: eid, address: a, bytes });
+                cells.push(MemoryCell {
+                    edge: eid,
+                    address: a,
+                    bytes,
+                });
             }
         }
     }
@@ -208,9 +230,16 @@ pub fn allocate_memory_packed(
     let bytes_used = addr - memory.base_address;
     let available = memory.size_bytes.saturating_sub(memory.base_address);
     if bytes_used > available {
-        return Err(MemoryError::OutOfMemory { required: bytes_used, available });
+        return Err(MemoryError::OutOfMemory {
+            required: bytes_used,
+            available,
+        });
     }
-    Ok(MemoryMap { cells, base: memory.base_address, bytes_used })
+    Ok(MemoryMap {
+        cells,
+        base: memory.base_address,
+        bytes_used,
+    })
 }
 
 #[cfg(test)]
@@ -271,7 +300,7 @@ mod tests {
     }
 
     #[test]
-    fn packed_cells_never_alias_while_live(){
+    fn packed_cells_never_alias_while_live() {
         let (g, mapping, schedule, target) = mixed_equalizer();
         let packed = allocate_memory_packed(
             &g,
@@ -301,8 +330,7 @@ mod tests {
     fn out_of_memory_detected() {
         let (g, mapping, _, mut target) = mixed_equalizer();
         target.memory.size_bytes = target.memory.base_address + 2; // 2 bytes only
-        let err = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits)
-            .unwrap_err();
+        let err = allocate_memory(&g, &mapping, &target.memory, target.bus.width_bits).unwrap_err();
         assert!(matches!(err, MemoryError::OutOfMemory { .. }));
     }
 

@@ -62,11 +62,23 @@ fn output_class(s: &State) -> (u8, i64) {
 /// Minimize `stg`, returning the reduced machine and statistics.
 #[must_use]
 pub fn minimize(stg: &Stg) -> (Stg, MinimizeStats) {
+    minimize_jobs(stg, 1)
+}
+
+/// Like [`minimize`], but fans the per-state signature computation of the
+/// partition-refinement fixpoint out across `jobs` scoped worker threads
+/// (`0` = all available cores).
+///
+/// Every state's refinement signature is independent of every other
+/// state's within one round, so the rounds parallelize without changing
+/// the fixpoint: the result is identical to [`minimize`] for any `jobs`.
+#[must_use]
+pub fn minimize_jobs(stg: &Stg, jobs: usize) -> (Stg, MinimizeStats) {
     let before_states = stg.state_count();
     let before_transitions = stg.transition_count();
 
     let compressed = compress_chains(stg);
-    let refined = refine(&compressed);
+    let refined = refine(&compressed, jobs);
 
     let stats = MinimizeStats {
         states_before: before_states,
@@ -99,11 +111,7 @@ fn compress_chains(stg: &Stg) -> Stg {
         if !matches!(stg.states()[target.index()].kind, StateKind::Wait(_)) {
             continue;
         }
-        let preds = stg
-            .transitions()
-            .iter()
-            .filter(|t| t.to == target)
-            .count();
+        let preds = stg.transitions().iter().filter(|t| t.to == target).count();
         if preds != 1 {
             continue;
         }
@@ -116,11 +124,15 @@ fn compress_chains(stg: &Stg) -> Stg {
 }
 
 /// Moore partition refinement on (output class, guarded successor class).
-fn refine(stg: &Stg) -> Stg {
+/// With `jobs > 1` the per-state signature computation of each round runs
+/// on scoped worker threads; the fixpoint (and hence the result) does not
+/// depend on `jobs`.
+fn refine(stg: &Stg, jobs: usize) -> Stg {
     let n = stg.state_count();
     if n == 0 {
         return stg.clone();
     }
+    let jobs = crate::effective_jobs(jobs, n);
     // Initial partition by output class.
     let mut class: Vec<usize> = {
         let mut keys: Vec<(u8, i64)> = stg.states().iter().map(output_class).collect();
@@ -133,8 +145,7 @@ fn refine(stg: &Stg) -> Stg {
     };
     loop {
         // Signature: (class, sorted [(condition, successor class)]).
-        let mut signatures: Vec<(usize, Vec<(Condition, usize)>)> = Vec::with_capacity(n);
-        for i in 0..n {
+        let signature_of = |i: usize| -> (usize, Vec<(Condition, usize)>) {
             let mut succ: Vec<(Condition, usize)> = stg
                 .outgoing(StateId(i as u32))
                 .iter()
@@ -142,7 +153,25 @@ fn refine(stg: &Stg) -> Stg {
                 .collect();
             succ.sort();
             succ.dedup();
-            signatures.push((class[i], succ));
+            (class[i], succ)
+        };
+        let mut signatures: Vec<(usize, Vec<(Condition, usize)>)> = vec![(0, Vec::new()); n];
+        if jobs <= 1 || n < 64 {
+            for (i, slot) in signatures.iter_mut().enumerate() {
+                *slot = signature_of(i);
+            }
+        } else {
+            let chunk = n.div_ceil(jobs);
+            std::thread::scope(|scope| {
+                for (c, slots) in signatures.chunks_mut(chunk).enumerate() {
+                    let signature_of = &signature_of;
+                    scope.spawn(move || {
+                        for (k, slot) in slots.iter_mut().enumerate() {
+                            *slot = signature_of(c * chunk + k);
+                        }
+                    });
+                }
+            });
         }
         let mut uniq = signatures.clone();
         uniq.sort();
@@ -158,8 +187,8 @@ fn refine(stg: &Stg) -> Stg {
     }
     // Representative per class: the lowest state index.
     let mut rep: BTreeMap<usize, StateId> = BTreeMap::new();
-    for i in 0..n {
-        rep.entry(class[i]).or_insert(StateId(i as u32));
+    for (i, &c) in class.iter().enumerate() {
+        rep.entry(c).or_insert(StateId(i as u32));
     }
     let mut redirect: Vec<StateId> = Vec::with_capacity(n);
     let mut dead = vec![false; n];
@@ -201,12 +230,19 @@ fn rebuild(stg: &Stg, redirect: &[StateId], dead: &[bool]) -> Stg {
     let mut transitions: Vec<Transition> = stg
         .transitions()
         .iter()
-        .map(|t| Transition { from: map(t.from), to: map(t.to), condition: t.condition })
+        .map(|t| Transition {
+            from: map(t.from),
+            to: map(t.to),
+            condition: t.condition,
+        })
         .filter(|t| !(t.from == t.to && t.condition == Condition::Always))
         .collect();
     transitions.sort_by_key(|t| (t.from, t.to, t.condition));
     transitions.dedup();
-    Stg { states, transitions }
+    Stg {
+        states,
+        transitions,
+    }
 }
 
 #[cfg(test)]
@@ -291,7 +327,11 @@ mod tests {
     fn globals_survive() {
         let (_, stg) = build_stg(2);
         let (min, _) = minimize(&stg);
-        for kind in [StateKind::GlobalReset, StateKind::GlobalExecute, StateKind::GlobalDone] {
+        for kind in [
+            StateKind::GlobalReset,
+            StateKind::GlobalExecute,
+            StateKind::GlobalDone,
+        ] {
             assert_eq!(min.states().iter().filter(|s| s.kind == kind).count(), 1);
         }
     }
@@ -311,6 +351,18 @@ mod tests {
         stg.verify().unwrap();
         let (min, _) = minimize(&stg);
         min.verify().unwrap(); // includes reachability from R
+    }
+
+    #[test]
+    fn parallel_refinement_matches_serial() {
+        let (_, stg) = build_stg(2);
+        let (serial, serial_stats) = minimize_jobs(&stg, 1);
+        for jobs in [2usize, 4, 0] {
+            let (par, par_stats) = minimize_jobs(&stg, jobs);
+            assert_eq!(par.states(), serial.states(), "jobs={jobs}");
+            assert_eq!(par.transitions(), serial.transitions(), "jobs={jobs}");
+            assert_eq!(par_stats, serial_stats, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -22,9 +22,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("=== Figure 2: coloured partitioning graph ===");
     for (id, node) in graph.nodes() {
         let res = art.partition.mapping.resource(id);
-        println!("  {:<8} [{}] -> {}", node.name(), node.kind(), target.resource_name(res));
+        println!(
+            "  {:<8} [{}] -> {}",
+            node.name(),
+            node.kind(),
+            target.resource_name(res)
+        );
     }
-    println!("\nstatic schedule:\n{}", art.schedule.to_gantt(&graph, &target));
+    println!(
+        "\nstatic schedule:\n{}",
+        art.schedule.to_gantt(&graph, &target)
+    );
 
     // --- Figure 3: STG and memory allocation. ---
     println!("=== Figure 3: STG and memory allocation ===");
@@ -49,21 +57,34 @@ fn main() -> Result<(), Box<dyn Error>> {
         mixed.assign(graph.node_by_name(band).unwrap(), Resource::Hardware(i % 2));
     }
     let variants = vec![
-        ("all-software", run_flow_with_mapping(&graph, &target, all_sw, &FlowOptions::default())?),
-        ("bpf-in-hw", run_flow_with_mapping(&graph, &target, mixed, &FlowOptions::default())?),
+        (
+            "all-software",
+            run_flow_with_mapping(&graph, &target, all_sw, &FlowOptions::default())?,
+        ),
+        (
+            "bpf-in-hw",
+            run_flow_with_mapping(&graph, &target, mixed, &FlowOptions::default())?,
+        ),
         ("auto", art),
     ];
 
     // A synthetic "audio" burst: a decaying square wave.
     let stream: Vec<BTreeMap<String, i64>> = (0..16)
         .map(|k| {
-            let s = if k % 4 < 2 { 1000 - 50 * k } else { -(1000 - 50 * k) };
+            let s = if k % 4 < 2 {
+                1000 - 50 * k
+            } else {
+                -(1000 - 50 * k)
+            };
             eval::input_map([("x0", s), ("x1", s / 2), ("x2", s / 4)])
         })
         .collect();
 
     println!("=== stream processing comparison (16 samples) ===");
-    println!("{:<14} {:>12} {:>14} {:>10}", "variant", "cycles/sample", "bus transfers", "us/sample");
+    println!(
+        "{:<14} {:>12} {:>14} {:>10}",
+        "variant", "cycles/sample", "bus transfers", "us/sample"
+    );
     for (name, implementation) in &variants {
         let mut total_cycles = 0u64;
         let mut total_transfers = 0usize;

@@ -12,7 +12,8 @@
 
 use std::error::Error;
 
-use cool_repro::core::{run_flow, FlowOptions, Partitioner};
+use cool_repro::core::{run_flow_with_cost, FlowOptions, Partitioner};
+use cool_repro::cost::CostModel;
 use cool_repro::ir::eval::input_map;
 use cool_repro::ir::Target;
 use cool_repro::partition::{GaOptions, HeuristicOptions};
@@ -60,8 +61,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "{:<16} {:>6} {:>6} {:>10} {:>9} {:>9} {:>8}",
         "partitioner", "sw", "hw", "makespan", "fpga0", "fpga1", "hw-time%"
     );
+    // One estimation pass serves every candidate partitioner: the engine
+    // skips its `cost` stage when the model is pre-seeded.
+    let cost = CostModel::new(&graph, &target);
     for (name, options) in strategies {
-        let art = run_flow(&graph, &target, &options)?;
+        let art = run_flow_with_cost(&graph, &target, cost.clone(), &options)?;
         println!(
             "{:<16} {:>6} {:>6} {:>10} {:>6}/196 {:>6}/196 {:>7.1}%",
             name,
@@ -83,14 +87,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Full detail for the headline partition.
-    let art = run_flow(&graph, &target, &FlowOptions::default())?;
-    println!("\n--- detailed report ({} partitioning) ---", art.partition.algorithm);
+    let art = run_flow_with_cost(&graph, &target, cost, &FlowOptions::default())?;
+    println!(
+        "\n--- detailed report ({} partitioning) ---",
+        art.partition.algorithm
+    );
     println!("{}", art.report());
     println!("memory map:\n{}", art.memory_map.to_table(&graph));
     println!("closed-loop response (err sweep at derr = 0):");
     for e in (-120..=120).step_by(40) {
         let r = art.simulate(&input_map([("err", e), ("derr", 0)]))?;
-        println!("  err {e:>5} -> u {:>4}  ({} cycles)", r.outputs["u"], r.cycles);
+        println!(
+            "  err {e:>5} -> u {:>4}  ({} cycles)",
+            r.outputs["u"], r.cycles
+        );
     }
     Ok(())
 }

@@ -20,25 +20,50 @@ fn main() -> Result<(), Box<dyn Error>> {
         "nodes", "algorithm", "makespan", "ms", "work units"
     );
     for nodes in [10usize, 16, 24, 32] {
-        let graph = random_dag(RandomDagConfig { nodes, seed: 7, ..Default::default() });
+        let graph = random_dag(RandomDagConfig {
+            nodes,
+            seed: 7,
+            ..Default::default()
+        });
         let cost = CostModel::new(&graph, &target);
 
         // Exact MILP only up to a size it solves in reasonable time.
         if nodes <= 16 {
             let t = Instant::now();
             let res = partition::milp::partition(&graph, &cost, &MilpOptions::default())?;
-            report(nodes, "milp", res.makespan, t.elapsed().as_secs_f64(), res.work_units);
+            report(
+                nodes,
+                "milp",
+                res.makespan,
+                t.elapsed().as_secs_f64(),
+                res.work_units,
+            );
         } else {
-            println!("{nodes:>5} {:>16} {:>10} {:>10} {:>12}", "milp", "-", "(skipped)", "-");
+            println!(
+                "{nodes:>5} {:>16} {:>10} {:>10} {:>12}",
+                "milp", "-", "(skipped)", "-"
+            );
         }
 
         let t = Instant::now();
         let res = partition::heuristic::partition(&graph, &cost, &HeuristicOptions::default())?;
-        report(nodes, "milp+heuristic", res.makespan, t.elapsed().as_secs_f64(), res.work_units);
+        report(
+            nodes,
+            "milp+heuristic",
+            res.makespan,
+            t.elapsed().as_secs_f64(),
+            res.work_units,
+        );
 
         let t = Instant::now();
         let res = partition::genetic::partition(&graph, &cost, &GaOptions::default())?;
-        report(nodes, "genetic", res.makespan, t.elapsed().as_secs_f64(), res.work_units);
+        report(
+            nodes,
+            "genetic",
+            res.makespan,
+            t.elapsed().as_secs_f64(),
+            res.work_units,
+        );
 
         // Baseline for context.
         let all_sw = partition::all_software(&graph);
@@ -50,5 +75,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 }
 
 fn report(nodes: usize, algo: &str, makespan: u64, secs: f64, work: usize) {
-    println!("{nodes:>5} {algo:>16} {makespan:>10} {:>10.1} {work:>12}", secs * 1e3);
+    println!(
+        "{nodes:>5} {algo:>16} {makespan:>10} {:>10.1} {work:>12}",
+        secs * 1e3
+    );
 }

@@ -38,7 +38,12 @@ connect energy -> e : 32;
 fn main() -> Result<(), Box<dyn Error>> {
     // 1. Parse the specification into a partitioning graph.
     let graph = spec::parse(SPEC)?;
-    println!("parsed `{}`: {} nodes, {} edges\n", graph.name(), graph.node_count(), graph.edge_count());
+    println!(
+        "parsed `{}`: {} nodes, {} edges\n",
+        graph.name(),
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // 2. Run the coupled partitioning + co-synthesis flow on the paper's
     //    prototyping board (DSP56001 + 2x XC4005 + 64 kB SRAM).
@@ -52,7 +57,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("  {name} ({} lines)", source.lines().count());
     }
     for program in &artifacts.c_programs {
-        println!("generated C unit: {} ({} lines)", program.file_name, program.source.lines().count());
+        println!(
+            "generated C unit: {} ({} lines)",
+            program.file_name,
+            program.source.lines().count()
+        );
     }
     println!();
 
@@ -62,11 +71,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let result = artifacts.simulate(&inputs)?;
     let reference = evaluate(&graph, &inputs)?;
     println!("simulation finished in {} cycles", result.cycles);
-    println!("  bus transfers: {}, bus utilization {:.1} %", result.bus_transfers, 100.0 * result.bus_utilization());
+    println!(
+        "  bus transfers: {}, bus utilization {:.1} %",
+        result.bus_transfers,
+        100.0 * result.bus_utilization()
+    );
     for (name, value) in &result.outputs {
         println!("  {name} = {value} (reference {})", reference[name]);
     }
-    assert_eq!(result.outputs, reference, "implementation must match the specification");
+    assert_eq!(
+        result.outputs, reference,
+        "implementation must match the specification"
+    );
     println!("\nimplementation matches the specification — quickstart OK");
     Ok(())
 }

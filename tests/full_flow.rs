@@ -80,7 +80,9 @@ fn hardware_accelerates_division_with_direct_links() {
     for i in 0..4 {
         let a = g.add_input(format!("a{i}"), 16);
         let b = g.add_input(format!("b{i}"), 16);
-        let d = g.add_function(format!("div{i}"), Behavior::binary(Op::Div)).unwrap();
+        let d = g
+            .add_function(format!("div{i}"), Behavior::binary(Op::Div))
+            .unwrap();
         g.connect(a, 0, d, 0, 16).unwrap();
         g.connect(b, 0, d, 1, 16).unwrap();
         let y = g.add_output(format!("y{i}"), 16);
@@ -94,11 +96,19 @@ fn hardware_accelerates_division_with_direct_links() {
     for (i, n) in g.function_nodes().into_iter().enumerate() {
         hw.assign(n, Resource::Hardware(i % 2));
     }
-    let direct = FlowOptions { scheme: cool_repro::cost::CommScheme::Direct, ..quick() };
+    let direct = FlowOptions {
+        scheme: cool_repro::cost::CommScheme::Direct,
+        ..quick()
+    };
     let sw_art = run_flow_with_mapping(&g, &target, all_sw, &direct).unwrap();
     let hw_art = run_flow_with_mapping(&g, &target, hw, &direct).unwrap();
     let ins: BTreeMap<String, i64> = (0..4)
-        .flat_map(|i| [(format!("a{i}"), 1000 + i64::from(i)), (format!("b{i}"), 3 + i64::from(i))])
+        .flat_map(|i| {
+            [
+                (format!("a{i}"), 1000 + i64::from(i)),
+                (format!("b{i}"), 3 + i64::from(i)),
+            ]
+        })
         .collect();
     let sw_run = sw_art.simulate(&ins).unwrap();
     let hw_run = hw_art.simulate(&ins).unwrap();
@@ -149,7 +159,9 @@ fn schedule_and_simulation_agree_on_magnitude() {
     let g = workloads::equalizer(4);
     let target = Target::fuzzy_board();
     let art = run_flow(&g, &target, &quick()).unwrap();
-    let r = art.simulate(&input_map([("x0", 1), ("x1", 2), ("x2", 3)])).unwrap();
+    let r = art
+        .simulate(&input_map([("x0", 1), ("x1", 2), ("x2", 3)]))
+        .unwrap();
     let predicted = art.schedule.makespan();
     assert!(
         r.cycles <= predicted * 3 && predicted <= r.cycles.max(1) * 3,

@@ -10,7 +10,10 @@ use cool_repro::spec::workloads;
 
 fn two_cpu_board() -> Target {
     Target {
-        processors: vec![Processor::dsp56001("dsp0"), Processor::generic_risc("risc0")],
+        processors: vec![
+            Processor::dsp56001("dsp0"),
+            Processor::generic_risc("risc0"),
+        ],
         hw: vec![HwResource::xc4005("fpga0"), HwResource::xc4005("fpga1")],
         memory: Memory::sram_64k("sram0"),
         bus: Bus::backplane_16("bus0"),

@@ -45,14 +45,21 @@ fn fig3_stg_inventory_and_minimization() {
     }
     let sched = cool_repro::schedule::schedule(&g, &mapping, &cost, Default::default()).unwrap();
     let stg = cool_repro::stg::generate(&g, &mapping, &sched);
-    let used_resources: std::collections::BTreeSet<_> =
-        g.function_nodes().iter().map(|&n| mapping.resource(n)).collect();
+    let used_resources: std::collections::BTreeSet<_> = g
+        .function_nodes()
+        .iter()
+        .map(|&n| mapping.resource(n))
+        .collect();
     assert_eq!(
         stg.state_count(),
         3 + used_resources.len() + 3 * g.function_nodes().len()
     );
     let (min, stats) = cool_repro::stg::minimize(&stg);
-    assert!(stats.reduction() > 0.15, "reduction only {:.2}", stats.reduction());
+    assert!(
+        stats.reduction() > 0.15,
+        "reduction only {:.2}",
+        stats.reduction()
+    );
     for n in g.function_nodes() {
         assert!(min
             .states()
@@ -109,7 +116,10 @@ fn placement_results_are_sane() {
     let g = workloads::fuzzy_controller();
     let target = Target::fuzzy_board();
     let art = run_flow(&g, &target, &FlowOptions::default()).unwrap();
-    assert!(!art.placements.is_empty(), "device 0 always gets the system controller");
+    assert!(
+        !art.placements.is_empty(),
+        "device 0 always gets the system controller"
+    );
     for (res, placed) in &art.placements {
         assert!(res.is_hardware());
         assert!(placed.wirelength <= placed.initial_wirelength);
@@ -137,7 +147,9 @@ fn vhdl_units_cover_all_controllers() {
     for r in hw_resources {
         let name = target.resource_name(r);
         assert!(
-            art.vhdl.iter().any(|(f, _)| f == &format!("dpctl_{name}.vhd")),
+            art.vhdl
+                .iter()
+                .any(|(f, _)| f == &format!("dpctl_{name}.vhd")),
             "missing datapath controller unit for {name}"
         );
     }
