@@ -4,60 +4,146 @@
 //! implemented and in all cases the time to execute the complete design
 //! flow […] took not more than about 60 minutes").
 //!
-//! We sweep FPGA area budgets (which forces different partitions), run the
-//! full flow for each, validate by co-simulation, and report per-partition
-//! makespan and flow wall time. Absolute times are 2020s-laptop times, not
-//! 1998 workstation times; the claim that *every* partition completes the
-//! full flow automatically is the reproduced result.
+//! We sweep FPGA area budgets (which forces different partitions) through
+//! [`cool_core::run_flow_sweep`]: candidates evaluate on scoped worker
+//! threads, estimation is paid once and retargeted per budget, and one
+//! shared [`StageCache`] skips every stage whose chained content key an
+//! earlier candidate already produced. Each partition is validated by
+//! co-simulation. Absolute times are 2020s-laptop times, not 1998
+//! workstation times; the claim that *every* partition completes the full
+//! flow automatically is the reproduced result.
+//!
+//! Flags: `--jobs N` (sweep workers, 0 = all cores), `--no-cache`,
+//! `--smoke` (small GA + fewer budgets, for CI), `--twice` (run the sweep
+//! twice over one cache and fail unless the second pass hits — the
+//! cache-effectiveness smoke check).
 
-use cool_core::{run_flow_with_cost, FlowOptions, Partitioner};
+use cool_core::{
+    run_flow_sweep, FlowArtifacts, FlowOptions, Partitioner, StageCache, SweepCandidate,
+};
 use cool_cost::CostModel;
 use cool_ir::eval::input_map;
 use cool_partition::GaOptions;
 use cool_spec::workloads;
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn main() {
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let twice = args.iter().any(|a| a == "--twice");
+    let use_cache = !args.iter().any(|a| a == "--no-cache");
+    if twice && !use_cache {
+        eprintln!("res2: --twice asserts second-pass cache hits, so it requires the cache; drop --no-cache");
+        return ExitCode::FAILURE;
+    }
+    let jobs: usize = match flag_value(&args, "--jobs") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("res2: --jobs expects a non-negative integer, got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1,
+    };
+
     let graph = workloads::fuzzy_controller();
-    println!("RES2: partition sweep over FPGA area budgets — fuzzy controller\n");
+    println!("RES2: partition sweep over FPGA area budgets — fuzzy controller");
     println!(
-        "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9}",
-        "budget", "sw", "hw", "makespan", "sim cyc", "flow ms", "hw-time%"
+        "(sweep workers: {jobs}, cache: {}, profile: {})\n",
+        if use_cache { "on" } else { "off" },
+        if smoke { "smoke" } else { "full" },
     );
+
+    let budgets: &[u32] = if smoke {
+        &[0, 96, 196]
+    } else {
+        &[0, 48, 96, 144, 196]
+    };
+    let options = FlowOptions {
+        partitioner: Partitioner::Genetic(GaOptions {
+            population: if smoke { 8 } else { 24 },
+            generations: if smoke { 6 } else { 20 },
+            threads: 1,
+            ..GaOptions::default()
+        }),
+        ..if smoke {
+            FlowOptions::quick()
+        } else {
+            FlowOptions::default()
+        }
+    };
     // Estimation (one quick HLS run per node) does not depend on CLB
     // budgets: pay it once and rebind per candidate target.
     let base_cost = CostModel::new(&graph, &cool_bench::paper_board());
-    for budget in [0u32, 48, 96, 144, 196] {
-        let mut target = cool_bench::paper_board();
-        target.hw[0].clb_capacity = budget;
-        target.hw[1].clb_capacity = budget;
-        let options = FlowOptions {
-            partitioner: Partitioner::Genetic(GaOptions {
-                population: 24,
-                generations: 20,
-                ..GaOptions::default()
-            }),
-            ..FlowOptions::default()
-        };
-        let t0 = Instant::now();
-        let art = run_flow_with_cost(&graph, &target, base_cost.retarget(&target), &options)
-            .expect("flow succeeds");
-        let wall = t0.elapsed();
-        let sim = art
-            .simulate(&input_map([("err", 80), ("derr", -40)]))
-            .expect("implementation matches specification");
+    let candidates: Vec<SweepCandidate> = budgets
+        .iter()
+        .map(|&budget| {
+            let mut target = cool_bench::paper_board();
+            target.hw[0].clb_capacity = budget;
+            target.hw[1].clb_capacity = budget;
+            let cost = base_cost.retarget(&target);
+            SweepCandidate::new(target, options.clone()).with_cost(cost)
+        })
+        .collect();
+
+    let cache = use_cache.then(StageCache::default);
+    let passes = if twice { 2 } else { 1 };
+    let mut last_pass_hits = 0usize;
+    for pass in 1..=passes {
+        if passes > 1 {
+            println!("— pass {pass}/{passes} —");
+        }
         println!(
-            "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10.1} {:>8.1}%",
-            budget,
-            art.partition.software_nodes(&graph),
-            art.partition.hardware_nodes(&graph),
-            art.partition.makespan,
-            sim.cycles,
-            wall.as_secs_f64() * 1e3,
-            100.0 * art.timings.hardware_fraction(),
+            "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9} {:>6}",
+            "budget", "sw", "hw", "makespan", "sim cyc", "flow ms", "hw-time%", "hits"
         );
+        let results = run_flow_sweep(&graph, &candidates, jobs, cache.as_ref());
+        last_pass_hits = 0;
+        for (&budget, result) in budgets.iter().zip(results) {
+            let art: FlowArtifacts = result.expect("flow succeeds");
+            let sim = art
+                .simulate(&input_map([("err", 80), ("derr", -40)]))
+                .expect("implementation matches specification");
+            last_pass_hits += art.trace.cache_hits();
+            // On runs with cache hits the timing buckets measure cache
+            // restores, not synthesis — the paper's hw-time fraction
+            // would be noise, so suppress it.
+            let hw_time = if art.trace.cache_hits() > 0 {
+                format!("{:>9}", "-")
+            } else {
+                format!("{:>8.1}%", 100.0 * art.timings.hardware_fraction())
+            };
+            println!(
+                "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10.1} {hw_time} {:>6}",
+                budget,
+                art.partition.software_nodes(&graph),
+                art.partition.hardware_nodes(&graph),
+                art.partition.makespan,
+                sim.cycles,
+                art.trace.total().as_secs_f64() * 1e3,
+                art.trace.cache_hits(),
+            );
+        }
+        println!();
+    }
+    if let Some(cache) = &cache {
+        println!("{}", cache.stats().summary());
     }
     println!("\nevery partition went from specification to netlist + C + validated");
     println!("simulation fully automatically (the paper's ≤ 60-minute claim, on a");
     println!("modern machine and a simulated board).");
+
+    if twice && last_pass_hits == 0 {
+        eprintln!("FAIL: second sweep pass reported zero stage-cache hits");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

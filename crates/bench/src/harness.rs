@@ -8,6 +8,11 @@
 //!
 //! Set `COOL_BENCH_MS` (default 200) to change the per-case time budget,
 //! and `COOL_BENCH_QUICK=1` for a single-iteration smoke run.
+//!
+//! Benches can additionally emit machine-readable results (e.g.
+//! `BENCH_flow.json`) via [`Group::to_json`] and [`write_json_report`],
+//! so the performance trajectory is trackable across PRs without
+//! scraping stdout.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -111,6 +116,66 @@ impl Group {
     pub fn name(&self) -> &'static str {
         self.name
     }
+
+    /// The group as one JSON object:
+    /// `{"group": …, "cases": [{"label", "iters", "min_ns", "mean_ns",
+    /// "max_ns"}, …]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let cases: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"label\":{},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+                    json_string(&r.label),
+                    r.iters,
+                    r.min.as_nanos(),
+                    r.mean.as_nanos(),
+                    r.max.as_nanos()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"group\":{},\"cases\":[{}]}}",
+            json_string(self.name),
+            cases.join(",")
+        )
+    }
+}
+
+/// Quote and escape a string for JSON output.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Write a JSON report assembled from named sections (each section value
+/// must itself be valid JSON). The result is one object:
+/// `{"section1": …, "section2": …}`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing `path`.
+pub fn write_json_report(path: &str, sections: &[(&str, String)]) -> Result<(), std::io::Error> {
+    let body: Vec<String> = sections
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", json_string(k)))
+        .collect();
+    std::fs::write(path, format!("{{{}}}\n", body.join(",")))
 }
 
 fn fmt(d: Duration) -> String {
@@ -129,12 +194,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_records_result() {
+    fn bench_records_result_and_serializes() {
+        // One test owns the env-var + Group lifecycle: a second test
+        // calling `set_var` while this one reads the environment would
+        // race (concurrent setenv/getenv is UB on glibc).
         std::env::set_var("COOL_BENCH_QUICK", "1");
         let mut g = Group::new("harness-self-test");
-        let r = g.bench("noop", || 1 + 1).clone();
+        let r = g.bench("case/one", || 1 + 1).clone();
         assert_eq!(r.iters, 1);
         assert!(r.min <= r.mean && r.mean <= r.max);
         assert_eq!(g.results().len(), 1);
+        let j = g.to_json();
+        assert!(j.starts_with("{\"group\":\"harness-self-test\""), "{j}");
+        assert!(j.contains("\"label\":\"case/one\""), "{j}");
+        assert!(j.contains("\"mean_ns\":"), "{j}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

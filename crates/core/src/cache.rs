@@ -1,0 +1,371 @@
+//! The content-addressed stage cache.
+//!
+//! Sweeps (`res2` area budgets, the partitioner and communication-scheme
+//! ablations) re-run the whole spec→…→codegen pipeline per candidate even
+//! though most upstream stage outputs are identical across candidates.
+//! The [`StageCache`] makes those prefixes incremental: the engine keys
+//! every stage on a chained 128-bit content digest of everything the
+//! stage can read (see [`crate::stage::Stage::cache_key`]), and on a key
+//! match it skips the stage and restores the artifacts the original run
+//! deposited into the [`FlowContext`].
+//!
+//! The cache is `Arc`-shared and mutex-guarded so one instance can serve
+//! all scoped workers of [`crate::run_flow_sweep`]; entries are bounded
+//! by an LRU policy. Because every stage is deterministic for equal
+//! context contents (the [`crate::stage::Stage`] contract), restoring a
+//! cached delta is byte-identical to re-running the stage — the warm-path
+//! determinism tests in `tests/cache.rs` enforce exactly that.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::stage::FlowContext;
+
+/// The chained content digest a stage is cached under.
+pub type StageKey = u128;
+
+/// The single source of truth for the artifact slot ⇄ flag-index
+/// mapping: invokes `$macro_cb!(slot_name, index)` once per slot of
+/// [`FlowContext`] / [`ArtifactDelta`]. Adding a slot means adding one
+/// line here (plus the `ArtifactDelta` field); every flags/capture/
+/// apply/count loop below derives from it.
+macro_rules! for_each_slot {
+    ($macro_cb:ident) => {
+        $macro_cb!(cost, 0);
+        $macro_cb!(partition, 1);
+        $macro_cb!(schedule, 2);
+        $macro_cb!(stg, 3);
+        $macro_cb!(stg_minimized, 4);
+        $macro_cb!(minimize_stats, 5);
+        $macro_cb!(memory_map, 6);
+        $macro_cb!(hw_nodes, 7);
+        $macro_cb!(hls_designs, 8);
+        $macro_cb!(controller, 9);
+        $macro_cb!(encoding, 10);
+        $macro_cb!(netlist, 11);
+        $macro_cb!(vhdl, 12);
+        $macro_cb!(placements, 13);
+        $macro_cb!(c_programs, 14);
+    };
+}
+
+/// Which artifact slots of a [`FlowContext`] are filled.
+///
+/// Captured before a stage runs so the engine can snapshot exactly the
+/// slots the stage deposited (cached stages fill empty slots only; a
+/// stage that mutates existing artifacts in place must opt out of caching
+/// by returning `None` from `cache_key`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactFlags {
+    flags: [bool; 15],
+}
+
+impl ArtifactFlags {
+    /// Snapshot which slots of `cx` are currently filled.
+    #[must_use]
+    pub fn of(cx: &FlowContext<'_>) -> ArtifactFlags {
+        let mut flags = [false; 15];
+        macro_rules! flag_slot {
+            ($slot:ident, $idx:expr) => {
+                flags[$idx] = cx.$slot.is_some();
+            };
+        }
+        for_each_slot!(flag_slot);
+        ArtifactFlags { flags }
+    }
+}
+
+/// The artifacts one stage deposited into the context: a clone of every
+/// slot that was empty before the stage ran and filled afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactDelta {
+    cost: Option<cool_cost::CostModel>,
+    partition: Option<cool_partition::PartitionResult>,
+    schedule: Option<cool_schedule::StaticSchedule>,
+    stg: Option<cool_stg::Stg>,
+    stg_minimized: Option<cool_stg::Stg>,
+    minimize_stats: Option<cool_stg::MinimizeStats>,
+    memory_map: Option<cool_stg::MemoryMap>,
+    hw_nodes: Option<Vec<cool_ir::NodeId>>,
+    hls_designs: Option<Vec<cool_hls::HlsDesign>>,
+    controller: Option<cool_rtl::SystemController>,
+    encoding: Option<cool_rtl::encoding::StateEncoding>,
+    netlist: Option<cool_rtl::Netlist>,
+    vhdl: Option<Vec<(String, String)>>,
+    placements: Option<Vec<(cool_ir::Resource, cool_rtl::place::Placement)>>,
+    c_programs: Option<Vec<cool_codegen::CProgram>>,
+}
+
+impl ArtifactDelta {
+    /// Clone every slot of `cx` that is filled now but was not filled in
+    /// `before`.
+    #[must_use]
+    pub fn capture(cx: &FlowContext<'_>, before: ArtifactFlags) -> ArtifactDelta {
+        let mut delta = ArtifactDelta::default();
+        macro_rules! capture_slot {
+            ($slot:ident, $idx:expr) => {
+                if !before.flags[$idx] {
+                    delta.$slot = cx.$slot.clone();
+                }
+            };
+        }
+        for_each_slot!(capture_slot);
+        delta
+    }
+
+    /// Deposit the captured artifacts back into `cx` (cloning; the delta
+    /// stays in the cache for further hits).
+    pub fn apply(&self, cx: &mut FlowContext<'_>) {
+        macro_rules! apply_slot {
+            ($slot:ident, $idx:expr) => {
+                if let Some(v) = &self.$slot {
+                    cx.$slot = Some(v.clone());
+                }
+            };
+        }
+        for_each_slot!(apply_slot);
+    }
+
+    /// Number of artifact slots this delta restores.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        let mut n = 0;
+        macro_rules! count_slot {
+            ($slot:ident, $idx:expr) => {
+                n += usize::from(self.$slot.is_some());
+            };
+        }
+        for_each_slot!(count_slot);
+        n
+    }
+}
+
+/// One cached stage execution.
+#[derive(Debug, Clone)]
+struct Entry {
+    delta: Arc<ArtifactDelta>,
+    /// Wall-clock the original execution took — the time a hit saves.
+    cost: Duration,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<StageKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    saved: Duration,
+}
+
+/// Aggregate cache counters, for `--trace` output and the benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Stage executions skipped because a cached delta was restored.
+    pub hits: u64,
+    /// Stage executions that ran and populated the cache.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Sum of the original execution times of every hit — the wall-clock
+    /// the cache saved.
+    pub saved: Duration,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "stage cache: {} hit(s), {} miss(es) ({:.0} % hit rate), {} entries, \
+             {} eviction(s), {:.3} ms saved",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.evictions,
+            self.saved.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// A shared, LRU-bounded, content-addressed cache of stage executions.
+///
+/// Cloning is cheap (an `Arc` bump); clones share one store, which is how
+/// [`crate::run_flow_sweep`] lets every worker thread hit entries any
+/// other worker produced.
+#[derive(Debug, Clone)]
+pub struct StageCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for StageCache {
+    fn default() -> StageCache {
+        StageCache::new(StageCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl StageCache {
+    /// Default entry bound: comfortably holds the full standard flow for
+    /// a few dozen sweep candidates.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// A cache bounded to `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> StageCache {
+        StageCache {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity: capacity.max(1),
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency and counting a hit or miss.
+    /// Returns the delta and the wall-clock the original execution took.
+    #[must_use]
+    pub fn lookup(&self, key: StageKey) -> Option<(Arc<ArtifactDelta>, Duration)> {
+        let mut inner = self.inner.lock().expect("stage cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let found = inner.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            (Arc::clone(&e.delta), e.cost)
+        });
+        match found {
+            Some(out) => {
+                inner.hits += 1;
+                inner.saved += out.1;
+                Some(out)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert the delta a freshly executed stage produced. Evicts the
+    /// least-recently used entry when the bound is exceeded; inserting an
+    /// existing key refreshes it (deterministic stages make the value
+    /// identical, so last-writer-wins is safe under worker races).
+    pub fn insert(&self, key: StageKey, delta: ArtifactDelta, cost: Duration) {
+        let mut inner = self.inner.lock().expect("stage cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                delta: Arc::new(delta),
+                cost,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > inner.capacity {
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("stage cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            saved: inner.saved,
+        }
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("stage cache poisoned").map.len()
+    }
+
+    /// `true` when no entry is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_counts() {
+        let cache = StageCache::new(8);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, ArtifactDelta::default(), ms(5));
+        let (delta, cost) = cache.lookup(1).expect("hit");
+        assert_eq!(delta.slot_count(), 0);
+        assert_eq!(cost, ms(5));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.saved, ms(5));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recent() {
+        let cache = StageCache::new(2);
+        cache.insert(1, ArtifactDelta::default(), ms(1));
+        cache.insert(2, ArtifactDelta::default(), ms(1));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, ArtifactDelta::default(), ms(1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1).is_some(), "recently used entry survives");
+        assert!(cache.lookup(2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let cache = StageCache::new(4);
+        let clone = cache.clone();
+        clone.insert(9, ArtifactDelta::default(), ms(2));
+        assert!(cache.lookup(9).is_some());
+        assert_eq!(cache.stats().hits, clone.stats().hits);
+    }
+
+    #[test]
+    fn summary_mentions_counters() {
+        let cache = StageCache::new(4);
+        cache.insert(1, ArtifactDelta::default(), ms(1));
+        let _ = cache.lookup(1);
+        let s = cache.stats().summary();
+        assert!(s.contains("hit"), "{s}");
+        assert!(s.contains("entries"), "{s}");
+    }
+}

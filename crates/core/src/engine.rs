@@ -25,18 +25,22 @@
 
 use std::time::Instant;
 
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::Resource;
 use cool_partition::PartitionResult;
 use cool_rtl::place::Placement;
 use cool_rtl::SystemController;
 
+use crate::cache::{ArtifactDelta, ArtifactFlags, StageCache, StageKey};
 use crate::stage::{FlowContext, Stage};
-use crate::timing::FlowTrace;
+use crate::timing::{CacheOutcome, FlowTrace};
 use crate::{FlowError, Partitioner};
 
-/// A linear pipeline of named stages.
+/// A linear pipeline of named stages, optionally backed by a
+/// content-addressed [`StageCache`].
 pub struct Engine {
     stages: Vec<Box<dyn Stage>>,
+    cache: Option<StageCache>,
 }
 
 impl Engine {
@@ -44,7 +48,29 @@ impl Engine {
     /// flows; most callers want [`Engine::standard`]).
     #[must_use]
     pub fn new(stages: Vec<Box<dyn Stage>>) -> Engine {
-        Engine { stages }
+        Engine {
+            stages,
+            cache: None,
+        }
+    }
+
+    /// Attach a stage cache. The cache is consulted before every stage
+    /// whose [`Stage::cache_key`] is `Some`: on a key match the stage is
+    /// skipped and its recorded artifacts are restored; on a miss the
+    /// stage runs and its artifact delta is stored. Caches are cheaply
+    /// cloneable and may be shared across engines and threads (this is
+    /// how [`crate::run_flow_sweep`] reuses unchanged flow prefixes
+    /// across candidates).
+    #[must_use]
+    pub fn with_cache(mut self, cache: StageCache) -> Engine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&StageCache> {
+        self.cache.as_ref()
     }
 
     /// The paper's complete design flow, one stage per box of Figure 1.
@@ -70,7 +96,10 @@ impl Engine {
     }
 
     /// Run every stage in order over `cx`, timing each into the returned
-    /// trace.
+    /// trace. With an attached cache, stages whose chained content key is
+    /// already cached are skipped and their artifacts restored — the
+    /// resulting context is byte-identical to an uncached run, because
+    /// every cacheable stage is deterministic for equal inputs.
     ///
     /// # Errors
     ///
@@ -78,10 +107,53 @@ impl Engine {
     /// before the failure.
     pub fn run(&self, cx: &mut FlowContext<'_>) -> Result<FlowTrace, FlowError> {
         let mut trace = FlowTrace::new();
+        // The chained key: a digest of the input graph plus, per executed
+        // stage, its name and its `cache_key` digest. By induction the
+        // chain covers everything each stage can read (graph, upstream
+        // artifacts via their producers' links, and the stage's own
+        // declared inputs), so equal chains imply equal outputs. A stage
+        // returning `None` breaks the chain for the rest of the run.
+        let mut chain: Option<StageKey> = self.cache.as_ref().map(|_| {
+            let mut h = ContentHasher::new();
+            cx.graph.content_hash(&mut h);
+            h.finish()
+        });
         for stage in &self.stages {
-            let t0 = Instant::now();
-            stage.run(cx)?;
-            trace.push(stage.name(), t0.elapsed());
+            let key = match (chain, self.cache.as_ref()) {
+                (Some(prev), Some(_)) => match stage.cache_key(cx) {
+                    Some(local) => {
+                        let mut h = ContentHasher::new();
+                        h.write_u128(prev);
+                        h.write_str(stage.name());
+                        h.write_u128(local);
+                        chain = Some(h.finish());
+                        chain
+                    }
+                    None => {
+                        chain = None;
+                        None
+                    }
+                },
+                _ => None,
+            };
+            if let (Some(key), Some(cache)) = (key, self.cache.as_ref()) {
+                let t0 = Instant::now();
+                if let Some((delta, saved)) = cache.lookup(key) {
+                    delta.apply(cx);
+                    trace.push_outcome(stage.name(), t0.elapsed(), CacheOutcome::Hit { saved });
+                    continue;
+                }
+                let before = ArtifactFlags::of(cx);
+                let t0 = Instant::now();
+                stage.run(cx)?;
+                let elapsed = t0.elapsed();
+                cache.insert(key, ArtifactDelta::capture(cx, before), elapsed);
+                trace.push_outcome(stage.name(), elapsed, CacheOutcome::Miss);
+            } else {
+                let t0 = Instant::now();
+                stage.run(cx)?;
+                trace.push(stage.name(), t0.elapsed());
+            }
         }
         Ok(trace)
     }
@@ -107,6 +179,12 @@ impl Stage for SpecStage {
         cx.graph.validate()?;
         Ok(())
     }
+
+    /// Reads only the graph (already in the engine's chain seed), so
+    /// candidates that differ in target or options still share this key.
+    fn cache_key(&self, _cx: &FlowContext<'_>) -> Option<u128> {
+        Some(0)
+    }
 }
 
 /// `cost` — software timings plus quick per-node HLS estimates. A no-op
@@ -123,6 +201,18 @@ impl Stage for CostStage {
             cx.cost = Some(cool_cost::CostModel::new(cx.graph, cx.target));
         }
         Ok(())
+    }
+
+    /// The target (clocks, memory, bus — and budgets, which the embedded
+    /// target copy exposes to consumers) plus, when the context was
+    /// pre-seeded via [`FlowContext::with_cost`], the full content of the
+    /// seeded model: a pre-seeded run must never collide with a computed
+    /// one unless the resulting context is identical.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        cx.target.content_hash(&mut h);
+        cx.cost.content_hash(&mut h);
+        Some(h.finish())
     }
 }
 
@@ -156,6 +246,16 @@ impl Stage for PartitionStage {
         cx.partition = Some(partition);
         Ok(())
     }
+
+    /// The partitioner configuration (including a fixed mapping, if any)
+    /// and the flow's communication scheme; graph, cost model and target
+    /// arrive through the chain.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        cx.options.partitioner.content_hash(&mut h);
+        cx.options.scheme.content_hash(&mut h);
+        Some(h.finish())
+    }
 }
 
 /// `schedule` — static list scheduling, verified against the mapping.
@@ -175,6 +275,13 @@ impl Stage for ScheduleStage {
             .map_err(FlowError::Consistency)?;
         cx.schedule = Some(schedule);
         Ok(())
+    }
+
+    /// Only the communication scheme; mapping and costs are chained.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        cx.options.scheme.content_hash(&mut h);
+        Some(h.finish())
     }
 }
 
@@ -216,6 +323,14 @@ impl Stage for StgStage {
         cx.memory_map = Some(memory_map);
         Ok(())
     }
+
+    /// Only the allocator choice; the shared memory and bus geometry it
+    /// reads are part of the target, which is chained via `cost`.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        h.write_bool(cx.options.packed_memory);
+        Some(h.finish())
+    }
 }
 
 /// `hls` — full-effort hardware synthesis of every hardware-mapped node,
@@ -245,6 +360,14 @@ impl Stage for HlsStage {
         cx.hw_nodes = Some(hw_nodes);
         cx.hls_designs = Some(hls_designs);
         Ok(())
+    }
+
+    /// The full-effort synthesis options (`jobs` excluded: the per-node
+    /// fan-out never changes a generated byte).
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        cx.options.hls.content_hash(&mut h);
+        Some(h.finish())
     }
 }
 
@@ -418,6 +541,16 @@ impl Stage for RtlStage {
         cx.placements = Some(placements);
         Ok(())
     }
+
+    /// Encoding-search and placement effort knobs; everything else this
+    /// stage reads (target, mapping, schedule, memory map, HLS designs)
+    /// is chained.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        h.write_u32(cx.options.encoding_effort);
+        h.write_u32(cx.options.placement_effort);
+        Some(h.finish())
+    }
 }
 
 /// `codegen` — C program generation for every software partition.
@@ -438,6 +571,11 @@ impl Stage for CodegenStage {
         }
         cx.c_programs = Some(c_programs);
         Ok(())
+    }
+
+    /// Reads chained artifacts only.
+    fn cache_key(&self, _cx: &FlowContext<'_>) -> Option<u128> {
+        Some(0)
     }
 }
 
@@ -489,6 +627,12 @@ impl Stage for SimPrepStage {
             return Err(FlowError::MissingArtifact("C programs"));
         }
         Ok(())
+    }
+
+    /// Validation only; every input (including the scheme the simulator
+    /// is built with) is chained.
+    fn cache_key(&self, _cx: &FlowContext<'_>) -> Option<u128> {
+        Some(0)
     }
 }
 

@@ -38,6 +38,13 @@
 //! per-device placement anneals); artifacts are byte-identical for every
 //! `jobs` value.
 //!
+//! Sweeps become incremental and concurrent through the
+//! content-addressed [`cache::StageCache`]: [`run_flow_cached`] attaches
+//! a cache to one run, and [`run_flow_sweep`] evaluates many candidates
+//! on scoped workers with the cache shared across them — stages whose
+//! chained content key ([`Stage::cache_key`]) already executed are
+//! skipped and their artifacts restored, byte-identically to a cold run.
+//!
 //! # Example
 //!
 //! ```
@@ -56,19 +63,22 @@
 //! ```
 
 pub mod artifacts;
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod stage;
 pub mod timing;
 
 pub use artifacts::FlowArtifacts;
+pub use cache::{CacheStats, StageCache};
 pub use engine::Engine;
 pub use error::FlowError;
 pub use stage::{FlowContext, Stage};
-pub use timing::{FlowTrace, StageRecord, StageTimings};
+pub use timing::{CacheOutcome, FlowTrace, StageRecord, StageTimings};
 
 use cool_cost::{CommScheme, CostModel};
 use cool_hls::HlsOptions;
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Mapping, PartitioningGraph, Resource, Target};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions};
 
@@ -163,6 +173,44 @@ impl FlowOptions {
     }
 }
 
+impl ContentHash for Partitioner {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            Partitioner::Milp(o) => {
+                h.write_u8(0);
+                o.content_hash(h);
+            }
+            Partitioner::Heuristic(o) => {
+                h.write_u8(1);
+                o.content_hash(h);
+            }
+            Partitioner::Genetic(o) => {
+                h.write_u8(2);
+                o.content_hash(h);
+            }
+            Partitioner::Fixed(mapping) => {
+                h.write_u8(3);
+                mapping.content_hash(h);
+            }
+        }
+    }
+}
+
+impl ContentHash for FlowOptions {
+    /// Digests every artifact-relevant knob. `jobs` is deliberately
+    /// excluded: by the engine's determinism contract it scales
+    /// wall-clock only, never a generated byte, so serial and parallel
+    /// runs share cache entries.
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.partitioner.content_hash(h);
+        self.scheme.content_hash(h);
+        self.hls.content_hash(h);
+        h.write_u32(self.encoding_effort);
+        h.write_u32(self.placement_effort);
+        h.write_bool(self.packed_memory);
+    }
+}
+
 /// Run the complete COOL design flow on `graph` for `target`.
 ///
 /// # Errors
@@ -178,6 +226,28 @@ pub fn run_flow(
     FlowArtifacts::from_context(cx, trace)
 }
 
+/// Run the complete flow with a shared stage cache attached.
+///
+/// A warm cache skips every stage whose chained content key matches a
+/// previous execution and restores the recorded artifacts instead; the
+/// result is byte-identical to [`run_flow`]. Cache hit/miss/saved-time
+/// accounting lands per stage in [`FlowArtifacts::trace`] and
+/// aggregated in [`StageCache::stats`].
+///
+/// # Errors
+///
+/// Same as [`run_flow`].
+pub fn run_flow_cached(
+    graph: &PartitioningGraph,
+    target: &Target,
+    options: &FlowOptions,
+    cache: &StageCache,
+) -> Result<FlowArtifacts, FlowError> {
+    let mut cx = FlowContext::new(graph, target, options);
+    let trace = Engine::standard().with_cache(cache.clone()).run(&mut cx)?;
+    FlowArtifacts::from_context(cx, trace)
+}
+
 /// Run the flow reusing an already-built cost model (the estimation
 /// stage becomes a no-op).
 ///
@@ -185,7 +255,7 @@ pub fn run_flow(
 /// one specification: cost estimation — one quick HLS run per node — is
 /// paid once instead of once per candidate. Combine with
 /// [`CostModel::retarget`] when only resource budgets vary between
-/// candidates.
+/// candidates. Implemented as a single-candidate [`run_flow_sweep`].
 ///
 /// # Errors
 ///
@@ -196,9 +266,78 @@ pub fn run_flow_with_cost(
     cost: CostModel,
     options: &FlowOptions,
 ) -> Result<FlowArtifacts, FlowError> {
-    let mut cx = FlowContext::with_cost(graph, target, options, cost);
-    let trace = Engine::standard().run(&mut cx)?;
-    FlowArtifacts::from_context(cx, trace)
+    let candidate = SweepCandidate::new(target.clone(), options.clone()).with_cost(cost);
+    run_flow_sweep(graph, std::slice::from_ref(&candidate), 1, None)
+        .pop()
+        .expect("one candidate in, one result out")
+}
+
+/// One candidate evaluation of a [`run_flow_sweep`]: a target, the flow
+/// options, and optionally a pre-seeded cost model.
+#[derive(Debug, Clone)]
+pub struct SweepCandidate {
+    /// The board this candidate targets.
+    pub target: Target,
+    /// The flow knobs for this candidate.
+    pub options: FlowOptions,
+    /// Pre-seeded cost model (skips estimation), e.g. from
+    /// [`CostModel::retarget`] when only budgets vary.
+    pub cost: Option<CostModel>,
+}
+
+impl SweepCandidate {
+    /// A candidate that estimates its own cost model.
+    #[must_use]
+    pub fn new(target: Target, options: FlowOptions) -> SweepCandidate {
+        SweepCandidate {
+            target,
+            options,
+            cost: None,
+        }
+    }
+
+    /// Pre-seed the candidate with a cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> SweepCandidate {
+        self.cost = Some(cost);
+        self
+    }
+}
+
+/// Evaluate many flow candidates over one specification, fanning the
+/// per-candidate runs out across up to `jobs` scoped worker threads
+/// (`0` = all cores, same convention as [`FlowOptions::jobs`]).
+///
+/// With a `cache`, all workers share it: any stage whose chained content
+/// key another candidate (or a previous sweep over the same cache)
+/// already produced is skipped and restored, so sweeps become
+/// incremental *and* concurrent. Results come back in input order for
+/// every job count, and each candidate's artifacts are byte-identical to
+/// a cold, serial [`run_flow`] of the same inputs — worker scheduling
+/// only decides who computes a shared entry first, never its content.
+///
+/// Each element is that candidate's own `Ok`/`Err`; one failing
+/// candidate does not poison the others.
+pub fn run_flow_sweep(
+    graph: &PartitioningGraph,
+    candidates: &[SweepCandidate],
+    jobs: usize,
+    cache: Option<&StageCache>,
+) -> Vec<Result<FlowArtifacts, FlowError>> {
+    cool_ir::par::par_map(candidates, jobs, |candidate| {
+        let engine = match cache {
+            Some(cache) => Engine::standard().with_cache(cache.clone()),
+            None => Engine::standard(),
+        };
+        let mut cx = match &candidate.cost {
+            Some(cost) => {
+                FlowContext::with_cost(graph, &candidate.target, &candidate.options, cost.clone())
+            }
+            None => FlowContext::new(graph, &candidate.target, &candidate.options),
+        };
+        let trace = engine.run(&mut cx)?;
+        FlowArtifacts::from_context(cx, trace)
+    })
 }
 
 /// Convenience: run the flow with a fixed, caller-chosen mapping.

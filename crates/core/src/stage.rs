@@ -10,6 +10,7 @@
 use cool_codegen::CProgram;
 use cool_cost::CostModel;
 use cool_hls::HlsDesign;
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Mapping, NodeId, PartitioningGraph, Resource, Target};
 use cool_partition::PartitionResult;
 use cool_rtl::encoding::StateEncoding;
@@ -38,6 +39,32 @@ pub trait Stage {
     /// whose producer has not run yields
     /// [`FlowError::MissingArtifact`].
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError>;
+
+    /// Content digest of every input this stage reads *beyond* the graph
+    /// and the upstream artifacts (both already covered by the engine's
+    /// chained key). Returning `Some` makes the stage cacheable by the
+    /// [`StageCache`](crate::cache::StageCache); returning `None` opts
+    /// out and — because downstream keys chain through this stage —
+    /// disables caching for every later stage of the run too.
+    ///
+    /// The default digests the full target and every artifact-relevant
+    /// [`FlowOptions`] field (`jobs` excluded — it never changes
+    /// artifacts). That is sound for a *field-less* stage honouring the
+    /// determinism contract; a stage that carries its own configuration
+    /// MUST override this and digest those fields too, or two
+    /// differently-configured instances will share cache keys. The
+    /// standard stages override it with the precise input set they
+    /// read, which is what lets sweep candidates that differ only in,
+    /// say, FPGA area budgets still share their `spec` prefix.
+    ///
+    /// Cacheable stages must only *fill empty* context slots; a stage
+    /// that mutates artifacts in place must return `None`.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        cx.target.content_hash(&mut h);
+        cx.options.content_hash(&mut h);
+        Some(h.finish())
+    }
 }
 
 /// The typed blackboard the stages communicate through.

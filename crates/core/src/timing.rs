@@ -9,13 +9,32 @@
 
 use std::time::Duration;
 
+/// How the stage cache treated one stage execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache was consulted (engine without a cache, or the key chain
+    /// was broken by an uncacheable stage earlier in the run).
+    #[default]
+    Uncached,
+    /// The cache was consulted, missed, and the fresh result was stored.
+    Miss,
+    /// The stage was skipped; its artifacts were restored from the cache.
+    Hit {
+        /// Wall-clock the original execution took — the time saved.
+        saved: Duration,
+    },
+}
+
 /// Wall-clock time of one executed stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageRecord {
     /// Engine stage name (`"hls"`, `"partition"`, …).
     pub name: &'static str,
-    /// Wall-clock duration of the stage's `run`.
+    /// Wall-clock duration of the stage's `run` (on a cache hit: of the
+    /// lookup + artifact restore).
     pub duration: Duration,
+    /// Cache outcome for this execution.
+    pub cache: CacheOutcome,
 }
 
 /// The timing journal of one engine run: every stage, in order.
@@ -31,9 +50,50 @@ impl FlowTrace {
         FlowTrace::default()
     }
 
-    /// Append one stage's record.
+    /// Append one stage's record (uncached execution).
     pub fn push(&mut self, name: &'static str, duration: Duration) {
-        self.records.push(StageRecord { name, duration });
+        self.push_outcome(name, duration, CacheOutcome::Uncached);
+    }
+
+    /// Append one stage's record with its cache outcome.
+    pub fn push_outcome(&mut self, name: &'static str, duration: Duration, cache: CacheOutcome) {
+        self.records.push(StageRecord {
+            name,
+            duration,
+            cache,
+        });
+    }
+
+    /// Stages restored from the cache in this run.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.cache, CacheOutcome::Hit { .. }))
+            .count()
+    }
+
+    /// Stages that executed and populated the cache in this run.
+    #[must_use]
+    pub fn cache_misses(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.cache == CacheOutcome::Miss)
+            .count()
+    }
+
+    /// Wall-clock the cache saved this run: the original execution time
+    /// of every hit stage, minus nothing (restore time is already in
+    /// [`StageRecord::duration`]).
+    #[must_use]
+    pub fn cache_saved(&self) -> Duration {
+        self.records
+            .iter()
+            .map(|r| match r.cache {
+                CacheOutcome::Hit { saved } => saved,
+                _ => Duration::ZERO,
+            })
+            .sum()
     }
 
     /// All records, in execution order.
@@ -65,22 +125,36 @@ impl FlowTrace {
     }
 
     /// One row per executed stage, for `cool flow --trace` and reports.
+    /// Cache hits are annotated with the wall-clock they saved.
     #[must_use]
     pub fn to_table(&self) -> String {
         let total = self.total().as_secs_f64().max(1e-12);
         let mut s = String::new();
         for r in &self.records {
             s.push_str(&format!(
-                "{:<12} {:>10.3} ms {:>5.1} %\n",
+                "{:<12} {:>10.3} ms {:>5.1} %{}\n",
                 r.name,
                 r.duration.as_secs_f64() * 1e3,
-                100.0 * r.duration.as_secs_f64() / total
+                100.0 * r.duration.as_secs_f64() / total,
+                match r.cache {
+                    CacheOutcome::Hit { saved } =>
+                        format!("  [cache hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
+                    _ => String::new(),
+                }
             ));
         }
         s.push_str(&format!(
             "total        {:>10.3} ms\n",
             self.total().as_secs_f64() * 1e3
         ));
+        if self.cache_hits() + self.cache_misses() > 0 {
+            s.push_str(&format!(
+                "stage cache: {} hit(s) / {} miss(es), {:.3} ms saved\n",
+                self.cache_hits(),
+                self.cache_misses(),
+                self.cache_saved().as_secs_f64() * 1e3
+            ));
+        }
         s
     }
 }

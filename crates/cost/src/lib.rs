@@ -29,6 +29,7 @@
 //! ```
 
 use cool_hls::{HlsDesign, HlsOptions};
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Edge, NodeId, NodeKind, PartitioningGraph, Resource, Target};
 
 /// How a cut data transfer is physically implemented.
@@ -252,6 +253,27 @@ impl CostModel {
                 .min()
                 .unwrap_or(0)
         })
+    }
+}
+
+impl ContentHash for CommScheme {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(match self {
+            CommScheme::MemoryMapped => 0,
+            CommScheme::Direct => 1,
+        });
+    }
+}
+
+impl ContentHash for CostModel {
+    /// Hashes everything a consumer can observe: the per-processor timing
+    /// tables, every per-node HLS estimate, and the embedded target
+    /// (including resource budgets, which the partitioners read through
+    /// [`CostModel::target`]).
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.sw.content_hash(h);
+        self.hw.content_hash(h);
+        self.target.content_hash(h);
     }
 }
 

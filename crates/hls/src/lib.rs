@@ -36,6 +36,7 @@ pub mod binding;
 pub mod cdfg;
 pub mod schedule;
 
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::Behavior;
 
 pub use area::{operator_cost, OperatorCost};
@@ -100,6 +101,31 @@ impl HlsDesign {
     #[must_use]
     pub fn fits(&self, clbs: u32) -> bool {
         self.area_clbs <= clbs
+    }
+}
+
+impl ContentHash for HlsOptions {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.max_multipliers);
+        h.write_usize(self.max_dividers);
+        h.write_usize(self.max_alus);
+        h.write_u16(self.bits);
+        h.write_u32(self.effort);
+    }
+}
+
+impl ContentHash for HlsDesign {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.latency_cycles);
+        h.write_u32(self.area_clbs);
+        h.write_usize(self.fu_instances.0);
+        h.write_usize(self.fu_instances.1);
+        h.write_usize(self.fu_instances.2);
+        h.write_usize(self.register_count);
+        h.write_usize(self.mux_count);
+        h.write_usize(self.fsm_states);
+        h.write_usize(self.operation_count);
     }
 }
 

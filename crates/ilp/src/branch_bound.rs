@@ -5,12 +5,17 @@
 //! fractional binary, and explores the branch suggested by rounding first
 //! (which tends to find incumbents early on partitioning instances).
 
-use crate::simplex::{solve_lp, Fixing};
+use crate::simplex::{solve_lp_with, Fixing, SimplexWorkspace};
 use crate::{IlpError, Problem, Solution, SolveOptions, Status, VarKind};
 
 pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, IlpError> {
+    // One simplex workspace serves every node of the search: each LP
+    // rebuilds its tableau inside the same buffers instead of
+    // reallocating per node.
+    let mut ws = SimplexWorkspace::new();
+
     // Root relaxation.
-    match solve_lp(p, &[]) {
+    match solve_lp_with(p, &[], &mut ws) {
         Ok(_) => {}
         Err(IlpError::Infeasible) => return Err(IlpError::Infeasible),
         Err(IlpError::Unbounded) => return Err(IlpError::Unbounded),
@@ -28,7 +33,7 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
             break;
         }
         nodes += 1;
-        let lp = match solve_lp(p, &fixings) {
+        let lp = match solve_lp_with(p, &fixings, &mut ws) {
             Ok(lp) => lp,
             Err(IlpError::Infeasible) => continue,
             Err(e) => return Err(e),

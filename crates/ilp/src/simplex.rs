@@ -1,8 +1,14 @@
 //! Two-phase dense primal simplex for the LP relaxation.
 //!
-//! The tableau is built from scratch per call: co-design instances are
-//! small (hundreds of rows/columns) and branch & bound fixes variables by
-//! adding bound rows, so an incremental implementation would buy little.
+//! The tableau is rebuilt per call — co-design instances are small
+//! (hundreds of rows/columns) and branch & bound fixes variables by
+//! adding bound rows, so an incremental *factorization* would buy
+//! little — but the backing buffers need not be reallocated: a
+//! [`SimplexWorkspace`] owns the bound vectors, row set, tableau, basis
+//! and cost scratch, and [`solve_lp_with`] reuses them across calls.
+//! Branch & bound threads one workspace through every node of its
+//! search, which removes the dominant allocation churn of the MILP
+//! partitioners.
 
 use crate::{Cmp, IlpError, Problem, VarKind};
 
@@ -21,7 +27,65 @@ pub(crate) type Fixing = (usize, f64, f64);
 const EPS: f64 = 1e-9;
 const MAX_PIVOTS: usize = 100_000;
 
-/// Solve the LP relaxation of `p` with additional variable fixings.
+/// One normalized constraint row of the standard-form build.
+#[derive(Debug)]
+struct Row {
+    coeffs: Vec<f64>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
+/// Hand out the next pooled row, zeroed to `n` coefficient columns.
+/// Rows are recycled across [`solve_lp_with`] calls: only `used` grows
+/// the pool, so a warm workspace rebuilds the standard form without
+/// allocating.
+fn next_row<'a>(rows: &'a mut Vec<Row>, used: &mut usize, n: usize) -> &'a mut Row {
+    if *used == rows.len() {
+        rows.push(Row {
+            coeffs: Vec::new(),
+            cmp: Cmp::Le,
+            rhs: 0.0,
+        });
+    }
+    let row = &mut rows[*used];
+    *used += 1;
+    row.coeffs.clear();
+    row.coeffs.resize(n, 0.0);
+    row.cmp = Cmp::Le;
+    row.rhs = 0.0;
+    row
+}
+
+/// Reusable scratch buffers for [`solve_lp_with`].
+///
+/// A fresh workspace is an empty set of buffers; every solve resizes
+/// them to the instance at hand and leaves the capacity behind for the
+/// next call. Branch & bound allocates one workspace per `solve` and
+/// threads it through all B&B nodes, so the per-node tableau build costs
+/// no allocations after the first node.
+#[derive(Debug, Default)]
+pub struct SimplexWorkspace {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Row buffer pool; only the first `rows_used` entries are live.
+    rows: Vec<Row>,
+    rows_used: usize,
+    tableau: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    cost: Vec<f64>,
+    artificial_cols: Vec<usize>,
+}
+
+impl SimplexWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> SimplexWorkspace {
+        SimplexWorkspace::default()
+    }
+}
+
+/// Solve the LP relaxation of `p` with additional variable fixings,
+/// allocating fresh scratch buffers.
 ///
 /// Binary variables are relaxed to `[0, 1]` unless a fixing narrows them.
 ///
@@ -30,11 +94,37 @@ const MAX_PIVOTS: usize = 100_000;
 /// [`IlpError::Infeasible`] when phase 1 cannot zero the artificials,
 /// [`IlpError::Unbounded`] when phase 2 finds an unbounded ray.
 pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError> {
+    solve_lp_with(p, fixings, &mut SimplexWorkspace::new())
+}
+
+/// [`solve_lp`] with caller-provided scratch buffers; identical results,
+/// no per-call tableau allocations once the workspace is warm.
+///
+/// # Errors
+///
+/// Same as [`solve_lp`].
+pub fn solve_lp_with(
+    p: &Problem,
+    fixings: &[Fixing],
+    ws: &mut SimplexWorkspace,
+) -> Result<LpSolution, IlpError> {
     let n = p.costs.len();
+    let SimplexWorkspace {
+        lo,
+        hi,
+        rows,
+        rows_used,
+        tableau,
+        basis,
+        cost,
+        artificial_cols,
+    } = ws;
 
     // Effective bounds per variable.
-    let mut lo = vec![0.0f64; n];
-    let mut hi = vec![0.0f64; n];
+    lo.clear();
+    lo.resize(n, 0.0);
+    hi.clear();
+    hi.resize(n, 0.0);
     for (i, k) in p.kinds.iter().enumerate() {
         match *k {
             VarKind::Binary => {
@@ -58,50 +148,27 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
     // Shift x = lo + x', x' in [0, hi-lo]; x' >= 0 suits standard form.
     // Rows: original constraints (rhs adjusted by lo), plus x' <= hi-lo
     // upper-bound rows for variables with a finite positive range.
-    struct Row {
-        coeffs: Vec<f64>,
-        cmp: Cmp,
-        rhs: f64,
-    }
-    let mut rows: Vec<Row> = Vec::new();
+    *rows_used = 0;
     for c in &p.constraints {
-        let mut coeffs = vec![0.0; n];
-        let mut rhs = c.rhs;
+        let row = next_row(rows, rows_used, n);
+        row.cmp = c.cmp;
+        row.rhs = c.rhs;
         for &(v, a) in &c.terms {
-            coeffs[v] += a;
-            rhs -= a * lo[v];
+            row.coeffs[v] += a;
+            row.rhs -= a * lo[v];
         }
-        rows.push(Row {
-            coeffs,
-            cmp: c.cmp,
-            rhs,
-        });
     }
     for i in 0..n {
         let range = hi[i] - lo[i];
-        if range <= EPS {
-            // Fixed variable: substituted away via lo; force x' = 0 with an
-            // upper-bound row of rhs 0 only if some constraint still touches
-            // it (cheap to always add).
-            let mut coeffs = vec![0.0; n];
-            coeffs[i] = 1.0;
-            rows.push(Row {
-                coeffs,
-                cmp: Cmp::Le,
-                rhs: 0.0,
-            });
-        } else {
-            let mut coeffs = vec![0.0; n];
-            coeffs[i] = 1.0;
-            rows.push(Row {
-                coeffs,
-                cmp: Cmp::Le,
-                rhs: range,
-            });
-        }
+        let row = next_row(rows, rows_used, n);
+        row.coeffs[i] = 1.0;
+        // Fixed variables (range ~ 0) are substituted away via lo; force
+        // x' = 0 with an upper-bound row of rhs 0 (cheap to always add).
+        row.rhs = if range <= EPS { 0.0 } else { range };
     }
 
-    let m = rows.len();
+    let m = *rows_used;
+    let rows = &mut rows[..m];
     // Count auxiliary columns: slack (Le/Ge) + artificial (Ge/Eq, and Le
     // rows with negative rhs after normalization).
     // Normalize to rhs >= 0 first.
@@ -123,12 +190,20 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
     let art_count = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
     let total = n + slack_count + art_count;
 
-    // Tableau: m rows, total+1 columns (last is rhs).
-    let mut t = vec![vec![0.0f64; total + 1]; m];
-    let mut basis = vec![usize::MAX; m];
+    // Tableau: m rows, total+1 columns (last is rhs), recycled row Vecs.
+    while tableau.len() < m {
+        tableau.push(Vec::new());
+    }
+    let t = &mut tableau[..m];
+    for row in t.iter_mut() {
+        row.clear();
+        row.resize(total + 1, 0.0);
+    }
+    basis.clear();
+    basis.resize(m, usize::MAX);
+    artificial_cols.clear();
     let mut next_slack = n;
     let mut next_art = n + slack_count;
-    let mut artificial_cols = Vec::new();
     for (ri, r) in rows.iter().enumerate() {
         t[ri][..n].copy_from_slice(&r.coeffs);
         t[ri][total] = r.rhs;
@@ -157,11 +232,12 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
 
     // Phase 1: minimize the sum of artificials.
     if !artificial_cols.is_empty() {
-        let mut cost1 = vec![0.0f64; total];
-        for &c in &artificial_cols {
-            cost1[c] = 1.0;
+        cost.clear();
+        cost.resize(total, 0.0);
+        for &c in artificial_cols.iter() {
+            cost[c] = 1.0;
         }
-        let obj = run_simplex(&mut t, &mut basis, &cost1, total)?;
+        let obj = run_simplex(t, basis, cost, total)?;
         if obj > 1e-6 {
             return Err(IlpError::Infeasible);
         }
@@ -170,7 +246,7 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
             if artificial_cols.contains(&basis[ri]) {
                 // Find a non-artificial column with nonzero coefficient.
                 if let Some(col) = (0..n + slack_count).find(|&c| t[ri][c].abs() > EPS) {
-                    pivot(&mut t, &mut basis, ri, col, total);
+                    pivot(t, basis, ri, col, total);
                 }
                 // If none exists the row is redundant (all-zero), leave it.
             }
@@ -179,16 +255,18 @@ pub fn solve_lp(p: &Problem, fixings: &[Fixing]) -> Result<LpSolution, IlpError>
 
     // Phase 2: original costs on the shifted variables. Zero-out artificial
     // columns so they never re-enter.
-    let mut cost2 = vec![0.0f64; total];
-    cost2[..n].copy_from_slice(&p.costs);
-    for &c in &artificial_cols {
+    cost.clear();
+    cost.resize(total, 0.0);
+    cost[..n].copy_from_slice(&p.costs);
+    for &c in artificial_cols.iter() {
         for row in t.iter_mut() {
             row[c] = 0.0;
         }
     }
-    run_simplex(&mut t, &mut basis, &cost2, total)?;
+    run_simplex(t, basis, cost, total)?;
 
-    // Extract solution.
+    // Extract solution (`values` is the returned allocation; the shifted
+    // scratch rides in front of it to keep the workspace small).
     let mut shifted = vec![0.0f64; total];
     for ri in 0..m {
         if basis[ri] < total {
@@ -375,6 +453,26 @@ mod tests {
         );
         assert!(sol.values[0] >= 2.0 - 1e-9);
         assert!(sol.values[1] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn warm_workspace_matches_fresh_solves() {
+        // One workspace across differently-shaped problems must give the
+        // same answers as fresh per-call buffers.
+        let mut ws = SimplexWorkspace::new();
+        for vars in [1usize, 3, 2, 5] {
+            let mut p = Problem::minimize();
+            let ids: Vec<_> = (0..vars)
+                .map(|i| p.add_continuous(0.0, 10.0, -((i + 1) as f64)))
+                .collect();
+            let terms: Vec<_> = ids.iter().map(|&v| (v, 1.0)).collect();
+            p.add_constraint(&terms, Cmp::Le, 4.0);
+            p.add_constraint(&[(ids[0], 1.0)], Cmp::Ge, 1.0);
+            let fresh = solve_lp(&p, &[]).unwrap();
+            let warm = solve_lp_with(&p, &[], &mut ws).unwrap();
+            assert_eq!(fresh.values, warm.values, "vars={vars}");
+            assert!((fresh.objective - warm.objective).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Stable structural hashing for flow-engine cache keys.
+//!
+//! [`ContentHasher`] is a 128-bit FNV-1a hasher over an explicit byte
+//! encoding; unlike `std::hash`, the digest carries no per-process
+//! randomness, so equal values hash equally across runs, threads and
+//! processes. [`ContentHash`] is the structural-equality companion: two
+//! values with equal observable content produce equal digests.
+//!
+//! The flow engine's stage cache (`cool_core::cache`) keys every stage on
+//! these digests; the paper's sweep benchmarks share one cache across
+//! candidates and across parallel workers, so the digest must be a pure
+//! function of content. Keep encodings *injective per type*: every impl
+//! prefixes variable-length collections with their length and tags enum
+//! variants with a fixed byte, so distinct values cannot collide by
+//! concatenation.
+
+use crate::behavior::{Behavior, Expr, Op};
+use crate::graph::{Edge, NodeId, NodeKind, PartitioningGraph};
+use crate::mapping::{Mapping, Resource};
+use crate::target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
+
+/// FNV-1a 128-bit offset basis.
+const OFFSET_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// A deterministic, process-independent 128-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+impl Default for ContentHasher {
+    fn default() -> ContentHasher {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> ContentHasher {
+        ContentHasher {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorb one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorb a `u16` (little-endian).
+    pub fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u128` (little-endian) — used to fold one digest into
+    /// another when chaining stage keys.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb an `i64` (two's complement, little-endian).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb a `usize`, widened to `u64` so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Absorb an `f64` via its IEEE-754 bit pattern. `NaN` payloads are
+    /// preserved; `0.0` and `-0.0` hash differently — acceptable for
+    /// option/clock knobs, which are never computed.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Deterministic structural hashing into a [`ContentHasher`].
+///
+/// Implementations must depend only on observable content (never on
+/// addresses, capacities of backing buffers, or `std::hash` output) and
+/// must keep the encoding injective for the type: equal content ⇒ equal
+/// digest, and — for cache-key soundness — distinct content should differ
+/// with overwhelming (128-bit) probability.
+pub trait ContentHash {
+    /// Absorb this value's content into `h`.
+    fn content_hash(&self, h: &mut ContentHasher);
+}
+
+/// One-shot digest of a value.
+#[must_use]
+pub fn digest<T: ContentHash + ?Sized>(value: &T) -> u128 {
+    let mut h = ContentHasher::new();
+    value.content_hash(&mut h);
+    h.finish()
+}
+
+impl ContentHash for u16 {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u16(*self);
+    }
+}
+
+impl ContentHash for u32 {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u32(*self);
+    }
+}
+
+impl ContentHash for u64 {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl ContentHash for usize {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(*self);
+    }
+}
+
+impl ContentHash for i64 {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_i64(*self);
+    }
+}
+
+impl ContentHash for bool {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl ContentHash for f64 {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl ContentHash for str {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(self);
+    }
+}
+
+impl ContentHash for String {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: ContentHash> ContentHash for [T] {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.len());
+        for item in self {
+            item.content_hash(h);
+        }
+    }
+}
+
+impl<T: ContentHash> ContentHash for Vec<T> {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.as_slice().content_hash(h);
+    }
+}
+
+impl<T: ContentHash> ContentHash for Option<T> {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.content_hash(h);
+            }
+        }
+    }
+}
+
+impl ContentHash for Op {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        // The mnemonic is documented as stable across releases.
+        h.write(self.mnemonic().as_bytes());
+        h.write_u8(b';');
+    }
+}
+
+impl ContentHash for Expr {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            Expr::Input(i) => {
+                h.write_u8(0);
+                h.write_usize(*i);
+            }
+            Expr::Const(c) => {
+                h.write_u8(1);
+                h.write_i64(*c);
+            }
+            Expr::Apply(op, args) => {
+                h.write_u8(2);
+                op.content_hash(h);
+                args.content_hash(h);
+            }
+        }
+    }
+}
+
+impl ContentHash for Behavior {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.inputs());
+        self.output_exprs().content_hash(h);
+    }
+}
+
+impl ContentHash for NodeKind {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(match self {
+            NodeKind::Input => 0,
+            NodeKind::Output => 1,
+            NodeKind::Function => 2,
+        });
+    }
+}
+
+impl ContentHash for NodeId {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.index());
+    }
+}
+
+impl ContentHash for Edge {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.src.content_hash(h);
+        h.write_u16(self.src_port);
+        self.dst.content_hash(h);
+        h.write_u16(self.dst_port);
+        h.write_u16(self.bits);
+    }
+}
+
+impl ContentHash for PartitioningGraph {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(self.name());
+        h.write_usize(self.node_count());
+        for (_, n) in self.nodes() {
+            h.write_str(n.name());
+            n.kind().content_hash(h);
+            n.behavior().content_hash(h);
+        }
+        h.write_usize(self.edge_count());
+        for (_, e) in self.edges() {
+            e.content_hash(h);
+        }
+    }
+}
+
+impl ContentHash for Resource {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            Resource::Software(i) => {
+                h.write_u8(0);
+                h.write_usize(*i);
+            }
+            Resource::Hardware(i) => {
+                h.write_u8(1);
+                h.write_usize(*i);
+            }
+        }
+    }
+}
+
+impl ContentHash for Mapping {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.len());
+        for (_, r) in self.iter() {
+            r.content_hash(h);
+        }
+    }
+}
+
+impl ContentHash for TimingClass {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(match self {
+            TimingClass::Dsp56001 => 0,
+            TimingClass::GenericRisc => 1,
+            TimingClass::Microcontroller => 2,
+        });
+    }
+}
+
+impl ContentHash for Processor {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        h.write_f64(self.clock_mhz);
+        self.timing.content_hash(h);
+    }
+}
+
+impl ContentHash for HwResource {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        h.write_f64(self.clock_mhz);
+        h.write_u32(self.clb_capacity);
+    }
+}
+
+impl ContentHash for Memory {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        h.write_u32(self.size_bytes);
+        h.write_u32(self.base_address);
+        h.write_u8(self.read_wait);
+        h.write_u8(self.write_wait);
+    }
+}
+
+impl ContentHash for Bus {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        h.write_u16(self.width_bits);
+        h.write_u8(self.cycles_per_word);
+    }
+}
+
+impl ContentHash for Target {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.processors.content_hash(h);
+        self.hw.content_hash(h);
+        self.memory.content_hash(h);
+        self.bus.content_hash(h);
+        h.write_f64(self.system_clock_mhz);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+
+    fn sample_graph(name: &str) -> PartitioningGraph {
+        let mut g = PartitioningGraph::new(name);
+        let a = g.add_input("a", 16);
+        let f = g.add_function("f", Behavior::binary(Op::Add)).unwrap();
+        let y = g.add_output("y", 16);
+        g.connect(a, 0, f, 0, 16).unwrap();
+        g.connect(a, 0, f, 1, 16).unwrap();
+        g.connect(f, 0, y, 0, 16).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_digest_is_fnv_offset_basis() {
+        // Pins the hasher to the published FNV-1a 128 parameters: no
+        // process randomness, no accidental algorithm change.
+        assert_eq!(ContentHasher::new().finish(), OFFSET_BASIS);
+    }
+
+    #[test]
+    fn known_fnv1a_byte_vector() {
+        // FNV-1a("a"): basis ^ 0x61 then * prime.
+        let mut h = ContentHasher::new();
+        h.write(b"a");
+        let expected = (OFFSET_BASIS ^ 0x61).wrapping_mul(PRIME);
+        assert_eq!(h.finish(), expected);
+    }
+
+    #[test]
+    fn equal_content_hashes_equal() {
+        assert_eq!(digest(&sample_graph("g")), digest(&sample_graph("g")));
+        let t = Target::fuzzy_board();
+        assert_eq!(digest(&t), digest(&t.clone()));
+    }
+
+    #[test]
+    fn structural_differences_change_digest() {
+        let base = digest(&sample_graph("g"));
+        assert_ne!(base, digest(&sample_graph("h")), "name must matter");
+        let mut wider = sample_graph("g");
+        let extra = wider.add_output("z", 16);
+        let f = wider.node_by_name("f").unwrap();
+        wider.connect(f, 0, extra, 0, 16).unwrap();
+        assert_ne!(base, digest(&wider), "extra node/edge must matter");
+    }
+
+    #[test]
+    fn length_prefix_defeats_concatenation_collisions() {
+        let mut a = ContentHasher::new();
+        "ab".content_hash(&mut a);
+        "c".content_hash(&mut a);
+        let mut b = ContentHasher::new();
+        "a".content_hash(&mut b);
+        "bc".content_hash(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn mapping_and_resource_hash_position_sensitively() {
+        let m1 = Mapping::from_vec(vec![Resource::Software(0), Resource::Hardware(0)]);
+        let m2 = Mapping::from_vec(vec![Resource::Hardware(0), Resource::Software(0)]);
+        assert_ne!(digest(&m1), digest(&m2));
+        assert_ne!(
+            digest(&Resource::Software(1)),
+            digest(&Resource::Hardware(1))
+        );
+    }
+
+    #[test]
+    fn target_budget_changes_digest() {
+        let base = Target::fuzzy_board();
+        let mut cut = base.clone();
+        cut.hw[0].clb_capacity = 48;
+        assert_ne!(digest(&base), digest(&cut));
+    }
+}

@@ -14,7 +14,10 @@
 //! * a **mapping/colouring** ([`mapping::Mapping`]) of nodes onto resources,
 //!   the output of hardware/software partitioning;
 //! * a **reference evaluator** ([`eval`]) used as functional ground truth by
-//!   the co-simulator.
+//!   the co-simulator;
+//! * **stable structural hashing** ([`hash`]) — process-independent
+//!   content digests over all of the above, the key material of the flow
+//!   engine's stage cache.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod behavior;
 pub mod error;
 pub mod eval;
 pub mod graph;
+pub mod hash;
 pub mod mapping;
 pub mod par;
 pub mod rng;
@@ -52,6 +56,7 @@ pub mod topo;
 pub use behavior::{Behavior, Expr, Op};
 pub use error::IrError;
 pub use graph::{Edge, EdgeId, Node, NodeId, NodeKind, PartitioningGraph};
+pub use hash::{ContentHash, ContentHasher};
 pub use mapping::{Mapping, Resource};
 pub use target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
 

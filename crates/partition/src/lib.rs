@@ -26,11 +26,50 @@ pub mod milp;
 use std::fmt;
 
 use cool_cost::{CommScheme, CostModel};
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Mapping, NodeKind, PartitioningGraph, Resource};
 
 pub use genetic::GaOptions;
 pub use heuristic::HeuristicOptions;
 pub use milp::MilpOptions;
+
+impl ContentHash for MilpOptions {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_f64(self.time_weight);
+        h.write_f64(self.comm_weight);
+        h.write_f64(self.area_weight);
+        h.write_usize(self.max_nodes);
+        self.scheme.content_hash(h);
+    }
+}
+
+impl ContentHash for HeuristicOptions {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.max_clusters);
+        self.milp.content_hash(h);
+    }
+}
+
+impl ContentHash for GaOptions {
+    /// `threads` is deliberately excluded: population evaluation is
+    /// order-preserving, so the worker count changes wall-clock only,
+    /// never the returned colouring.
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.population);
+        h.write_usize(self.generations);
+        h.write_usize(self.tournament);
+        match self.mutation_rate {
+            None => h.write_u8(0),
+            Some(r) => {
+                h.write_u8(1);
+                h.write_f64(r);
+            }
+        }
+        h.write_u64(self.seed);
+        self.scheme.content_hash(h);
+        h.write_u64(self.area_penalty);
+    }
+}
 
 /// Errors common to all partitioners.
 #[derive(Debug, Clone, PartialEq)]
