@@ -16,7 +16,12 @@
 //! Flags: `--jobs N` (sweep workers, 0 = all cores), `--no-cache`,
 //! `--smoke` (small GA + fewer budgets, for CI), `--twice` (run the sweep
 //! twice over one cache and fail unless the second pass hits — the
-//! cache-effectiveness smoke check).
+//! cache-effectiveness smoke check), `--cache-dir DIR` (attach the
+//! persistent disk tier, so *separate processes* share the cache), and
+//! `--expect-disk-hits` (fail unless this run restored at least one
+//! stage from disk — the cross-process warm-start smoke check: run the
+//! sweep in two processes pointing at one `--cache-dir` and pass this
+//! flag to the second).
 
 use cool_core::{
     run_flow_sweep, FlowArtifacts, FlowOptions, Partitioner, StageCache, SweepCandidate,
@@ -31,6 +36,9 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
+        // Another flag is not a value: `--cache-dir --expect-disk-hits`
+        // must not create a directory named `--expect-disk-hits`.
+        .filter(|v| !v.starts_with("--"))
         .cloned()
 }
 
@@ -39,8 +47,22 @@ fn main() -> ExitCode {
     let smoke = args.iter().any(|a| a == "--smoke");
     let twice = args.iter().any(|a| a == "--twice");
     let use_cache = !args.iter().any(|a| a == "--no-cache");
+    let cache_dir = flag_value(&args, "--cache-dir");
+    if args.iter().any(|a| a == "--cache-dir") && cache_dir.is_none() {
+        eprintln!("res2: --cache-dir expects a directory path");
+        return ExitCode::FAILURE;
+    }
+    let expect_disk_hits = args.iter().any(|a| a == "--expect-disk-hits");
     if twice && !use_cache {
         eprintln!("res2: --twice asserts second-pass cache hits, so it requires the cache; drop --no-cache");
+        return ExitCode::FAILURE;
+    }
+    if (cache_dir.is_some() || expect_disk_hits) && !use_cache {
+        eprintln!("res2: --cache-dir/--expect-disk-hits require the cache; drop --no-cache");
+        return ExitCode::FAILURE;
+    }
+    if expect_disk_hits && cache_dir.is_none() {
+        eprintln!("res2: --expect-disk-hits needs --cache-dir (a fresh in-memory cache can never hit disk)");
         return ExitCode::FAILURE;
     }
     let jobs: usize = match flag_value(&args, "--jobs") {
@@ -58,7 +80,11 @@ fn main() -> ExitCode {
     println!("RES2: partition sweep over FPGA area budgets — fuzzy controller");
     println!(
         "(sweep workers: {jobs}, cache: {}, profile: {})\n",
-        if use_cache { "on" } else { "off" },
+        match (&cache_dir, use_cache) {
+            (_, false) => "off".to_string(),
+            (None, true) => "on (in-memory)".to_string(),
+            (Some(dir), true) => format!("on (persistent, {dir})"),
+        },
         if smoke { "smoke" } else { "full" },
     );
 
@@ -94,7 +120,20 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    let cache = use_cache.then(StageCache::default);
+    let cache = if use_cache {
+        Some(match &cache_dir {
+            Some(dir) => match StageCache::persistent(StageCache::DEFAULT_CAPACITY, dir) {
+                Ok(cache) => cache,
+                Err(e) => {
+                    eprintln!("res2: cannot open cache directory `{dir}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => StageCache::default(),
+        })
+    } else {
+        None
+    };
     let passes = if twice { 2 } else { 1 };
     let mut last_pass_hits = 0usize;
     for pass in 1..=passes {
@@ -144,6 +183,17 @@ fn main() -> ExitCode {
     if twice && last_pass_hits == 0 {
         eprintln!("FAIL: second sweep pass reported zero stage-cache hits");
         return ExitCode::FAILURE;
+    }
+    if expect_disk_hits {
+        let disk_hits = cache.as_ref().map_or(0, |c| c.stats().disk_hits);
+        if disk_hits == 0 {
+            eprintln!(
+                "FAIL: --expect-disk-hits, but no stage was restored from the disk tier \
+                 (is the cache directory shared with a previous run?)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("cross-process warm start confirmed: {disk_hits} stage(s) restored from disk");
     }
     ExitCode::SUCCESS
 }

@@ -6,6 +6,7 @@
 //! measure the scaling behaviour of each engine stage.
 
 pub mod harness;
+pub mod json;
 
 use cool_cost::CostModel;
 use cool_ir::{Mapping, PartitioningGraph, Resource, Target};

@@ -1,53 +1,167 @@
-//! The content-addressed stage cache.
+//! The content-addressed stage cache: an in-memory LRU tier backed by an
+//! optional persistent on-disk tier.
 //!
 //! Sweeps (`res2` area budgets, the partitioner and communication-scheme
 //! ablations) re-run the whole spec→…→codegen pipeline per candidate even
 //! though most upstream stage outputs are identical across candidates.
 //! The [`StageCache`] makes those prefixes incremental: the engine keys
-//! every stage on a chained 128-bit content digest of everything the
-//! stage can read (see [`crate::stage::Stage::cache_key`]), and on a key
-//! match it skips the stage and restores the artifacts the original run
-//! deposited into the [`FlowContext`].
+//! every stage on a 128-bit content digest of precisely what the stage
+//! reads (the dependency-DAG keys of [`crate::engine::Engine::run`]), and
+//! on a key match it skips the stage and restores the artifacts the
+//! original run deposited into the [`FlowContext`].
 //!
 //! The cache is `Arc`-shared and mutex-guarded so one instance can serve
 //! all scoped workers of [`crate::run_flow_sweep`]; entries are bounded
-//! by an LRU policy. Because every stage is deterministic for equal
-//! context contents (the [`crate::stage::Stage`] contract), restoring a
-//! cached delta is byte-identical to re-running the stage — the warm-path
-//! determinism tests in `tests/cache.rs` enforce exactly that.
+//! by an LRU policy. With a disk tier attached
+//! ([`StageCache::persistent`]), every insert is written through to a
+//! cache directory and every in-memory miss consults it — that is what
+//! lets a *fresh process* (a new CLI invocation, a CI job) warm-start
+//! from a previous run's work. Because every stage is deterministic for
+//! equal context contents (the [`crate::stage::Stage`] contract),
+//! restoring a cached delta is byte-identical to re-running the stage —
+//! the determinism battery in `tests/disk_cache.rs` enforces exactly
+//! that, cold and warm, in-memory and from disk.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
+use cool_ir::hash::digest;
+
+use crate::disk::{DiskStore, Load};
 use crate::stage::FlowContext;
 
-/// The chained content digest a stage is cached under.
+/// The content digest a stage execution is cached under.
 pub type StageKey = u128;
 
-/// The single source of truth for the artifact slot ⇄ flag-index
-/// mapping: invokes `$macro_cb!(slot_name, index)` once per slot of
-/// [`FlowContext`] / [`ArtifactDelta`]. Adding a slot means adding one
-/// line here (plus the `ArtifactDelta` field); every flags/capture/
-/// apply/count loop below derives from it.
+/// The single source of truth for the artifact slot ⇄ index mapping:
+/// invokes `$macro_cb!(slot_name, index, Variant)` once per slot of
+/// [`FlowContext`] / [`ArtifactDelta`] / [`ArtifactSlot`]. Adding a slot
+/// means adding one line here (plus the `ArtifactDelta` field and the
+/// `ArtifactSlot` variant); every flags/capture/apply/digest/codec loop
+/// below derives from it.
 macro_rules! for_each_slot {
     ($macro_cb:ident) => {
-        $macro_cb!(cost, 0);
-        $macro_cb!(partition, 1);
-        $macro_cb!(schedule, 2);
-        $macro_cb!(stg, 3);
-        $macro_cb!(stg_minimized, 4);
-        $macro_cb!(minimize_stats, 5);
-        $macro_cb!(memory_map, 6);
-        $macro_cb!(hw_nodes, 7);
-        $macro_cb!(hls_designs, 8);
-        $macro_cb!(controller, 9);
-        $macro_cb!(encoding, 10);
-        $macro_cb!(netlist, 11);
-        $macro_cb!(vhdl, 12);
-        $macro_cb!(placements, 13);
-        $macro_cb!(c_programs, 14);
+        $macro_cb!(cost, 0, Cost);
+        $macro_cb!(partition, 1, Partition);
+        $macro_cb!(schedule, 2, Schedule);
+        $macro_cb!(stg, 3, Stg);
+        $macro_cb!(stg_minimized, 4, StgMinimized);
+        $macro_cb!(minimize_stats, 5, MinimizeStats);
+        $macro_cb!(memory_map, 6, MemoryMap);
+        $macro_cb!(hw_nodes, 7, HwNodes);
+        $macro_cb!(hls_designs, 8, HlsDesigns);
+        $macro_cb!(controller, 9, Controller);
+        $macro_cb!(encoding, 10, Encoding);
+        $macro_cb!(netlist, 11, Netlist);
+        $macro_cb!(vhdl, 12, Vhdl);
+        $macro_cb!(placements, 13, Placements);
+        $macro_cb!(c_programs, 14, CPrograms);
     };
+}
+
+/// Number of artifact slots in a [`FlowContext`].
+pub const SLOT_COUNT: usize = 15;
+
+/// One artifact slot of the [`FlowContext`], as a value — the vocabulary
+/// of [`crate::stage::Stage::reads`] / [`crate::stage::Stage::writes`]
+/// declarations and of the per-slot content digests the engine keys
+/// stages with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactSlot {
+    /// The cost model (`cost` stage, or pre-seeded).
+    Cost,
+    /// The partitioning outcome.
+    Partition,
+    /// The static schedule.
+    Schedule,
+    /// The raw STG.
+    Stg,
+    /// The minimized STG.
+    StgMinimized,
+    /// STG minimization statistics.
+    MinimizeStats,
+    /// The communication memory map.
+    MemoryMap,
+    /// Hardware-mapped function nodes.
+    HwNodes,
+    /// Full-effort HLS designs.
+    HlsDesigns,
+    /// The synthesized system controller.
+    Controller,
+    /// The controller state encoding.
+    Encoding,
+    /// The generated netlist.
+    Netlist,
+    /// Emitted VHDL units.
+    Vhdl,
+    /// Per-device CLB placements.
+    Placements,
+    /// Generated C programs.
+    CPrograms,
+}
+
+impl ArtifactSlot {
+    /// Every slot, in [`FlowContext`] declaration order.
+    pub const ALL: [ArtifactSlot; SLOT_COUNT] = {
+        let mut all = [ArtifactSlot::Cost; SLOT_COUNT];
+        macro_rules! fill_slot {
+            ($slot:ident, $idx:expr, $variant:ident) => {
+                all[$idx] = ArtifactSlot::$variant;
+            };
+        }
+        for_each_slot!(fill_slot);
+        all
+    };
+
+    /// Dense index of the slot (its position in [`ArtifactSlot::ALL`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        let mut idx = 0;
+        macro_rules! index_slot {
+            ($slot:ident, $idx:expr, $variant:ident) => {
+                if matches!(self, ArtifactSlot::$variant) {
+                    idx = $idx;
+                }
+            };
+        }
+        for_each_slot!(index_slot);
+        idx
+    }
+
+    /// The slot's field name in [`FlowContext`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        let mut name = "";
+        macro_rules! name_slot {
+            ($slot:ident, $idx:expr, $variant:ident) => {
+                if matches!(self, ArtifactSlot::$variant) {
+                    name = stringify!($slot);
+                }
+            };
+        }
+        for_each_slot!(name_slot);
+        name
+    }
+}
+
+impl Codec for ArtifactSlot {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(self.index() as u8);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let tag = d.take_u8()?;
+        ArtifactSlot::ALL
+            .get(usize::from(tag))
+            .copied()
+            .ok_or(CodecError::InvalidTag {
+                type_name: "ArtifactSlot",
+                tag,
+            })
+    }
 }
 
 /// Which artifact slots of a [`FlowContext`] are filled.
@@ -58,22 +172,85 @@ macro_rules! for_each_slot {
 /// by returning `None` from `cache_key`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArtifactFlags {
-    flags: [bool; 15],
+    flags: [bool; SLOT_COUNT],
 }
 
 impl ArtifactFlags {
     /// Snapshot which slots of `cx` are currently filled.
     #[must_use]
     pub fn of(cx: &FlowContext<'_>) -> ArtifactFlags {
-        let mut flags = [false; 15];
+        let mut flags = [false; SLOT_COUNT];
         macro_rules! flag_slot {
-            ($slot:ident, $idx:expr) => {
+            ($slot:ident, $idx:expr, $variant:ident) => {
                 flags[$idx] = cx.$slot.is_some();
             };
         }
         for_each_slot!(flag_slot);
         ArtifactFlags { flags }
     }
+}
+
+/// Per-slot content digests of a [`FlowContext`]'s filled artifact slots
+/// — the inputs of the engine's DAG stage keys. `None` means the slot is
+/// empty.
+pub type SlotDigests = [Option<u128>; SLOT_COUNT];
+
+/// Digest every filled slot of `cx` (used once at engine start to cover
+/// pre-seeded artifacts such as [`FlowContext::with_cost`] cost models).
+#[must_use]
+pub fn slot_digests(cx: &FlowContext<'_>) -> SlotDigests {
+    let mut table = [None; SLOT_COUNT];
+    update_slot_digests(cx, ArtifactFlags::default(), &mut table);
+    table
+}
+
+/// Digest every slot of `cx` that is filled now but was not in `before`,
+/// recording the digests into `table` and returning them as the
+/// `(slot, digest)` list the cache stores alongside the entry.
+pub fn update_slot_digests(
+    cx: &FlowContext<'_>,
+    before: ArtifactFlags,
+    table: &mut SlotDigests,
+) -> Vec<(ArtifactSlot, u128)> {
+    let mut written = Vec::new();
+    macro_rules! digest_slot {
+        ($slot:ident, $idx:expr, $variant:ident) => {
+            if !before.flags[$idx] {
+                if let Some(v) = &cx.$slot {
+                    let d = digest(v);
+                    table[$idx] = Some(d);
+                    written.push((ArtifactSlot::$variant, d));
+                }
+            }
+        };
+    }
+    for_each_slot!(digest_slot);
+    written
+}
+
+/// Debug-build contract check: the name of the first slot that was
+/// filled in `before` but whose content no longer matches its recorded
+/// digest in `table` (mutated in place), or that was emptied. `None`
+/// when the cacheable-stage contract — fill empty slots only — held.
+#[cfg(debug_assertions)]
+#[must_use]
+pub fn find_mutated_slot(
+    cx: &FlowContext<'_>,
+    before: ArtifactFlags,
+    table: &SlotDigests,
+) -> Option<&'static str> {
+    macro_rules! check_slot {
+        ($slot:ident, $idx:expr, $variant:ident) => {
+            if before.flags[$idx] {
+                match &cx.$slot {
+                    Some(v) if table[$idx] == Some(digest(v)) => {}
+                    _ => return Some(ArtifactSlot::$variant.name()),
+                }
+            }
+        };
+    }
+    for_each_slot!(check_slot);
+    None
 }
 
 /// The artifacts one stage deposited into the context: a clone of every
@@ -104,7 +281,7 @@ impl ArtifactDelta {
     pub fn capture(cx: &FlowContext<'_>, before: ArtifactFlags) -> ArtifactDelta {
         let mut delta = ArtifactDelta::default();
         macro_rules! capture_slot {
-            ($slot:ident, $idx:expr) => {
+            ($slot:ident, $idx:expr, $variant:ident) => {
                 if !before.flags[$idx] {
                     delta.$slot = cx.$slot.clone();
                 }
@@ -118,7 +295,7 @@ impl ArtifactDelta {
     /// stays in the cache for further hits).
     pub fn apply(&self, cx: &mut FlowContext<'_>) {
         macro_rules! apply_slot {
-            ($slot:ident, $idx:expr) => {
+            ($slot:ident, $idx:expr, $variant:ident) => {
                 if let Some(v) = &self.$slot {
                     cx.$slot = Some(v.clone());
                 }
@@ -132,7 +309,7 @@ impl ArtifactDelta {
     pub fn slot_count(&self) -> usize {
         let mut n = 0;
         macro_rules! count_slot {
-            ($slot:ident, $idx:expr) => {
+            ($slot:ident, $idx:expr, $variant:ident) => {
                 n += usize::from(self.$slot.is_some());
             };
         }
@@ -141,10 +318,35 @@ impl ArtifactDelta {
     }
 }
 
+impl Codec for ArtifactDelta {
+    fn encode(&self, e: &mut Encoder) {
+        macro_rules! encode_slot {
+            ($slot:ident, $idx:expr, $variant:ident) => {
+                self.$slot.encode(e);
+            };
+        }
+        for_each_slot!(encode_slot);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let mut delta = ArtifactDelta::default();
+        macro_rules! decode_slot {
+            ($slot:ident, $idx:expr, $variant:ident) => {
+                delta.$slot = Option::decode(d)?;
+            };
+        }
+        for_each_slot!(decode_slot);
+        Ok(delta)
+    }
+}
+
 /// One cached stage execution.
 #[derive(Debug, Clone)]
 struct Entry {
     delta: Arc<ArtifactDelta>,
+    /// Digests of the slots the delta fills, so a hit can extend the
+    /// engine's slot-digest table without re-hashing the artifacts.
+    writes: Arc<Vec<(ArtifactSlot, u128)>>,
     /// Wall-clock the original execution took — the time a hit saves.
     cost: Duration,
     last_used: u64,
@@ -156,21 +358,46 @@ struct Inner {
     capacity: usize,
     tick: u64,
     hits: u64,
+    disk_hits: u64,
     misses: u64,
     evictions: u64,
+    disk_writes: u64,
+    disk_evictions: u64,
     saved: Duration,
+}
+
+/// What one [`StageCache::lookup`] found.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The artifacts to restore.
+    pub delta: Arc<ArtifactDelta>,
+    /// Digests of the restored slots.
+    pub writes: Arc<Vec<(ArtifactSlot, u128)>>,
+    /// Wall-clock the original execution took.
+    pub saved: Duration,
+    /// `true` when the entry came from the disk tier (an in-memory miss
+    /// satisfied by the cache directory).
+    pub from_disk: bool,
 }
 
 /// Aggregate cache counters, for `--trace` output and the benches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Stage executions skipped because a cached delta was restored.
+    /// Stage executions skipped because a cached delta was restored
+    /// (in-memory and disk hits combined).
     pub hits: u64,
+    /// The subset of `hits` satisfied by the disk tier.
+    pub disk_hits: u64,
     /// Stage executions that ran and populated the cache.
     pub misses: u64,
-    /// Entries evicted by the LRU bound.
+    /// Entries evicted by the in-memory LRU bound.
     pub evictions: u64,
-    /// Entries currently resident.
+    /// Entries written through to the disk tier.
+    pub disk_writes: u64,
+    /// Corrupt or version-mismatched disk entries that were evicted (each
+    /// also counted as a miss).
+    pub disk_evictions: u64,
+    /// Entries currently resident in memory.
     pub entries: usize,
     /// Sum of the original execution times of every hit — the wall-clock
     /// the cache saved.
@@ -189,13 +416,26 @@ impl CacheStats {
         }
     }
 
+    /// Disk hits as a fraction of all lookups (0 when nothing was looked
+    /// up) — the warm-start-across-processes rate.
+    #[must_use]
+    pub fn disk_hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / total as f64
+        }
+    }
+
     /// One-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "stage cache: {} hit(s), {} miss(es) ({:.0} % hit rate), {} entries, \
-             {} eviction(s), {:.3} ms saved",
+            "stage cache: {} hit(s) ({} from disk), {} miss(es) ({:.0} % hit rate), \
+             {} entries, {} eviction(s), {:.3} ms saved",
             self.hits,
+            self.disk_hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.entries,
@@ -205,14 +445,16 @@ impl CacheStats {
     }
 }
 
-/// A shared, LRU-bounded, content-addressed cache of stage executions.
+/// A shared, LRU-bounded, content-addressed cache of stage executions,
+/// optionally backed by a persistent on-disk tier.
 ///
-/// Cloning is cheap (an `Arc` bump); clones share one store, which is how
-/// [`crate::run_flow_sweep`] lets every worker thread hit entries any
-/// other worker produced.
+/// Cloning is cheap (an `Arc` bump); clones share one store (memory and
+/// disk), which is how [`crate::run_flow_sweep`] lets every worker thread
+/// hit entries any other worker produced.
 #[derive(Debug, Clone)]
 pub struct StageCache {
     inner: Arc<Mutex<Inner>>,
+    disk: Option<Arc<DiskStore>>,
 }
 
 impl Default for StageCache {
@@ -226,7 +468,7 @@ impl StageCache {
     /// a few dozen sweep candidates.
     pub const DEFAULT_CAPACITY: usize = 512;
 
-    /// A cache bounded to `capacity` entries (minimum 1).
+    /// An in-memory cache bounded to `capacity` entries (minimum 1).
     #[must_use]
     pub fn new(capacity: usize) -> StageCache {
         StageCache {
@@ -234,49 +476,148 @@ impl StageCache {
                 capacity: capacity.max(1),
                 ..Inner::default()
             })),
+            disk: None,
         }
     }
 
-    /// Look up `key`, refreshing its recency and counting a hit or miss.
-    /// Returns the delta and the wall-clock the original execution took.
+    /// A two-tier cache: the in-memory LRU tier backed by a persistent
+    /// store in `dir` (created if absent). Inserts write through to disk;
+    /// in-memory misses consult the disk tier before reporting a miss, so
+    /// a fresh process warm-starts from whatever earlier runs left there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if `dir` cannot be created.
+    pub fn persistent(
+        capacity: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<StageCache, std::io::Error> {
+        let mut cache = StageCache::new(capacity);
+        cache.disk = Some(Arc::new(DiskStore::open(dir)?));
+        Ok(cache)
+    }
+
+    /// The disk tier, if one is attached.
     #[must_use]
-    pub fn lookup(&self, key: StageKey) -> Option<(Arc<ArtifactDelta>, Duration)> {
-        let mut inner = self.inner.lock().expect("stage cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        let found = inner.map.get_mut(&key).map(|e| {
-            e.last_used = tick;
-            (Arc::clone(&e.delta), e.cost)
-        });
-        match found {
-            Some(out) => {
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_deref()
+    }
+
+    /// Look up `key` in the memory tier and then, on a miss, the disk
+    /// tier; refreshes recency and counts hit/disk-hit/miss. A disk hit
+    /// is promoted into the memory tier.
+    #[must_use]
+    pub fn lookup(&self, key: StageKey) -> Option<CacheHit> {
+        {
+            let mut inner = self.inner.lock().expect("stage cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let found = inner.map.get_mut(&key).map(|e| {
+                e.last_used = tick;
+                CacheHit {
+                    delta: Arc::clone(&e.delta),
+                    writes: Arc::clone(&e.writes),
+                    saved: e.cost,
+                    from_disk: false,
+                }
+            });
+            if let Some(hit) = found {
                 inner.hits += 1;
-                inner.saved += out.1;
-                Some(out)
+                inner.saved += hit.saved;
+                return Some(hit);
             }
-            None => {
+            if self.disk.is_none() {
+                inner.misses += 1;
+                return None;
+            }
+        }
+        // Memory miss with a disk tier: read outside the lock (disk I/O
+        // must not serialize the sweep workers), then account and promote.
+        let disk = self.disk.as_ref().expect("checked above");
+        let load = disk.load(key);
+        let mut inner = self.inner.lock().expect("stage cache poisoned");
+        match load {
+            Load::Hit {
+                delta,
+                writes,
+                cost,
+            } => {
+                let hit = CacheHit {
+                    delta: Arc::new(*delta),
+                    writes: Arc::new(writes),
+                    saved: cost,
+                    from_disk: true,
+                };
+                inner.hits += 1;
+                inner.disk_hits += 1;
+                inner.saved += cost;
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.map.insert(
+                    key,
+                    Entry {
+                        delta: Arc::clone(&hit.delta),
+                        writes: Arc::clone(&hit.writes),
+                        cost,
+                        last_used: tick,
+                    },
+                );
+                Self::evict_over_capacity(&mut inner);
+                Some(hit)
+            }
+            Load::Evicted => {
+                inner.misses += 1;
+                inner.disk_evictions += 1;
+                None
+            }
+            Load::Miss => {
                 inner.misses += 1;
                 None
             }
         }
     }
 
-    /// Insert the delta a freshly executed stage produced. Evicts the
-    /// least-recently used entry when the bound is exceeded; inserting an
+    /// Insert the delta a freshly executed stage produced, with the
+    /// content digests of the slots it fills. Evicts the least-recently
+    /// used in-memory entry when the bound is exceeded; inserting an
     /// existing key refreshes it (deterministic stages make the value
-    /// identical, so last-writer-wins is safe under worker races).
-    pub fn insert(&self, key: StageKey, delta: ArtifactDelta, cost: Duration) {
-        let mut inner = self.inner.lock().expect("stage cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(
-            key,
-            Entry {
-                delta: Arc::new(delta),
-                cost,
-                last_used: tick,
-            },
-        );
+    /// identical, so last-writer-wins is safe under worker races). With a
+    /// disk tier the entry is written through (atomically; an entry
+    /// already on disk is left untouched).
+    pub fn insert(
+        &self,
+        key: StageKey,
+        delta: ArtifactDelta,
+        writes: Vec<(ArtifactSlot, u128)>,
+        cost: Duration,
+    ) {
+        let delta = Arc::new(delta);
+        let writes = Arc::new(writes);
+        {
+            let mut inner = self.inner.lock().expect("stage cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.map.insert(
+                key,
+                Entry {
+                    delta: Arc::clone(&delta),
+                    writes: Arc::clone(&writes),
+                    cost,
+                    last_used: tick,
+                },
+            );
+            Self::evict_over_capacity(&mut inner);
+        }
+        if let Some(disk) = &self.disk {
+            // Write-through outside the lock. A failed write degrades the
+            // disk tier to "smaller", never the run to "wrong".
+            if let Ok(true) = disk.store(key, &delta, &writes, cost) {
+                self.inner.lock().expect("stage cache poisoned").disk_writes += 1;
+            }
+        }
+    }
+
+    fn evict_over_capacity(inner: &mut Inner) {
         while inner.map.len() > inner.capacity {
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) {
                 inner.map.remove(&victim);
@@ -293,20 +634,23 @@ impl StageCache {
         let inner = self.inner.lock().expect("stage cache poisoned");
         CacheStats {
             hits: inner.hits,
+            disk_hits: inner.disk_hits,
             misses: inner.misses,
             evictions: inner.evictions,
+            disk_writes: inner.disk_writes,
+            disk_evictions: inner.disk_evictions,
             entries: inner.map.len(),
             saved: inner.saved,
         }
     }
 
-    /// Number of resident entries.
+    /// Number of resident in-memory entries.
     #[must_use]
     pub fn len(&self) -> usize {
         self.inner.lock().expect("stage cache poisoned").map.len()
     }
 
-    /// `true` when no entry is resident.
+    /// `true` when no in-memory entry is resident.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -325,24 +669,27 @@ mod tests {
     fn lookup_miss_then_hit_counts() {
         let cache = StageCache::new(8);
         assert!(cache.lookup(1).is_none());
-        cache.insert(1, ArtifactDelta::default(), ms(5));
-        let (delta, cost) = cache.lookup(1).expect("hit");
-        assert_eq!(delta.slot_count(), 0);
-        assert_eq!(cost, ms(5));
+        cache.insert(1, ArtifactDelta::default(), Vec::new(), ms(5));
+        let hit = cache.lookup(1).expect("hit");
+        assert_eq!(hit.delta.slot_count(), 0);
+        assert_eq!(hit.saved, ms(5));
+        assert!(!hit.from_disk);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.saved, ms(5));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.disk_hits, 0);
+        assert!((stats.disk_hit_rate()).abs() < 1e-12);
     }
 
     #[test]
     fn lru_bound_evicts_least_recent() {
         let cache = StageCache::new(2);
-        cache.insert(1, ArtifactDelta::default(), ms(1));
-        cache.insert(2, ArtifactDelta::default(), ms(1));
+        cache.insert(1, ArtifactDelta::default(), Vec::new(), ms(1));
+        cache.insert(2, ArtifactDelta::default(), Vec::new(), ms(1));
         // Touch key 1 so key 2 is the LRU victim.
         assert!(cache.lookup(1).is_some());
-        cache.insert(3, ArtifactDelta::default(), ms(1));
+        cache.insert(3, ArtifactDelta::default(), Vec::new(), ms(1));
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(1).is_some(), "recently used entry survives");
         assert!(cache.lookup(2).is_none(), "LRU entry evicted");
@@ -354,7 +701,7 @@ mod tests {
     fn clones_share_one_store() {
         let cache = StageCache::new(4);
         let clone = cache.clone();
-        clone.insert(9, ArtifactDelta::default(), ms(2));
+        clone.insert(9, ArtifactDelta::default(), Vec::new(), ms(2));
         assert!(cache.lookup(9).is_some());
         assert_eq!(cache.stats().hits, clone.stats().hits);
     }
@@ -362,10 +709,40 @@ mod tests {
     #[test]
     fn summary_mentions_counters() {
         let cache = StageCache::new(4);
-        cache.insert(1, ArtifactDelta::default(), ms(1));
+        cache.insert(1, ArtifactDelta::default(), Vec::new(), ms(1));
         let _ = cache.lookup(1);
         let s = cache.stats().summary();
         assert!(s.contains("hit"), "{s}");
         assert!(s.contains("entries"), "{s}");
+        assert!(s.contains("disk"), "{s}");
+    }
+
+    #[test]
+    fn artifact_slots_are_dense_and_named() {
+        for (i, slot) in ArtifactSlot::ALL.iter().enumerate() {
+            assert_eq!(slot.index(), i);
+            assert!(!slot.name().is_empty());
+        }
+        assert_eq!(ArtifactSlot::Cost.name(), "cost");
+        assert_eq!(ArtifactSlot::CPrograms.name(), "c_programs");
+    }
+
+    #[test]
+    fn artifact_slot_codec_roundtrips() {
+        for slot in ArtifactSlot::ALL {
+            let bytes = cool_ir::codec::to_bytes(&slot);
+            let back: ArtifactSlot = cool_ir::codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, slot);
+        }
+        assert!(cool_ir::codec::from_bytes::<ArtifactSlot>(&[99]).is_err());
+    }
+
+    #[test]
+    fn empty_delta_codec_roundtrips() {
+        let delta = ArtifactDelta::default();
+        let bytes = cool_ir::codec::to_bytes(&delta);
+        let back: ArtifactDelta = cool_ir::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back.slot_count(), 0);
+        assert_eq!(cool_ir::codec::to_bytes(&back), bytes);
     }
 }

@@ -1,0 +1,439 @@
+//! The persistent tier of the stage cache: one file per cached stage
+//! execution in a `.cool-cache/` directory.
+//!
+//! # Layout
+//!
+//! Every entry lives at `<dir>/<key>.cce` where `<key>` is the stage's
+//! 128-bit content key in lower-case hex (32 characters). The file is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"COOLCCH\0"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      16    slot-layout digest (u128 LE): FNV-1a 128 over the
+//!               ArtifactSlot names in index order, so a reordered or
+//!               renamed slot set reads as a mismatch even without a
+//!               manual version bump
+//! 28      8     payload length in bytes (u64 LE)
+//! 36      n     payload (cool_ir::codec encoding, see below)
+//! 36+n    16    FNV-1a 128 checksum of the payload (u128 LE)
+//! ```
+//!
+//! The payload encodes `(cost_nanos: u64, writes: Vec<(ArtifactSlot,
+//! u128)>, delta: ArtifactDelta)` with the canonical [`cool_ir::codec`]
+//! encoding — the original execution's wall-clock (what a hit "saves"),
+//! the content digests of the slots the delta fills (so the engine can
+//! extend its slot-digest table without re-hashing), and the artifacts
+//! themselves.
+//!
+//! # Robustness
+//!
+//! Writes go to a unique temporary file in the same directory followed by
+//! an atomic rename, so readers never observe a half-written entry and
+//! concurrent writers of the same key degrade to last-writer-wins (safe:
+//! stage determinism makes both payloads identical). Reads validate
+//! magic, version, length and checksum and decode through the
+//! bounds-checked codec; *any* failure — truncation, bit flips, a future
+//! format version, junk files — is treated as a miss and the offending
+//! entry is evicted from the directory. Corruption can therefore cost
+//! recomputation, never wrong artifacts and never a panic — the battery
+//! in `tests/disk_cache.rs` drives truncated, bit-flipped and
+//! version-bumped entries through a full flow to prove it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cool_ir::codec::{from_bytes, Encoder};
+use cool_ir::ContentHasher;
+
+use crate::cache::{ArtifactDelta, ArtifactSlot, StageKey};
+
+/// Entry file magic.
+const MAGIC: [u8; 8] = *b"COOLCCH\0";
+/// On-disk format version. Bump on ANY encoding change — including a
+/// change to a single artifact type's `Codec` impl in another crate:
+/// the slot-layout digest in the header only catches changes to the
+/// slot *set*, not to the per-type byte encodings, so a shape-compatible
+/// field reorder without a bump here would decode stale entries into
+/// wrong values. Old entries then read as version mismatches and are
+/// evicted, exactly like corruption.
+pub const FORMAT_VERSION: u32 = 1;
+/// Entry file extension.
+const EXT: &str = "cce";
+/// Fixed header size: magic + version + layout digest + payload length.
+const HEADER: usize = 8 + 4 + 16 + 8;
+/// Trailing checksum size.
+const CHECKSUM: usize = 16;
+
+/// Monotonic discriminator for temporary file names, so concurrent
+/// writers in one process never collide.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// What [`DiskStore::load`] found for a key.
+#[derive(Debug)]
+pub enum Load {
+    /// A valid entry.
+    Hit {
+        /// The artifacts to restore (boxed: a delta is large next to the
+        /// other variants).
+        delta: Box<ArtifactDelta>,
+        /// Digests of the slots the delta fills.
+        writes: Vec<(ArtifactSlot, u128)>,
+        /// Wall-clock the original execution took.
+        cost: Duration,
+    },
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but failed validation (corrupt, truncated, or a
+    /// different format version) and was evicted from the directory.
+    Evicted,
+}
+
+/// A directory of serialized stage executions.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Open (creating if absent) a store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskStore { dir })
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: StageKey) -> PathBuf {
+        self.dir.join(format!("{key:032x}.{EXT}"))
+    }
+
+    /// Serialize one stage execution under `key`. Returns `Ok(false)`
+    /// without touching the filesystem when the entry already exists
+    /// (stage determinism makes rewrites pointless).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing or renaming the entry; callers
+    /// may treat them as "disk tier unavailable" and continue.
+    pub fn store(
+        &self,
+        key: StageKey,
+        delta: &ArtifactDelta,
+        writes: &[(ArtifactSlot, u128)],
+        cost: Duration,
+    ) -> io::Result<bool> {
+        let path = self.entry_path(key);
+        if path.exists() {
+            return Ok(false);
+        }
+        let file = encode_entry_with_version(delta, writes, cost, FORMAT_VERSION);
+
+        let tmp = self.dir.join(format!(
+            ".{key:032x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &file)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Read and validate the entry for `key`. Anything that is not a
+    /// byte-perfect current-version entry is a miss; invalid entries are
+    /// additionally evicted from the directory ([`Load::Evicted`]).
+    #[must_use]
+    pub fn load(&self, key: StageKey) -> Load {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Load::Miss,
+            // Unreadable (permissions, I/O error): an unreadable entry
+            // is worthless as cache content and — because `store` skips
+            // existing paths — would otherwise pin its key to a
+            // permanent miss. Try to evict so the recompute can rewrite
+            // it; if removal fails too (e.g. a foreign-owned file we
+            // cannot touch anyway), degrade to a plain miss.
+            Err(_) => {
+                return if fs::remove_file(&path).is_ok() {
+                    Load::Evicted
+                } else {
+                    Load::Miss
+                };
+            }
+        };
+        match decode_entry(&bytes) {
+            Some((delta, writes, cost)) => Load::Hit {
+                delta: Box::new(delta),
+                writes,
+                cost,
+            },
+            None => {
+                let _ = fs::remove_file(&path);
+                Load::Evicted
+            }
+        }
+    }
+
+    /// Remove every entry file, plus any `.tmp` leftovers from writers
+    /// that crashed between write and rename. Returns how many entry
+    /// files were removed (tmp leftovers are not counted). Unrelated
+    /// files are left alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing errors; individual remove failures
+    /// are skipped.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some(EXT) if fs::remove_file(&path).is_ok() => removed += 1,
+                Some("tmp") => {
+                    let _ = fs::remove_file(&path);
+                }
+                _ => {}
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Number of entry files currently in the directory.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entry_files().count()
+    }
+
+    /// Total size in bytes of all entry files.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entry_files()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    fn entry_files(&self) -> impl Iterator<Item = PathBuf> {
+        fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(EXT) && p.is_file())
+    }
+}
+
+fn checksum(payload: &[u8]) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Digest of the artifact-slot layout the payload encoding depends on:
+/// the slot names in index order. Folded into every entry header so
+/// that changing the slot set — the one edit the `for_each_slot!` macro
+/// invites — invalidates old entries mechanically even when the
+/// [`FORMAT_VERSION`] bump was forgotten. It does NOT cover the
+/// per-type byte encodings; a `Codec` impl change still requires the
+/// version bump (see [`FORMAT_VERSION`]).
+fn layout_digest() -> u128 {
+    let mut h = ContentHasher::new();
+    for slot in ArtifactSlot::ALL {
+        h.write_str(slot.name());
+    }
+    h.finish()
+}
+
+/// Validate and decode one entry file. `None` on any malformation.
+/// The decoded contents of one entry file.
+type DecodedEntry = (ArtifactDelta, Vec<(ArtifactSlot, u128)>, Duration);
+
+fn decode_entry(bytes: &[u8]) -> Option<DecodedEntry> {
+    if bytes.len() < HEADER + CHECKSUM || bytes[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let layout = u128::from_le_bytes(bytes[12..28].try_into().ok()?);
+    if layout != layout_digest() {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[28..36].try_into().ok()?);
+    let payload_len = usize::try_from(payload_len).ok()?;
+    if bytes.len() != HEADER + payload_len + CHECKSUM {
+        return None;
+    }
+    let payload = &bytes[HEADER..HEADER + payload_len];
+    let stored = u128::from_le_bytes(bytes[HEADER + payload_len..].try_into().ok()?);
+    if checksum(payload) != stored {
+        return None;
+    }
+    let (cost_nanos, writes, delta): (u64, Vec<(ArtifactSlot, u128)>, ArtifactDelta) =
+        from_bytes(payload).ok()?;
+    Some((delta, writes, Duration::from_nanos(cost_nanos)))
+}
+
+/// Encode one complete entry file. [`DiskStore::store`] writes these
+/// with [`FORMAT_VERSION`]; tests pass other versions to fabricate
+/// version-bumped files in the otherwise-identical layout.
+#[must_use]
+pub fn encode_entry_with_version(
+    delta: &ArtifactDelta,
+    writes: &[(ArtifactSlot, u128)],
+    cost: Duration,
+    version: u32,
+) -> Vec<u8> {
+    let mut payload = Encoder::new();
+    payload.put_u64(u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX));
+    payload.put(&writes.to_vec());
+    payload.put(delta);
+    let payload = payload.into_bytes();
+    let mut file = Vec::with_capacity(HEADER + payload.len() + CHECKSUM);
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&version.to_le_bytes());
+    file.extend_from_slice(&layout_digest().to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(&payload);
+    file.extend_from_slice(&checksum(&payload).to_le_bytes());
+    file
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cool-disk-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_skip_existing() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskStore::open(&dir).unwrap();
+        let writes = vec![(ArtifactSlot::Cost, 42u128)];
+        let cost = Duration::from_micros(123);
+        assert!(store
+            .store(7, &ArtifactDelta::default(), &writes, cost)
+            .unwrap());
+        assert!(
+            !store
+                .store(7, &ArtifactDelta::default(), &writes, cost)
+                .unwrap(),
+            "existing entries are not rewritten"
+        );
+        match store.load(7) {
+            Load::Hit {
+                delta,
+                writes: w,
+                cost: c,
+            } => {
+                assert_eq!(delta.slot_count(), 0);
+                assert_eq!(w, writes);
+                assert_eq!(c, cost);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(store.load(8), Load::Miss));
+        assert_eq!(store.entry_count(), 1);
+        assert!(store.total_bytes() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_are_evicted() {
+        let dir = temp_dir("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        let cost = Duration::from_micros(5);
+        store
+            .store(1, &ArtifactDelta::default(), &[], cost)
+            .unwrap();
+        // Bit-flip inside the payload.
+        let path = store.entry_path(1);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = HEADER + 1;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load(1), Load::Evicted));
+        assert!(matches!(store.load(1), Load::Miss), "eviction removed it");
+
+        // Version bump.
+        let future =
+            encode_entry_with_version(&ArtifactDelta::default(), &[], cost, FORMAT_VERSION + 1);
+        fs::write(store.entry_path(2), &future).unwrap();
+        assert!(matches!(store.load(2), Load::Evicted));
+
+        // Layout mismatch: a flipped byte in the header's layout digest
+        // must read as a different slot layout and evict.
+        store
+            .store(5, &ArtifactDelta::default(), &[], cost)
+            .unwrap();
+        let path = store.entry_path(5);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[14] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load(5), Load::Evicted));
+
+        // Truncation.
+        store
+            .store(3, &ArtifactDelta::default(), &[], cost)
+            .unwrap();
+        let path = store.entry_path(3);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(store.load(3), Load::Evicted));
+
+        // Empty file.
+        fs::write(store.entry_path(4), b"").unwrap();
+        assert!(matches!(store.load(4), Load::Evicted));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_only_entries() {
+        let dir = temp_dir("clear");
+        let store = DiskStore::open(&dir).unwrap();
+        store
+            .store(1, &ArtifactDelta::default(), &[], Duration::ZERO)
+            .unwrap();
+        store
+            .store(2, &ArtifactDelta::default(), &[], Duration::ZERO)
+            .unwrap();
+        fs::write(dir.join("README.txt"), "not an entry").unwrap();
+        fs::write(dir.join(".deadbeef.1234.0.tmp"), "crashed writer leftover").unwrap();
+        assert_eq!(store.clear().unwrap(), 2);
+        assert_eq!(store.entry_count(), 0);
+        assert!(dir.join("README.txt").exists());
+        assert!(
+            !dir.join(".deadbeef.1234.0.tmp").exists(),
+            "clear sweeps tmp leftovers"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -31,10 +31,17 @@ use cool_partition::PartitionResult;
 use cool_rtl::place::Placement;
 use cool_rtl::SystemController;
 
-use crate::cache::{ArtifactDelta, ArtifactFlags, StageCache, StageKey};
+use crate::cache::{
+    self, ArtifactDelta, ArtifactFlags, ArtifactSlot, SlotDigests, StageCache, StageKey,
+};
 use crate::stage::{FlowContext, Stage};
 use crate::timing::{CacheOutcome, FlowTrace};
 use crate::{FlowError, Partitioner};
+
+/// Version tag folded into every stage key. Bump whenever the key
+/// construction changes shape, so caches populated by an older engine
+/// can never alias new keys.
+const KEY_SCHEME: &str = "cool-stage-key/dag-v1";
 
 /// A linear pipeline of named stages, optionally backed by a
 /// content-addressed [`StageCache`].
@@ -96,10 +103,25 @@ impl Engine {
     }
 
     /// Run every stage in order over `cx`, timing each into the returned
-    /// trace. With an attached cache, stages whose chained content key is
-    /// already cached are skipped and their artifacts restored — the
-    /// resulting context is byte-identical to an uncached run, because
-    /// every cacheable stage is deterministic for equal inputs.
+    /// trace. With an attached cache, stages whose content key is already
+    /// cached (in memory or on disk) are skipped and their artifacts
+    /// restored — the resulting context is byte-identical to an uncached
+    /// run, because every cacheable stage is deterministic for equal
+    /// inputs.
+    ///
+    /// # Cache keys
+    ///
+    /// Stage keys form a dependency DAG, not a chain: each stage is keyed
+    /// on a digest of the input graph, the stage's own
+    /// [`Stage::cache_key`] (its target/option inputs), and the content
+    /// digests of exactly the artifact slots it declares in
+    /// [`Stage::reads`]. Equal keys therefore imply equal inputs, and —
+    /// by the determinism contract — equal outputs; while an input that
+    /// only one stage reads (say, an `hls`-only option) re-runs just
+    /// that stage and the stages whose *read artifacts* actually change.
+    /// The engine maintains the slot digests incrementally: computed from
+    /// the artifacts after each executed stage, restored from the cache
+    /// entry on each hit.
     ///
     /// # Errors
     ///
@@ -107,56 +129,125 @@ impl Engine {
     /// before the failure.
     pub fn run(&self, cx: &mut FlowContext<'_>) -> Result<FlowTrace, FlowError> {
         let mut trace = FlowTrace::new();
-        // The chained key: a digest of the input graph plus, per executed
-        // stage, its name and its `cache_key` digest. By induction the
-        // chain covers everything each stage can read (graph, upstream
-        // artifacts via their producers' links, and the stage's own
-        // declared inputs), so equal chains imply equal outputs. A stage
-        // returning `None` breaks the chain for the rest of the run.
-        let mut chain: Option<StageKey> = self.cache.as_ref().map(|_| {
-            let mut h = ContentHasher::new();
-            cx.graph.content_hash(&mut h);
-            h.finish()
-        });
-        for stage in &self.stages {
-            let key = match (chain, self.cache.as_ref()) {
-                (Some(prev), Some(_)) => match stage.cache_key(cx) {
-                    Some(local) => {
-                        let mut h = ContentHasher::new();
-                        h.write_u128(prev);
-                        h.write_str(stage.name());
-                        h.write_u128(local);
-                        chain = Some(h.finish());
-                        chain
-                    }
-                    None => {
-                        chain = None;
-                        None
-                    }
-                },
-                _ => None,
-            };
-            if let (Some(key), Some(cache)) = (key, self.cache.as_ref()) {
-                let t0 = Instant::now();
-                if let Some((delta, saved)) = cache.lookup(key) {
-                    delta.apply(cx);
-                    trace.push_outcome(stage.name(), t0.elapsed(), CacheOutcome::Hit { saved });
-                    continue;
-                }
-                let before = ArtifactFlags::of(cx);
-                let t0 = Instant::now();
-                stage.run(cx)?;
-                let elapsed = t0.elapsed();
-                cache.insert(key, ArtifactDelta::capture(cx, before), elapsed);
-                trace.push_outcome(stage.name(), elapsed, CacheOutcome::Miss);
-            } else {
+        let Some(cache) = self.cache.as_ref() else {
+            for stage in &self.stages {
                 let t0 = Instant::now();
                 stage.run(cx)?;
                 trace.push(stage.name(), t0.elapsed());
             }
+            return Ok(trace);
+        };
+
+        let graph_digest = {
+            let mut h = ContentHasher::new();
+            cx.graph.content_hash(&mut h);
+            h.finish()
+        };
+        // Digests of every filled slot, covering pre-seeded artifacts
+        // (e.g. `FlowContext::with_cost` cost models) from the start.
+        let mut digests = cache::slot_digests(cx);
+
+        for stage in &self.stages {
+            let Some(key) = stage
+                .cache_key(cx)
+                .map(|local| stage_key(graph_digest, &**stage, local, &digests))
+            else {
+                // Uncacheable stage: run it, then rebuild the digest
+                // table from scratch — downstream keys cover artifact
+                // *content*, so they stay sound (and cacheable) even if
+                // this stage mutated filled slots in place (which
+                // uncacheable stages are allowed to do).
+                let t0 = Instant::now();
+                stage.run(cx)?;
+                trace.push(stage.name(), t0.elapsed());
+                digests = cache::slot_digests(cx);
+                continue;
+            };
+            let t0 = Instant::now();
+            if let Some(hit) = cache.lookup(key) {
+                hit.delta.apply(cx);
+                for &(slot, d) in hit.writes.iter() {
+                    digests[slot.index()] = Some(d);
+                }
+                let outcome = if hit.from_disk {
+                    CacheOutcome::DiskHit { saved: hit.saved }
+                } else {
+                    CacheOutcome::Hit { saved: hit.saved }
+                };
+                trace.push_outcome(stage.name(), t0.elapsed(), outcome);
+                continue;
+            }
+            let before = ArtifactFlags::of(cx);
+            let t0 = Instant::now();
+            stage.run(cx)?;
+            let elapsed = t0.elapsed();
+            let writes = cache::update_slot_digests(cx, before, &mut digests);
+            // A cacheable stage must only fill empty slots — an in-place
+            // mutation would be invisible to the delta and leave stale
+            // digests. Re-hashing everything per stage is too costly for
+            // release builds, so the contract is enforced mechanically
+            // in debug builds (i.e. under `cargo test`).
+            #[cfg(debug_assertions)]
+            if let Some(slot) = cache::find_mutated_slot(cx, before, &digests) {
+                panic!(
+                    "stage `{}` mutated the already-filled artifact slot `{slot}` \
+                     but returned Some from cache_key; stages that mutate \
+                     artifacts in place must return None (see Stage::cache_key)",
+                    stage.name(),
+                );
+            }
+            // A write outside the declared set means the declarations are
+            // wrong; refuse to cache rather than risk serving an entry
+            // keyed on an incomplete read set. Like the mutated-slot
+            // check above, debug builds turn the broken declaration into
+            // a panic instead of a silent permanent cache miss.
+            let undeclared = writes.iter().find(|(s, _)| !stage.writes().contains(s));
+            #[cfg(debug_assertions)]
+            if let Some((slot, _)) = undeclared {
+                panic!(
+                    "stage `{}` filled the artifact slot `{}` without declaring it \
+                     in Stage::writes(); fix the declaration (and check reads() \
+                     matches what the stage consumes)",
+                    stage.name(),
+                    slot.name(),
+                );
+            }
+            if undeclared.is_none() {
+                cache.insert(key, ArtifactDelta::capture(cx, before), writes, elapsed);
+            }
+            trace.push_outcome(stage.name(), elapsed, CacheOutcome::Miss);
         }
         Ok(trace)
     }
+}
+
+/// Assemble one stage's dependency-DAG key: the key-scheme version, the
+/// input graph digest, the stage name, the stage's local input digest
+/// ([`Stage::cache_key`]), and per declared read slot its fill state and
+/// content digest. Slots are tagged, and empty/filled is encoded
+/// explicitly, so distinct read sets can never alias by concatenation.
+fn stage_key(
+    graph_digest: u128,
+    stage: &dyn Stage,
+    local: u128,
+    digests: &SlotDigests,
+) -> StageKey {
+    let mut h = ContentHasher::new();
+    h.write_str(KEY_SCHEME);
+    h.write_u128(graph_digest);
+    h.write_str(stage.name());
+    h.write_u128(local);
+    for &slot in stage.reads() {
+        h.write_u8(slot.index() as u8);
+        match digests[slot.index()] {
+            Some(d) => {
+                h.write_u8(1);
+                h.write_u128(d);
+            }
+            None => h.write_u8(0),
+        }
+    }
+    h.finish()
 }
 
 impl std::fmt::Debug for Engine {
@@ -180,10 +271,18 @@ impl Stage for SpecStage {
         Ok(())
     }
 
-    /// Reads only the graph (already in the engine's chain seed), so
+    /// Reads only the graph (already in the engine's key seed), so
     /// candidates that differ in target or options still share this key.
     fn cache_key(&self, _cx: &FlowContext<'_>) -> Option<u128> {
         Some(0)
+    }
+
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[]
     }
 }
 
@@ -204,15 +303,25 @@ impl Stage for CostStage {
     }
 
     /// The target (clocks, memory, bus — and budgets, which the embedded
-    /// target copy exposes to consumers) plus, when the context was
-    /// pre-seeded via [`FlowContext::with_cost`], the full content of the
-    /// seeded model: a pre-seeded run must never collide with a computed
-    /// one unless the resulting context is identical.
+    /// target copy exposes to consumers). A context pre-seeded via
+    /// [`FlowContext::with_cost`] is distinguished through the declared
+    /// `cost` read slot: the engine folds the seeded model's content
+    /// digest into the key, so a pre-seeded run can never collide with a
+    /// computed one unless the resulting context is identical.
     fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
         let mut h = ContentHasher::new();
         cx.target.content_hash(&mut h);
-        cx.cost.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    /// Reads its own output slot: filled means "pre-seeded, pass
+    /// through", empty means "estimate now".
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Cost]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Cost]
     }
 }
 
@@ -248,13 +357,22 @@ impl Stage for PartitionStage {
     }
 
     /// The partitioner configuration (including a fixed mapping, if any)
-    /// and the flow's communication scheme; graph, cost model and target
-    /// arrive through the chain.
+    /// and the flow's communication scheme; the cost model (which embeds
+    /// the target, budgets included) arrives through the declared read
+    /// slot.
     fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
         let mut h = ContentHasher::new();
         cx.options.partitioner.content_hash(&mut h);
         cx.options.scheme.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Cost]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Partition]
     }
 }
 
@@ -277,11 +395,20 @@ impl Stage for ScheduleStage {
         Ok(())
     }
 
-    /// Only the communication scheme; mapping and costs are chained.
+    /// Only the communication scheme; mapping and costs arrive through
+    /// the declared read slots.
     fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
         let mut h = ContentHasher::new();
         cx.options.scheme.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Cost, ArtifactSlot::Partition]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Schedule]
     }
 }
 
@@ -324,12 +451,31 @@ impl Stage for StgStage {
         Ok(())
     }
 
-    /// Only the allocator choice; the shared memory and bus geometry it
-    /// reads are part of the target, which is chained via `cost`.
+    /// The allocator choice plus the shared memory and bus geometry the
+    /// allocators read — target inputs, so they belong in this local key
+    /// (the DAG keys no longer funnel the whole target through `cost`).
+    /// An `hls`-only option change leaves this key and the read-slot
+    /// digests untouched, so `stg` stays valid — the hit-rate payoff the
+    /// DAG keying exists for.
     fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
         let mut h = ContentHasher::new();
         h.write_bool(cx.options.packed_memory);
+        cx.target.memory.content_hash(&mut h);
+        cx.target.bus.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Partition, ArtifactSlot::Schedule]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[
+            ArtifactSlot::Stg,
+            ArtifactSlot::StgMinimized,
+            ArtifactSlot::MinimizeStats,
+            ArtifactSlot::MemoryMap,
+        ]
     }
 }
 
@@ -368,6 +514,17 @@ impl Stage for HlsStage {
         let mut h = ContentHasher::new();
         cx.options.hls.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    /// Reads the mapping only (plus the graph's behaviors, covered by the
+    /// key seed) — notably *not* the schedule or the STG, so
+    /// schedule-side changes never re-synthesize hardware.
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::Partition]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::HwNodes, ArtifactSlot::HlsDesigns]
     }
 }
 
@@ -542,14 +699,37 @@ impl Stage for RtlStage {
         Ok(())
     }
 
-    /// Encoding-search and placement effort knobs; everything else this
-    /// stage reads (target, mapping, schedule, memory map, HLS designs)
-    /// is chained.
+    /// Encoding-search and placement effort knobs plus the full target
+    /// (device inventory, resource names, bus width all shape the
+    /// netlist and VHDL); the artifact inputs arrive through the
+    /// declared read slots.
     fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
         let mut h = ContentHasher::new();
         h.write_u32(cx.options.encoding_effort);
         h.write_u32(cx.options.placement_effort);
+        cx.target.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[
+            ArtifactSlot::Partition,
+            ArtifactSlot::Schedule,
+            ArtifactSlot::StgMinimized,
+            ArtifactSlot::MemoryMap,
+            ArtifactSlot::HwNodes,
+            ArtifactSlot::HlsDesigns,
+        ]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[
+            ArtifactSlot::Controller,
+            ArtifactSlot::Encoding,
+            ArtifactSlot::Netlist,
+            ArtifactSlot::Vhdl,
+            ArtifactSlot::Placements,
+        ]
     }
 }
 
@@ -573,9 +753,21 @@ impl Stage for CodegenStage {
         Ok(())
     }
 
-    /// Reads chained artifacts only.
+    /// Reads declared artifact slots only (the graph is in the key seed).
     fn cache_key(&self, _cx: &FlowContext<'_>) -> Option<u128> {
         Some(0)
+    }
+
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &[
+            ArtifactSlot::Partition,
+            ArtifactSlot::Schedule,
+            ArtifactSlot::MemoryMap,
+        ]
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[ArtifactSlot::CPrograms]
     }
 }
 
@@ -629,10 +821,21 @@ impl Stage for SimPrepStage {
         Ok(())
     }
 
-    /// Validation only; every input (including the scheme the simulator
-    /// is built with) is chained.
-    fn cache_key(&self, _cx: &FlowContext<'_>) -> Option<u128> {
-        Some(0)
+    /// The communication scheme the simulator is wired with; every
+    /// artifact it validates is a declared read.
+    fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
+        let mut h = ContentHasher::new();
+        cx.options.scheme.content_hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Validates the complete artifact set, so it reads every slot.
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &ArtifactSlot::ALL
+    }
+
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &[]
     }
 }
 

@@ -42,8 +42,13 @@
 //! content-addressed [`cache::StageCache`]: [`run_flow_cached`] attaches
 //! a cache to one run, and [`run_flow_sweep`] evaluates many candidates
 //! on scoped workers with the cache shared across them — stages whose
-//! chained content key ([`Stage::cache_key`]) already executed are
-//! skipped and their artifacts restored, byte-identically to a cold run.
+//! dependency-DAG content key (graph + [`Stage::cache_key`] + the
+//! digests of the artifact slots in [`Stage::reads`]) already executed
+//! are skipped and their artifacts restored, byte-identically to a cold
+//! run. With [`StageCache::persistent`] the cache gains an on-disk tier
+//! (`.cool-cache/` by convention): inserts are written through as
+//! checksummed [`cool_ir::codec`] entries, and a *fresh process* — the
+//! next CLI invocation, the next CI job — warm-starts from them.
 //!
 //! # Example
 //!
@@ -64,13 +69,15 @@
 
 pub mod artifacts;
 pub mod cache;
+pub mod disk;
 pub mod engine;
 pub mod error;
 pub mod stage;
 pub mod timing;
 
 pub use artifacts::FlowArtifacts;
-pub use cache::{CacheStats, StageCache};
+pub use cache::{ArtifactSlot, CacheStats, StageCache};
+pub use disk::DiskStore;
 pub use engine::Engine;
 pub use error::FlowError;
 pub use stage::{FlowContext, Stage};

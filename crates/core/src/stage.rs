@@ -19,6 +19,7 @@ use cool_rtl::{Netlist, SystemController};
 use cool_schedule::StaticSchedule;
 use cool_stg::{MemoryMap, MinimizeStats, Stg};
 
+use crate::cache::ArtifactSlot;
 use crate::{FlowError, FlowOptions};
 
 /// One named unit of the design flow.
@@ -41,11 +42,14 @@ pub trait Stage {
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError>;
 
     /// Content digest of every input this stage reads *beyond* the graph
-    /// and the upstream artifacts (both already covered by the engine's
-    /// chained key). Returning `Some` makes the stage cacheable by the
+    /// and the artifact slots declared in [`Stage::reads`] (both already
+    /// covered by the engine's dependency-DAG key): the target fields and
+    /// option knobs that influence this stage's output. Returning `Some`
+    /// makes the stage cacheable by the
     /// [`StageCache`](crate::cache::StageCache); returning `None` opts
-    /// out and — because downstream keys chain through this stage —
-    /// disables caching for every later stage of the run too.
+    /// this stage out. Downstream stages stay cacheable either way —
+    /// their keys cover the *content* of the artifacts they read, not
+    /// the provenance.
     ///
     /// The default digests the full target and every artifact-relevant
     /// [`FlowOptions`] field (`jobs` excluded — it never changes
@@ -64,6 +68,32 @@ pub trait Stage {
         cx.target.content_hash(&mut h);
         cx.options.content_hash(&mut h);
         Some(h.finish())
+    }
+
+    /// The artifact slots this stage reads. The engine folds the content
+    /// digest of exactly these slots into the stage's cache key, which is
+    /// what turns the key structure into a dependency DAG: a change that
+    /// re-runs `hls` does not invalidate `stg`, because `stg` does not
+    /// read anything `hls` writes.
+    ///
+    /// The default — every slot — is sound for any stage (it can only
+    /// over-invalidate). Overriding with a *subset* is a promise: the
+    /// stage's `run` must not observe any slot outside the returned
+    /// list, or stale cache hits become possible. Inputs outside the
+    /// slot system (graph, target, options) are covered by the engine's
+    /// key seed and by [`Stage::cache_key`].
+    fn reads(&self) -> &'static [ArtifactSlot] {
+        &ArtifactSlot::ALL
+    }
+
+    /// The artifact slots this stage may fill. Purely a safety
+    /// declaration: after a miss the engine checks the slots actually
+    /// deposited against this list and refuses to cache the execution on
+    /// a mismatch (an undeclared write means the declarations — possibly
+    /// including `reads` — are wrong, and a wrong entry must never be
+    /// served). The default — every slot — accepts anything.
+    fn writes(&self) -> &'static [ArtifactSlot] {
+        &ArtifactSlot::ALL
     }
 }
 

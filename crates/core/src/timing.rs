@@ -18,8 +18,15 @@ pub enum CacheOutcome {
     Uncached,
     /// The cache was consulted, missed, and the fresh result was stored.
     Miss,
-    /// The stage was skipped; its artifacts were restored from the cache.
+    /// The stage was skipped; its artifacts were restored from the
+    /// in-memory cache tier.
     Hit {
+        /// Wall-clock the original execution took — the time saved.
+        saved: Duration,
+    },
+    /// The stage was skipped; its artifacts were deserialized from the
+    /// persistent disk tier (a warm start from a previous process).
+    DiskHit {
         /// Wall-clock the original execution took — the time saved.
         saved: Duration,
     },
@@ -64,12 +71,26 @@ impl FlowTrace {
         });
     }
 
-    /// Stages restored from the cache in this run.
+    /// Stages restored from the cache in this run (memory or disk tier).
     #[must_use]
     pub fn cache_hits(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| matches!(r.cache, CacheOutcome::Hit { .. }))
+            .filter(|r| {
+                matches!(
+                    r.cache,
+                    CacheOutcome::Hit { .. } | CacheOutcome::DiskHit { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Stages restored from the persistent disk tier in this run.
+    #[must_use]
+    pub fn disk_hits(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.cache, CacheOutcome::DiskHit { .. }))
             .count()
     }
 
@@ -90,7 +111,7 @@ impl FlowTrace {
         self.records
             .iter()
             .map(|r| match r.cache {
-                CacheOutcome::Hit { saved } => saved,
+                CacheOutcome::Hit { saved } | CacheOutcome::DiskHit { saved } => saved,
                 _ => Duration::ZERO,
             })
             .sum()
@@ -139,6 +160,8 @@ impl FlowTrace {
                 match r.cache {
                     CacheOutcome::Hit { saved } =>
                         format!("  [cache hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
+                    CacheOutcome::DiskHit { saved } =>
+                        format!("  [disk hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
                     _ => String::new(),
                 }
             ));
@@ -149,8 +172,9 @@ impl FlowTrace {
         ));
         if self.cache_hits() + self.cache_misses() > 0 {
             s.push_str(&format!(
-                "stage cache: {} hit(s) / {} miss(es), {:.3} ms saved\n",
+                "stage cache: {} hit(s) ({} from disk) / {} miss(es), {:.3} ms saved\n",
                 self.cache_hits(),
+                self.disk_hits(),
                 self.cache_misses(),
                 self.cache_saved().as_secs_f64() * 1e3
             ));

@@ -29,6 +29,7 @@
 //! ```
 
 use cool_hls::{HlsDesign, HlsOptions};
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
 use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Edge, NodeId, NodeKind, PartitioningGraph, Resource, Target};
 
@@ -274,6 +275,42 @@ impl ContentHash for CostModel {
         self.sw.content_hash(h);
         self.hw.content_hash(h);
         self.target.content_hash(h);
+    }
+}
+
+impl Codec for CommScheme {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            CommScheme::MemoryMapped => 0,
+            CommScheme::Direct => 1,
+        });
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(CommScheme::MemoryMapped),
+            1 => Ok(CommScheme::Direct),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "CommScheme",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for CostModel {
+    fn encode(&self, e: &mut Encoder) {
+        self.sw.encode(e);
+        self.hw.encode(e);
+        self.target.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CostModel {
+            sw: Vec::decode(d)?,
+            hw: Vec::decode(d)?,
+            target: Target::decode(d)?,
+        })
     }
 }
 

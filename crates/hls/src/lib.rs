@@ -36,6 +36,7 @@ pub mod binding;
 pub mod cdfg;
 pub mod schedule;
 
+use cool_ir::codec::Codec;
 use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::Behavior;
 
@@ -101,6 +102,32 @@ impl HlsDesign {
     #[must_use]
     pub fn fits(&self, clbs: u32) -> bool {
         self.area_clbs <= clbs
+    }
+}
+
+impl Codec for HlsDesign {
+    fn encode(&self, e: &mut cool_ir::codec::Encoder) {
+        e.put_str(&self.name);
+        e.put_u64(self.latency_cycles);
+        e.put_u32(self.area_clbs);
+        self.fu_instances.encode(e);
+        e.put_usize(self.register_count);
+        e.put_usize(self.mux_count);
+        e.put_usize(self.fsm_states);
+        e.put_usize(self.operation_count);
+    }
+
+    fn decode(d: &mut cool_ir::codec::Decoder<'_>) -> Result<Self, cool_ir::codec::CodecError> {
+        Ok(HlsDesign {
+            name: d.take_str()?,
+            latency_cycles: d.take_u64()?,
+            area_clbs: d.take_u32()?,
+            fu_instances: d.take()?,
+            register_count: d.take_usize()?,
+            mux_count: d.take_usize()?,
+            fsm_states: d.take_usize()?,
+            operation_count: d.take_usize()?,
+        })
     }
 }
 

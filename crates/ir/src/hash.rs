@@ -134,6 +134,12 @@ pub fn digest<T: ContentHash + ?Sized>(value: &T) -> u128 {
     h.finish()
 }
 
+impl ContentHash for u8 {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(*self);
+    }
+}
+
 impl ContentHash for u16 {
     fn content_hash(&self, h: &mut ContentHasher) {
         h.write_u16(*self);
@@ -215,6 +221,21 @@ impl<T: ContentHash> ContentHash for Option<T> {
     }
 }
 
+impl<A: ContentHash, B: ContentHash> ContentHash for (A, B) {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.0.content_hash(h);
+        self.1.content_hash(h);
+    }
+}
+
+impl<A: ContentHash, B: ContentHash, C: ContentHash> ContentHash for (A, B, C) {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.0.content_hash(h);
+        self.1.content_hash(h);
+        self.2.content_hash(h);
+    }
+}
+
 impl ContentHash for Op {
     fn content_hash(&self, h: &mut ContentHasher) {
         // The mnemonic is documented as stable across releases.
@@ -261,6 +282,12 @@ impl ContentHash for NodeKind {
 }
 
 impl ContentHash for NodeId {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.index());
+    }
+}
+
+impl ContentHash for crate::graph::EdgeId {
     fn content_hash(&self, h: &mut ContentHasher) {
         h.write_usize(self.index());
     }

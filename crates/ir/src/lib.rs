@@ -17,7 +17,9 @@
 //!   the co-simulator;
 //! * **stable structural hashing** ([`hash`]) — process-independent
 //!   content digests over all of the above, the key material of the flow
-//!   engine's stage cache.
+//!   engine's stage cache;
+//! * a **serde-free binary codec** ([`codec`]) — the canonical byte
+//!   encoding the persistent stage cache serializes artifacts with.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@
 //! ```
 
 pub mod behavior;
+pub mod codec;
 pub mod error;
 pub mod eval;
 pub mod graph;

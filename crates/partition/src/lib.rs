@@ -26,6 +26,7 @@ pub mod milp;
 use std::fmt;
 
 use cool_cost::{CommScheme, CostModel};
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
 use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Mapping, NodeKind, PartitioningGraph, Resource};
 
@@ -179,6 +180,68 @@ impl PartitionResult {
     #[must_use]
     pub fn software_nodes(&self, g: &PartitioningGraph) -> usize {
         self.mapping.software_node_count(g)
+    }
+}
+
+impl ContentHash for Algorithm {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(match self {
+            Algorithm::Milp => 0,
+            Algorithm::Heuristic => 1,
+            Algorithm::Genetic => 2,
+        });
+    }
+}
+
+impl ContentHash for PartitionResult {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.mapping.content_hash(h);
+        self.algorithm.content_hash(h);
+        h.write_u64(self.makespan);
+        self.hw_area.content_hash(h);
+        h.write_usize(self.work_units);
+    }
+}
+
+impl Codec for Algorithm {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            Algorithm::Milp => 0,
+            Algorithm::Heuristic => 1,
+            Algorithm::Genetic => 2,
+        });
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(Algorithm::Milp),
+            1 => Ok(Algorithm::Heuristic),
+            2 => Ok(Algorithm::Genetic),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "Algorithm",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for PartitionResult {
+    fn encode(&self, e: &mut Encoder) {
+        self.mapping.encode(e);
+        self.algorithm.encode(e);
+        e.put_u64(self.makespan);
+        self.hw_area.encode(e);
+        e.put_usize(self.work_units);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(PartitionResult {
+            mapping: Mapping::decode(d)?,
+            algorithm: Algorithm::decode(d)?,
+            makespan: d.take_u64()?,
+            hw_area: Vec::decode(d)?,
+            work_units: d.take_usize()?,
+        })
     }
 }
 

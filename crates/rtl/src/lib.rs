@@ -24,6 +24,8 @@ pub mod vhdl;
 
 use std::fmt;
 
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{Mapping, NodeId, PartitioningGraph, Resource, Target};
 use cool_stg::{StateId, Stg};
 
@@ -237,6 +239,268 @@ impl Netlist {
             s.push_str(&format!("  {:<24} {} port(s)\n", c.name, c.ports.len()));
         }
         s
+    }
+}
+
+impl ContentHash for SystemController {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.stg.content_hash(h);
+        self.nodes.content_hash(h);
+    }
+}
+
+impl ContentHash for PortDir {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(match self {
+            PortDir::In => 0,
+            PortDir::Out => 1,
+            PortDir::InOut => 2,
+        });
+    }
+}
+
+impl ContentHash for Port {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        self.dir.content_hash(h);
+        h.write_u16(self.bits);
+    }
+}
+
+impl ContentHash for ComponentKind {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            ComponentKind::SystemController => h.write_u8(0),
+            ComponentKind::DatapathController(r) => {
+                h.write_u8(1);
+                r.content_hash(h);
+            }
+            ComponentKind::IoController => h.write_u8(2),
+            ComponentKind::BusArbiter => h.write_u8(3),
+            ComponentKind::Processor(i) => {
+                h.write_u8(4);
+                h.write_usize(*i);
+            }
+            ComponentKind::HwBlock(n) => {
+                h.write_u8(5);
+                n.content_hash(h);
+            }
+            ComponentKind::Memory => h.write_u8(6),
+        }
+    }
+}
+
+impl ContentHash for Component {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        self.kind.content_hash(h);
+        self.ports.content_hash(h);
+    }
+}
+
+impl ContentHash for Net {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_str(&self.name);
+        h.write_u16(self.bits);
+        self.endpoints.content_hash(h);
+    }
+}
+
+impl ContentHash for Netlist {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.components.content_hash(h);
+        self.nets.content_hash(h);
+    }
+}
+
+impl ContentHash for encoding::StateEncoding {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.codes.content_hash(h);
+        h.write_u32(self.bits);
+        h.write_u64(self.cost);
+        h.write_usize(self.candidates_tried);
+    }
+}
+
+impl ContentHash for place::Placement {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.positions.content_hash(h);
+        h.write_u64(self.wirelength);
+        h.write_u64(self.initial_wirelength);
+        h.write_usize(self.moves);
+    }
+}
+
+impl Codec for SystemController {
+    fn encode(&self, e: &mut Encoder) {
+        self.stg.encode(e);
+        self.nodes.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SystemController {
+            stg: Stg::decode(d)?,
+            nodes: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for PortDir {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            PortDir::In => 0,
+            PortDir::Out => 1,
+            PortDir::InOut => 2,
+        });
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(PortDir::In),
+            1 => Ok(PortDir::Out),
+            2 => Ok(PortDir::InOut),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "PortDir",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Port {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        self.dir.encode(e);
+        e.put_u16(self.bits);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Port {
+            name: d.take_str()?,
+            dir: PortDir::decode(d)?,
+            bits: d.take_u16()?,
+        })
+    }
+}
+
+impl Codec for ComponentKind {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            ComponentKind::SystemController => e.put_u8(0),
+            ComponentKind::DatapathController(r) => {
+                e.put_u8(1);
+                r.encode(e);
+            }
+            ComponentKind::IoController => e.put_u8(2),
+            ComponentKind::BusArbiter => e.put_u8(3),
+            ComponentKind::Processor(i) => {
+                e.put_u8(4);
+                e.put_usize(*i);
+            }
+            ComponentKind::HwBlock(n) => {
+                e.put_u8(5);
+                n.encode(e);
+            }
+            ComponentKind::Memory => e.put_u8(6),
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(ComponentKind::SystemController),
+            1 => Ok(ComponentKind::DatapathController(Resource::decode(d)?)),
+            2 => Ok(ComponentKind::IoController),
+            3 => Ok(ComponentKind::BusArbiter),
+            4 => Ok(ComponentKind::Processor(d.take_usize()?)),
+            5 => Ok(ComponentKind::HwBlock(NodeId::decode(d)?)),
+            6 => Ok(ComponentKind::Memory),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "ComponentKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Component {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        self.kind.encode(e);
+        self.ports.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Component {
+            name: d.take_str()?,
+            kind: ComponentKind::decode(d)?,
+            ports: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for Net {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        e.put_u16(self.bits);
+        self.endpoints.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Net {
+            name: d.take_str()?,
+            bits: d.take_u16()?,
+            endpoints: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for Netlist {
+    fn encode(&self, e: &mut Encoder) {
+        self.components.encode(e);
+        self.nets.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Netlist {
+            components: Vec::decode(d)?,
+            nets: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for encoding::StateEncoding {
+    fn encode(&self, e: &mut Encoder) {
+        self.codes.encode(e);
+        e.put_u32(self.bits);
+        e.put_u64(self.cost);
+        e.put_usize(self.candidates_tried);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(encoding::StateEncoding {
+            codes: Vec::decode(d)?,
+            bits: d.take_u32()?,
+            cost: d.take_u64()?,
+            candidates_tried: d.take_usize()?,
+        })
+    }
+}
+
+impl Codec for place::Placement {
+    fn encode(&self, e: &mut Encoder) {
+        self.positions.encode(e);
+        e.put_u64(self.wirelength);
+        e.put_u64(self.initial_wirelength);
+        e.put_usize(self.moves);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(place::Placement {
+            positions: Vec::decode(d)?,
+            wirelength: d.take_u64()?,
+            initial_wirelength: d.take_u64()?,
+            moves: d.take_usize()?,
+        })
     }
 }
 

@@ -36,6 +36,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use cool_cost::{CommScheme, CostModel};
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{EdgeId, IrError, Mapping, NodeId, NodeKind, PartitioningGraph, Resource};
 
 /// Errors from the static scheduler.
@@ -250,6 +252,84 @@ impl StaticSchedule {
         }
         s.push_str(&format!("makespan: {} cycles\n", self.makespan));
         s
+    }
+}
+
+impl ContentHash for ScheduledNode {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.node.content_hash(h);
+        self.resource.content_hash(h);
+        h.write_u64(self.start);
+        h.write_u64(self.finish);
+    }
+}
+
+impl ContentHash for CommSlot {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.edge.content_hash(h);
+        h.write_u64(self.start);
+        h.write_u64(self.finish);
+    }
+}
+
+impl ContentHash for StaticSchedule {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.nodes.content_hash(h);
+        self.comm.content_hash(h);
+        h.write_u64(self.makespan);
+        self.scheme.content_hash(h);
+    }
+}
+
+impl Codec for ScheduledNode {
+    fn encode(&self, e: &mut Encoder) {
+        self.node.encode(e);
+        self.resource.encode(e);
+        e.put_u64(self.start);
+        e.put_u64(self.finish);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ScheduledNode {
+            node: NodeId::decode(d)?,
+            resource: Resource::decode(d)?,
+            start: d.take_u64()?,
+            finish: d.take_u64()?,
+        })
+    }
+}
+
+impl Codec for CommSlot {
+    fn encode(&self, e: &mut Encoder) {
+        self.edge.encode(e);
+        e.put_u64(self.start);
+        e.put_u64(self.finish);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CommSlot {
+            edge: EdgeId::decode(d)?,
+            start: d.take_u64()?,
+            finish: d.take_u64()?,
+        })
+    }
+}
+
+impl Codec for StaticSchedule {
+    fn encode(&self, e: &mut Encoder) {
+        self.nodes.encode(e);
+        self.comm.encode(e);
+        e.put_u64(self.makespan);
+        self.scheme.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StaticSchedule {
+            nodes: Vec::decode(d)?,
+            comm: Vec::decode(d)?,
+            makespan: d.take_u64()?,
+            scheme: CommScheme::decode(d)?,
+        })
     }
 }
 

@@ -23,6 +23,8 @@ pub mod minimize;
 
 use std::fmt;
 
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{EdgeId, Mapping, NodeId, NodeKind, PartitioningGraph, Resource};
 use cool_schedule::StaticSchedule;
 
@@ -307,6 +309,233 @@ impl Stg {
             ));
         }
         s
+    }
+}
+
+impl ContentHash for StateId {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u32(self.0);
+    }
+}
+
+impl ContentHash for StateKind {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            StateKind::GlobalReset => h.write_u8(0),
+            StateKind::GlobalExecute => h.write_u8(1),
+            StateKind::GlobalDone => h.write_u8(2),
+            StateKind::ResourceReset(r) => {
+                h.write_u8(3);
+                r.content_hash(h);
+            }
+            StateKind::Wait(n) => {
+                h.write_u8(4);
+                n.content_hash(h);
+            }
+            StateKind::Exec(n) => {
+                h.write_u8(5);
+                n.content_hash(h);
+            }
+            StateKind::Done(n) => {
+                h.write_u8(6);
+                n.content_hash(h);
+            }
+        }
+    }
+}
+
+impl ContentHash for Condition {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        match self {
+            Condition::Always => h.write_u8(0),
+            Condition::SystemStart => h.write_u8(1),
+            Condition::DepsReady(n) => {
+                h.write_u8(2);
+                n.content_hash(h);
+            }
+            Condition::UnitDone(n) => {
+                h.write_u8(3);
+                n.content_hash(h);
+            }
+            Condition::AllDone => h.write_u8(4),
+        }
+    }
+}
+
+impl ContentHash for Transition {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.from.content_hash(h);
+        self.to.content_hash(h);
+        self.condition.content_hash(h);
+    }
+}
+
+impl ContentHash for State {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.kind.content_hash(h);
+        self.resource.content_hash(h);
+    }
+}
+
+impl ContentHash for Stg {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.states.content_hash(h);
+        self.transitions.content_hash(h);
+    }
+}
+
+impl ContentHash for MinimizeStats {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_usize(self.states_before);
+        h.write_usize(self.states_after);
+        h.write_usize(self.transitions_before);
+        h.write_usize(self.transitions_after);
+    }
+}
+
+impl Codec for StateId {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(self.0);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StateId(d.take_u32()?))
+    }
+}
+
+impl Codec for StateKind {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            StateKind::GlobalReset => e.put_u8(0),
+            StateKind::GlobalExecute => e.put_u8(1),
+            StateKind::GlobalDone => e.put_u8(2),
+            StateKind::ResourceReset(r) => {
+                e.put_u8(3);
+                r.encode(e);
+            }
+            StateKind::Wait(n) => {
+                e.put_u8(4);
+                n.encode(e);
+            }
+            StateKind::Exec(n) => {
+                e.put_u8(5);
+                n.encode(e);
+            }
+            StateKind::Done(n) => {
+                e.put_u8(6);
+                n.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(StateKind::GlobalReset),
+            1 => Ok(StateKind::GlobalExecute),
+            2 => Ok(StateKind::GlobalDone),
+            3 => Ok(StateKind::ResourceReset(Resource::decode(d)?)),
+            4 => Ok(StateKind::Wait(NodeId::decode(d)?)),
+            5 => Ok(StateKind::Exec(NodeId::decode(d)?)),
+            6 => Ok(StateKind::Done(NodeId::decode(d)?)),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "StateKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Condition {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Condition::Always => e.put_u8(0),
+            Condition::SystemStart => e.put_u8(1),
+            Condition::DepsReady(n) => {
+                e.put_u8(2);
+                n.encode(e);
+            }
+            Condition::UnitDone(n) => {
+                e.put_u8(3);
+                n.encode(e);
+            }
+            Condition::AllDone => e.put_u8(4),
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(Condition::Always),
+            1 => Ok(Condition::SystemStart),
+            2 => Ok(Condition::DepsReady(NodeId::decode(d)?)),
+            3 => Ok(Condition::UnitDone(NodeId::decode(d)?)),
+            4 => Ok(Condition::AllDone),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "Condition",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Transition {
+    fn encode(&self, e: &mut Encoder) {
+        self.from.encode(e);
+        self.to.encode(e);
+        self.condition.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Transition {
+            from: StateId::decode(d)?,
+            to: StateId::decode(d)?,
+            condition: Condition::decode(d)?,
+        })
+    }
+}
+
+impl Codec for State {
+    fn encode(&self, e: &mut Encoder) {
+        self.kind.encode(e);
+        self.resource.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(State {
+            kind: StateKind::decode(d)?,
+            resource: Option::decode(d)?,
+        })
+    }
+}
+
+impl Codec for Stg {
+    fn encode(&self, e: &mut Encoder) {
+        self.states.encode(e);
+        self.transitions.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Stg {
+            states: Vec::decode(d)?,
+            transitions: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Codec for MinimizeStats {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.states_before);
+        e.put_usize(self.states_after);
+        e.put_usize(self.transitions_before);
+        e.put_usize(self.transitions_after);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(MinimizeStats {
+            states_before: d.take_usize()?,
+            states_after: d.take_usize()?,
+            transitions_before: d.take_usize()?,
+            transitions_after: d.take_usize()?,
+        })
     }
 }
 

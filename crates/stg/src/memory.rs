@@ -15,6 +15,8 @@
 
 use std::fmt;
 
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
+use cool_ir::hash::{ContentHash, ContentHasher};
 use cool_ir::{EdgeId, Mapping, Memory, PartitioningGraph};
 use cool_schedule::StaticSchedule;
 
@@ -124,6 +126,54 @@ impl MemoryMap {
             ));
         }
         s
+    }
+}
+
+impl ContentHash for MemoryCell {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.edge.content_hash(h);
+        h.write_u32(self.address);
+        h.write_u32(self.bytes);
+    }
+}
+
+impl ContentHash for MemoryMap {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.cells.content_hash(h);
+        h.write_u32(self.base);
+        h.write_u32(self.bytes_used);
+    }
+}
+
+impl Codec for MemoryCell {
+    fn encode(&self, e: &mut Encoder) {
+        self.edge.encode(e);
+        e.put_u32(self.address);
+        e.put_u32(self.bytes);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(MemoryCell {
+            edge: d.take()?,
+            address: d.take_u32()?,
+            bytes: d.take_u32()?,
+        })
+    }
+}
+
+impl Codec for MemoryMap {
+    fn encode(&self, e: &mut Encoder) {
+        self.cells.encode(e);
+        e.put_u32(self.base);
+        e.put_u32(self.bytes_used);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(MemoryMap {
+            cells: d.take()?,
+            base: d.take_u32()?,
+            bytes_used: d.take_u32()?,
+        })
     }
 }
 
