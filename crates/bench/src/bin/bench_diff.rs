@@ -108,6 +108,7 @@ fn main() -> ExitCode {
 
     print_cache_trajectory("stage_cache", &old, &new);
     print_cache_trajectory("stage_cache_disk", &old, &new);
+    print_scalar_trajectory("milp_parallel", "speedup", "x", &old, &new);
 
     if let (Some(bound), Some((worst_pct, worst_label))) = (fail_above, &worst) {
         if *worst_pct > bound {
@@ -168,6 +169,18 @@ fn print_cache_trajectory(section: &str, old: &Value, new: &Value) {
         show(old_rate),
         show(new_rate)
     );
+}
+
+/// Print old→new for one scalar member of a report section, if either
+/// side has it (e.g. the parallel-MILP speedup).
+fn print_scalar_trajectory(section: &str, field: &str, unit: &str, old: &Value, new: &Value) {
+    let read = |v: &Value| -> Option<f64> { v.get(section)?.get(field)?.as_f64() };
+    let (old_v, new_v) = (read(old), read(new));
+    if old_v.is_none() && new_v.is_none() {
+        return;
+    }
+    let show = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.2}{unit}"));
+    println!("{section} {field}: {} -> {}", show(old_v), show(new_v));
 }
 
 fn fmt_ns(ns: f64) -> String {

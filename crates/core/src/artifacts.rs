@@ -143,8 +143,9 @@ impl FlowArtifacts {
             self.target
         ));
         s.push_str(&format!(
-            "partitioning ({}): {} sw node(s), {} hw node(s), makespan {} cycles\n",
+            "partitioning ({}, {}): {} sw node(s), {} hw node(s), makespan {} cycles\n",
             self.partition.algorithm,
+            self.partition.optimality,
             self.partition.software_nodes(&self.graph),
             self.partition.hardware_nodes(&self.graph),
             self.partition.makespan,

@@ -397,6 +397,9 @@ pub struct CacheStats {
     /// Corrupt or version-mismatched disk entries that were evicted (each
     /// also counted as a miss).
     pub disk_evictions: u64,
+    /// Disk entries evicted to honour the store's byte-size cap (LRU by
+    /// mtime, enforced at open and after every insert).
+    pub disk_size_evictions: u64,
     /// Entries currently resident in memory.
     pub entries: usize,
     /// Sum of the original execution times of every hit — the wall-clock
@@ -431,9 +434,14 @@ impl CacheStats {
     /// One-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
+        let size_cap = if self.disk_size_evictions > 0 {
+            format!(", {} size-cap eviction(s)", self.disk_size_evictions)
+        } else {
+            String::new()
+        };
         format!(
             "stage cache: {} hit(s) ({} from disk), {} miss(es) ({:.0} % hit rate), \
-             {} entries, {} eviction(s), {:.3} ms saved",
+             {} entries, {} eviction(s){size_cap}, {:.3} ms saved",
             self.hits,
             self.disk_hits,
             self.misses,
@@ -494,6 +502,23 @@ impl StageCache {
     ) -> Result<StageCache, std::io::Error> {
         let mut cache = StageCache::new(capacity);
         cache.disk = Some(Arc::new(DiskStore::open(dir)?));
+        Ok(cache)
+    }
+
+    /// [`StageCache::persistent`] with an explicit byte-size cap for the
+    /// disk tier (`0` = unbounded) instead of
+    /// [`crate::disk::DEFAULT_MAX_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if `dir` cannot be created.
+    pub fn persistent_with_cap(
+        capacity: usize,
+        dir: impl AsRef<Path>,
+        max_bytes: u64,
+    ) -> Result<StageCache, std::io::Error> {
+        let mut cache = StageCache::new(capacity);
+        cache.disk = Some(Arc::new(DiskStore::open_with_cap(dir, max_bytes)?));
         Ok(cache)
     }
 
@@ -639,6 +664,7 @@ impl StageCache {
             evictions: inner.evictions,
             disk_writes: inner.disk_writes,
             disk_evictions: inner.disk_evictions,
+            disk_size_evictions: self.disk.as_ref().map_or(0, |d| d.size_evictions()),
             entries: inner.map.len(),
             saved: inner.saved,
         }

@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"COOLCCH\0"
-//! 8       4     format version (u32 LE, currently 1)
+//! 8       4     format version (u32 LE, currently 2)
 //! 12      16    slot-layout digest (u128 LE): FNV-1a 128 over the
 //!               ArtifactSlot names in index order, so a reordered or
 //!               renamed slot set reads as a mismatch even without a
@@ -39,6 +39,20 @@
 //! recomputation, never wrong artifacts and never a panic — the battery
 //! in `tests/disk_cache.rs` drives truncated, bit-flipped and
 //! version-bumped entries through a full flow to prove it.
+//!
+//! # Size cap
+//!
+//! A store is bounded to a byte budget ([`DEFAULT_MAX_BYTES`], override
+//! via [`DiskStore::open_with_cap`] / `--cache-max-bytes`): whenever
+//! the entry files exceed the cap — checked at open and after every
+//! insert, against a running byte estimate so inserts do not rescan the
+//! directory — the least-recently-used entries are evicted first (LRU
+//! by mtime; every hit refreshes its entry's mtime, and ties break on
+//! the file name so coarse timestamps stay deterministic). A long-lived
+//! shared `.cool-cache/` can therefore no longer grow without bound.
+//! Evictions are counted ([`DiskStore::size_evictions`]) and surface in
+//! the stage-cache summaries; `cool cache stats` reports over-cap state
+//! read-only ([`DiskStore::would_evict`]).
 
 use std::fs;
 use std::io;
@@ -60,7 +74,9 @@ const MAGIC: [u8; 8] = *b"COOLCCH\0";
 /// field reorder without a bump here would decode stale entries into
 /// wrong values. Old entries then read as version mismatches and are
 /// evicted, exactly like corruption.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `PartitionResult` gained the `optimality` field.
+pub const FORMAT_VERSION: u32 = 2;
 /// Entry file extension.
 const EXT: &str = "cce";
 /// Fixed header size: magic + version + layout digest + payload length.
@@ -92,28 +108,166 @@ pub enum Load {
     Evicted,
 }
 
-/// A directory of serialized stage executions.
+/// Default byte-size cap for a store: generous for real flows but a
+/// hard stop against the unbounded growth a long-lived shared cache
+/// directory would otherwise exhibit.
+pub const DEFAULT_MAX_BYTES: u64 = 512 * 1024 * 1024;
+
+/// A directory of serialized stage executions, bounded to a byte-size
+/// cap: whenever the entry files exceed `max_bytes` (checked when the
+/// store opens and after every insert), the least-recently-*used*
+/// entries — LRU by file mtime, which [`DiskStore::load`] refreshes on
+/// every hit, oldest first — are evicted until the directory fits.
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
+    max_bytes: u64,
+    size_evictions: AtomicU64,
+    /// Running estimate of the entry bytes on disk, seeded by one scan
+    /// at open and maintained on insert/evict, so the per-insert cap
+    /// check is an atomic comparison instead of a directory scan. May
+    /// drift when other processes share the directory; every full
+    /// enforcement pass re-syncs it to the measured total.
+    bytes_hint: AtomicU64,
 }
 
 impl DiskStore {
-    /// Open (creating if absent) a store at `dir`.
+    /// Open (creating if absent) a store at `dir` with the
+    /// [`DEFAULT_MAX_BYTES`] size cap.
     ///
     /// # Errors
     ///
     /// Propagates the I/O error if the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
+        DiskStore::open_with_cap(dir, DEFAULT_MAX_BYTES)
+    }
+
+    /// Open (creating if absent) a store capped to `max_bytes` of entry
+    /// files (`0` = unbounded). An over-cap directory is trimmed
+    /// immediately, so stale caches from before a smaller cap — or from
+    /// another tool's runs — shrink on first contact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open_with_cap(dir: impl AsRef<Path>, max_bytes: u64) -> io::Result<DiskStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(DiskStore { dir })
+        let store = DiskStore {
+            dir,
+            max_bytes,
+            size_evictions: AtomicU64::new(0),
+            bytes_hint: AtomicU64::new(0),
+        };
+        store
+            .bytes_hint
+            .store(store.total_bytes(), Ordering::Relaxed);
+        store.enforce_cap(None);
+        Ok(store)
     }
 
     /// The store's directory.
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The byte-size cap (`0` = unbounded).
+    #[must_use]
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Entries evicted by this store instance to honour the size cap.
+    #[must_use]
+    pub fn size_evictions(&self) -> u64 {
+        self.size_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Evict oldest-mtime entries until the directory fits `max_bytes`,
+    /// never touching `protect` (the entry just written: evicting the
+    /// newest insert to keep stale ones would invert the LRU intent).
+    /// The full directory scan only happens when the running byte
+    /// estimate says the cap may be exceeded. I/O failures degrade to
+    /// "cap not enforced this round" — the cap is hygiene, not
+    /// correctness.
+    fn enforce_cap(&self, protect: Option<&Path>) {
+        if self.max_bytes == 0 || self.bytes_hint.load(Ordering::Relaxed) <= self.max_bytes {
+            return;
+        }
+        let (measured, plan) = self.eviction_plan();
+        // Re-sync hint drift as a *delta*, never a blind store: a store
+        // would erase the fetch_add of a worker inserting concurrently
+        // (the store is Arc-shared across sweep threads). A racing
+        // correction can still leave the hint off by a few entries —
+        // harmless: over-estimates trigger a re-scan that corrects,
+        // under-estimates defer enforcement to a later insert.
+        let hint = self.bytes_hint.load(Ordering::Relaxed);
+        if measured >= hint {
+            self.bytes_hint
+                .fetch_add(measured - hint, Ordering::Relaxed);
+        } else {
+            self.bytes_hint
+                .fetch_sub(hint - measured, Ordering::Relaxed);
+        }
+        let mut total = measured;
+        for (len, path) in plan {
+            if total <= self.max_bytes {
+                break;
+            }
+            if Some(path.as_path()) == protect {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.bytes_hint.fetch_sub(len, Ordering::Relaxed);
+                self.size_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The single source of the cap policy, shared by `enforce_cap`
+    /// (which deletes victims) and [`DiskStore::would_evict`] (which
+    /// only counts them): the measured entry-byte total plus every
+    /// entry as `(len, path)` in eviction order — oldest mtime first,
+    /// path as the tie-break so equal-mtime bursts (coarse filesystem
+    /// timestamps) still order deterministically.
+    fn eviction_plan(&self) -> (u64, Vec<(u64, PathBuf)>) {
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = self
+            .entry_files()
+            .filter_map(|p| {
+                let meta = fs::metadata(&p).ok()?;
+                Some((meta.modified().ok()?, meta.len(), p))
+            })
+            .collect();
+        let total = entries.iter().map(|&(_, len, _)| len).sum();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        (
+            total,
+            entries.into_iter().map(|(_, len, p)| (len, p)).collect(),
+        )
+    }
+
+    /// How many entries the given cap would evict right now (`0` =
+    /// unbounded cap). Read-only: `cool cache stats` uses this to report
+    /// over-cap state without mutating the directory. Counts over the
+    /// same `eviction_plan` order `enforce_cap` deletes in.
+    #[must_use]
+    pub fn would_evict(&self, max_bytes: u64) -> usize {
+        if max_bytes == 0 {
+            return 0;
+        }
+        let (measured, plan) = self.eviction_plan();
+        let mut total = measured;
+        let mut victims = 0;
+        for (len, _) in plan {
+            if total <= max_bytes {
+                break;
+            }
+            total = total.saturating_sub(len);
+            victims += 1;
+        }
+        victims
     }
 
     fn entry_path(&self, key: StageKey) -> PathBuf {
@@ -146,9 +300,14 @@ impl DiskStore {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
+        let len = file.len() as u64;
         fs::write(&tmp, &file)?;
         match fs::rename(&tmp, &path) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                self.bytes_hint.fetch_add(len, Ordering::Relaxed);
+                self.enforce_cap(Some(&path));
+                Ok(true)
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 Err(e)
@@ -180,11 +339,21 @@ impl DiskStore {
             }
         };
         match decode_entry(&bytes) {
-            Some((delta, writes, cost)) => Load::Hit {
-                delta: Box::new(delta),
-                writes,
-                cost,
-            },
+            Some((delta, writes, cost)) => {
+                // LRU recency: refresh the entry's mtime on every hit,
+                // so the size cap evicts genuinely cold entries instead
+                // of the oldest-written (and hottest-hit) ones. Best
+                // effort; a read-only directory just degrades to
+                // eviction by write age.
+                if let Ok(f) = fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
+                Load::Hit {
+                    delta: Box::new(delta),
+                    writes,
+                    cost,
+                }
+            }
             None => {
                 let _ = fs::remove_file(&path);
                 Load::Evicted
@@ -214,6 +383,7 @@ impl DiskStore {
                 _ => {}
             }
         }
+        self.bytes_hint.store(self.total_bytes(), Ordering::Relaxed);
         Ok(removed)
     }
 
@@ -412,6 +582,70 @@ mod tests {
         // Empty file.
         fs::write(store.entry_path(4), b"").unwrap();
         assert!(matches!(store.load(4), Load::Evicted));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest_entries_first() {
+        let dir = temp_dir("cap");
+        // Unbounded store to seed entries with distinct mtimes.
+        let seed = DiskStore::open_with_cap(&dir, 0).unwrap();
+        let writes = vec![(ArtifactSlot::Cost, 7u128); 8]; // pad the payload
+        for key in 1u128..=4 {
+            seed.store(key, &ArtifactDelta::default(), &writes, Duration::ZERO)
+                .unwrap();
+            // Distinct mtimes even on coarse-timestamp filesystems.
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        let entry_bytes = fs::metadata(seed.entry_path(1)).unwrap().len();
+        assert_eq!(seed.size_evictions(), 0, "cap 0 means unbounded");
+
+        // Reopen with room for two entries: the two oldest must go.
+        let capped = DiskStore::open_with_cap(&dir, entry_bytes * 2).unwrap();
+        assert_eq!(capped.size_evictions(), 2);
+        assert_eq!(capped.entry_count(), 2);
+        assert!(matches!(capped.load(1), Load::Miss), "oldest evicted");
+        assert!(
+            matches!(capped.load(2), Load::Miss),
+            "second-oldest evicted"
+        );
+        assert!(matches!(capped.load(3), Load::Hit { .. }));
+        assert!(matches!(capped.load(4), Load::Hit { .. }));
+
+        // Inserting over the cap evicts the oldest survivor, never the
+        // entry just written.
+        std::thread::sleep(Duration::from_millis(15));
+        capped
+            .store(5, &ArtifactDelta::default(), &writes, Duration::ZERO)
+            .unwrap();
+        assert_eq!(capped.size_evictions(), 3);
+        assert!(matches!(capped.load(3), Load::Miss), "LRU victim");
+        assert!(matches!(capped.load(4), Load::Hit { .. }));
+        assert!(
+            matches!(capped.load(5), Load::Hit { .. }),
+            "fresh insert survives"
+        );
+        assert!(capped.total_bytes() <= entry_bytes * 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_cap_still_keeps_the_fresh_insert() {
+        // A cap smaller than one entry cannot evict the entry it just
+        // wrote (that would make the cache permanently useless); it
+        // evicts everything else instead.
+        let dir = temp_dir("tiny-cap");
+        let store = DiskStore::open_with_cap(&dir, 1).unwrap();
+        store
+            .store(1, &ArtifactDelta::default(), &[], Duration::ZERO)
+            .unwrap();
+        assert!(matches!(store.load(1), Load::Hit { .. }));
+        std::thread::sleep(Duration::from_millis(15));
+        store
+            .store(2, &ArtifactDelta::default(), &[], Duration::ZERO)
+            .unwrap();
+        assert!(matches!(store.load(1), Load::Miss));
+        assert!(matches!(store.load(2), Load::Hit { .. }));
         let _ = fs::remove_dir_all(&dir);
     }
 

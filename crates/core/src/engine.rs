@@ -135,6 +135,7 @@ impl Engine {
                 stage.run(cx)?;
                 trace.push(stage.name(), t0.elapsed());
             }
+            collect_warnings(&mut trace, cx);
             return Ok(trace);
         };
 
@@ -212,12 +213,44 @@ impl Engine {
                     slot.name(),
                 );
             }
-            if undeclared.is_none() {
+            // A node-limit-truncated partition is not a deterministic
+            // function of the stage's inputs: under `jobs > 1` which
+            // subtrees the budget reached — and hence the incumbent at
+            // truncation — depends on worker scheduling, and `jobs` is
+            // deliberately outside every cache key. Caching it would pin
+            // one scheduling accident as *the* result for this key, so
+            // truncated solves are recomputed instead (they cost at most
+            // the node budget the caller chose).
+            let truncated_partition = writes
+                .iter()
+                .any(|&(slot, _)| slot == ArtifactSlot::Partition)
+                && cx
+                    .partition
+                    .as_ref()
+                    .is_some_and(|p| p.optimality == cool_partition::Optimality::LimitReached);
+            if undeclared.is_none() && !truncated_partition {
                 cache.insert(key, ArtifactDelta::capture(cx, before), writes, elapsed);
             }
             trace.push_outcome(stage.name(), elapsed, CacheOutcome::Miss);
         }
+        collect_warnings(&mut trace, cx);
         Ok(trace)
+    }
+}
+
+/// Append result-quality warnings to the trace after a run. Done on the
+/// finished context — not inside the stages — so a partition restored
+/// from the cache warns exactly like a freshly computed one.
+fn collect_warnings(trace: &mut FlowTrace, cx: &FlowContext<'_>) {
+    if let Some(p) = &cx.partition {
+        if p.optimality == cool_partition::Optimality::LimitReached {
+            trace.push_warning(format!(
+                "partition ({}): branch & bound hit its node limit after {} node(s); \
+                 the returned colouring is feasible but NOT proven optimal — raise \
+                 the MILP node limit to close the gap",
+                p.algorithm, p.work_units,
+            ));
+        }
     }
 }
 
@@ -336,9 +369,25 @@ impl Stage for PartitionStage {
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
         let cost = cx.cost()?;
+        // The flow's `jobs` knob governs every parallel stage; thread it
+        // into the MILP branch & bound too. A completed solve is
+        // deterministic for every worker count (why `jobs` stays out of
+        // the options' content hashes and cache keys); the one
+        // exception, a node-limit-truncated solve, is excluded from the
+        // cache below.
         let partition = match &cx.options.partitioner {
-            Partitioner::Milp(o) => cool_partition::milp::partition(cx.graph, cost, o)?,
-            Partitioner::Heuristic(o) => cool_partition::heuristic::partition(cx.graph, cost, o)?,
+            Partitioner::Milp(o) => {
+                let o = cool_partition::MilpOptions {
+                    jobs: cx.options.jobs,
+                    ..o.clone()
+                };
+                cool_partition::milp::partition(cx.graph, cost, &o)?
+            }
+            Partitioner::Heuristic(o) => {
+                let mut o = o.clone();
+                o.milp.jobs = cx.options.jobs;
+                cool_partition::heuristic::partition(cx.graph, cost, &o)?
+            }
             Partitioner::Genetic(o) => cool_partition::genetic::partition(cx.graph, cost, o)?,
             Partitioner::Fixed(mapping) => {
                 let (makespan, hw_area) =
@@ -346,6 +395,7 @@ impl Stage for PartitionStage {
                 PartitionResult {
                     mapping: mapping.clone(),
                     algorithm: cool_partition::Algorithm::Milp,
+                    optimality: cool_partition::Optimality::Heuristic,
                     makespan,
                     hw_area,
                     work_units: 0,

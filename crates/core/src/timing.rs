@@ -44,10 +44,13 @@ pub struct StageRecord {
     pub cache: CacheOutcome,
 }
 
-/// The timing journal of one engine run: every stage, in order.
+/// The timing journal of one engine run: every stage, in order, plus
+/// any result-quality warnings the engine attached (e.g. a
+/// node-limit-truncated MILP partition).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowTrace {
     records: Vec<StageRecord>,
+    warnings: Vec<String>,
 }
 
 impl FlowTrace {
@@ -69,6 +72,17 @@ impl FlowTrace {
             duration,
             cache,
         });
+    }
+
+    /// Attach a result-quality warning (shown by `to_table` and the CLI).
+    pub fn push_warning(&mut self, warning: impl Into<String>) {
+        self.warnings.push(warning.into());
+    }
+
+    /// Result-quality warnings attached by the engine, in order.
+    #[must_use]
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
     }
 
     /// Stages restored from the cache in this run (memory or disk tier).
@@ -178,6 +192,9 @@ impl FlowTrace {
                 self.cache_misses(),
                 self.cache_saved().as_secs_f64() * 1e3
             ));
+        }
+        for w in &self.warnings {
+            s.push_str(&format!("warning: {w}\n"));
         }
         s
     }

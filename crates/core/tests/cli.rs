@@ -123,6 +123,77 @@ fn flow_jobs_flag_is_validated() {
 }
 
 #[test]
+fn flow_warns_on_node_limit_truncated_milp() {
+    // The branching instance of tests/optimality.rs, rendered back to
+    // specification text: MILP at comm weight 0.1 needs 23 B&B nodes, so
+    // a 12-node budget truncates with an incumbent. The CLI must
+    // succeed AND warn — on stderr and in the --trace table — instead
+    // of silently presenting the incumbent as the optimum.
+    let dir = temp_dir("truncated");
+    let g = cool_spec::workloads::random_dag(cool_spec::workloads::RandomDagConfig {
+        nodes: 8,
+        seed: 7,
+        ..Default::default()
+    });
+    let spec = write_spec(&dir, "dag.cool", &cool_spec::print_spec(&g));
+    let out_dir = dir.join("out");
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args([
+            "--quick",
+            "--partitioner",
+            "milp",
+            "--milp-comm-weight",
+            "0.1",
+            "--milp-max-nodes",
+            "12",
+            "--trace",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("not proven optimal"),
+        "stderr must carry the truncation warning: {stderr}"
+    );
+    assert!(
+        stdout.contains("warning:") && stdout.contains("node limit"),
+        "--trace output must include the truncation warning:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("node-limit truncated"),
+        "the report must label the partition:\n{stdout}"
+    );
+
+    // A completed solve over the same spec stays quiet.
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args([
+            "--quick",
+            "--partitioner",
+            "milp",
+            "--milp-comm-weight",
+            "0.1",
+            "--trace",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(!stderr.contains("not proven optimal"), "{stderr}");
+    assert!(!stdout.contains("warning:"), "{stdout}");
+}
+
+#[test]
 fn flow_trace_prints_stage_table() {
     let dir = temp_dir("trace");
     let spec = write_spec(

@@ -258,41 +258,55 @@ fn hls_only_option_change_preserves_stg_and_upstream() {
 }
 
 /// The mirror case: a partitioner-option change invalidates `partition`
-/// and every stage that (transitively) reads its output — which is all
-/// of them — while the partitioner-independent `spec`/`cost` prefix
-/// hits.
+/// itself — and *only* the downstream stages whose read artifacts
+/// actually change. Here the GA's elitism makes generations 4 and 6
+/// converge on the same champion colouring (asserted below), so the
+/// downstream stages hit: their keys cover the partition's *content*
+/// (mapping/makespan/optimality — work_units is deliberately outside
+/// the digest, it varies with solver scheduling), not its provenance.
+/// Content-visible option changes invalidating downstream is covered by
+/// `option_changes_miss_only_downstream_stages` in tests/cache.rs.
 #[test]
-fn partitioner_option_change_hits_prefix_only() {
+fn partitioner_option_change_reruns_partition_only_while_content_holds() {
     let g = workloads::equalizer(4);
     let target = Target::fuzzy_board();
     let base = equalizer8_options(1);
     let mut ga_changed = base.clone();
     ga_changed.partitioner = Partitioner::Genetic(GaOptions {
         population: 8,
-        generations: 6, // more work: different work_units at minimum
+        generations: 6,
         threads: 1,
         ..GaOptions::default()
     });
     let cache = StageCache::default();
-    run_flow_cached(&g, &target, &base, &cache).unwrap();
+    let first = run_flow_cached(&g, &target, &base, &cache).unwrap();
     let second = run_flow_cached(&g, &target, &ga_changed, &cache).unwrap();
+    assert_eq!(
+        first.partition.mapping, second.partition.mapping,
+        "elitism keeps the champion across the extra generations \
+         (if this ever changes, the downstream-hit assertions below \
+         must flip to misses)"
+    );
+    assert!(
+        second
+            .trace
+            .records()
+            .iter()
+            .any(|r| r.name == "partition" && r.cache == CacheOutcome::Miss),
+        "partition must re-run on a partitioner-option change:\n{}",
+        second.trace.to_table()
+    );
     let hits: Vec<&str> = outcomes(&second)
         .into_iter()
         .filter(|&(_, hit)| hit)
         .map(|(name, _)| name)
         .collect();
-    assert_eq!(hits, vec!["spec", "cost"], "{}", second.trace.to_table());
-    for miss in ["partition", "schedule", "stg", "hls", "rtl"] {
-        assert!(
-            second
-                .trace
-                .records()
-                .iter()
-                .any(|r| r.name == miss && r.cache == CacheOutcome::Miss),
-            "{miss} must re-run on a partitioner change:\n{}",
-            second.trace.to_table()
-        );
-    }
+    assert_eq!(
+        hits,
+        vec!["spec", "cost", "schedule", "stg", "hls", "rtl", "codegen", "sim-prep"],
+        "unchanged partition content must keep downstream cached:\n{}",
+        second.trace.to_table()
+    );
 }
 
 /// The DAG keys hold through the disk tier too: the `hls`-only change

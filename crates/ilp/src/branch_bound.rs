@@ -1,57 +1,295 @@
-//! Branch & bound over binary variables.
+//! Branch & bound over binary variables — parallel, with deterministic
+//! best-bound merging.
 //!
-//! Depth-first search with best-bound pruning: each node solves the LP
-//! relaxation under the accumulated 0/1 fixings, branches on the most
-//! fractional binary, and explores the branch suggested by rounding first
-//! (which tends to find incumbents early on partitioning instances).
+//! Each node solves the LP relaxation under the accumulated 0/1 fixings,
+//! branches on the most fractional binary, and explores the branch
+//! suggested by rounding first (which tends to find incumbents early on
+//! partitioning instances). Under `SolveOptions::jobs > 1` the tree is
+//! explored by scoped worker threads: each worker owns a
+//! [`SimplexWorkspace`], pulls subtrees from a shared best-bound
+//! frontier, runs depth-first locally, and — once its DFS stack is deep
+//! enough — splits the shallowest pending subtree back onto the frontier
+//! for idle workers.
+//!
+//! # Determinism
+//!
+//! For a search that runs to completion, the returned [`Solution`]
+//! (objective, values, status) is identical for every `jobs` value;
+//! only wall-clock and `nodes_explored` change. (A node-limit-truncated
+//! search necessarily returns whatever incumbent the budget reached,
+//! which under `jobs > 1` depends on worker scheduling — callers can
+//! tell by `Status::LimitReached`, and the flow engine declines to
+//! cache such results.) Two disciplines make the completed case true:
+//!
+//! * **Total-order incumbent merging.** Candidate incumbents are
+//!   compared exactly: lower objective wins, and an exactly-equal
+//!   objective falls through to the lexicographically smallest value
+//!   vector (which on the binary variables is the lexicographically
+//!   smallest assignment). Exact comparison — no tolerance — is what
+//!   makes the merge a total order, so the surviving incumbent is the
+//!   minimum of the candidate set, independent of publication order.
+//!   (A tolerance-based tie-break is not transitive and would make the
+//!   winner depend on arrival order.)
+//! * **Tie-preserving pruning.** A subtree is pruned only when its LP
+//!   bound is *strictly worse* than the incumbent by more than
+//!   [`TIE_EPS`]. Any assignment that ties the optimum has LP bounds at
+//!   most its own objective along its whole path, so its subtree is
+//!   never pruned and every run — serial or parallel — examines every
+//!   tied optimum. The candidate set over which the total order picks
+//!   its minimum is therefore the same for every worker schedule.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use crate::simplex::{solve_lp_with, Fixing, SimplexWorkspace};
 use crate::{IlpError, Problem, Solution, SolveOptions, Status, VarKind};
 
-pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, IlpError> {
-    // One simplex workspace serves every node of the search: each LP
-    // rebuilds its tableau inside the same buffers instead of
-    // reallocating per node.
-    let mut ws = SimplexWorkspace::new();
+/// Bound slack within which a subtree may still contain a solution that
+/// ties the incumbent (floating-point noise in the LP bound is orders of
+/// magnitude below this for co-design-sized instances). Subtrees are
+/// pruned only when their bound exceeds `incumbent + TIE_EPS`.
+const TIE_EPS: f64 = 1e-6;
 
-    // Root relaxation.
-    match solve_lp_with(p, &[], &mut ws) {
-        Ok(_) => {}
-        Err(IlpError::Infeasible) => return Err(IlpError::Infeasible),
-        Err(IlpError::Unbounded) => return Err(IlpError::Unbounded),
-        Err(e) => return Err(e),
+/// A worker starts offering subtrees to the shared frontier once its
+/// local DFS stack holds at least this many pending nodes.
+const OFFLOAD_MIN_STACK: usize = 4;
+
+/// When offloading, a worker keeps at least this many pending nodes for
+/// itself (the deepest ones; the shallowest — largest — subtrees are
+/// what idle workers want).
+const OFFLOAD_KEEP: usize = 2;
+
+/// One unexplored subtree: the fixings that define it and the LP
+/// objective of its parent (a valid lower bound for everything below).
+struct OpenSubtree {
+    bound: f64,
+    /// Monotonic tag: orders equal-bound subtrees oldest-first so the
+    /// frontier pop is fully defined (not load-bearing for determinism —
+    /// the merge discipline is — but it keeps exploration sensible).
+    seq: u64,
+    fixings: Vec<Fixing>,
+}
+
+impl PartialEq for OpenSubtree {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for OpenSubtree {}
+
+impl PartialOrd for OpenSubtree {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpenSubtree {
+    /// Inverted so the max-heap pops the *smallest* bound (best-bound
+    /// first), oldest `seq` on ties. Bounds are never NaN.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .expect("LP bounds are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Frontier state guarded by one mutex: the best-bound heap plus the
+/// number of workers currently expanding a popped subtree (`active`),
+/// which is what distinguishes "momentarily empty" from "exhausted".
+struct Frontier {
+    heap: BinaryHeap<OpenSubtree>,
+    active: usize,
+    /// Set when the search is over: exhausted, node limit, or error.
+    stop: bool,
+}
+
+/// Everything the workers share.
+struct Shared<'a> {
+    p: &'a Problem,
+    max_nodes: usize,
+    int_tol: f64,
+    jobs: usize,
+    frontier: Mutex<Frontier>,
+    /// Mirror of `frontier.heap.len()`, maintained under the frontier
+    /// lock but readable without it, so `maybe_offload` can skip the
+    /// lock entirely on the (common) nodes where the frontier is
+    /// already stocked. Staleness only delays or skips one offload.
+    frontier_len: AtomicUsize,
+    work_ready: Condvar,
+    /// The merged incumbent under the deterministic total order.
+    best: Mutex<Option<(f64, Vec<f64>)>>,
+    /// `best`'s objective as bits, for lock-free pruning reads.
+    bound_bits: AtomicU64,
+    nodes: AtomicUsize,
+    seq: AtomicU64,
+    limit_hit: AtomicBool,
+    stopped: AtomicBool,
+    error: Mutex<Option<IlpError>>,
+}
+
+impl<'a> Shared<'a> {
+    fn new(p: &'a Problem, options: &SolveOptions, jobs: usize, root: OpenSubtree) -> Shared<'a> {
+        let mut heap = BinaryHeap::new();
+        heap.push(root);
+        Shared {
+            p,
+            max_nodes: options.max_nodes,
+            int_tol: options.int_tol,
+            jobs,
+            frontier_len: AtomicUsize::new(heap.len()),
+            frontier: Mutex::new(Frontier {
+                heap,
+                active: 0,
+                stop: false,
+            }),
+            work_ready: Condvar::new(),
+            best: Mutex::new(None),
+            bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            nodes: AtomicUsize::new(0),
+            seq: AtomicU64::new(1),
+            limit_hit: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            error: Mutex::new(None),
+        }
     }
 
-    let mut incumbent: Option<(f64, Vec<f64>)> = None;
-    let mut nodes = 0usize;
-    let mut stack: Vec<Vec<Fixing>> = vec![Vec::new()];
-    let mut limit_hit = false;
-
-    while let Some(fixings) = stack.pop() {
-        if nodes >= options.max_nodes {
-            limit_hit = true;
-            break;
+    /// Pop the best-bound subtree, waiting while other workers may still
+    /// split work back. `None` means the search is over.
+    fn acquire(&self) -> Option<OpenSubtree> {
+        let mut f = self.frontier.lock().expect("frontier poisoned");
+        loop {
+            if f.stop {
+                return None;
+            }
+            if let Some(sub) = f.heap.pop() {
+                f.active += 1;
+                self.frontier_len.store(f.heap.len(), Ordering::Relaxed);
+                return Some(sub);
+            }
+            if f.active == 0 {
+                f.stop = true;
+                self.work_ready.notify_all();
+                return None;
+            }
+            f = self.work_ready.wait(f).expect("frontier poisoned");
         }
-        nodes += 1;
-        let lp = match solve_lp_with(p, &fixings, &mut ws) {
+    }
+
+    /// Mark the previously acquired subtree fully expanded.
+    fn release(&self) {
+        let mut f = self.frontier.lock().expect("frontier poisoned");
+        f.active -= 1;
+        if f.active == 0 && f.heap.is_empty() {
+            f.stop = true;
+        }
+        // Wake waiters either way: the search may be over, or this
+        // worker may have offloaded subtrees they should pick up.
+        self.work_ready.notify_all();
+    }
+
+    /// `true` once the bound proves `bound` cannot contain anything
+    /// better than (or exactly tying) the incumbent.
+    fn prunable(&self, bound: f64) -> bool {
+        bound > f64::from_bits(self.bound_bits.load(Ordering::Relaxed)) + TIE_EPS
+    }
+
+    /// Merge a candidate incumbent under the deterministic total order:
+    /// strictly lower objective first, then lexicographically smaller
+    /// value vector on exact objective ties.
+    fn offer_incumbent(&self, objective: f64, values: Vec<f64>) {
+        let mut best = self.best.lock().expect("incumbent poisoned");
+        let better = match best.as_ref() {
+            None => true,
+            Some((bo, bv)) => match objective.partial_cmp(bo).expect("objectives are finite") {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => lex_smaller(&values, bv),
+            },
+        };
+        if better {
+            self.bound_bits
+                .store(objective.to_bits(), Ordering::Relaxed);
+            *best = Some((objective, values));
+        }
+    }
+
+    /// Stop every worker (node limit or error).
+    fn stop_all(&self) {
+        self.stopped.store(true, Ordering::Relaxed);
+        let mut f = self.frontier.lock().expect("frontier poisoned");
+        f.stop = true;
+        self.work_ready.notify_all();
+    }
+
+    fn fail(&self, e: IlpError) {
+        let mut err = self.error.lock().expect("error slot poisoned");
+        err.get_or_insert(e);
+        drop(err);
+        self.stop_all();
+    }
+}
+
+/// Strict lexicographic `a < b` over equal-length value vectors.
+fn lex_smaller(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y).expect("values are finite") {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// One worker: pull subtrees from the frontier, expand depth-first with
+/// a private workspace, split excess stack back to the frontier.
+fn worker(shared: &Shared<'_>, ws: &mut SimplexWorkspace) {
+    while let Some(sub) = shared.acquire() {
+        expand_subtree(shared, ws, sub);
+        shared.release();
+    }
+}
+
+/// Depth-first expansion of one subtree. The local stack holds
+/// `(parent LP bound, fixings)` pairs; entry 0 is the shallowest.
+fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtree) {
+    let mut stack: Vec<(f64, Vec<Fixing>)> = vec![(sub.bound, sub.fixings)];
+    while let Some((bound, fixings)) = stack.pop() {
+        if shared.stopped.load(Ordering::Relaxed) {
+            return;
+        }
+        // The parent bound may have gone stale while this node waited.
+        if shared.prunable(bound) {
+            continue;
+        }
+        if shared.nodes.fetch_add(1, Ordering::Relaxed) >= shared.max_nodes {
+            shared.limit_hit.store(true, Ordering::Relaxed);
+            shared.stop_all();
+            return;
+        }
+        let lp = match solve_lp_with(shared.p, &fixings, ws) {
             Ok(lp) => lp,
             Err(IlpError::Infeasible) => continue,
-            Err(e) => return Err(e),
-        };
-        // Bound: prune if it cannot beat the incumbent.
-        if let Some((best, _)) = &incumbent {
-            if lp.objective >= *best - 1e-9 {
-                continue;
+            Err(e) => {
+                shared.fail(e);
+                return;
             }
+        };
+        if shared.prunable(lp.objective) {
+            continue;
         }
         // Find the most fractional binary.
         let mut branch_var = usize::MAX;
         let mut branch_frac = 0.0f64;
-        for (i, k) in p.kinds.iter().enumerate() {
+        for (i, k) in shared.p.kinds.iter().enumerate() {
             if matches!(k, VarKind::Binary) {
                 let v = lp.values[i];
                 let frac = (v - v.round()).abs();
-                if frac > options.int_tol {
+                if frac > shared.int_tol {
                     let dist_to_half = (0.5 - (v - v.floor())).abs();
                     let score = 0.5 - dist_to_half; // closer to 0.5 = higher
                     if branch_var == usize::MAX || score > branch_frac {
@@ -63,13 +301,7 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
         }
         if branch_var == usize::MAX {
             // Integer feasible: candidate incumbent.
-            let better = incumbent
-                .as_ref()
-                .map(|(best, _)| lp.objective < *best - 1e-9)
-                .unwrap_or(true);
-            if better {
-                incumbent = Some((lp.objective, lp.values));
-            }
+            shared.offer_incumbent(lp.objective, lp.values);
             continue;
         }
         // Depth-first: push the less likely branch first so the rounded
@@ -78,13 +310,90 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
         let (first, second) = if v >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
         let mut far = fixings.clone();
         far.push((branch_var, second, second));
-        stack.push(far);
+        stack.push((lp.objective, far));
         let mut near = fixings;
         near.push((branch_var, first, first));
-        stack.push(near);
+        stack.push((lp.objective, near));
+        maybe_offload(shared, &mut stack);
+    }
+}
+
+/// Split the shallowest pending subtrees back onto the shared frontier
+/// when this worker's stack is deep and the frontier is running dry.
+/// The lock-free length mirror keeps the common already-stocked case
+/// off the frontier mutex (this runs once per expanded node).
+fn maybe_offload(shared: &Shared<'_>, stack: &mut Vec<(f64, Vec<Fixing>)>) {
+    if shared.jobs <= 1
+        || stack.len() < OFFLOAD_MIN_STACK
+        || shared.frontier_len.load(Ordering::Relaxed) >= shared.jobs
+    {
+        return;
+    }
+    let mut f = shared.frontier.lock().expect("frontier poisoned");
+    while f.heap.len() < shared.jobs && stack.len() > OFFLOAD_KEEP {
+        let (bound, fixings) = stack.remove(0);
+        f.heap.push(OpenSubtree {
+            bound,
+            seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+            fixings,
+        });
+        shared.work_ready.notify_one();
+    }
+    shared.frontier_len.store(f.heap.len(), Ordering::Relaxed);
+}
+
+pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, IlpError> {
+    // A workspace for the root relaxation, reused by the serial path (and
+    // by the first parallel worker): each LP rebuilds its tableau inside
+    // the same buffers instead of reallocating per node.
+    let mut ws = SimplexWorkspace::new();
+
+    // Root relaxation: early Infeasible/Unbounded detection, and the
+    // root subtree's bound.
+    let root = match solve_lp_with(p, &[], &mut ws) {
+        Ok(lp) => lp,
+        Err(IlpError::Infeasible) => return Err(IlpError::Infeasible),
+        Err(IlpError::Unbounded) => return Err(IlpError::Unbounded),
+        Err(e) => return Err(e),
+    };
+
+    let jobs = match options.jobs {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    };
+    let shared = Shared::new(
+        p,
+        options,
+        jobs,
+        OpenSubtree {
+            bound: root.objective,
+            seq: 0,
+            fixings: Vec::new(),
+        },
+    );
+
+    if jobs <= 1 {
+        worker(&shared, &mut ws);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let mut ws = SimplexWorkspace::new();
+                    worker(&shared, &mut ws);
+                });
+            }
+        });
     }
 
-    match incumbent {
+    if let Some(e) = shared.error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+    let limit_hit = shared.limit_hit.load(Ordering::Relaxed);
+    // The counter over-counts by the nodes rejected after the limit
+    // fired; the number actually expanded never exceeds the limit.
+    let nodes = shared.nodes.load(Ordering::Relaxed).min(shared.max_nodes);
+    let best = shared.best.lock().expect("incumbent poisoned").take();
+    match best {
         Some((objective, values)) => Ok(Solution {
             objective,
             values,
@@ -190,7 +499,7 @@ mod tests {
         p.add_constraint(&terms, Cmp::Le, (n / 2) as f64);
         let sol = p.solve(&SolveOptions {
             max_nodes: 3,
-            int_tol: 1e-6,
+            ..SolveOptions::default()
         });
         // Either found an incumbent within 3 nodes (LimitReached/Optimal) or
         // reports NoIncumbent; all are acceptable, crash is not.
@@ -214,5 +523,104 @@ mod tests {
             sol.objective
         );
         assert_eq!(sol.int_value(b), 1);
+    }
+
+    #[test]
+    fn symmetric_optima_resolve_to_lexicographically_smallest() {
+        // min -a - b s.t. 2a + 2b <= 3: the LP root is fractional (1.5
+        // items fit), and the two integer optima (1,0) and (0,1) tie at
+        // objective -1. The tie-preserving pruning explores both, and
+        // the deterministic merge must keep the lexicographically
+        // smallest assignment — (0,1) — for every job count. (The old
+        // first-found-wins acceptance returned whichever branch the DFS
+        // happened to reach first.)
+        for jobs in [1usize, 2, 4] {
+            let mut p = Problem::minimize();
+            let a = p.add_binary(-1.0);
+            let b = p.add_binary(-1.0);
+            p.add_constraint(&[(a, 2.0), (b, 2.0)], Cmp::Le, 3.0);
+            let sol = p
+                .solve(&SolveOptions {
+                    jobs,
+                    ..SolveOptions::default()
+                })
+                .unwrap();
+            assert_eq!(sol.objective, -1.0, "jobs={jobs}");
+            assert_eq!(
+                (sol.int_value(a), sol.int_value(b)),
+                (0, 1),
+                "jobs={jobs}: tie must break to the lex-smallest assignment"
+            );
+            assert_eq!(sol.status, Status::Optimal);
+        }
+    }
+
+    #[test]
+    fn wider_symmetry_is_deterministic_across_jobs() {
+        // 2.5 identical items fit, so every 2-of-4 subset ties at -4 and
+        // the root LP is fractional: a thicket of alternate optima. The
+        // returned assignment must be bit-identical for every job count.
+        let solve_at = |jobs: usize| {
+            let mut p = Problem::minimize();
+            let vars: Vec<_> = (0..4).map(|_| p.add_binary(-2.0)).collect();
+            let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
+            p.add_constraint(&terms, Cmp::Le, 5.0);
+            p.solve(&SolveOptions {
+                jobs,
+                ..SolveOptions::default()
+            })
+            .unwrap()
+        };
+        let serial = solve_at(1);
+        assert_eq!(serial.objective, -4.0);
+        assert_eq!(serial.values.iter().filter(|&&v| v > 0.5).count(), 2);
+        for jobs in [2usize, 3, 4] {
+            let par = solve_at(jobs);
+            let serial_bits: Vec<u64> = serial.values.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(par_bits, serial_bits, "jobs={jobs}");
+            assert_eq!(par.status, serial.status, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bytes() {
+        // The full Solution-relevant surface (objective bits, value
+        // bits, status) must agree across job counts.
+        for seed in 0..5u64 {
+            let mut p = Problem::minimize();
+            let n = 9;
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_binary(((seed * 11 + i as u64 * 5) % 9) as f64 - 4.0))
+                .collect();
+            let weights: Vec<f64> = (0..n)
+                .map(|i| ((seed * 3 + i as u64 * 7) % 6 + 1) as f64)
+                .collect();
+            let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+            p.add_constraint(&terms, Cmp::Le, weights.iter().sum::<f64>() / 2.0);
+            let serial = p
+                .solve(&SolveOptions {
+                    jobs: 1,
+                    ..SolveOptions::default()
+                })
+                .unwrap();
+            for jobs in [2usize, 4] {
+                let par = p
+                    .solve(&SolveOptions {
+                        jobs,
+                        ..SolveOptions::default()
+                    })
+                    .unwrap();
+                assert_eq!(
+                    par.objective.to_bits(),
+                    serial.objective.to_bits(),
+                    "seed {seed} jobs {jobs}"
+                );
+                let serial_bits: Vec<u64> = serial.values.iter().map(|v| v.to_bits()).collect();
+                let par_bits: Vec<u64> = par.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(par_bits, serial_bits, "seed {seed} jobs {jobs}");
+                assert_eq!(par.status, serial.status, "seed {seed} jobs {jobs}");
+            }
+        }
     }
 }

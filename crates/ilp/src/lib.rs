@@ -9,7 +9,11 @@
 //! * a **two-phase dense primal simplex** for the LP relaxation
 //!   ([`simplex`]), with Bland's rule for cycle-free pivoting, and
 //! * **branch & bound** over the binary variables ([`branch_bound`]),
-//!   most-fractional branching, best-bound pruning and node limits.
+//!   most-fractional branching, best-bound pruning and node limits;
+//!   parallel under [`SolveOptions::jobs`] with deterministic best-bound
+//!   merging (lower objective first, lexicographically smallest
+//!   assignment on ties), so the returned [`Solution`] is identical for
+//!   every worker count.
 //!
 //! The solver is deliberately sized for co-design instances (hundreds of
 //! variables and constraints), not for industrial LPs.
@@ -160,6 +164,16 @@ pub struct SolveOptions {
     pub max_nodes: usize,
     /// Integrality tolerance: |x - round(x)| below this counts as integer.
     pub int_tol: f64,
+    /// Worker threads for the branch & bound search (`1` = serial, `0` =
+    /// all available cores). For a search that runs to completion
+    /// ([`Status::Optimal`]) the returned objective, values and status
+    /// are identical for every worker count — only wall-clock and
+    /// `nodes_explored` change — thanks to the deterministic best-bound
+    /// merge in [`branch_bound`]. A node-limit-truncated search returns
+    /// whatever incumbent the budget reached, which under `jobs > 1`
+    /// depends on worker scheduling (and is flagged
+    /// [`Status::LimitReached`]).
+    pub jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -167,6 +181,7 @@ impl Default for SolveOptions {
         SolveOptions {
             max_nodes: 200_000,
             int_tol: 1e-6,
+            jobs: 1,
         }
     }
 }

@@ -128,6 +128,7 @@ pub fn partition(
     Ok(PartitionResult {
         mapping,
         algorithm: Algorithm::Genetic,
+        optimality: crate::Optimality::Heuristic,
         makespan,
         hw_area,
         work_units: options.population * (options.generations + 1),

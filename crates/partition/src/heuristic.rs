@@ -241,6 +241,7 @@ pub fn partition(
     let sol = p.solve(&cool_ilp::SolveOptions {
         max_nodes: options.milp.max_nodes,
         int_tol: 1e-6,
+        jobs: options.milp.jobs,
     })?;
 
     // --- 4. Expand clusters back to nodes. ---
@@ -258,6 +259,14 @@ pub fn partition(
     Ok(PartitionResult {
         mapping,
         algorithm: Algorithm::Heuristic,
+        // Clustering already forfeits node-level optimality, but a
+        // truncated reduced solve is strictly worse than a completed
+        // one — keep the stronger warning when the limit bit.
+        optimality: if sol.status == cool_ilp::Status::LimitReached {
+            crate::Optimality::LimitReached
+        } else {
+            crate::Optimality::Heuristic
+        },
         makespan,
         hw_area,
         work_units: sol.nodes_explored,

@@ -35,6 +35,11 @@ pub use heuristic::HeuristicOptions;
 pub use milp::MilpOptions;
 
 impl ContentHash for MilpOptions {
+    /// `jobs` is deliberately excluded: the parallel branch & bound's
+    /// deterministic merge makes a *completed* solve identical for
+    /// every worker count, so the knob changes wall-clock only (and the
+    /// engine never caches the one exception, node-limit-truncated
+    /// results).
     fn content_hash(&self, h: &mut ContentHasher) {
         h.write_f64(self.time_weight);
         h.write_f64(self.comm_weight);
@@ -153,6 +158,82 @@ impl fmt::Display for Algorithm {
     }
 }
 
+/// What a partitioner can claim about its result's optimality.
+///
+/// The paper's selling point is *exact* partitioning via MILP — but a
+/// branch & bound truncated by its node limit returns an incumbent that
+/// is merely feasible. That distinction must survive into the result
+/// (and the flow trace, and the CLI), or a truncated solve silently
+/// masquerades as the optimum exactly on the large instances where the
+/// limit bites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Optimality {
+    /// Proven optimal for the solver's objective (the MILP's weighted
+    /// load proxy, not necessarily the schedule makespan).
+    Optimal,
+    /// The branch & bound node limit truncated the solve; the returned
+    /// colouring is feasible but may be suboptimal.
+    LimitReached,
+    /// No optimality claim: genetic search, clustering heuristics and
+    /// caller-fixed mappings.
+    Heuristic,
+}
+
+impl fmt::Display for Optimality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Optimality::Optimal => "optimal",
+            Optimality::LimitReached => "node-limit truncated",
+            Optimality::Heuristic => "heuristic",
+        })
+    }
+}
+
+impl From<cool_ilp::Status> for Optimality {
+    /// Map a solver status onto the claim it supports. `Infeasible` and
+    /// `Unbounded` never reach a `PartitionResult` (they surface as
+    /// errors), so they conservatively map to `Heuristic`.
+    fn from(status: cool_ilp::Status) -> Optimality {
+        match status {
+            cool_ilp::Status::Optimal => Optimality::Optimal,
+            cool_ilp::Status::LimitReached => Optimality::LimitReached,
+            cool_ilp::Status::Infeasible | cool_ilp::Status::Unbounded => Optimality::Heuristic,
+        }
+    }
+}
+
+impl ContentHash for Optimality {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        h.write_u8(match self {
+            Optimality::Optimal => 0,
+            Optimality::LimitReached => 1,
+            Optimality::Heuristic => 2,
+        });
+    }
+}
+
+impl Codec for Optimality {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            Optimality::Optimal => 0,
+            Optimality::LimitReached => 1,
+            Optimality::Heuristic => 2,
+        });
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(Optimality::Optimal),
+            1 => Ok(Optimality::LimitReached),
+            2 => Ok(Optimality::Heuristic),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "Optimality",
+                tag,
+            }),
+        }
+    }
+}
+
 /// The outcome of one partitioning run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionResult {
@@ -160,6 +241,10 @@ pub struct PartitionResult {
     pub mapping: Mapping,
     /// Which algorithm produced it.
     pub algorithm: Algorithm,
+    /// What the algorithm can claim about the colouring's optimality
+    /// (for MILP variants: whether branch & bound proved its objective
+    /// optimal or was truncated by the node limit).
+    pub optimality: Optimality,
     /// Makespan of the colouring under the list scheduler, system cycles.
     pub makespan: u64,
     /// CLB usage per hardware resource.
@@ -194,12 +279,19 @@ impl ContentHash for Algorithm {
 }
 
 impl ContentHash for PartitionResult {
+    /// `work_units` is deliberately excluded: at `jobs > 1` the number
+    /// of branch & bound nodes explored varies with worker scheduling
+    /// even when the colouring does not, and this digest feeds the
+    /// engine's slot-digest table — and through it every downstream
+    /// stage's cache key. Including it would make byte-identical runs
+    /// miss each other's cache entries. (It still travels in the
+    /// [`Codec`] encoding; it is data, just not identity.)
     fn content_hash(&self, h: &mut ContentHasher) {
         self.mapping.content_hash(h);
         self.algorithm.content_hash(h);
+        self.optimality.content_hash(h);
         h.write_u64(self.makespan);
         self.hw_area.content_hash(h);
-        h.write_usize(self.work_units);
     }
 }
 
@@ -229,6 +321,7 @@ impl Codec for PartitionResult {
     fn encode(&self, e: &mut Encoder) {
         self.mapping.encode(e);
         self.algorithm.encode(e);
+        self.optimality.encode(e);
         e.put_u64(self.makespan);
         self.hw_area.encode(e);
         e.put_usize(self.work_units);
@@ -238,6 +331,7 @@ impl Codec for PartitionResult {
         Ok(PartitionResult {
             mapping: Mapping::decode(d)?,
             algorithm: Algorithm::decode(d)?,
+            optimality: Optimality::decode(d)?,
             makespan: d.take_u64()?,
             hw_area: Vec::decode(d)?,
             work_units: d.take_usize()?,

@@ -31,6 +31,12 @@ pub struct MilpOptions {
     pub max_nodes: usize,
     /// Communication scheme assumed for edge costs.
     pub scheme: CommScheme,
+    /// Worker threads for the branch & bound search (`1` = serial, `0` =
+    /// all cores). The engine threads `FlowOptions::jobs` through here.
+    /// Never changes the returned colouring of a *completed* solve, only
+    /// wall-clock; a node-limit-truncated incumbent can depend on worker
+    /// scheduling (and says so via `Optimality::LimitReached`).
+    pub jobs: usize,
 }
 
 impl Default for MilpOptions {
@@ -41,6 +47,7 @@ impl Default for MilpOptions {
             area_weight: 0.05,
             max_nodes: 50_000,
             scheme: CommScheme::MemoryMapped,
+            jobs: 1,
         }
     }
 }
@@ -127,6 +134,7 @@ pub fn partition(
     let sol = p.solve(&SolveOptions {
         max_nodes: options.max_nodes,
         int_tol: 1e-6,
+        jobs: options.jobs,
     })?;
 
     // Extract mapping.
@@ -149,6 +157,10 @@ pub fn partition(
     Ok(PartitionResult {
         mapping,
         algorithm: Algorithm::Milp,
+        // A node-limit-truncated incumbent is NOT the MILP optimum; the
+        // claim must travel with the result rather than being dropped
+        // here (which is exactly what used to happen).
+        optimality: sol.status.into(),
         makespan,
         hw_area,
         work_units: sol.nodes_explored,
