@@ -1,15 +1,15 @@
 //! ABL1 — Partitioner ablation: exact MILP vs MILP+heuristic vs genetic
 //! algorithm on random data-flow graphs of growing size.
 //!
-//! Each algorithm runs as one candidate of a [`cool_core::run_flow_sweep`]
-//! over a shared stage cache (spec validation and cost estimation are
-//! computed once per graph and restored for the other algorithms), with
+//! Each algorithm runs as its own [`cool_core::FlowSession`] over a
+//! shared stage cache (spec validation and cost estimation are computed
+//! once per graph and restored for the other algorithms), with
 //! deliberately cheap synthesis efforts so the partition stage dominates.
 //! Reports solution quality (list-scheduler makespan of the returned
 //! colouring) and the partition stage's runtime/work — the trade the
 //! paper's three partitioning back-ends embody.
 
-use cool_core::{run_flow_sweep, FlowOptions, Partitioner, StageCache, SweepCandidate};
+use cool_core::{FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions};
 use cool_spec::workloads::{random_dag, RandomDagConfig};
 
@@ -44,25 +44,20 @@ fn main() {
             ));
             variants.push(("genetic", Partitioner::Genetic(GaOptions::default())));
 
-            let candidates: Vec<SweepCandidate> = variants
-                .iter()
-                .map(|(_, partitioner)| {
-                    SweepCandidate::new(
-                        target.clone(),
-                        FlowOptions {
-                            partitioner: partitioner.clone(),
-                            ..base.clone()
-                        },
-                    )
-                })
-                .collect();
-            // Serial so the timed partition stages never compete for
-            // cores, and so the shared spec/cost prefix is a
-            // deterministic cache hit for every algorithm after the
-            // first.
-            let results = run_flow_sweep(&graph, &candidates, 1, Some(&cache));
-            for ((algo, _), result) in variants.iter().zip(results) {
-                let art = result.expect("flow feasible");
+            // One session per algorithm, serially over the shared cache:
+            // the timed partition stages never compete for cores, and the
+            // shared spec/cost prefix is a deterministic cache hit for
+            // every algorithm after the first.
+            for (algo, partitioner) in &variants {
+                let art = FlowSession::new(&graph)
+                    .target(target.clone())
+                    .options(FlowOptions {
+                        partitioner: partitioner.clone(),
+                        ..base.clone()
+                    })
+                    .cache(cache.clone())
+                    .run()
+                    .expect("flow feasible");
                 evaluated += 1;
                 if art.partition.optimality == cool_partition::Optimality::LimitReached {
                     truncated += 1;

@@ -2,12 +2,13 @@
 //! communication, the two mechanisms COOL's communication refinement
 //! inserts for cut edges.
 //!
-//! Both schemes of one design run as a [`cool_core::run_flow_sweep`]
-//! over a shared stage cache: estimation is pre-seeded once, and the
-//! spec/cost prefix (scheme-independent by construction) is computed for
-//! the first scheme and restored from cache for the second.
+//! Both schemes of one design run as [`cool_core::FlowSession`]s over a
+//! shared stage cache: estimation is pre-seeded once
+//! (`FlowSession::with_cost`), and the spec/cost prefix
+//! (scheme-independent by construction) is computed for the first scheme
+//! and restored from cache for the second.
 
-use cool_core::{run_flow_sweep, FlowOptions, Partitioner, StageCache, SweepCandidate};
+use cool_core::{FlowOptions, FlowSession, StageCache};
 use cool_cost::{CommScheme, CostModel};
 use cool_ir::eval::input_map;
 use cool_spec::workloads;
@@ -39,26 +40,21 @@ fn main() {
         // One estimation pass serves both schemes.
         let cost = CostModel::new(&graph, &target);
         let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
-        let candidates: Vec<SweepCandidate> = schemes
-            .iter()
-            .map(|&scheme| {
-                SweepCandidate::new(
-                    target.clone(),
-                    FlowOptions {
-                        scheme,
-                        partitioner: Partitioner::Fixed(mapping.clone()),
-                        ..FlowOptions::default()
-                    },
-                )
-                .with_cost(cost.clone())
-            })
-            .collect();
         // Serial on purpose: the second scheme then deterministically
         // restores the scheme-independent spec/cost prefix from cache
-        // (parallel workers would race to compute it instead).
-        let results = run_flow_sweep(&graph, &candidates, 1, Some(&cache));
-        for (scheme, result) in schemes.iter().zip(results) {
-            let art = result.expect("flow succeeds");
+        // (parallel sessions would race to compute it instead).
+        for scheme in &schemes {
+            let art = FlowSession::new(&graph)
+                .target(target.clone())
+                .options(FlowOptions {
+                    scheme: *scheme,
+                    ..FlowOptions::default()
+                })
+                .with_mapping(mapping.clone())
+                .with_cost(cost.clone())
+                .cache(cache.clone())
+                .run()
+                .expect("flow succeeds");
             let r = art
                 .simulate(&input_map(probe.iter().copied()))
                 .expect("implementation matches specification");

@@ -4,7 +4,7 @@
 //! and prints the stage list with wall-clock times, i.e. the figure's
 //! boxes annotated with where the time goes.
 
-use cool_core::{run_flow, FlowOptions};
+use cool_core::{FlowOptions, FlowSession};
 use cool_spec::workloads;
 
 fn main() {
@@ -16,7 +16,11 @@ fn main() {
         graph.node_count(),
         graph.edge_count()
     );
-    let art = run_flow(&graph, &target, &FlowOptions::default()).expect("flow succeeds");
+    let art = FlowSession::new(&graph)
+        .target(target)
+        .options(FlowOptions::default())
+        .run()
+        .expect("flow succeeds");
     println!("  [2] cost estimation           -> per-node sw/hw costs");
     println!(
         "  [3] hw/sw partitioning ({})   -> {} sw, {} hw node(s)",

@@ -5,7 +5,7 @@
 //! controller, bus arbiter, processors, hardware blocks, memory), the net
 //! count, and the list of emitted VHDL entities.
 
-use cool_core::{run_flow_with_mapping, FlowOptions};
+use cool_core::{FlowOptions, FlowSession};
 use cool_cost::CostModel;
 use cool_spec::workloads;
 
@@ -14,7 +14,11 @@ fn main() {
     let target = cool_bench::paper_board();
     let cost = CostModel::new(&graph, &target);
     let mapping = cool_bench::greedy_mixed_mapping(&graph, &cost);
-    let art = run_flow_with_mapping(&graph, &target, mapping, &FlowOptions::default())
+    let art = FlowSession::new(&graph)
+        .target(target)
+        .options(FlowOptions::default())
+        .with_mapping(mapping)
+        .run()
         .expect("flow succeeds");
 
     println!("FIG4: generated netlist — 4-band equalizer, mixed partition\n");

@@ -4,30 +4,29 @@
 //! implemented and in all cases the time to execute the complete design
 //! flow […] took not more than about 60 minutes").
 //!
-//! We sweep FPGA area budgets (which forces different partitions) through
-//! [`cool_core::run_flow_sweep`]: candidates evaluate on scoped worker
-//! threads, estimation is paid once and retargeted per budget, and one
-//! shared [`StageCache`] skips every stage whose chained content key an
-//! earlier candidate already produced. Each partition is validated by
+//! We sweep FPGA area budgets (which forces different partitions) as one
+//! [`cool_core::FlowSession::run_family`] over the budget-capped board
+//! family: the cost model is estimated once and retargeted per board,
+//! boards evaluate on scoped worker threads, and one shared
+//! [`cool_core::StageCache`] skips every stage whose content key an
+//! earlier board already produced. Each partition is validated by
 //! co-simulation. Absolute times are 2020s-laptop times, not 1998
 //! workstation times; the claim that *every* partition completes the full
 //! flow automatically is the reproduced result.
 //!
-//! Flags: `--jobs N` (sweep workers, 0 = all cores), `--no-cache`,
-//! `--smoke` (small GA + fewer budgets, for CI), `--twice` (run the sweep
-//! twice over one cache and fail unless the second pass hits — the
-//! cache-effectiveness smoke check), `--cache-dir DIR` (attach the
+//! Flags: `--jobs N` (family workers, 0 = all cores), `--no-cache`,
+//! `--smoke` (small GA + fewer budgets, for CI), `--twice` (run the
+//! family twice over one cache and fail unless the second pass hits —
+//! the cache-effectiveness smoke check), `--cache-dir DIR` (attach the
 //! persistent disk tier, so *separate processes* share the cache), and
 //! `--expect-disk-hits` (fail unless this run restored at least one
 //! stage from disk — the cross-process warm-start smoke check: run the
 //! sweep in two processes pointing at one `--cache-dir` and pass this
 //! flag to the second).
 
-use cool_core::{
-    run_flow_sweep, FlowArtifacts, FlowOptions, Partitioner, StageCache, SweepCandidate,
-};
-use cool_cost::CostModel;
+use cool_core::{FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_ir::eval::input_map;
+use cool_ir::Target;
 use cool_partition::GaOptions;
 use cool_spec::workloads;
 use std::process::ExitCode;
@@ -79,7 +78,7 @@ fn main() -> ExitCode {
     let graph = workloads::fuzzy_controller();
     println!("RES2: partition sweep over FPGA area budgets — fuzzy controller");
     println!(
-        "(sweep workers: {jobs}, cache: {}, profile: {})\n",
+        "(family workers: {jobs}, cache: {}, profile: {})\n",
         match (&cache_dir, use_cache) {
             (_, false) => "off".to_string(),
             (None, true) => "on (in-memory)".to_string(),
@@ -100,23 +99,22 @@ fn main() -> ExitCode {
             threads: 1,
             ..GaOptions::default()
         }),
+        jobs,
         ..if smoke {
             FlowOptions::quick()
         } else {
             FlowOptions::default()
         }
     };
-    // Estimation (one quick HLS run per node) does not depend on CLB
-    // budgets: pay it once and rebind per candidate target.
-    let base_cost = CostModel::new(&graph, &cool_bench::paper_board());
-    let candidates: Vec<SweepCandidate> = budgets
+    // Budget-capped variants of the paper board: one family, one
+    // estimated cost model, retargeted per board by `run_family`.
+    let boards: Vec<Target> = budgets
         .iter()
         .map(|&budget| {
             let mut target = cool_bench::paper_board();
             target.hw[0].clb_capacity = budget;
             target.hw[1].clb_capacity = budget;
-            let cost = base_cost.retarget(&target);
-            SweepCandidate::new(target, options.clone()).with_cost(cost)
+            target
         })
         .collect();
 
@@ -146,10 +144,19 @@ fn main() -> ExitCode {
             "{:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>9} {:>6}",
             "budget", "sw", "hw", "makespan", "sim cyc", "flow ms", "hw-time%", "hits"
         );
-        let results = run_flow_sweep(&graph, &candidates, jobs, cache.as_ref());
+        let mut session = FlowSession::new(&graph)
+            .targets(boards.iter().cloned())
+            .options(options.clone());
+        if let Some(cache) = &cache {
+            session = session.cache(cache.clone());
+        }
+        let family = session.run_family().expect("every board's flow succeeds");
+        assert!(
+            family.cost_estimations() <= 1,
+            "the family must estimate the cost model at most once"
+        );
         last_pass_hits = 0;
-        for (&budget, result) in budgets.iter().zip(results) {
-            let art: FlowArtifacts = result.expect("flow succeeds");
+        for (&budget, art) in budgets.iter().zip(family.boards()) {
             let sim = art
                 .simulate(&input_map([("err", 80), ("derr", -40)]))
                 .expect("implementation matches specification");
@@ -177,7 +184,11 @@ fn main() -> ExitCode {
                 art.trace.cache_hits(),
             );
         }
-        println!();
+        if pass == passes {
+            println!("\n{}", family.report());
+        } else {
+            println!();
+        }
     }
     if let Some(cache) = &cache {
         println!("{}", cache.stats().summary());

@@ -4,7 +4,7 @@
 //! Runs the full flow across all workloads and reports the per-stage time
 //! breakdown; the hardware-synthesis fraction is the reproduced series.
 
-use cool_core::{run_flow, FlowOptions};
+use cool_core::{FlowOptions, FlowSession};
 use cool_spec::workloads;
 
 fn main() {
@@ -21,7 +21,11 @@ fn main() {
         "design", "estim%", "part%", "sched%", "cosyn%", "hwsyn%", "swsyn%", "total ms"
     );
     for (name, graph) in designs {
-        let art = run_flow(&graph, &target, &FlowOptions::default()).expect("flow succeeds");
+        let art = FlowSession::new(&graph)
+            .target(target.clone())
+            .options(FlowOptions::default())
+            .run()
+            .expect("flow succeeds");
         let t = art.timings;
         let total = t.total().as_secs_f64().max(1e-12);
         let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / total;

@@ -145,7 +145,7 @@ impl FlowArtifacts {
         s.push_str(&format!(
             "partitioning ({}, {}): {} sw node(s), {} hw node(s), makespan {} cycles\n",
             self.partition.algorithm,
-            self.partition.optimality,
+            self.partition.optimality_label(),
             self.partition.software_nodes(&self.graph),
             self.partition.hardware_nodes(&self.graph),
             self.partition.makespan,

@@ -3,6 +3,8 @@
 //! ```text
 //! cool flow <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga]
 //!                       [--scheme mmio|direct] [--quick] [--jobs N]
+//!                       [--target BOARD] [--targets BOARD,BOARD,...]
+//!                       [--to-stage STAGE]
 //!                       [--cache|--no-cache] [--cache-dir DIR] [--trace]
 //! cool simulate <spec.cool> [name=value ...] [same flags as flow]
 //! cool check <spec.cool>
@@ -10,22 +12,33 @@
 //! cool cache clear [--cache-dir DIR]
 //! ```
 //!
-//! `flow` runs the stage-graph engine (specification → partitioning →
-//! co-synthesis) and writes the generated VHDL and C files into `--out`
-//! (default `cool_out/`); `--jobs N` fans the parallel stages (per-node
-//! HLS, STG minimization, placement) out over `N` worker threads (`0` =
-//! all cores) without changing any generated byte, and `--trace` prints
-//! the engine's per-stage timing table. `--cache` (overridden by
-//! `--no-cache`) runs the engine against an in-memory content-addressed
-//! stage cache; `--cache-dir DIR` (default `.cool-cache` when the flag
-//! is given without a value) additionally attaches the persistent disk
-//! tier, so *repeated invocations* skip every stage whose inputs did not
-//! change — the warm-start across processes the paper's 60-minute flows
-//! would have loved. Per-stage hit/miss/disk-hit accounting shows up
-//! under `--trace`. `cool cache stats`/`clear` inspect and empty a cache
-//! directory. `simulate` additionally executes one system invocation on
-//! the co-simulator; `check` only parses and validates the
-//! specification.
+//! `flow` runs a [`cool_core::FlowSession`] (specification →
+//! partitioning → co-synthesis) and writes the generated VHDL and C
+//! files into `--out` (default `cool_out/`); `--jobs N` fans the
+//! parallel stages (per-node HLS, STG minimization, placement) out over
+//! `N` worker threads (`0` = all cores) without changing any generated
+//! byte, and `--trace` prints the engine's per-stage timing table.
+//!
+//! Boards are named presets, optionally budget-capped: `fuzzy` (the
+//! paper's DSP56001 + 2× XC4005 prototyping board), `minimal` (one
+//! processor, one FPGA), and `BOARD@N` caps every FPGA of the preset at
+//! `N` CLBs (`fuzzy@96`). `--target` picks the single board of a run
+//! (default `fuzzy`); `--targets fuzzy@48,fuzzy@96,fuzzy` runs the
+//! *family* mode — one session across all boards, the cost model
+//! estimated once and retargeted per board — and prints the comparative
+//! family report. `--to-stage STAGE` (`cost`, `partition`, `schedule`,
+//! `stg`, `hls`, `rtl`, `codegen`) stops the flow after the named stage
+//! and reports the partial artifact set.
+//!
+//! `--cache` (overridden by `--no-cache`) runs the session against an
+//! in-memory content-addressed stage cache; `--cache-dir DIR` (default
+//! `.cool-cache` when the flag is given without a value) additionally
+//! attaches the persistent disk tier, so *repeated invocations* skip
+//! every stage whose inputs did not change. Per-stage
+//! hit/miss/disk-hit accounting shows up under `--trace`. `cool cache
+//! stats`/`clear` inspect and empty a cache directory. `simulate`
+//! additionally executes one system invocation on the co-simulator;
+//! `check` only parses and validates the specification.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -33,7 +46,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cool_core::{run_flow, run_flow_cached, FlowArtifacts, FlowOptions, Partitioner, StageCache};
+use cool_core::{ArtifactSlot, FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_cost::CommScheme;
 use cool_ir::{PartitioningGraph, Target};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, Optimality};
@@ -70,7 +83,23 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             let graph = cool_spec::parse(&spec)?;
             let options = parse_options(rest)?;
             let out = flag_value(rest, "--out").unwrap_or_else(|| "cool_out".to_string());
-            let (art, cache) = run_with_cache_flags(&graph, &options, rest)?;
+            let targets_flag = flag_value(rest, "--targets");
+            let to_stage_flag = flag_value(rest, "--to-stage");
+            if targets_flag.is_some() && to_stage_flag.is_some() {
+                return Err(
+                    "--targets and --to-stage cannot be combined: family mode implements \
+                     every board completely (drop one of the flags)"
+                        .into(),
+                );
+            }
+            if let Some(list) = targets_flag {
+                return run_family_mode(&graph, &options, &list, rest);
+            }
+            if let Some(stage) = to_stage_flag {
+                return run_partial_mode(&graph, &options, &stage, rest);
+            }
+            let (session, cache) = configure_session(&graph, &options, rest)?;
+            let art = session.run()?;
             println!("{}", art.report());
             warn_on_truncation(&art);
             if rest.iter().any(|a| a == "--trace") {
@@ -107,6 +136,13 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             let spec = read_spec(rest)?;
             let graph = cool_spec::parse(&spec)?;
             let options = parse_options(rest)?;
+            if flag_value(rest, "--targets").is_some() || flag_value(rest, "--to-stage").is_some() {
+                return Err(
+                    "--targets/--to-stage apply to `cool flow` only (simulate needs one \
+                     complete implementation)"
+                        .into(),
+                );
+            }
             let mut inputs: BTreeMap<String, i64> = BTreeMap::new();
             for a in rest.iter().skip(1) {
                 if let Some((k, v)) = a.split_once('=') {
@@ -117,7 +153,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
                 let name = graph.node(id)?.name().to_string();
                 inputs.entry(name).or_insert(0);
             }
-            let (art, cache) = run_with_cache_flags(&graph, &options, rest)?;
+            let (session, cache) = configure_session(&graph, &options, rest)?;
+            let art = session.run()?;
             warn_on_truncation(&art);
             let r = art.simulate(&inputs)?;
             println!(
@@ -151,7 +188,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--scheme mmio|direct] [--quick] [--jobs N] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]"
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)"
 }
 
 /// Default persistent cache directory, relative to the working directory.
@@ -167,35 +204,204 @@ fn cache_dir_flag(rest: &[String]) -> Option<String> {
     })
 }
 
-/// Run the flow, attaching a stage cache only when `--cache` or
-/// `--cache-dir` was explicitly given (`--no-cache` wins). A single
-/// invocation can never *hit* a fresh in-memory cache, so recording —
-/// which clones every artifact the stages deposit — is never paid by
-/// default; with `--cache-dir` the persistent tier makes repeated
-/// invocations warm-start from each other. The cache is returned so
+/// Resolve a board spec: a named preset (`fuzzy`, `minimal`) with an
+/// optional `@N` suffix capping every FPGA of the preset at `N` CLBs
+/// (`fuzzy@96`).
+fn parse_board(spec: &str) -> Result<Target, Box<dyn Error>> {
+    let (name, budget) = match spec.split_once('@') {
+        Some((name, n)) => {
+            let budget: u32 = n
+                .parse()
+                .map_err(|_| format!("board `{spec}`: `@` expects a CLB budget, got `{n}`"))?;
+            (name, Some(budget))
+        }
+        None => (spec, None),
+    };
+    let mut target = match name {
+        "fuzzy" => Target::fuzzy_board(),
+        "minimal" => Target::minimal(),
+        other => {
+            return Err(
+                format!("unknown board `{other}`; known presets: fuzzy, minimal (cap FPGA budgets with e.g. fuzzy@96)").into(),
+            )
+        }
+    };
+    if let Some(budget) = budget {
+        for hw in &mut target.hw {
+            hw.clb_capacity = budget;
+        }
+    }
+    Ok(target)
+}
+
+/// The single board selected by `--target` (default: the paper's fuzzy
+/// prototyping board).
+fn target_flag(rest: &[String]) -> Result<Target, Box<dyn Error>> {
+    match flag_value(rest, "--target") {
+        Some(spec) => parse_board(&spec),
+        None => Ok(Target::fuzzy_board()),
+    }
+}
+
+/// Map a `--to-stage` name onto the artifact slot whose production
+/// completes that stage.
+fn parse_stop_stage(stage: &str) -> Result<ArtifactSlot, Box<dyn Error>> {
+    Ok(match stage {
+        "cost" => ArtifactSlot::Cost,
+        "partition" => ArtifactSlot::Partition,
+        "schedule" => ArtifactSlot::Schedule,
+        "stg" => ArtifactSlot::MemoryMap,
+        "hls" => ArtifactSlot::HlsDesigns,
+        "rtl" => ArtifactSlot::Placements,
+        "codegen" => ArtifactSlot::CPrograms,
+        other => {
+            return Err(format!(
+                "unknown --to-stage `{other}`; expected one of cost, partition, schedule, \
+                 stg, hls, rtl, codegen (spec/sim-prep produce no artifact — run the full flow)"
+            )
+            .into())
+        }
+    })
+}
+
+/// Configure a single-target [`FlowSession`] from the command line,
+/// attaching a stage cache only when `--cache` or `--cache-dir` was
+/// explicitly given (`--no-cache` wins). A single invocation can never
+/// *hit* a fresh in-memory cache, so recording — which clones every
+/// artifact the stages deposit — is never paid by default; with
+/// `--cache-dir` the persistent tier makes repeated invocations
+/// warm-start from each other. The cache handle is returned so
 /// `--trace` can print its stats.
-fn run_with_cache_flags(
-    graph: &PartitioningGraph,
+fn configure_session<'g>(
+    graph: &'g PartitioningGraph,
     options: &FlowOptions,
     rest: &[String],
-) -> Result<(FlowArtifacts, Option<StageCache>), Box<dyn Error>> {
+) -> Result<(FlowSession<'g>, Option<StageCache>), Box<dyn Error>> {
+    let mut session = FlowSession::new(graph)
+        .target(target_flag(rest)?)
+        .options(options.clone());
+    let cache = cache_from_flags(rest)?;
+    if let Some(cache) = &cache {
+        session = session.cache(cache.clone());
+    }
+    Ok((session, cache))
+}
+
+/// The stage cache the flags ask for, if any.
+fn cache_from_flags(rest: &[String]) -> Result<Option<StageCache>, Box<dyn Error>> {
     let no_cache = rest.iter().any(|a| a == "--no-cache");
     let dir = cache_dir_flag(rest);
     let wanted = !no_cache && (dir.is_some() || rest.iter().any(|a| a == "--cache"));
-    if wanted {
-        let cache = match dir {
-            Some(dir) => StageCache::persistent_with_cap(
-                StageCache::DEFAULT_CAPACITY,
-                dir,
-                cache_max_bytes_flag(rest)?,
-            )?,
-            None => StageCache::default(),
-        };
-        let art = run_flow_cached(graph, &Target::fuzzy_board(), options, &cache)?;
-        Ok((art, Some(cache)))
-    } else {
-        Ok((run_flow(graph, &Target::fuzzy_board(), options)?, None))
+    if !wanted {
+        return Ok(None);
     }
+    Ok(Some(match dir {
+        Some(dir) => StageCache::persistent_with_cap(
+            StageCache::DEFAULT_CAPACITY,
+            dir,
+            cache_max_bytes_flag(rest)?,
+        )?,
+        None => StageCache::default(),
+    }))
+}
+
+/// `cool flow --targets a,b,c`: implement the specification on a board
+/// family through one [`FlowSession::run_family`] — the cost model is
+/// estimated once and retargeted per board — and print the comparative
+/// report. File output is per-implementation, so family mode reports
+/// only; re-run with `--target BOARD` to write a chosen board's files.
+fn run_family_mode(
+    graph: &PartitioningGraph,
+    options: &FlowOptions,
+    list: &str,
+    rest: &[String],
+) -> Result<(), Box<dyn Error>> {
+    let mut targets = Vec::new();
+    for spec in list.split(',').filter(|s| !s.is_empty()) {
+        targets.push(parse_board(spec)?);
+    }
+    if targets.is_empty() {
+        return Err("--targets expects a comma-separated board list (e.g. fuzzy@48,fuzzy)".into());
+    }
+    let mut session = FlowSession::new(graph)
+        .targets(targets)
+        .options(options.clone());
+    let cache = cache_from_flags(rest)?;
+    if let Some(cache) = &cache {
+        session = session.cache(cache.clone());
+    }
+    let family = session.run_family()?;
+    print!("{}", family.report());
+    for art in &family {
+        warn_on_truncation(art);
+    }
+    if rest.iter().any(|a| a == "--trace") {
+        for (i, art) in family.iter().enumerate() {
+            println!("board #{i} trace:");
+            print!("{}", art.trace.to_table());
+        }
+        if let Some(cache) = &cache {
+            println!("{}", cache.stats().summary());
+        }
+    }
+    println!(
+        "family mode reports without writing files; re-run with --target BOARD \
+         to write one board's VHDL/C"
+    );
+    Ok(())
+}
+
+/// `cool flow --to-stage STAGE`: run the flow prefix up to the named
+/// stage and report the partial artifact set.
+fn run_partial_mode(
+    graph: &PartitioningGraph,
+    options: &FlowOptions,
+    stage: &str,
+    rest: &[String],
+) -> Result<(), Box<dyn Error>> {
+    let stop = parse_stop_stage(stage)?;
+    let (session, cache) = configure_session(graph, options, rest)?;
+    let partial = session.run_to(stop)?;
+    println!(
+        "partial flow of design `{}` (stopped after `{stage}`):",
+        graph.name()
+    );
+    for slot in ArtifactSlot::ALL {
+        println!(
+            "  {:<16} {}",
+            slot.name(),
+            if partial.is_filled(slot) {
+                "produced"
+            } else {
+                "-"
+            }
+        );
+    }
+    if let Ok(p) = partial.partition() {
+        println!(
+            "partition: {} sw node(s), {} hw node(s), makespan {} cycles ({})",
+            p.software_nodes(graph),
+            p.hardware_nodes(graph),
+            p.makespan,
+            p.optimality_label(),
+        );
+    }
+    if rest.iter().any(|a| a == "--trace") {
+        print!("{}", partial.trace().to_table());
+        if let Some(cache) = &cache {
+            println!("{}", cache.stats().summary());
+        }
+    }
+    println!(
+        "partial flows report without writing files; run the full flow \
+         (drop --to-stage) to write VHDL/C{}",
+        if flag_value(rest, "--out").is_some() {
+            " — the given --out was not used"
+        } else {
+            ""
+        }
+    );
+    Ok(())
 }
 
 /// The disk tier's byte-size cap from `--cache-max-bytes N` (`0` =
@@ -278,9 +484,13 @@ fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
 /// file must not mistake the incumbent for the proven optimum.
 fn warn_on_truncation(art: &FlowArtifacts) {
     if art.partition.optimality == Optimality::LimitReached {
+        let gap = match art.partition.gap {
+            Some(gap) => format!(" — within {:.1} % of the solver optimum", gap * 100.0),
+            None => String::new(),
+        };
         eprintln!(
             "cool: warning: the MILP branch & bound hit its node limit; the partition \
-             is feasible but not proven optimal (raise --milp-max-nodes)"
+             is feasible but not proven optimal{gap} (raise --milp-max-nodes)"
         );
     }
 }

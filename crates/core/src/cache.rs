@@ -131,6 +131,21 @@ impl ArtifactSlot {
         idx
     }
 
+    /// `true` when this slot of `cx` is filled.
+    #[must_use]
+    pub fn is_filled(self, cx: &FlowContext<'_>) -> bool {
+        let mut filled = false;
+        macro_rules! filled_slot {
+            ($slot:ident, $idx:expr, $variant:ident) => {
+                if matches!(self, ArtifactSlot::$variant) {
+                    filled = cx.$slot.is_some();
+                }
+            };
+        }
+        for_each_slot!(filled_slot);
+        filled
+    }
+
     /// The slot's field name in [`FlowContext`].
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -187,6 +202,12 @@ impl ArtifactFlags {
         }
         for_each_slot!(flag_slot);
         ArtifactFlags { flags }
+    }
+
+    /// Whether `slot` was filled in this snapshot.
+    #[must_use]
+    pub fn slot_filled(&self, slot: ArtifactSlot) -> bool {
+        self.flags[slot.index()]
     }
 }
 

@@ -76,7 +76,9 @@ const MAGIC: [u8; 8] = *b"COOLCCH\0";
 /// evicted, exactly like corruption.
 ///
 /// v2: `PartitionResult` gained the `optimality` field.
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: `PartitionResult` gained the `gap` field (truncated-solve
+/// optimality gap).
+pub const FORMAT_VERSION: u32 = 3;
 /// Entry file extension.
 const EXT: &str = "cce";
 /// Fixed header size: magic + version + layout digest + payload length.

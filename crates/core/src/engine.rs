@@ -128,12 +128,63 @@ impl Engine {
     /// The first failing stage's error; `cx` keeps all artifacts produced
     /// before the failure.
     pub fn run(&self, cx: &mut FlowContext<'_>) -> Result<FlowTrace, FlowError> {
+        self.run_until(cx, None)
+    }
+
+    /// [`Engine::run`], optionally stopping once the `stop_after`
+    /// artifact slot is filled: the prefix of the flow up to and
+    /// including the stage that produces the requested artifact, skipped
+    /// and restored from the cache exactly like a full run. This is the
+    /// engine seam behind [`crate::FlowSession::run_to`] — the executed
+    /// prefix is byte-identical to the same prefix of a full run,
+    /// because stopping early changes nothing about the stages that did
+    /// run.
+    ///
+    /// A `stop_after` slot that is already filled when the engine starts
+    /// (pre-seeded) stops the run before its producer — the artifact the
+    /// caller asked for exists.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`]; additionally
+    /// [`FlowError::MissingArtifact`] when every stage ran and the
+    /// requested slot is still empty (a custom engine without the
+    /// producing stage).
+    pub fn run_until(
+        &self,
+        cx: &mut FlowContext<'_>,
+        stop_after: Option<ArtifactSlot>,
+    ) -> Result<FlowTrace, FlowError> {
+        let trace = self.run_stages(cx, stop_after)?;
+        if let Some(slot) = stop_after {
+            if !slot.is_filled(cx) {
+                return Err(FlowError::MissingArtifact(slot.name()));
+            }
+        }
+        Ok(trace)
+    }
+
+    fn run_stages(
+        &self,
+        cx: &mut FlowContext<'_>,
+        stop_after: Option<ArtifactSlot>,
+    ) -> Result<FlowTrace, FlowError> {
+        let reached = |cx: &FlowContext<'_>| stop_after.is_some_and(|slot| slot.is_filled(cx));
         let mut trace = FlowTrace::new();
         let Some(cache) = self.cache.as_ref() else {
             for stage in &self.stages {
+                if reached(cx) {
+                    break;
+                }
+                let before = ArtifactFlags::of(cx);
                 let t0 = Instant::now();
                 stage.run(cx)?;
-                trace.push(stage.name(), t0.elapsed());
+                let outcome = if pre_seeded(&**stage, before) {
+                    CacheOutcome::Seeded
+                } else {
+                    CacheOutcome::Uncached
+                };
+                trace.push_outcome(stage.name(), t0.elapsed(), outcome);
             }
             collect_warnings(&mut trace, cx);
             return Ok(trace);
@@ -149,6 +200,9 @@ impl Engine {
         let mut digests = cache::slot_digests(cx);
 
         for stage in &self.stages {
+            if reached(cx) {
+                break;
+            }
             let Some(key) = stage
                 .cache_key(cx)
                 .map(|local| stage_key(graph_digest, &**stage, local, &digests))
@@ -228,14 +282,34 @@ impl Engine {
                     .partition
                     .as_ref()
                     .is_some_and(|p| p.optimality == cool_partition::Optimality::LimitReached);
-            if undeclared.is_none() && !truncated_partition {
+            let seeded = pre_seeded(&**stage, before);
+            // A pre-seeded pass-through deposited nothing: there is no
+            // delta worth an LRU slot or a disk-tier file, and warm runs
+            // re-running the (free) pass-through is strictly cheaper
+            // than restoring an empty entry.
+            if undeclared.is_none() && !truncated_partition && !seeded {
                 cache.insert(key, ArtifactDelta::capture(cx, before), writes, elapsed);
             }
-            trace.push_outcome(stage.name(), elapsed, CacheOutcome::Miss);
+            let outcome = if seeded {
+                CacheOutcome::Seeded
+            } else {
+                CacheOutcome::Miss
+            };
+            trace.push_outcome(stage.name(), elapsed, outcome);
         }
         collect_warnings(&mut trace, cx);
         Ok(trace)
     }
+}
+
+/// `true` when the stage ran as a pre-seeded pass-through: every slot it
+/// declares writing was already filled before it ran (e.g. the `cost`
+/// stage over a model seeded via `FlowSession::with_cost` or a
+/// `run_family` retarget). Distinct from a stage that legitimately
+/// *produces* nothing (`spec`, `sim-prep`, custom lints): those declare
+/// empty write sets and are excluded.
+fn pre_seeded(stage: &dyn Stage, before: ArtifactFlags) -> bool {
+    !stage.writes().is_empty() && stage.writes().iter().all(|&s| before.slot_filled(s))
 }
 
 /// Append result-quality warnings to the trace after a run. Done on the
@@ -244,9 +318,17 @@ impl Engine {
 fn collect_warnings(trace: &mut FlowTrace, cx: &FlowContext<'_>) {
     if let Some(p) = &cx.partition {
         if p.optimality == cool_partition::Optimality::LimitReached {
+            let gap = match p.gap {
+                Some(gap) => format!(
+                    " (the frontier's best remaining LP bound places it within \
+                     {:.1} % of the solver optimum)",
+                    gap * 100.0
+                ),
+                None => String::new(),
+            };
             trace.push_warning(format!(
                 "partition ({}): branch & bound hit its node limit after {} node(s); \
-                 the returned colouring is feasible but NOT proven optimal — raise \
+                 the returned colouring is feasible but NOT proven optimal{gap} — raise \
                  the MILP node limit to close the gap",
                 p.algorithm, p.work_units,
             ));
@@ -396,6 +478,7 @@ impl Stage for PartitionStage {
                     mapping: mapping.clone(),
                     algorithm: cool_partition::Algorithm::Milp,
                     optimality: cool_partition::Optimality::Heuristic,
+                    gap: None,
                     makespan,
                     hw_area,
                     work_units: 0,

@@ -22,6 +22,11 @@ pub enum FlowError {
     /// in the [`crate::stage::FlowContext`] yet. Indicates a mis-ordered
     /// custom [`crate::engine::Engine`].
     MissingArtifact(&'static str),
+    /// A [`crate::FlowSession`] was configured with an invalid
+    /// combination of inputs (no target, a pre-seeded cost model whose
+    /// embedded board is incompatible with the session target, a mapping
+    /// sized for a different graph, …) — caught before any stage runs.
+    Session(String),
 }
 
 impl fmt::Display for FlowError {
@@ -39,6 +44,7 @@ impl fmt::Display for FlowError {
                     "stage ordering error: `{what}` has not been produced yet"
                 )
             }
+            FlowError::Session(why) => write!(f, "flow session misconfigured: {why}"),
         }
     }
 }
@@ -51,7 +57,9 @@ impl std::error::Error for FlowError {
             FlowError::Schedule(e) => Some(e),
             FlowError::Memory(e) => Some(e),
             FlowError::Sim(e) => Some(e),
-            FlowError::Consistency(_) | FlowError::MissingArtifact(_) => None,
+            FlowError::Consistency(_) | FlowError::MissingArtifact(_) | FlowError::Session(_) => {
+                None
+            }
         }
     }
 }

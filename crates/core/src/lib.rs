@@ -26,43 +26,74 @@
 //!   board stand-in ([`cool_sim`]).
 //!
 //! Each stage is an individually timed, individually testable
-//! [`stage::Stage`] over a typed [`stage::FlowContext`];
-//! [`run_flow`]/[`run_flow_with_mapping`]/[`run_flow_with_cost`] are thin
-//! drivers over the engine. [`FlowArtifacts::trace`] holds the per-stage
-//! timing journal and [`FlowArtifacts::timings`] the paper's six-bucket
-//! summary, reproducing the paper's observation that hardware synthesis
-//! consumes the bulk (> 90 %) of the design time.
+//! [`stage::Stage`] over a typed [`stage::FlowContext`]; the
+//! [`FlowSession`] builder is the public entry point over the engine.
+//! [`FlowArtifacts::trace`] holds the per-stage timing journal and
+//! [`FlowArtifacts::timings`] the paper's six-bucket summary,
+//! reproducing the paper's observation that hardware synthesis consumes
+//! the bulk (> 90 %) of the design time.
 //!
 //! The dominant stages parallelize across [`FlowOptions::jobs`] scoped
 //! worker threads (per-node HLS, STG-minimization refinement rounds,
 //! per-device placement anneals); artifacts are byte-identical for every
 //! `jobs` value.
 //!
-//! Sweeps become incremental and concurrent through the
-//! content-addressed [`cache::StageCache`]: [`run_flow_cached`] attaches
-//! a cache to one run, and [`run_flow_sweep`] evaluates many candidates
-//! on scoped workers with the cache shared across them — stages whose
-//! dependency-DAG content key (graph + [`Stage::cache_key`] + the
-//! digests of the artifact slots in [`Stage::reads`]) already executed
-//! are skipped and their artifacts restored, byte-identically to a cold
-//! run. With [`StageCache::persistent`] the cache gains an on-disk tier
-//! (`.cool-cache/` by convention): inserts are written through as
-//! checksummed [`cool_ir::codec`] entries, and a *fresh process* — the
-//! next CLI invocation, the next CI job — warm-starts from them.
+//! Repeated and multi-board runs become incremental and concurrent
+//! through the content-addressed [`cache::StageCache`]
+//! ([`FlowSession::cache`]): stages whose dependency-DAG content key
+//! (graph + [`Stage::cache_key`] + the digests of the artifact slots in
+//! [`Stage::reads`]) already executed are skipped and their artifacts
+//! restored, byte-identically to a cold run. With
+//! [`FlowSession::cache_dir`] ([`StageCache::persistent`]) the cache
+//! gains an on-disk tier (`.cool-cache/` by convention): inserts are
+//! written through as checksummed [`cool_ir::codec`] entries, and a
+//! *fresh process* — the next CLI invocation, the next CI job —
+//! warm-starts from them.
 //!
 //! # Example
 //!
 //! ```
-//! use cool_core::{run_flow, FlowOptions};
+//! use cool_core::{FlowOptions, FlowSession};
 //! use cool_ir::Target;
 //! use cool_spec::workloads;
 //!
 //! # fn main() -> Result<(), cool_core::FlowError> {
 //! let graph = workloads::equalizer(2);
-//! let artifacts = run_flow(&graph, &Target::fuzzy_board(), &FlowOptions::quick())?;
+//! let artifacts = FlowSession::new(&graph)
+//!     .target(Target::fuzzy_board())
+//!     .options(FlowOptions::quick())
+//!     .run()?;
 //! let inputs = cool_ir::eval::input_map([("x0", 10), ("x1", 5), ("x2", 1)]);
 //! let result = artifacts.simulate(&inputs)?;
 //! assert_eq!(result.outputs, cool_ir::eval::evaluate(&graph, &inputs)?);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A board *family* — the same specification implemented across several
+//! hardware budgets, with the cost model estimated once and retargeted
+//! per board — runs through the same builder:
+//!
+//! ```
+//! use cool_core::{FlowOptions, FlowSession};
+//! use cool_ir::Target;
+//! use cool_spec::workloads;
+//!
+//! # fn main() -> Result<(), cool_core::FlowError> {
+//! let graph = workloads::equalizer(2);
+//! let boards = [96u32, 196].map(|clbs| {
+//!     let mut t = Target::fuzzy_board();
+//!     t.hw[0].clb_capacity = clbs;
+//!     t.hw[1].clb_capacity = clbs;
+//!     t
+//! });
+//! let family = FlowSession::new(&graph)
+//!     .targets(boards)
+//!     .options(FlowOptions::quick())
+//!     .run_family()?;
+//! assert_eq!(family.len(), 2);
+//! assert!(family.cost_estimations() <= 1);
+//! println!("{}", family.report());
 //! # Ok(())
 //! # }
 //! ```
@@ -72,6 +103,7 @@ pub mod cache;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod session;
 pub mod stage;
 pub mod timing;
 
@@ -80,6 +112,7 @@ pub use cache::{ArtifactSlot, CacheStats, StageCache};
 pub use disk::DiskStore;
 pub use engine::Engine;
 pub use error::FlowError;
+pub use session::{FamilyArtifacts, FlowSession, PartialArtifacts};
 pub use stage::{FlowContext, Stage};
 pub use timing::{CacheOutcome, FlowTrace, StageRecord, StageTimings};
 
@@ -223,64 +256,73 @@ impl ContentHash for FlowOptions {
 /// # Errors
 ///
 /// Any stage's failure, wrapped in [`FlowError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use FlowSession::new(graph).target(..).options(..).run()"
+)]
 pub fn run_flow(
     graph: &PartitioningGraph,
     target: &Target,
     options: &FlowOptions,
 ) -> Result<FlowArtifacts, FlowError> {
-    let mut cx = FlowContext::new(graph, target, options);
-    let trace = Engine::standard().run(&mut cx)?;
-    FlowArtifacts::from_context(cx, trace)
+    FlowSession::new(graph)
+        .target(target.clone())
+        .options(options.clone())
+        .run()
 }
 
 /// Run the complete flow with a shared stage cache attached.
 ///
-/// A warm cache skips every stage whose chained content key matches a
-/// previous execution and restores the recorded artifacts instead; the
-/// result is byte-identical to [`run_flow`]. Cache hit/miss/saved-time
-/// accounting lands per stage in [`FlowArtifacts::trace`] and
-/// aggregated in [`StageCache::stats`].
-///
 /// # Errors
 ///
 /// Same as [`run_flow`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use FlowSession::new(graph).target(..).options(..).cache(..).run()"
+)]
 pub fn run_flow_cached(
     graph: &PartitioningGraph,
     target: &Target,
     options: &FlowOptions,
     cache: &StageCache,
 ) -> Result<FlowArtifacts, FlowError> {
-    let mut cx = FlowContext::new(graph, target, options);
-    let trace = Engine::standard().with_cache(cache.clone()).run(&mut cx)?;
-    FlowArtifacts::from_context(cx, trace)
+    FlowSession::new(graph)
+        .target(target.clone())
+        .options(options.clone())
+        .cache(cache.clone())
+        .run()
 }
 
 /// Run the flow reusing an already-built cost model (the estimation
-/// stage becomes a no-op).
-///
-/// This is the sharing seam for sweeps that implement many partitions of
-/// one specification: cost estimation — one quick HLS run per node — is
-/// paid once instead of once per candidate. Combine with
-/// [`CostModel::retarget`] when only resource budgets vary between
-/// candidates. Implemented as a single-candidate [`run_flow_sweep`].
+/// stage becomes a seeded pass-through).
 ///
 /// # Errors
 ///
 /// Same as [`run_flow`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use FlowSession::new(graph).target(..).options(..).with_cost(..).run()"
+)]
 pub fn run_flow_with_cost(
     graph: &PartitioningGraph,
     target: &Target,
     cost: CostModel,
     options: &FlowOptions,
 ) -> Result<FlowArtifacts, FlowError> {
-    let candidate = SweepCandidate::new(target.clone(), options.clone()).with_cost(cost);
-    run_flow_sweep(graph, std::slice::from_ref(&candidate), 1, None)
-        .pop()
-        .expect("one candidate in, one result out")
+    FlowSession::new(graph)
+        .target(target.clone())
+        .options(options.clone())
+        .with_cost(cost)
+        .run()
 }
 
 /// One candidate evaluation of a [`run_flow_sweep`]: a target, the flow
 /// options, and optionally a pre-seeded cost model.
+#[deprecated(
+    since = "0.2.0",
+    note = "configure a FlowSession per candidate (or .targets(..).run_family() \
+            for budget families sharing one cost model)"
+)]
 #[derive(Debug, Clone)]
 pub struct SweepCandidate {
     /// The board this candidate targets.
@@ -292,6 +334,7 @@ pub struct SweepCandidate {
     pub cost: Option<CostModel>,
 }
 
+#[allow(deprecated)]
 impl SweepCandidate {
     /// A candidate that estimates its own cost model.
     #[must_use]
@@ -315,16 +358,14 @@ impl SweepCandidate {
 /// per-candidate runs out across up to `jobs` scoped worker threads
 /// (`0` = all cores, same convention as [`FlowOptions::jobs`]).
 ///
-/// With a `cache`, all workers share it: any stage whose chained content
-/// key another candidate (or a previous sweep over the same cache)
-/// already produced is skipped and restored, so sweeps become
-/// incremental *and* concurrent. Results come back in input order for
-/// every job count, and each candidate's artifacts are byte-identical to
-/// a cold, serial [`run_flow`] of the same inputs — worker scheduling
-/// only decides who computes a shared entry first, never its content.
-///
 /// Each element is that candidate's own `Ok`/`Err`; one failing
 /// candidate does not poison the others.
+#[deprecated(
+    since = "0.2.0",
+    note = "run a FlowSession per candidate over a shared .cache(..); a family of \
+            budget variants is .targets(..).run_family()"
+)]
+#[allow(deprecated)]
 pub fn run_flow_sweep(
     graph: &PartitioningGraph,
     candidates: &[SweepCandidate],
@@ -332,18 +373,16 @@ pub fn run_flow_sweep(
     cache: Option<&StageCache>,
 ) -> Vec<Result<FlowArtifacts, FlowError>> {
     cool_ir::par::par_map(candidates, jobs, |candidate| {
-        let engine = match cache {
-            Some(cache) => Engine::standard().with_cache(cache.clone()),
-            None => Engine::standard(),
-        };
-        let mut cx = match &candidate.cost {
-            Some(cost) => {
-                FlowContext::with_cost(graph, &candidate.target, &candidate.options, cost.clone())
-            }
-            None => FlowContext::new(graph, &candidate.target, &candidate.options),
-        };
-        let trace = engine.run(&mut cx)?;
-        FlowArtifacts::from_context(cx, trace)
+        let mut session = FlowSession::new(graph)
+            .target(candidate.target.clone())
+            .options(candidate.options.clone());
+        if let Some(cache) = cache {
+            session = session.cache(cache.clone());
+        }
+        if let Some(cost) = &candidate.cost {
+            session = session.with_cost(cost.clone());
+        }
+        session.run()
     })
 }
 
@@ -352,15 +391,21 @@ pub fn run_flow_sweep(
 /// # Errors
 ///
 /// Same as [`run_flow`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use FlowSession::new(graph).target(..).options(..).with_mapping(..).run()"
+)]
 pub fn run_flow_with_mapping(
     graph: &PartitioningGraph,
     target: &Target,
     mapping: Mapping,
     options: &FlowOptions,
 ) -> Result<FlowArtifacts, FlowError> {
-    let mut opts = options.clone();
-    opts.partitioner = Partitioner::Fixed(mapping);
-    run_flow(graph, target, &opts)
+    FlowSession::new(graph)
+        .target(target.clone())
+        .options(options.clone())
+        .with_mapping(mapping)
+        .run()
 }
 
 /// Build the all-software baseline mapping for `graph` (pinned to the
@@ -377,11 +422,17 @@ mod tests {
     use cool_spec::workloads;
     use std::time::Duration;
 
+    fn quick_run(g: &PartitioningGraph) -> Result<FlowArtifacts, FlowError> {
+        FlowSession::new(g)
+            .target(Target::fuzzy_board())
+            .options(FlowOptions::quick())
+            .run()
+    }
+
     #[test]
     fn full_flow_on_equalizer() {
         let g = workloads::equalizer(4);
-        let target = Target::fuzzy_board();
-        let art = run_flow(&g, &target, &FlowOptions::quick()).unwrap();
+        let art = quick_run(&g).unwrap();
         // All five artefact families exist.
         assert!(art.netlist.components.len() >= 4);
         assert!(!art.vhdl.is_empty());
@@ -397,10 +448,14 @@ mod tests {
     #[test]
     fn fuzzy_flow_with_fixed_mapping() {
         let g = workloads::fuzzy_controller();
-        let target = Target::fuzzy_board();
         let mut mapping = all_software_mapping(&g);
         mapping.assign(g.node_by_name("defuzz").unwrap(), Resource::Hardware(0));
-        let art = run_flow_with_mapping(&g, &target, mapping, &FlowOptions::quick()).unwrap();
+        let art = FlowSession::new(&g)
+            .target(Target::fuzzy_board())
+            .options(FlowOptions::quick())
+            .with_mapping(mapping)
+            .run()
+            .unwrap();
         assert_eq!(art.hls_designs.len(), 1);
         assert_eq!(art.partition.hardware_nodes(&g), 1);
         let r = art
@@ -412,7 +467,7 @@ mod tests {
     #[test]
     fn report_mentions_all_sections() {
         let g = workloads::equalizer(2);
-        let art = run_flow(&g, &Target::fuzzy_board(), &FlowOptions::quick()).unwrap();
+        let art = quick_run(&g).unwrap();
         let rep = art.report();
         for needle in [
             "partitioning",
@@ -428,7 +483,7 @@ mod tests {
     #[test]
     fn timings_are_recorded() {
         let g = workloads::equalizer(2);
-        let art = run_flow(&g, &Target::fuzzy_board(), &FlowOptions::quick()).unwrap();
+        let art = quick_run(&g).unwrap();
         assert!(art.timings.total() > Duration::ZERO);
         let f = art.timings.hardware_fraction();
         assert!((0.0..=1.0).contains(&f));
@@ -445,18 +500,21 @@ mod tests {
         // while staying far below the 196-CLB budget.
         mapping.assign(g.node_by_name("gain0").unwrap(), Resource::Hardware(0));
         mapping.assign(g.node_by_name("gain2").unwrap(), Resource::Hardware(0));
-        let seq =
-            run_flow_with_mapping(&g, &target, mapping.clone(), &FlowOptions::quick()).unwrap();
-        let packed = run_flow_with_mapping(
-            &g,
-            &target,
-            mapping,
-            &FlowOptions {
+        let seq = FlowSession::new(&g)
+            .target(target.clone())
+            .options(FlowOptions::quick())
+            .with_mapping(mapping.clone())
+            .run()
+            .unwrap();
+        let packed = FlowSession::new(&g)
+            .target(target)
+            .options(FlowOptions {
                 packed_memory: true,
                 ..FlowOptions::quick()
-            },
-        )
-        .unwrap();
+            })
+            .with_mapping(mapping)
+            .run()
+            .unwrap();
         assert!(packed.memory_map.bytes_used() <= seq.memory_map.bytes_used());
     }
 
@@ -466,7 +524,7 @@ mod tests {
         let _ = g
             .add_function("f", cool_ir::Behavior::unary(cool_ir::Op::Neg))
             .unwrap();
-        let err = run_flow(&g, &Target::fuzzy_board(), &FlowOptions::quick()).unwrap_err();
+        let err = quick_run(&g).unwrap_err();
         assert!(matches!(err, FlowError::Ir(_)));
     }
 
@@ -474,10 +532,14 @@ mod tests {
     fn shared_cost_model_matches_fresh_flow() {
         let g = workloads::equalizer(4);
         let target = Target::fuzzy_board();
-        let options = FlowOptions::quick();
-        let fresh = run_flow(&g, &target, &options).unwrap();
+        let fresh = quick_run(&g).unwrap();
         let cost = CostModel::new(&g, &target);
-        let shared = run_flow_with_cost(&g, &target, cost, &options).unwrap();
+        let shared = FlowSession::new(&g)
+            .target(target)
+            .options(FlowOptions::quick())
+            .with_cost(cost)
+            .run()
+            .unwrap();
         assert_eq!(fresh.partition.mapping, shared.partition.mapping);
         assert_eq!(fresh.vhdl, shared.vhdl);
     }

@@ -16,6 +16,12 @@ pub enum CacheOutcome {
     /// was broken by an uncacheable stage earlier in the run).
     #[default]
     Uncached,
+    /// The stage ran but deposited nothing because every slot it declares
+    /// writing was already filled — a pre-seeded pass-through (e.g. the
+    /// `cost` stage of a context seeded via `FlowSession::with_cost` or a
+    /// `run_family` retargeted board). This is how sweeps *prove* that
+    /// shared work was reused: a seeded stage performed no estimation.
+    Seeded,
     /// The cache was consulted, missed, and the fresh result was stored.
     Miss,
     /// The stage was skipped; its artifacts were restored from the
@@ -99,6 +105,17 @@ impl FlowTrace {
             .count()
     }
 
+    /// Stages that ran as pre-seeded pass-throughs in this run (every
+    /// declared write slot was already filled, so the stage deposited
+    /// nothing — e.g. a `cost` stage over a shared, retargeted model).
+    #[must_use]
+    pub fn seeded_stages(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.cache == CacheOutcome::Seeded)
+            .count()
+    }
+
     /// Stages restored from the persistent disk tier in this run.
     #[must_use]
     pub fn disk_hits(&self) -> usize {
@@ -176,6 +193,7 @@ impl FlowTrace {
                         format!("  [cache hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
                     CacheOutcome::DiskHit { saved } =>
                         format!("  [disk hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
+                    CacheOutcome::Seeded => "  [seeded pass-through]".to_string(),
                     _ => String::new(),
                 }
             ));

@@ -14,13 +14,24 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cool_core::{
-    run_flow_cached, CacheOutcome, FlowArtifacts, FlowOptions, Partitioner, StageCache,
-};
+use cool_core::{CacheOutcome, FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_ir::hash::digest;
 use cool_ir::Target;
 use cool_partition::GaOptions;
 use cool_spec::workloads;
+
+fn run_flow_cached(
+    g: &cool_ir::PartitioningGraph,
+    target: &Target,
+    options: &FlowOptions,
+    cache: &StageCache,
+) -> Result<FlowArtifacts, cool_core::FlowError> {
+    FlowSession::new(g)
+        .target(target.clone())
+        .options(options.clone())
+        .cache(cache.clone())
+        .run()
+}
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 

@@ -7,10 +7,34 @@
 //! must be byte-identical whether the MILP branch & bound ran serial or
 //! parallel.
 
-use cool_core::{run_flow, run_flow_cached, FlowOptions, Partitioner, StageCache};
+use cool_core::{FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_ir::Target;
 use cool_partition::{MilpOptions, Optimality};
 use cool_spec::workloads::{random_dag, RandomDagConfig};
+
+fn run_flow(
+    g: &cool_ir::PartitioningGraph,
+    target: &Target,
+    options: &FlowOptions,
+) -> Result<FlowArtifacts, cool_core::FlowError> {
+    FlowSession::new(g)
+        .target(target.clone())
+        .options(options.clone())
+        .run()
+}
+
+fn run_flow_cached(
+    g: &cool_ir::PartitioningGraph,
+    target: &Target,
+    options: &FlowOptions,
+    cache: &StageCache,
+) -> Result<FlowArtifacts, cool_core::FlowError> {
+    FlowSession::new(g)
+        .target(target.clone())
+        .options(options.clone())
+        .cache(cache.clone())
+        .run()
+}
 
 /// An 8-node random DAG whose MILP root relaxation is fractional under a
 /// low communication weight, so branch & bound genuinely branches: 23

@@ -129,6 +129,11 @@ impl CostModel {
                 (old.clock_mhz - new.clock_mhz).abs() < f64::EPSILON,
                 "retarget must not change processor clocks"
             );
+            assert_eq!(
+                old.timing, new.timing,
+                "retarget must not change processor timing classes (the per-node \
+                 software estimates are charged from the timing table)"
+            );
         }
         for (old, new) in self.target.hw.iter().zip(&target.hw) {
             assert!(

@@ -42,7 +42,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use crate::simplex::{solve_lp_with, Fixing, SimplexWorkspace};
+use crate::simplex::{solve_lp_bounded, Fixing, SimplexWorkspace};
 use crate::{IlpError, Problem, Solution, SolveOptions, Status, VarKind};
 
 /// Bound slack within which a subtree may still contain a solution that
@@ -111,6 +111,7 @@ struct Frontier {
 struct Shared<'a> {
     p: &'a Problem,
     max_nodes: usize,
+    max_pivots: usize,
     int_tol: f64,
     jobs: usize,
     frontier: Mutex<Frontier>,
@@ -129,6 +130,12 @@ struct Shared<'a> {
     limit_hit: AtomicBool,
     stopped: AtomicBool,
     error: Mutex<Option<IlpError>>,
+    /// The best (lowest) LP bound among subtrees abandoned when the
+    /// search stopped early — workers drain their private DFS stacks
+    /// into this on the way out, and `solve` folds in whatever is left
+    /// on the shared frontier. Together they lower-bound the true
+    /// optimum of everything the truncated search never visited.
+    remaining_bound: Mutex<Option<f64>>,
 }
 
 impl<'a> Shared<'a> {
@@ -138,6 +145,7 @@ impl<'a> Shared<'a> {
         Shared {
             p,
             max_nodes: options.max_nodes,
+            max_pivots: options.max_pivots,
             int_tol: options.int_tol,
             jobs,
             frontier_len: AtomicUsize::new(heap.len()),
@@ -154,6 +162,7 @@ impl<'a> Shared<'a> {
             limit_hit: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             error: Mutex::new(None),
+            remaining_bound: Mutex::new(None),
         }
     }
 
@@ -217,6 +226,14 @@ impl<'a> Shared<'a> {
         }
     }
 
+    /// Record the LP bound of a subtree the stopping search abandons
+    /// unexplored (keeps the minimum — the tightest claim "the optimum is
+    /// at least this" the frontier supports).
+    fn report_remaining(&self, bound: f64) {
+        let mut r = self.remaining_bound.lock().expect("remaining poisoned");
+        *r = Some(r.map_or(bound, |b| b.min(bound)));
+    }
+
     /// Stop every worker (node limit or error).
     fn stop_all(&self) {
         self.stopped.store(true, Ordering::Relaxed);
@@ -260,6 +277,10 @@ fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtr
     let mut stack: Vec<(f64, Vec<Fixing>)> = vec![(sub.bound, sub.fixings)];
     while let Some((bound, fixings)) = stack.pop() {
         if shared.stopped.load(Ordering::Relaxed) {
+            // Abandoning this node and the pending stack: their bounds
+            // are what the truncated solve's optimality gap is made of.
+            shared.report_remaining(bound);
+            drain_remaining(shared, &stack);
             return;
         }
         // The parent bound may have gone stale while this node waited.
@@ -269,9 +290,11 @@ fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtr
         if shared.nodes.fetch_add(1, Ordering::Relaxed) >= shared.max_nodes {
             shared.limit_hit.store(true, Ordering::Relaxed);
             shared.stop_all();
+            shared.report_remaining(bound);
+            drain_remaining(shared, &stack);
             return;
         }
-        let lp = match solve_lp_with(shared.p, &fixings, ws) {
+        let lp = match solve_lp_bounded(shared.p, &fixings, ws, shared.max_pivots) {
             Ok(lp) => lp,
             Err(IlpError::Infeasible) => continue,
             Err(e) => {
@@ -318,6 +341,18 @@ fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtr
     }
 }
 
+/// Report every still-pending subtree of an abandoned DFS stack, pruned
+/// entries excluded (a bound already beyond the incumbent cannot widen
+/// the gap — the incumbent only ever improves, so the exclusion stays
+/// valid for the final incumbent too).
+fn drain_remaining(shared: &Shared<'_>, stack: &[(f64, Vec<Fixing>)]) {
+    for &(bound, _) in stack {
+        if !shared.prunable(bound) {
+            shared.report_remaining(bound);
+        }
+    }
+}
+
 /// Split the shallowest pending subtrees back onto the shared frontier
 /// when this worker's stack is deep and the frontier is running dry.
 /// The lock-free length mirror keeps the common already-stocked case
@@ -348,14 +383,9 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
     // the same buffers instead of reallocating per node.
     let mut ws = SimplexWorkspace::new();
 
-    // Root relaxation: early Infeasible/Unbounded detection, and the
-    // root subtree's bound.
-    let root = match solve_lp_with(p, &[], &mut ws) {
-        Ok(lp) => lp,
-        Err(IlpError::Infeasible) => return Err(IlpError::Infeasible),
-        Err(IlpError::Unbounded) => return Err(IlpError::Unbounded),
-        Err(e) => return Err(e),
-    };
+    // Root relaxation: early Infeasible/Unbounded/PivotLimit detection,
+    // and the root subtree's bound.
+    let root = solve_lp_bounded(p, &[], &mut ws, options.max_pivots)?;
 
     let jobs = match options.jobs {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -392,6 +422,16 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
     // The counter over-counts by the nodes rejected after the limit
     // fired; the number actually expanded never exceeds the limit.
     let nodes = shared.nodes.load(Ordering::Relaxed).min(shared.max_nodes);
+    // The subtrees nobody ever acquired are still on the frontier heap;
+    // fold their bounds in with what the workers drained on the way out.
+    let remaining = {
+        let drained = *shared.remaining_bound.lock().expect("remaining poisoned");
+        let f = shared.frontier.lock().expect("frontier poisoned");
+        f.heap
+            .iter()
+            .map(|s| s.bound)
+            .fold(drained, |acc, b| Some(acc.map_or(b, |a| a.min(b))))
+    };
     let best = shared.best.lock().expect("incumbent poisoned").take();
     match best {
         Some((objective, values)) => Ok(Solution {
@@ -401,6 +441,15 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
                 Status::LimitReached
             } else {
                 Status::Optimal
+            },
+            // A completed search proved its incumbent: the bound IS the
+            // objective. A truncated one is bounded by the best subtree
+            // it abandoned (when nothing was abandoned — the limit fired
+            // on the very last node — the incumbent is proven after all).
+            best_bound: if limit_hit {
+                remaining.map_or(objective, |b| b.min(objective))
+            } else {
+                objective
             },
             nodes_explored: nodes,
         }),
@@ -486,6 +535,81 @@ mod tests {
                 sol.objective
             );
         }
+    }
+
+    #[test]
+    fn pivot_limit_is_reported_as_pivot_limit_not_unbounded() {
+        // A >20-variable degenerate instance: many redundant tie-making
+        // constraints force long Bland walks. With a starved pivot budget
+        // the solver must say "pivot limit", never the old lie
+        // "unbounded" — the remedies differ (raise budget vs fix model).
+        let mut p = Problem::minimize();
+        let vars: Vec<_> = (0..24)
+            .map(|i| p.add_binary(-1.0 - (i % 3) as f64))
+            .collect();
+        for w in 1..=6u64 {
+            let terms: Vec<_> = vars.iter().map(|&v| (v, w as f64)).collect();
+            p.add_constraint(&terms, Cmp::Le, 12.0 * w as f64);
+        }
+        let starved = p.solve(&SolveOptions {
+            max_pivots: 3,
+            ..SolveOptions::default()
+        });
+        assert_eq!(
+            starved.unwrap_err(),
+            crate::IlpError::PivotLimit,
+            "a starved pivot budget must surface as PivotLimit"
+        );
+        // The same model with the default budget solves fine — the limit
+        // was a property of the search, not the model.
+        let ok = p.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(ok.status, Status::Optimal);
+    }
+
+    #[test]
+    fn truncated_solve_carries_best_remaining_bound() {
+        // A knapsack whose root relaxation is fractional, truncated after
+        // a handful of nodes: the solution must carry a usable lower
+        // bound — brute-force optimum sandwiched between bound and
+        // incumbent — so reports can say "within x %".
+        let mut p = Problem::minimize();
+        let n = 12;
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_binary(-(((i * 7) % 11) as f64) - 1.5))
+            .collect();
+        let weights: Vec<f64> = (0..n).map(|i| ((i * 5) % 7 + 2) as f64).collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+        p.add_constraint(&terms, Cmp::Le, weights.iter().sum::<f64>() / 2.0);
+        // The first node budget that leaves an incumbent behind while
+        // still truncating the search (scanning keeps the test robust to
+        // branching-order details).
+        let truncated = (2..60)
+            .find_map(|max_nodes| {
+                p.solve(&SolveOptions {
+                    max_nodes,
+                    ..SolveOptions::default()
+                })
+                .ok()
+                .filter(|s| s.status == Status::LimitReached)
+            })
+            .expect("some budget truncates with an incumbent");
+        let optimum = brute_force(&p).unwrap();
+        assert!(
+            truncated.best_bound <= optimum + 1e-6,
+            "best_bound {} must lower-bound the optimum {optimum}",
+            truncated.best_bound
+        );
+        assert!(
+            optimum <= truncated.objective + 1e-6,
+            "incumbent {} must upper-bound the optimum {optimum}",
+            truncated.objective
+        );
+        assert!(truncated.optimality_gap() >= 0.0);
+        // The completed solve closes the gap entirely.
+        let complete = p.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(complete.status, Status::Optimal);
+        assert_eq!(complete.best_bound.to_bits(), complete.objective.to_bits());
+        assert_eq!(complete.optimality_gap(), 0.0);
     }
 
     #[test]

@@ -121,6 +121,13 @@ pub enum IlpError {
     Infeasible,
     /// The objective is unbounded below on the feasible region.
     Unbounded,
+    /// The simplex pivot budget ([`SolveOptions::max_pivots`]) was
+    /// exhausted before an LP solve terminated. Distinct from
+    /// [`IlpError::Unbounded`]: an unbounded ray is a property of the
+    /// *model*, while a pivot-limit exhaustion is a property of the
+    /// *search* (degenerate instances cycling through near-tie bases), and
+    /// the remedies differ — reformulate vs. raise the budget.
+    PivotLimit,
     /// The node limit was exhausted before any integer-feasible solution
     /// was found.
     NoIncumbent,
@@ -138,6 +145,9 @@ impl fmt::Display for IlpError {
         match self {
             IlpError::Infeasible => f.write_str("problem is infeasible"),
             IlpError::Unbounded => f.write_str("objective is unbounded"),
+            IlpError::PivotLimit => {
+                f.write_str("simplex pivot limit exhausted (degenerate instance; raise max_pivots)")
+            }
             IlpError::NoIncumbent => {
                 f.write_str("node limit reached before an integer solution was found")
             }
@@ -162,6 +172,10 @@ pub struct Problem {
 pub struct SolveOptions {
     /// Maximum branch & bound nodes to explore.
     pub max_nodes: usize,
+    /// Maximum simplex pivots per LP solve. Exhausting the budget surfaces
+    /// as [`IlpError::PivotLimit`] (degenerate instances cycling through
+    /// near-tie bases), never as a spurious [`IlpError::Unbounded`].
+    pub max_pivots: usize,
     /// Integrality tolerance: |x - round(x)| below this counts as integer.
     pub int_tol: f64,
     /// Worker threads for the branch & bound search (`1` = serial, `0` =
@@ -180,6 +194,7 @@ impl Default for SolveOptions {
     fn default() -> SolveOptions {
         SolveOptions {
             max_nodes: 200_000,
+            max_pivots: simplex::DEFAULT_MAX_PIVOTS,
             int_tol: 1e-6,
             jobs: 1,
         }
@@ -195,6 +210,15 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Whether optimality was proven or a limit intervened.
     pub status: Status,
+    /// The best (lowest) LP bound among the subtrees the search had not
+    /// finished exploring when it stopped — a valid lower bound on the
+    /// true optimum. Equal to `objective` for a completed
+    /// ([`Status::Optimal`]) solve; strictly informative for
+    /// [`Status::LimitReached`], where `objective - best_bound` bounds how
+    /// far the incumbent can be from optimal. (For a truncated solve under
+    /// `jobs > 1` the value depends on worker scheduling, exactly like the
+    /// incumbent itself.)
+    pub best_bound: f64,
     /// Branch & bound nodes explored.
     pub nodes_explored: usize,
 }
@@ -210,6 +234,23 @@ impl Solution {
     #[must_use]
     pub fn value(&self, v: VarId) -> f64 {
         self.values[v.0]
+    }
+
+    /// Relative optimality gap: how far (as a fraction of the larger of
+    /// the incumbent's and the bound's magnitudes — the standard MIP gap
+    /// normalization, which stays meaningful when the incumbent objective
+    /// is near zero) the true optimum can lie below the returned
+    /// incumbent, derived from [`Solution::best_bound`]. `0.0` for a
+    /// completed solve; "the incumbent is within `gap × 100` % of
+    /// optimal" for a truncated one.
+    #[must_use]
+    pub fn optimality_gap(&self) -> f64 {
+        let slack = (self.objective - self.best_bound).max(0.0);
+        if slack == 0.0 {
+            0.0
+        } else {
+            slack / self.objective.abs().max(self.best_bound.abs()).max(1e-9)
+        }
     }
 }
 
@@ -281,6 +322,7 @@ impl Problem {
         let lp = simplex::solve_lp(self, &[])?;
         Ok(Solution {
             objective: lp.objective,
+            best_bound: lp.objective,
             values: lp.values,
             status: Status::Optimal,
             nodes_explored: 0,

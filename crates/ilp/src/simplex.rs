@@ -25,7 +25,12 @@ pub struct LpSolution {
 pub(crate) type Fixing = (usize, f64, f64);
 
 const EPS: f64 = 1e-9;
-const MAX_PIVOTS: usize = 100_000;
+
+/// Default per-LP pivot budget ([`crate::SolveOptions::max_pivots`]).
+/// Bland's rule guarantees termination, but degenerate instances can
+/// take pathologically many pivots; exhausting the budget surfaces as
+/// [`IlpError::PivotLimit`] — a property of the search, not the model.
+pub const DEFAULT_MAX_PIVOTS: usize = 100_000;
 
 /// One normalized constraint row of the standard-form build.
 #[derive(Debug)]
@@ -107,6 +112,21 @@ pub fn solve_lp_with(
     p: &Problem,
     fixings: &[Fixing],
     ws: &mut SimplexWorkspace,
+) -> Result<LpSolution, IlpError> {
+    solve_lp_bounded(p, fixings, ws, DEFAULT_MAX_PIVOTS)
+}
+
+/// [`solve_lp_with`] with an explicit per-phase pivot budget.
+///
+/// # Errors
+///
+/// Same as [`solve_lp`], plus [`IlpError::PivotLimit`] when either
+/// simplex phase exhausts `max_pivots` before terminating.
+pub fn solve_lp_bounded(
+    p: &Problem,
+    fixings: &[Fixing],
+    ws: &mut SimplexWorkspace,
+    max_pivots: usize,
 ) -> Result<LpSolution, IlpError> {
     let n = p.costs.len();
     let SimplexWorkspace {
@@ -237,7 +257,7 @@ pub fn solve_lp_with(
         for &c in artificial_cols.iter() {
             cost[c] = 1.0;
         }
-        let obj = run_simplex(t, basis, cost, total)?;
+        let obj = run_simplex(t, basis, cost, total, max_pivots)?;
         if obj > 1e-6 {
             return Err(IlpError::Infeasible);
         }
@@ -263,7 +283,7 @@ pub fn solve_lp_with(
             row[c] = 0.0;
         }
     }
-    run_simplex(t, basis, cost, total)?;
+    run_simplex(t, basis, cost, total, max_pivots)?;
 
     // Extract solution (`values` is the returned allocation; the shifted
     // scratch rides in front of it to keep the workspace small).
@@ -285,10 +305,11 @@ fn run_simplex(
     basis: &mut [usize],
     costs: &[f64],
     total: usize,
+    max_pivots: usize,
 ) -> Result<f64, IlpError> {
     let m = t.len();
     // Reduced costs: z_j - c_j computed on demand from basis costs.
-    for _ in 0..MAX_PIVOTS {
+    for _ in 0..max_pivots {
         // Compute y = c_B (costs of basic vars), reduced cost for column j:
         // d_j = c_j - sum_i c_{B_i} * t[i][j].
         let mut entering = usize::MAX;
@@ -341,8 +362,9 @@ fn run_simplex(
         }
         pivot(t, basis, leaving, entering, total);
     }
-    // Pivot limit: treat as unbounded-ish numerical trouble.
-    Err(IlpError::Unbounded)
+    // Pivot budget exhausted: the search ran out, not the model — report
+    // it truthfully instead of masquerading as an unbounded objective.
+    Err(IlpError::PivotLimit)
 }
 
 // Index loops keep the split borrows of the tableau obvious; iterator

@@ -129,6 +129,7 @@ pub fn partition(
         mapping,
         algorithm: Algorithm::Genetic,
         optimality: crate::Optimality::Heuristic,
+        gap: None,
         makespan,
         hw_area,
         work_units: options.population * (options.generations + 1),

@@ -240,6 +240,7 @@ pub fn partition(
     }
     let sol = p.solve(&cool_ilp::SolveOptions {
         max_nodes: options.milp.max_nodes,
+        max_pivots: options.milp.max_pivots,
         int_tol: 1e-6,
         jobs: options.milp.jobs,
     })?;
@@ -267,6 +268,11 @@ pub fn partition(
         } else {
             crate::Optimality::Heuristic
         },
+        // The gap quantifies the *reduced* solve only — node-level
+        // optimality is already forfeited by clustering — but a bound on
+        // the cluster MILP still tells the user how truncated the
+        // truncation was.
+        gap: crate::milp::truncation_gap(&sol),
         makespan,
         hw_area,
         work_units: sol.nodes_explored,

@@ -45,6 +45,7 @@ impl ContentHash for MilpOptions {
         h.write_f64(self.comm_weight);
         h.write_f64(self.area_weight);
         h.write_usize(self.max_nodes);
+        h.write_usize(self.max_pivots);
         self.scheme.content_hash(h);
     }
 }
@@ -245,6 +246,13 @@ pub struct PartitionResult {
     /// (for MILP variants: whether branch & bound proved its objective
     /// optimal or was truncated by the node limit).
     pub optimality: Optimality,
+    /// Relative optimality gap of a node-limit-truncated MILP solve: the
+    /// best remaining LP bound of the abandoned branch & bound frontier
+    /// says the incumbent's solver objective is within `gap × 100` % of
+    /// the true optimum. `Some` exactly when `optimality` is
+    /// [`Optimality::LimitReached`]; `None` for completed solves (gap 0
+    /// by proof) and for the heuristic/fixed paths (no bound exists).
+    pub gap: Option<f64>,
     /// Makespan of the colouring under the list scheduler, system cycles.
     pub makespan: u64,
     /// CLB usage per hardware resource.
@@ -255,6 +263,20 @@ pub struct PartitionResult {
 }
 
 impl PartitionResult {
+    /// Human-readable optimality claim, with the quantified gap when a
+    /// truncated solve carried one out of the frontier: `"optimal"`,
+    /// `"node-limit truncated, within 3.2 %"`, `"heuristic"`. This is
+    /// what reports and warnings print.
+    #[must_use]
+    pub fn optimality_label(&self) -> String {
+        match (self.optimality, self.gap) {
+            (Optimality::LimitReached, Some(gap)) => {
+                format!("{}, within {:.1} %", self.optimality, gap * 100.0)
+            }
+            (o, _) => o.to_string(),
+        }
+    }
+
     /// Nodes mapped to hardware (function nodes only).
     #[must_use]
     pub fn hardware_nodes(&self, g: &PartitioningGraph) -> usize {
@@ -279,13 +301,15 @@ impl ContentHash for Algorithm {
 }
 
 impl ContentHash for PartitionResult {
-    /// `work_units` is deliberately excluded: at `jobs > 1` the number
-    /// of branch & bound nodes explored varies with worker scheduling
-    /// even when the colouring does not, and this digest feeds the
-    /// engine's slot-digest table — and through it every downstream
-    /// stage's cache key. Including it would make byte-identical runs
-    /// miss each other's cache entries. (It still travels in the
-    /// [`Codec`] encoding; it is data, just not identity.)
+    /// `work_units` and `gap` are deliberately excluded: at `jobs > 1`
+    /// the number of branch & bound nodes explored — and, for truncated
+    /// solves, the best bound left on the abandoned frontier — vary with
+    /// worker scheduling even when the colouring does not, and this
+    /// digest feeds the engine's slot-digest table — and through it every
+    /// downstream stage's cache key. Including them would make
+    /// byte-identical runs miss each other's cache entries. (Both still
+    /// travel in the [`Codec`] encoding; they are data, just not
+    /// identity.)
     fn content_hash(&self, h: &mut ContentHasher) {
         self.mapping.content_hash(h);
         self.algorithm.content_hash(h);
@@ -322,6 +346,7 @@ impl Codec for PartitionResult {
         self.mapping.encode(e);
         self.algorithm.encode(e);
         self.optimality.encode(e);
+        self.gap.encode(e);
         e.put_u64(self.makespan);
         self.hw_area.encode(e);
         e.put_usize(self.work_units);
@@ -332,6 +357,7 @@ impl Codec for PartitionResult {
             mapping: Mapping::decode(d)?,
             algorithm: Algorithm::decode(d)?,
             optimality: Optimality::decode(d)?,
+            gap: Option::decode(d)?,
             makespan: d.take_u64()?,
             hw_area: Vec::decode(d)?,
             work_units: d.take_usize()?,

@@ -29,6 +29,11 @@ pub struct MilpOptions {
     pub area_weight: f64,
     /// Branch & bound node limit.
     pub max_nodes: usize,
+    /// Simplex pivot budget per LP relaxation. Degenerate low-comm-weight
+    /// instances past ~20 graph nodes can walk very long Bland paths;
+    /// exhausting the budget surfaces as a truthful
+    /// [`cool_ilp::IlpError::PivotLimit`] (never a spurious `Unbounded`).
+    pub max_pivots: usize,
     /// Communication scheme assumed for edge costs.
     pub scheme: CommScheme,
     /// Worker threads for the branch & bound search (`1` = serial, `0` =
@@ -46,10 +51,18 @@ impl Default for MilpOptions {
             comm_weight: 1.0,
             area_weight: 0.05,
             max_nodes: 50_000,
+            max_pivots: cool_ilp::simplex::DEFAULT_MAX_PIVOTS,
             scheme: CommScheme::MemoryMapped,
             jobs: 1,
         }
     }
+}
+
+/// The quantified optimality gap a truncated solve carries, `None` for
+/// completed ones (the gap is 0 by proof, and reports should not print a
+/// vacuous "within 0 %").
+pub(crate) fn truncation_gap(sol: &cool_ilp::Solution) -> Option<f64> {
+    (sol.status == cool_ilp::Status::LimitReached).then(|| sol.optimality_gap())
 }
 
 /// Partition `g` by solving the MILP exactly.
@@ -133,6 +146,7 @@ pub fn partition(
 
     let sol = p.solve(&SolveOptions {
         max_nodes: options.max_nodes,
+        max_pivots: options.max_pivots,
         int_tol: 1e-6,
         jobs: options.jobs,
     })?;
@@ -161,6 +175,7 @@ pub fn partition(
         // claim must travel with the result rather than being dropped
         // here (which is exactly what used to happen).
         optimality: sol.status.into(),
+        gap: truncation_gap(&sol),
         makespan,
         hw_area,
         work_units: sol.nodes_explored,
@@ -211,6 +226,64 @@ mod tests {
         let cost = CostModel::new(&g, &target);
         let res = partition(&g, &cost, &MilpOptions::default()).unwrap();
         assert_eq!(res.hardware_nodes(&g), 0, "nothing can fit 1 CLB");
+    }
+
+    #[test]
+    fn pivot_exhaustion_reports_pivot_limit_on_large_graph() {
+        // Regression: a degenerate low-comm-weight MILP past 20 graph
+        // nodes used to surface a pivot-limit exhaustion as `Unbounded`
+        // (a partitioning MILP is never unbounded — every variable is a
+        // bounded binary or a [0,1] cut indicator). With a starved pivot
+        // budget the error must be the truthful `PivotLimit`.
+        let g = workloads::random_dag(cool_spec::workloads::RandomDagConfig {
+            nodes: 24,
+            seed: 11,
+            ..Default::default()
+        });
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let starved = MilpOptions {
+            comm_weight: 0.01,
+            max_pivots: 10,
+            ..Default::default()
+        };
+        let err = partition(&g, &cost, &starved).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::PartitionError::Ilp(cool_ilp::IlpError::PivotLimit)
+            ),
+            "starved pivots must report PivotLimit, got: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_solve_quantifies_its_gap() {
+        // A truncated exact solve carries the frontier's best remaining
+        // bound out as a relative gap, and the label says "within x %".
+        let g = workloads::random_dag(cool_spec::workloads::RandomDagConfig {
+            nodes: 8,
+            seed: 7,
+            ..Default::default()
+        });
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let truncated = MilpOptions {
+            comm_weight: 0.1,
+            max_nodes: 12,
+            ..Default::default()
+        };
+        let res = partition(&g, &cost, &truncated).unwrap();
+        assert_eq!(res.optimality, crate::Optimality::LimitReached);
+        let gap = res.gap.expect("truncated solves carry a gap");
+        assert!(gap >= 0.0, "gap {gap}");
+        assert!(
+            res.optimality_label().contains("within"),
+            "{}",
+            res.optimality_label()
+        );
+        // A completed solve carries no gap and a plain label.
+        let complete = partition(&g, &cost, &MilpOptions::default()).unwrap();
+        assert_eq!(complete.gap, None);
+        assert_eq!(complete.optimality_label(), "optimal");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::error::Error;
 
-use cool_repro::core::{run_flow, run_flow_with_mapping, FlowOptions};
+use cool_repro::core::{FlowOptions, FlowSession};
 use cool_repro::ir::{eval, Mapping, Resource, Target};
 use cool_repro::spec::workloads;
 
@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let target = Target::fuzzy_board();
 
     // --- Figure 2: the partitioning graph with its colouring. ---
-    let art = run_flow(&graph, &target, &FlowOptions::default())?;
+    let art = FlowSession::new(&graph)
+        .target(target.clone())
+        .options(FlowOptions::default())
+        .run()?;
     println!("=== Figure 2: coloured partitioning graph ===");
     for (id, node) in graph.nodes() {
         let res = art.partition.mapping.resource(id);
@@ -56,15 +59,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (i, band) in ["bpf0", "bpf1"].iter().enumerate() {
         mixed.assign(graph.node_by_name(band).unwrap(), Resource::Hardware(i % 2));
     }
+    let with_mapping = |mapping: Mapping| {
+        FlowSession::new(&graph)
+            .target(target.clone())
+            .options(FlowOptions::default())
+            .with_mapping(mapping)
+            .run()
+    };
     let variants = vec![
-        (
-            "all-software",
-            run_flow_with_mapping(&graph, &target, all_sw, &FlowOptions::default())?,
-        ),
-        (
-            "bpf-in-hw",
-            run_flow_with_mapping(&graph, &target, mixed, &FlowOptions::default())?,
-        ),
+        ("all-software", with_mapping(all_sw)?),
+        ("bpf-in-hw", with_mapping(mixed)?),
         ("auto", art),
     ];
 

@@ -12,7 +12,7 @@
 
 use std::error::Error;
 
-use cool_repro::core::{run_flow_with_cost, FlowOptions, Partitioner};
+use cool_repro::core::{FlowOptions, FlowSession, Partitioner};
 use cool_repro::cost::CostModel;
 use cool_repro::ir::eval::input_map;
 use cool_repro::ir::Target;
@@ -62,10 +62,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         "partitioner", "sw", "hw", "makespan", "fpga0", "fpga1", "hw-time%"
     );
     // One estimation pass serves every candidate partitioner: the engine
-    // skips its `cost` stage when the model is pre-seeded.
+    // runs its `cost` stage as a seeded pass-through when the model is
+    // pre-seeded via `with_cost`.
     let cost = CostModel::new(&graph, &target);
     for (name, options) in strategies {
-        let art = run_flow_with_cost(&graph, &target, cost.clone(), &options)?;
+        let art = FlowSession::new(&graph)
+            .target(target.clone())
+            .options(options)
+            .with_cost(cost.clone())
+            .run()?;
         println!(
             "{:<16} {:>6} {:>6} {:>10} {:>6}/196 {:>6}/196 {:>7.1}%",
             name,
@@ -87,7 +92,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Full detail for the headline partition.
-    let art = run_flow_with_cost(&graph, &target, cost, &FlowOptions::default())?;
+    let art = FlowSession::new(&graph)
+        .target(target.clone())
+        .options(FlowOptions::default())
+        .with_cost(cost)
+        .run()?;
     println!(
         "\n--- detailed report ({} partitioning) ---",
         art.partition.algorithm

@@ -16,7 +16,7 @@ use cool_repro::spec::workloads::{random_dag, RandomDagConfig};
 fn main() -> Result<(), Box<dyn Error>> {
     let target = Target::fuzzy_board();
     println!(
-        "{:>5} {:>16} {:>10} {:>10} {:>12}",
+        "{:>5} {:>16} {:>10} {:>10} {:>12}  claim",
         "nodes", "algorithm", "makespan", "ms", "work units"
     );
     for nodes in [10usize, 16, 24, 32] {
@@ -27,16 +27,34 @@ fn main() -> Result<(), Box<dyn Error>> {
         });
         let cost = CostModel::new(&graph, &target);
 
-        // Exact MILP only up to a size it solves in reasonable time.
+        // Exact MILP only up to a size it solves in reasonable time. On
+        // the largest exact instance a low communication weight makes
+        // the root relaxation fractional (the branch & bound genuinely
+        // branches) and a deliberately tight node budget then shows the
+        // new truncation reporting: the result carries a quantified
+        // "within x %" optimality gap instead of silently posing as the
+        // optimum.
         if nodes <= 16 {
+            let opts = if nodes == 16 {
+                // This instance proves optimality at ~421 B&B nodes; a
+                // 100-node budget truncates with a ~3 % certified gap.
+                MilpOptions {
+                    comm_weight: 0.1,
+                    max_nodes: 100,
+                    ..MilpOptions::default()
+                }
+            } else {
+                MilpOptions::default()
+            };
             let t = Instant::now();
-            let res = partition::milp::partition(&graph, &cost, &MilpOptions::default())?;
+            let res = partition::milp::partition(&graph, &cost, &opts)?;
             report(
                 nodes,
                 "milp",
                 res.makespan,
                 t.elapsed().as_secs_f64(),
                 res.work_units,
+                &res.optimality_label(),
             );
         } else {
             println!(
@@ -53,6 +71,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             res.makespan,
             t.elapsed().as_secs_f64(),
             res.work_units,
+            &res.optimality_label(),
         );
 
         let t = Instant::now();
@@ -63,20 +82,21 @@ fn main() -> Result<(), Box<dyn Error>> {
             res.makespan,
             t.elapsed().as_secs_f64(),
             res.work_units,
+            &res.optimality_label(),
         );
 
         // Baseline for context.
         let all_sw = partition::all_software(&graph);
         let (sw, _) = partition::evaluate(&graph, &all_sw, &cost, Default::default())?;
-        report(nodes, "all-software", sw, 0.0, 0);
+        report(nodes, "all-software", sw, 0.0, 0, "fixed");
         println!();
     }
     Ok(())
 }
 
-fn report(nodes: usize, algo: &str, makespan: u64, secs: f64, work: usize) {
+fn report(nodes: usize, algo: &str, makespan: u64, secs: f64, work: usize, claim: &str) {
     println!(
-        "{nodes:>5} {algo:>16} {makespan:>10} {:>10.1} {work:>12}",
+        "{nodes:>5} {algo:>16} {makespan:>10} {:>10.1} {work:>12}  {claim}",
         secs * 1e3
     );
 }

@@ -5,7 +5,7 @@
 
 use std::error::Error;
 
-use cool_repro::core::{run_flow, FlowOptions};
+use cool_repro::core::{FlowOptions, FlowSession};
 use cool_repro::ir::eval::{evaluate, input_map};
 use cool_repro::ir::Target;
 use cool_repro::spec;
@@ -47,8 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 2. Run the coupled partitioning + co-synthesis flow on the paper's
     //    prototyping board (DSP56001 + 2x XC4005 + 64 kB SRAM).
-    let target = Target::fuzzy_board();
-    let artifacts = run_flow(&graph, &target, &FlowOptions::default())?;
+    let artifacts = FlowSession::new(&graph)
+        .target(Target::fuzzy_board())
+        .options(FlowOptions::default())
+        .run()?;
     println!("{}", artifacts.report());
 
     // 3. Look at the generated implementation.

@@ -18,20 +18,27 @@
 //! * [`sim`] — the cycle-level board stand-in
 //! * [`core`] — the end-to-end COOL design flow
 //!
-//! Start with [`core::run_flow`]:
+//! Start with [`core::FlowSession`]:
 //!
 //! ```
-//! use cool_repro::core::{run_flow, FlowOptions};
+//! use cool_repro::core::{FlowOptions, FlowSession};
 //! use cool_repro::ir::Target;
 //! use cool_repro::spec::workloads;
 //!
 //! # fn main() -> Result<(), cool_repro::core::FlowError> {
 //! let graph = workloads::equalizer(2);
-//! let artifacts = run_flow(&graph, &Target::fuzzy_board(), &FlowOptions::quick())?;
+//! let artifacts = FlowSession::new(&graph)
+//!     .target(Target::fuzzy_board())
+//!     .options(FlowOptions::quick())
+//!     .run()?;
 //! println!("{}", artifacts.report());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A board family (one specification, several hardware budgets, one
+//! shared cost model) is `.targets([..]).run_family()`; a partial flow
+//! (stop after any stage) is `.run_to(slot)`.
 
 pub use cool_codegen as codegen;
 pub use cool_core as core;

@@ -4,14 +4,38 @@
 
 use std::collections::BTreeMap;
 
-use cool_repro::core::{run_flow, run_flow_with_mapping, FlowOptions, Partitioner};
+use cool_repro::core::{FlowArtifacts, FlowError, FlowOptions, FlowSession, Partitioner};
 use cool_repro::ir::eval::{evaluate, input_map};
-use cool_repro::ir::{Mapping, Resource, Target};
+use cool_repro::ir::{Mapping, PartitioningGraph, Resource, Target};
 use cool_repro::partition::GaOptions;
 use cool_repro::spec::workloads;
 
 fn quick() -> FlowOptions {
     FlowOptions::quick()
+}
+
+fn run_flow(
+    g: &PartitioningGraph,
+    target: &Target,
+    options: &FlowOptions,
+) -> Result<FlowArtifacts, FlowError> {
+    FlowSession::new(g)
+        .target(target.clone())
+        .options(options.clone())
+        .run()
+}
+
+fn run_flow_with_mapping(
+    g: &PartitioningGraph,
+    target: &Target,
+    mapping: Mapping,
+    options: &FlowOptions,
+) -> Result<FlowArtifacts, FlowError> {
+    FlowSession::new(g)
+        .target(target.clone())
+        .options(options.clone())
+        .with_mapping(mapping)
+        .run()
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! architectures"; these tests exercise a board with two processors plus
 //! two FPGAs end-to-end.
 
-use cool_repro::core::{run_flow_with_mapping, FlowOptions};
+use cool_repro::core::{FlowOptions, FlowSession};
 use cool_repro::cost::{CommScheme, CostModel};
 use cool_repro::ir::eval::{evaluate, input_map};
 use cool_repro::ir::{Bus, HwResource, Memory, Processor, Resource, Target};
@@ -49,7 +49,12 @@ fn fuzzy_splits_across_two_processors() {
         .iter()
         .any(|&n| g.node(n).unwrap().kind() == cool_repro::ir::NodeKind::Function));
 
-    let art = run_flow_with_mapping(&g, &target, mapping, &FlowOptions::quick()).unwrap();
+    let art = FlowSession::new(&g)
+        .target(target.clone())
+        .options(FlowOptions::quick())
+        .with_mapping(mapping)
+        .run()
+        .unwrap();
     // One C program per processor that hosts nodes.
     assert_eq!(art.c_programs.len(), 2);
     // Functional equivalence across the input space.

@@ -1,11 +1,22 @@
 //! Programmatic checks of the paper's headline artefacts — the assertions
 //! behind EXPERIMENTS.md, so regressions in any reproduced claim fail CI.
 
-use cool_repro::core::{run_flow, FlowOptions};
+use cool_repro::core::{FlowArtifacts, FlowError, FlowOptions, FlowSession};
 use cool_repro::cost::CostModel;
-use cool_repro::ir::Target;
+use cool_repro::ir::{PartitioningGraph, Target};
 use cool_repro::rtl::ComponentKind;
 use cool_repro::spec::workloads;
+
+fn run_flow(
+    g: &PartitioningGraph,
+    target: &Target,
+    options: &FlowOptions,
+) -> Result<FlowArtifacts, FlowError> {
+    FlowSession::new(g)
+        .target(target.clone())
+        .options(options.clone())
+        .run()
+}
 
 /// RES1: "a partitioning graph containing 31 nodes".
 #[test]
