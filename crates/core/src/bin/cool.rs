@@ -4,8 +4,11 @@
 //! cool flow <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga]
 //!                       [--scheme mmio|direct] [--quick] [--jobs N]
 //!                       [--target BOARD] [--targets BOARD,BOARD,...]
-//!                       [--to-stage STAGE]
+//!                       [--to-stage STAGE] [--pin NODE=RES,...]
 //!                       [--cache|--no-cache] [--cache-dir DIR] [--trace]
+//!                       [--expect-node-disk-hits MIN]
+//!                       [--expect-node-synth-max MAX]
+//! cool watch <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow]
 //! cool simulate <spec.cool> [name=value ...] [same flags as flow]
 //! cool check <spec.cool>
 //! cool cache stats [--cache-dir DIR]
@@ -39,6 +42,18 @@
 //! stats`/`clear` inspect and empty a cache directory. `simulate`
 //! additionally executes one system invocation on the co-simulator;
 //! `check` only parses and validates the specification.
+//!
+//! Underneath the stage keys sits a *node tier*: per-node HLS designs,
+//! STG fragments and hardware VHDL units are content-addressed on the
+//! node's own behavior, so an edit that dirties one node re-synthesizes
+//! exactly that node even though every stage-level key missed. `cool
+//! watch <spec>` is the front-end of that tier — it polls the spec
+//! file's content and re-runs the flow against one long-lived cache on
+//! every save. `--pin NODE=RES,...` (with `*=RES` for all function
+//! nodes) fixes the partitioning so nothing stochastic can masquerade
+//! as a cache miss, and `--expect-node-disk-hits MIN` /
+//! `--expect-node-synth-max MAX` turn the node-reuse contract into a
+//! non-zero exit code for CI.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -48,7 +63,7 @@ use std::process::ExitCode;
 
 use cool_core::{ArtifactSlot, FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_cost::CommScheme;
-use cool_ir::{PartitioningGraph, Target};
+use cool_ir::{PartitioningGraph, Resource, Target};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, Optimality};
 
 fn main() -> ExitCode {
@@ -81,7 +96,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
         "flow" => {
             let spec = read_spec(rest)?;
             let graph = cool_spec::parse(&spec)?;
-            let options = parse_options(rest)?;
+            let mut options = parse_options(rest)?;
+            apply_pins(&mut options, &graph, rest)?;
             let out = flag_value(rest, "--out").unwrap_or_else(|| "cool_out".to_string());
             let targets_flag = flag_value(rest, "--targets");
             let to_stage_flag = flag_value(rest, "--to-stage");
@@ -102,6 +118,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             let art = session.run()?;
             println!("{}", art.report());
             warn_on_truncation(&art);
+            check_expectations(&art, rest)?;
             if rest.iter().any(|a| a == "--trace") {
                 println!(
                     "engine trace ({} worker(s)):",
@@ -135,7 +152,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
         "simulate" => {
             let spec = read_spec(rest)?;
             let graph = cool_spec::parse(&spec)?;
-            let options = parse_options(rest)?;
+            let mut options = parse_options(rest)?;
+            apply_pins(&mut options, &graph, rest)?;
             if flag_value(rest, "--targets").is_some() || flag_value(rest, "--to-stage").is_some() {
                 return Err(
                     "--targets/--to-stage apply to `cool flow` only (simulate needs one \
@@ -178,6 +196,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             }
             Ok(())
         }
+        "watch" => run_watch(rest),
         "cache" => run_cache_command(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -188,7 +207,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)"
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)"
 }
 
 /// Default persistent cache directory, relative to the working directory.
@@ -404,6 +423,220 @@ fn run_partial_mode(
     Ok(())
 }
 
+/// `--pin NODE=RES,...`: bypass the partitioner with an explicit,
+/// fully deterministic mapping. `RES` is `hw<i>` or `sw<i>`; the entry
+/// `*=RES` assigns every function node at once, and later entries
+/// override earlier ones, so `--pin '*=hw0,scale=hw1'` pins the whole
+/// graph to `hw0` except the `scale` node. Unpinned function nodes
+/// default to `sw0`. This is what makes the incremental-synthesis CI
+/// smoke reproducible: no GA seed or MILP tie-break can move a node
+/// between runs and masquerade as a cache miss.
+fn apply_pins(
+    options: &mut FlowOptions,
+    graph: &PartitioningGraph,
+    rest: &[String],
+) -> Result<(), Box<dyn Error>> {
+    let Some(list) = flag_value(rest, "--pin") else {
+        return Ok(());
+    };
+    let mut mapping = cool_partition::all_software(graph);
+    for item in list.split(',').filter(|s| !s.is_empty()) {
+        let (name, res) = item
+            .split_once('=')
+            .ok_or_else(|| format!("--pin expects NODE=RES entries, got `{item}`"))?;
+        let resource = parse_resource(res)?;
+        if name == "*" {
+            for id in graph.function_nodes() {
+                mapping.assign(id, resource);
+            }
+        } else {
+            let id = graph
+                .node_by_name(name)
+                .ok_or_else(|| format!("--pin: design has no node named `{name}`"))?;
+            mapping.assign(id, resource);
+        }
+    }
+    options.partitioner = Partitioner::Fixed(mapping);
+    Ok(())
+}
+
+/// Parse `hw<i>`/`sw<i>` into a [`Resource`].
+fn parse_resource(s: &str) -> Result<Resource, Box<dyn Error>> {
+    let err = || format!("--pin: resource `{s}` is not of the form hw<i> or sw<i> (e.g. hw0)");
+    if let Some(i) = s.strip_prefix("hw") {
+        return Ok(Resource::Hardware(i.parse().map_err(|_| err())?));
+    }
+    if let Some(i) = s.strip_prefix("sw") {
+        return Ok(Resource::Software(i.parse().map_err(|_| err())?));
+    }
+    Err(err().into())
+}
+
+/// CI tripwires over the node-tier trace: `--expect-node-disk-hits MIN`
+/// fails the invocation unless at least `MIN` node artifacts were served
+/// from the disk tier, and `--expect-node-synth-max MAX` fails it if
+/// more than `MAX` nodes went through fresh HLS synthesis. Together they
+/// pin the warm-edit contract ("the second process reuses from disk and
+/// re-synthesizes only the edited node") in a way a shell script can
+/// assert without parsing the trace table.
+fn check_expectations(art: &FlowArtifacts, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    if let Some(min) = flag_value(rest, "--expect-node-disk-hits") {
+        let min: usize = min
+            .parse()
+            .map_err(|_| format!("--expect-node-disk-hits expects a count, got `{min}`"))?;
+        let got = art.trace.node_disk_reused();
+        if got < min {
+            return Err(format!(
+                "expected at least {min} node-level disk hit(s), saw {got}\n{}",
+                art.trace.to_table()
+            )
+            .into());
+        }
+    }
+    if let Some(max) = flag_value(rest, "--expect-node-synth-max") {
+        let max: usize = max
+            .parse()
+            .map_err(|_| format!("--expect-node-synth-max expects a count, got `{max}`"))?;
+        let got = art.trace.node_delta_of("hls").map_or(0, |d| d.computed);
+        if got > max {
+            return Err(format!(
+                "expected at most {max} fresh node synthesis(es), saw {got}\n{}",
+                art.trace.to_table()
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// `cool watch <spec>`: the incremental edit loop. Polls the
+/// specification file (std has no inotify) and re-runs the flow on
+/// every change against one long-lived stage cache, so an edit costs
+/// only what it dirtied — typically one node's HLS under the node tier.
+/// Change detection compares *content*, not mtime: filesystem
+/// timestamps are jiffy-coarse, so two saves a millisecond apart can
+/// share an mtime and the second edit would be missed; a byte compare
+/// also means `touch` without an edit does not trigger a run.
+///
+/// The cache defaults *on* (in-memory) because an uncached watch loop
+/// would be pointless; `--cache-dir` adds the persistent tier and
+/// `--no-cache` turns reuse off for comparison. Parse and flow errors
+/// are reported and watched through — a half-saved spec must not kill
+/// the loop. `--max-runs N` exits after `N` runs (0 = watch forever),
+/// which is how the tests drive it.
+fn run_watch(rest: &[String]) -> Result<(), Box<dyn Error>> {
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.contains('='))
+        .ok_or("missing specification file argument")?
+        .clone();
+    let base_options = parse_options(rest)?;
+    let target = target_flag(rest)?;
+    let trace = rest.iter().any(|a| a == "--trace");
+    let poll_ms: u64 = match flag_value(rest, "--poll-ms") {
+        None => 200,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--poll-ms expects milliseconds, got `{v}`"))?,
+    };
+    let max_runs: usize = match flag_value(rest, "--max-runs") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--max-runs expects a run count, got `{v}`"))?,
+    };
+    let cache = if rest.iter().any(|a| a == "--no-cache") {
+        None
+    } else {
+        // Unlike `flow`, an explicit `--cache` flag is not required: the
+        // whole point of watching is the warm re-run.
+        Some(cache_from_flags(rest)?.unwrap_or_default())
+    };
+    println!(
+        "watching {path} (poll {poll_ms} ms, cache {}) — edit the file to re-run",
+        match (&cache, cache_dir_flag(rest)) {
+            (None, _) => "off".to_string(),
+            (Some(_), Some(dir)) => format!("memory+disk `{dir}`"),
+            (Some(_), None) => "memory".to_string(),
+        }
+    );
+    std::io::stdout().flush()?;
+
+    let mut runs = 0usize;
+    let mut last_seen: Option<Vec<u8>> = None;
+    loop {
+        // Block until the file's bytes change (or the file appears);
+        // the first iteration runs immediately. An unreadable file
+        // (mid-rename, deleted) is no change — keep polling.
+        let content = loop {
+            match fs::read(&path) {
+                Ok(bytes) if last_seen.as_deref() != Some(&bytes[..]) => break bytes,
+                _ => std::thread::sleep(Duration::from_millis(poll_ms.max(1))),
+            }
+        };
+        runs += 1;
+        let t0 = Instant::now();
+        let spec_text = String::from_utf8_lossy(&content).into_owned();
+        last_seen = Some(content);
+        match watch_once(&spec_text, &target, &base_options, cache.as_ref(), rest) {
+            Ok(art) => {
+                let t = &art.trace;
+                println!(
+                    "run #{runs}: ok in {:.2?} — {} stage hit(s) ({} disk), {} node artifact(s) \
+                     reused ({} disk), {} synthesized fresh",
+                    t0.elapsed(),
+                    t.cache_hits() + t.disk_hits(),
+                    t.disk_hits(),
+                    t.node_reused(),
+                    t.node_disk_reused(),
+                    t.node_computed(),
+                );
+                if trace {
+                    print!("{}", t.to_table());
+                    if let Some(cache) = &cache {
+                        println!("{}", cache.stats().summary());
+                    }
+                }
+            }
+            // Watch through errors: a spec saved mid-edit parses bad for
+            // a moment, and the next save must still trigger a run.
+            Err(e) => println!("run #{runs}: error: {e} (still watching)"),
+        }
+        std::io::stdout().flush()?;
+        if max_runs > 0 && runs >= max_runs {
+            println!("reached --max-runs {max_runs}; stopping");
+            return Ok(());
+        }
+    }
+}
+
+/// One iteration of the watch loop: re-parse the polled specification
+/// text, re-apply the pins against the *fresh* graph (node ids may move
+/// between edits), and run the flow against the long-lived cache.
+fn watch_once(
+    spec: &str,
+    target: &Target,
+    base_options: &FlowOptions,
+    cache: Option<&StageCache>,
+    rest: &[String],
+) -> Result<FlowArtifacts, Box<dyn Error>> {
+    let graph = cool_spec::parse(spec)?;
+    let mut options = base_options.clone();
+    apply_pins(&mut options, &graph, rest)?;
+    let mut session = FlowSession::new(&graph)
+        .target(target.clone())
+        .options(options);
+    if let Some(cache) = cache {
+        session = session.cache(cache.clone());
+    }
+    let art = session.run()?;
+    check_expectations(&art, rest)?;
+    Ok(art)
+}
+
 /// The disk tier's byte-size cap from `--cache-max-bytes N` (`0` =
 /// unbounded), defaulting to [`cool_core::disk::DEFAULT_MAX_BYTES`].
 fn cache_max_bytes_flag(rest: &[String]) -> Result<u64, Box<dyn Error>> {
@@ -453,6 +686,16 @@ fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
                 plural(n),
                 store.total_bytes(),
                 cool_core::disk::FORMAT_VERSION,
+            );
+            let kinds = store.kind_counts();
+            println!(
+                "  {} stage entr{}, {} node entr{}, {} invalid (foreign version, corrupt \
+                 or unknown kind — evicted on next keyed access)",
+                kinds.stage,
+                plural(kinds.stage),
+                kinds.node,
+                plural(kinds.node),
+                kinds.invalid,
             );
             let victims = store.would_evict(cap);
             if victims > 0 {

@@ -361,6 +361,74 @@ impl Codec for ArtifactDelta {
     }
 }
 
+/// One per-node artifact, cached one level below stages: the unit of
+/// reuse that survives a spec edit which invalidates *every* stage key
+/// (the graph digest seeds each of them) but leaves most nodes'
+/// behaviours untouched.
+///
+/// Entries are keyed by namespaced per-node content digests
+/// ([`cool_hls::node_key`] and the engine's STG/RTL node keys), so the
+/// variants can never alias each other or a stage entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeArtifact {
+    /// A node's synthesized datapath, stored name-independently (the
+    /// engine re-labels it via [`cool_hls::HlsDesign::renamed`]).
+    Hls(cool_hls::HlsDesign),
+    /// A hardware node's emitted VHDL entity text.
+    Vhdl(String),
+    /// A node's `w`/`x`/`d` STG slice.
+    StgFragment(cool_stg::NodeFragment),
+}
+
+impl Codec for NodeArtifact {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            NodeArtifact::Hls(design) => {
+                e.put_u8(0);
+                design.encode(e);
+            }
+            NodeArtifact::Vhdl(text) => {
+                e.put_u8(1);
+                e.put_str(text);
+            }
+            NodeArtifact::StgFragment(frag) => {
+                e.put_u8(2);
+                frag.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(NodeArtifact::Hls(cool_hls::HlsDesign::decode(d)?)),
+            1 => Ok(NodeArtifact::Vhdl(d.take_str()?)),
+            2 => Ok(NodeArtifact::StgFragment(cool_stg::NodeFragment::decode(
+                d,
+            )?)),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "NodeArtifact",
+                tag,
+            }),
+        }
+    }
+}
+
+/// What one [`StageCache::lookup_node`] found.
+#[derive(Debug, Clone)]
+pub struct NodeHit {
+    /// The cached per-node artifact.
+    pub artifact: Arc<NodeArtifact>,
+    /// `true` when the entry came from the disk tier.
+    pub from_disk: bool,
+}
+
+/// One cached per-node artifact with its LRU recency.
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    artifact: Arc<NodeArtifact>,
+    last_used: u64,
+}
+
 /// One cached stage execution.
 #[derive(Debug, Clone)]
 struct Entry {
@@ -385,6 +453,16 @@ struct Inner {
     disk_writes: u64,
     disk_evictions: u64,
     saved: Duration,
+    /// The node tier: per-node artifacts under namespaced node keys,
+    /// bounded by its own (much larger) LRU capacity — node entries are
+    /// small and numerous next to stage deltas.
+    nodes: HashMap<StageKey, NodeEntry>,
+    node_capacity: usize,
+    node_hits: u64,
+    node_disk_hits: u64,
+    node_misses: u64,
+    node_evictions: u64,
+    node_disk_writes: u64,
 }
 
 /// What one [`StageCache::lookup`] found.
@@ -426,6 +504,18 @@ pub struct CacheStats {
     /// Sum of the original execution times of every hit — the wall-clock
     /// the cache saved.
     pub saved: Duration,
+    /// Node-level lookups served from cache (memory and disk combined).
+    pub node_hits: u64,
+    /// The subset of `node_hits` satisfied by the disk tier.
+    pub node_disk_hits: u64,
+    /// Node-level lookups that found nothing (the node was recomputed).
+    pub node_misses: u64,
+    /// Node entries evicted by the node tier's in-memory LRU bound.
+    pub node_evictions: u64,
+    /// Node entries written through to the disk tier.
+    pub node_disk_writes: u64,
+    /// Node entries currently resident in memory.
+    pub node_entries: usize,
 }
 
 impl CacheStats {
@@ -452,6 +542,18 @@ impl CacheStats {
         }
     }
 
+    /// Node-tier hits as a fraction of all node-tier lookups (0 when no
+    /// node was looked up).
+    #[must_use]
+    pub fn node_hit_rate(&self) -> f64 {
+        let total = self.node_hits + self.node_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.node_hits as f64 / total as f64
+        }
+    }
+
     /// One-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -460,9 +562,17 @@ impl CacheStats {
         } else {
             String::new()
         };
+        let nodes = if self.node_hits + self.node_misses > 0 {
+            format!(
+                "; node tier: {} hit(s) ({} from disk), {} miss(es), {} entries",
+                self.node_hits, self.node_disk_hits, self.node_misses, self.node_entries,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "stage cache: {} hit(s) ({} from disk), {} miss(es) ({:.0} % hit rate), \
-             {} entries, {} eviction(s){size_cap}, {:.3} ms saved",
+             {} entries, {} eviction(s){size_cap}, {:.3} ms saved{nodes}",
             self.hits,
             self.disk_hits,
             self.misses,
@@ -497,12 +607,18 @@ impl StageCache {
     /// a few dozen sweep candidates.
     pub const DEFAULT_CAPACITY: usize = 512;
 
+    /// Default node-tier entry bound. Node entries are tiny (one design,
+    /// fragment or VHDL unit) and there are up to a few per function
+    /// node, so the bound is far above the stage-entry capacity.
+    pub const DEFAULT_NODE_CAPACITY: usize = 4096;
+
     /// An in-memory cache bounded to `capacity` entries (minimum 1).
     #[must_use]
     pub fn new(capacity: usize) -> StageCache {
         StageCache {
             inner: Arc::new(Mutex::new(Inner {
                 capacity: capacity.max(1),
+                node_capacity: StageCache::DEFAULT_NODE_CAPACITY,
                 ..Inner::default()
             })),
             disk: None,
@@ -663,6 +779,108 @@ impl StageCache {
         }
     }
 
+    /// Look up a per-node artifact by its namespaced node key: memory
+    /// tier first, then (on a miss) the disk tier, promoting disk hits
+    /// into memory. Counts node-tier hit/disk-hit/miss.
+    #[must_use]
+    pub fn lookup_node(&self, key: StageKey) -> Option<NodeHit> {
+        {
+            let mut inner = self.inner.lock().expect("stage cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let found = inner.nodes.get_mut(&key).map(|e| {
+                e.last_used = tick;
+                Arc::clone(&e.artifact)
+            });
+            if let Some(artifact) = found {
+                inner.node_hits += 1;
+                return Some(NodeHit {
+                    artifact,
+                    from_disk: false,
+                });
+            }
+            if self.disk.is_none() {
+                inner.node_misses += 1;
+                return None;
+            }
+        }
+        // Memory miss with a disk tier: read outside the lock, as with
+        // stage entries.
+        let disk = self.disk.as_ref().expect("checked above");
+        let load = disk.load_node(key);
+        let mut inner = self.inner.lock().expect("stage cache poisoned");
+        match load {
+            crate::disk::NodeLoad::Hit(artifact) => {
+                let artifact = Arc::new(artifact);
+                inner.node_hits += 1;
+                inner.node_disk_hits += 1;
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.nodes.insert(
+                    key,
+                    NodeEntry {
+                        artifact: Arc::clone(&artifact),
+                        last_used: tick,
+                    },
+                );
+                Self::evict_nodes_over_capacity(&mut inner);
+                Some(NodeHit {
+                    artifact,
+                    from_disk: true,
+                })
+            }
+            crate::disk::NodeLoad::Evicted => {
+                inner.node_misses += 1;
+                inner.disk_evictions += 1;
+                None
+            }
+            crate::disk::NodeLoad::Miss => {
+                inner.node_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly computed per-node artifact under its node key,
+    /// writing through to the disk tier when one is attached. Re-inserts
+    /// of an existing key refresh recency (determinism makes the values
+    /// identical).
+    pub fn insert_node(&self, key: StageKey, artifact: NodeArtifact) {
+        let artifact = Arc::new(artifact);
+        {
+            let mut inner = self.inner.lock().expect("stage cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.nodes.insert(
+                key,
+                NodeEntry {
+                    artifact: Arc::clone(&artifact),
+                    last_used: tick,
+                },
+            );
+            Self::evict_nodes_over_capacity(&mut inner);
+        }
+        if let Some(disk) = &self.disk {
+            if let Ok(true) = disk.store_node(key, &artifact) {
+                self.inner
+                    .lock()
+                    .expect("stage cache poisoned")
+                    .node_disk_writes += 1;
+            }
+        }
+    }
+
+    fn evict_nodes_over_capacity(inner: &mut Inner) {
+        while inner.nodes.len() > inner.node_capacity.max(1) {
+            if let Some((&victim, _)) = inner.nodes.iter().min_by_key(|(_, e)| e.last_used) {
+                inner.nodes.remove(&victim);
+                inner.node_evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
     fn evict_over_capacity(inner: &mut Inner) {
         while inner.map.len() > inner.capacity {
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) {
@@ -688,6 +906,12 @@ impl StageCache {
             disk_size_evictions: self.disk.as_ref().map_or(0, |d| d.size_evictions()),
             entries: inner.map.len(),
             saved: inner.saved,
+            node_hits: inner.node_hits,
+            node_disk_hits: inner.node_disk_hits,
+            node_misses: inner.node_misses,
+            node_evictions: inner.node_evictions,
+            node_disk_writes: inner.node_disk_writes,
+            node_entries: inner.nodes.len(),
         }
     }
 

@@ -19,12 +19,24 @@
 //! 36+n    16    FNV-1a 128 checksum of the payload (u128 LE)
 //! ```
 //!
-//! The payload encodes `(cost_nanos: u64, writes: Vec<(ArtifactSlot,
-//! u128)>, delta: ArtifactDelta)` with the canonical [`cool_ir::codec`]
-//! encoding — the original execution's wall-clock (what a hit "saves"),
-//! the content digests of the slots the delta fills (so the engine can
-//! extend its slot-digest table without re-hashing), and the artifacts
-//! themselves.
+//! The payload starts with a one-byte **entry kind**:
+//!
+//! * kind `0` — a stage execution: `(cost_nanos: u64, writes:
+//!   Vec<(ArtifactSlot, u128)>, delta: ArtifactDelta)` with the
+//!   canonical [`cool_ir::codec`] encoding — the original execution's
+//!   wall-clock (what a hit "saves"), the content digests of the slots
+//!   the delta fills (so the engine can extend its slot-digest table
+//!   without re-hashing), and the artifacts themselves.
+//! * kind `1` — a per-node artifact ([`crate::cache::NodeArtifact`]):
+//!   one HLS design, VHDL unit or STG fragment, cached one level below
+//!   stages so a spec edit only recomputes the dirty nodes.
+//!
+//! Stage and node entries share the directory and file format but live
+//! in disjoint key namespaces (DAG stage keys vs `cool-node-key/…`
+//! digests), so a kind can never legitimately appear under the other
+//! accessor's key; if it does ([`DiskStore::load`] /
+//! [`DiskStore::load_node`] finding the other kind) the read degrades
+//! to a miss and the entry is left alone.
 //!
 //! # Robustness
 //!
@@ -63,7 +75,7 @@ use std::time::Duration;
 use cool_ir::codec::{from_bytes, Encoder};
 use cool_ir::ContentHasher;
 
-use crate::cache::{ArtifactDelta, ArtifactSlot, StageKey};
+use crate::cache::{ArtifactDelta, ArtifactSlot, NodeArtifact, StageKey};
 
 /// Entry file magic.
 const MAGIC: [u8; 8] = *b"COOLCCH\0";
@@ -78,7 +90,13 @@ const MAGIC: [u8; 8] = *b"COOLCCH\0";
 /// v2: `PartitionResult` gained the `optimality` field.
 /// v3: `PartitionResult` gained the `gap` field (truncated-solve
 /// optimality gap).
-pub const FORMAT_VERSION: u32 = 3;
+/// v4: the payload gained a leading entry-kind byte, and node-level
+/// entries ([`crate::cache::NodeArtifact`]) joined the format.
+pub const FORMAT_VERSION: u32 = 4;
+/// Entry-kind byte of a stage execution.
+const KIND_STAGE: u8 = 0;
+/// Entry-kind byte of a per-node artifact.
+const KIND_NODE: u8 = 1;
 /// Entry file extension.
 const EXT: &str = "cce";
 /// Fixed header size: magic + version + layout digest + payload length.
@@ -108,6 +126,32 @@ pub enum Load {
     /// An entry existed but failed validation (corrupt, truncated, or a
     /// different format version) and was evicted from the directory.
     Evicted,
+}
+
+/// What [`DiskStore::load_node`] found for a node key.
+#[derive(Debug)]
+pub enum NodeLoad {
+    /// A valid node-level entry.
+    Hit(NodeArtifact),
+    /// No entry for this key (or a stage entry, which a node accessor
+    /// treats as a miss without evicting — see the module docs).
+    Miss,
+    /// An entry existed but failed validation and was evicted.
+    Evicted,
+}
+
+/// Read-only census of a store's entry files by kind, as reported by
+/// [`DiskStore::kind_counts`] for `cool cache stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Valid stage-execution entries.
+    pub stage: usize,
+    /// Valid node-level entries.
+    pub node: usize,
+    /// Entries that fail validation (corrupt, truncated, foreign
+    /// version, unknown kind). These are *counted*, never evicted — the
+    /// census must stay read-only; the next keyed access evicts them.
+    pub invalid: usize,
 }
 
 /// Default byte-size cap for a store: generous for real flows but a
@@ -291,19 +335,38 @@ impl DiskStore {
         writes: &[(ArtifactSlot, u128)],
         cost: Duration,
     ) -> io::Result<bool> {
+        let file = encode_entry_with_version(delta, writes, cost, FORMAT_VERSION);
+        self.write_entry(key, &file)
+    }
+
+    /// Serialize one per-node artifact under its (namespaced) node key.
+    /// Returns `Ok(false)` without touching the filesystem when the
+    /// entry already exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing or renaming the entry; callers
+    /// may treat them as "disk tier unavailable" and continue.
+    pub fn store_node(&self, key: StageKey, artifact: &NodeArtifact) -> io::Result<bool> {
+        let file = encode_node_entry_with_version(artifact, FORMAT_VERSION);
+        self.write_entry(key, &file)
+    }
+
+    /// Atomically (tmp + rename) write an encoded entry file, skipping
+    /// keys that already have one — shared by [`DiskStore::store`] and
+    /// [`DiskStore::store_node`].
+    fn write_entry(&self, key: StageKey, file: &[u8]) -> io::Result<bool> {
         let path = self.entry_path(key);
         if path.exists() {
             return Ok(false);
         }
-        let file = encode_entry_with_version(delta, writes, cost, FORMAT_VERSION);
-
         let tmp = self.dir.join(format!(
             ".{key:032x}.{}.{}.tmp",
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let len = file.len() as u64;
-        fs::write(&tmp, &file)?;
+        fs::write(&tmp, file)?;
         match fs::rename(&tmp, &path) {
             Ok(()) => {
                 self.bytes_hint.fetch_add(len, Ordering::Relaxed);
@@ -340,27 +403,98 @@ impl DiskStore {
                 };
             }
         };
-        match decode_entry(&bytes) {
-            Some((delta, writes, cost)) => {
-                // LRU recency: refresh the entry's mtime on every hit,
-                // so the size cap evicts genuinely cold entries instead
-                // of the oldest-written (and hottest-hit) ones. Best
-                // effort; a read-only directory just degrades to
-                // eviction by write age.
-                if let Ok(f) = fs::File::options().write(true).open(&path) {
-                    let _ = f.set_modified(std::time::SystemTime::now());
+        match split_entry(&bytes) {
+            Some((KIND_STAGE, body)) => match decode_stage_body(body) {
+                Some((delta, writes, cost)) => {
+                    Self::touch(&path);
+                    Load::Hit {
+                        delta: Box::new(delta),
+                        writes,
+                        cost,
+                    }
                 }
-                Load::Hit {
-                    delta: Box::new(delta),
-                    writes,
-                    cost,
+                None => {
+                    let _ = fs::remove_file(&path);
+                    Load::Evicted
                 }
-            }
-            None => {
+            },
+            // A valid entry of the other kind: a key-namespace violation
+            // that cannot arise from our own writers. Leave it alone and
+            // miss, rather than evicting someone's valid entry.
+            Some((KIND_NODE, _)) => Load::Miss,
+            _ => {
                 let _ = fs::remove_file(&path);
                 Load::Evicted
             }
         }
+    }
+
+    /// Read and validate the node-level entry for `key`. Junk degrades
+    /// to a miss (the node is recomputed), never a panic; invalid
+    /// entries are evicted so the recompute can rewrite them.
+    #[must_use]
+    pub fn load_node(&self, key: StageKey) -> NodeLoad {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return NodeLoad::Miss,
+            Err(_) => {
+                return if fs::remove_file(&path).is_ok() {
+                    NodeLoad::Evicted
+                } else {
+                    NodeLoad::Miss
+                };
+            }
+        };
+        match split_entry(&bytes) {
+            Some((KIND_NODE, body)) => match from_bytes::<NodeArtifact>(body) {
+                Ok(artifact) => {
+                    Self::touch(&path);
+                    NodeLoad::Hit(artifact)
+                }
+                Err(_) => {
+                    let _ = fs::remove_file(&path);
+                    NodeLoad::Evicted
+                }
+            },
+            Some((KIND_STAGE, _)) => NodeLoad::Miss,
+            _ => {
+                let _ = fs::remove_file(&path);
+                NodeLoad::Evicted
+            }
+        }
+    }
+
+    /// LRU recency: refresh an entry's mtime on every hit, so the size
+    /// cap evicts genuinely cold entries instead of the oldest-written
+    /// (and hottest-hit) ones. Best effort; a read-only directory just
+    /// degrades to eviction by write age.
+    fn touch(path: &Path) {
+        if let Ok(f) = fs::File::options().write(true).open(path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
+    }
+
+    /// Count the store's entry files by kind, read-only: nothing is
+    /// evicted, no mtime is refreshed — `cool cache stats` must be able
+    /// to report a directory (including its junk) without mutating it.
+    #[must_use]
+    pub fn kind_counts(&self) -> KindCounts {
+        let mut counts = KindCounts::default();
+        for path in self.entry_files() {
+            let Ok(bytes) = fs::read(&path) else {
+                counts.invalid += 1;
+                continue;
+            };
+            match split_entry(&bytes) {
+                Some((KIND_STAGE, body)) if decode_stage_body(body).is_some() => counts.stage += 1,
+                Some((KIND_NODE, body)) if from_bytes::<NodeArtifact>(body).is_ok() => {
+                    counts.node += 1;
+                }
+                _ => counts.invalid += 1,
+            }
+        }
+        counts
     }
 
     /// Remove every entry file, plus any `.tmp` leftovers from writers
@@ -435,11 +569,13 @@ fn layout_digest() -> u128 {
     h.finish()
 }
 
-/// Validate and decode one entry file. `None` on any malformation.
-/// The decoded contents of one entry file.
+/// The decoded contents of one stage entry's payload body.
 type DecodedEntry = (ArtifactDelta, Vec<(ArtifactSlot, u128)>, Duration);
 
-fn decode_entry(bytes: &[u8]) -> Option<DecodedEntry> {
+/// Validate one entry file's envelope — magic, version, layout digest,
+/// length, checksum — and split the payload into `(kind, body)`. `None`
+/// on any malformation.
+fn split_entry(bytes: &[u8]) -> Option<(u8, &[u8])> {
     if bytes.len() < HEADER + CHECKSUM || bytes[..8] != MAGIC {
         return None;
     }
@@ -461,13 +597,35 @@ fn decode_entry(bytes: &[u8]) -> Option<DecodedEntry> {
     if checksum(payload) != stored {
         return None;
     }
+    let (&kind, body) = payload.split_first()?;
+    Some((kind, body))
+}
+
+/// Decode a stage entry's payload body. `None` on any malformation.
+fn decode_stage_body(body: &[u8]) -> Option<DecodedEntry> {
     let (cost_nanos, writes, delta): (u64, Vec<(ArtifactSlot, u128)>, ArtifactDelta) =
-        from_bytes(payload).ok()?;
+        from_bytes(body).ok()?;
     Some((delta, writes, Duration::from_nanos(cost_nanos)))
 }
 
-/// Encode one complete entry file. [`DiskStore::store`] writes these
-/// with [`FORMAT_VERSION`]; tests pass other versions to fabricate
+/// Wrap a kind-tagged payload body into a complete entry file.
+fn encode_file(kind: u8, body: &[u8], version: u32) -> Vec<u8> {
+    let payload_len = body.len() + 1;
+    let mut file = Vec::with_capacity(HEADER + payload_len + CHECKSUM);
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&version.to_le_bytes());
+    file.extend_from_slice(&layout_digest().to_le_bytes());
+    file.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    file.push(kind);
+    file.extend_from_slice(body);
+    let payload_start = file.len() - payload_len;
+    let sum = checksum(&file[payload_start..]);
+    file.extend_from_slice(&sum.to_le_bytes());
+    file
+}
+
+/// Encode one complete stage entry file. [`DiskStore::store`] writes
+/// these with [`FORMAT_VERSION`]; tests pass other versions to fabricate
 /// version-bumped files in the otherwise-identical layout.
 #[must_use]
 pub fn encode_entry_with_version(
@@ -476,19 +634,18 @@ pub fn encode_entry_with_version(
     cost: Duration,
     version: u32,
 ) -> Vec<u8> {
-    let mut payload = Encoder::new();
-    payload.put_u64(u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX));
-    payload.put(&writes.to_vec());
-    payload.put(delta);
-    let payload = payload.into_bytes();
-    let mut file = Vec::with_capacity(HEADER + payload.len() + CHECKSUM);
-    file.extend_from_slice(&MAGIC);
-    file.extend_from_slice(&version.to_le_bytes());
-    file.extend_from_slice(&layout_digest().to_le_bytes());
-    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    file.extend_from_slice(&payload);
-    file.extend_from_slice(&checksum(&payload).to_le_bytes());
-    file
+    let mut body = Encoder::new();
+    body.put_u64(u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX));
+    body.put(&writes.to_vec());
+    body.put(delta);
+    encode_file(KIND_STAGE, &body.into_bytes(), version)
+}
+
+/// Encode one complete node-level entry file; the test battery uses
+/// non-current `version`s to fabricate stale node entries.
+#[must_use]
+pub fn encode_node_entry_with_version(artifact: &NodeArtifact, version: u32) -> Vec<u8> {
+    encode_file(KIND_NODE, &cool_ir::codec::to_bytes(artifact), version)
 }
 
 #[cfg(test)]
@@ -648,6 +805,98 @@ mod tests {
             .unwrap();
         assert!(matches!(store.load(1), Load::Miss));
         assert!(matches!(store.load(2), Load::Hit { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn sample_artifact() -> NodeArtifact {
+        NodeArtifact::Hls(cool_hls::HlsDesign {
+            name: String::new(),
+            latency_cycles: 7,
+            area_clbs: 42,
+            fu_instances: (1, 0, 2),
+            register_count: 3,
+            mux_count: 4,
+            fsm_states: 8,
+            operation_count: 5,
+        })
+    }
+
+    #[test]
+    fn node_entries_roundtrip_and_keep_their_kind() {
+        let dir = temp_dir("node-roundtrip");
+        let store = DiskStore::open(&dir).unwrap();
+        let artifact = sample_artifact();
+        assert!(store.store_node(11, &artifact).unwrap());
+        assert!(!store.store_node(11, &artifact).unwrap(), "no rewrite");
+        match store.load_node(11) {
+            NodeLoad::Hit(back) => assert_eq!(back, artifact),
+            other => panic!("expected node hit, got {other:?}"),
+        }
+        assert!(matches!(store.load_node(12), NodeLoad::Miss));
+        // The stage accessor must treat the (valid) node entry as a
+        // miss without evicting it, and vice versa.
+        assert!(matches!(store.load(11), Load::Miss));
+        match store.load_node(11) {
+            NodeLoad::Hit(_) => {}
+            other => panic!("stage accessor must not evict node entries: {other:?}"),
+        }
+        store
+            .store(13, &ArtifactDelta::default(), &[], Duration::ZERO)
+            .unwrap();
+        assert!(matches!(store.load_node(13), NodeLoad::Miss));
+        assert!(matches!(store.load(13), Load::Hit { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn junk_node_entries_degrade_to_misses() {
+        let dir = temp_dir("node-junk");
+        let store = DiskStore::open(&dir).unwrap();
+        // Truncated node entry.
+        let good = encode_node_entry_with_version(&sample_artifact(), FORMAT_VERSION);
+        fs::write(store.entry_path(21), &good[..good.len() / 2]).unwrap();
+        assert!(matches!(store.load_node(21), NodeLoad::Evicted));
+        assert!(matches!(store.load_node(21), NodeLoad::Miss));
+        // Stale-version node entry.
+        let old = encode_node_entry_with_version(&sample_artifact(), FORMAT_VERSION - 1);
+        fs::write(store.entry_path(22), &old).unwrap();
+        assert!(matches!(store.load_node(22), NodeLoad::Evicted));
+        // Bit flip inside the body.
+        let mut bytes = encode_node_entry_with_version(&sample_artifact(), FORMAT_VERSION);
+        let mid = HEADER + 3;
+        bytes[mid] ^= 0x20;
+        fs::write(store.entry_path(23), &bytes).unwrap();
+        assert!(matches!(store.load_node(23), NodeLoad::Evicted));
+        // Unknown entry kind.
+        let alien = encode_file(9, b"payload from the future", FORMAT_VERSION);
+        fs::write(store.entry_path(24), &alien).unwrap();
+        assert!(matches!(store.load_node(24), NodeLoad::Evicted));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_counts_census_is_read_only() {
+        let dir = temp_dir("kind-counts");
+        let store = DiskStore::open(&dir).unwrap();
+        store
+            .store(1, &ArtifactDelta::default(), &[], Duration::ZERO)
+            .unwrap();
+        store.store_node(2, &sample_artifact()).unwrap();
+        store.store_node(3, &sample_artifact()).unwrap();
+        fs::write(store.entry_path(4), b"garbage").unwrap();
+        let counts = store.kind_counts();
+        assert_eq!(
+            counts,
+            KindCounts {
+                stage: 1,
+                node: 2,
+                invalid: 1
+            }
+        );
+        // Read-only: the census must leave everything in place,
+        // including the junk.
+        assert_eq!(store.entry_count(), 4);
+        assert_eq!(store.kind_counts(), counts);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -32,16 +32,59 @@ use cool_rtl::place::Placement;
 use cool_rtl::SystemController;
 
 use crate::cache::{
-    self, ArtifactDelta, ArtifactFlags, ArtifactSlot, SlotDigests, StageCache, StageKey,
+    self, ArtifactDelta, ArtifactFlags, ArtifactSlot, NodeArtifact, SlotDigests, StageCache,
+    StageKey,
 };
 use crate::stage::{FlowContext, Stage};
-use crate::timing::{CacheOutcome, FlowTrace};
+use crate::timing::{CacheOutcome, FlowTrace, NodeDelta};
 use crate::{FlowError, Partitioner};
 
 /// Version tag folded into every stage key. Bump whenever the key
 /// construction changes shape, so caches populated by an older engine
 /// can never alias new keys.
 const KEY_SCHEME: &str = "cool-stage-key/dag-v1";
+
+/// Version tag for the `stg` stage's node-level keys (one per-node STG
+/// fragment). A fragment is a pure function of the node id and its
+/// mapped resource, so that is the entire key. Bump on any change to
+/// the fragment shape or the key construction.
+pub const STG_NODE_KEY_SCHEME: &str = "cool-node-key/stg-v1";
+
+/// Version tag for the `rtl` stage's node-level keys (one VHDL unit per
+/// hardware node). [`cool_rtl::vhdl::emit_hw_block`] reads exactly the
+/// node's name, its behavior, and the HLS latency, so those three make
+/// up the key. Bump on any change to the emitter's input set or the key
+/// construction.
+pub const RTL_NODE_KEY_SCHEME: &str = "cool-node-key/rtl-vhdl-v1";
+
+/// Node-level key for one node's STG fragment.
+#[must_use]
+fn stg_node_key(node: cool_ir::NodeId, resource: Resource) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_str(STG_NODE_KEY_SCHEME);
+    node.content_hash(&mut h);
+    resource.content_hash(&mut h);
+    h.finish()
+}
+
+/// Node-level key for one hardware node's emitted VHDL unit.
+#[must_use]
+fn rtl_node_key(name: &str, behavior: &cool_ir::Behavior, latency: u64) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_str(RTL_NODE_KEY_SCHEME);
+    h.write_str(name);
+    behavior.content_hash(&mut h);
+    h.write_u64(latency);
+    h.finish()
+}
+
+/// Remove and return the node delta a stage deposited for itself, if
+/// any. Stages tag their deltas with their own name, so a custom stage
+/// list never mis-attributes one stage's node activity to another.
+fn take_node_delta(cx: &mut FlowContext<'_>, name: &'static str) -> Option<NodeDelta> {
+    let i = cx.node_deltas.iter().position(|(n, _)| *n == name)?;
+    Some(cx.node_deltas.remove(i).1)
+}
 
 /// A linear pipeline of named stages, optionally backed by a
 /// content-addressed [`StageCache`].
@@ -190,6 +233,12 @@ impl Engine {
             return Ok(trace);
         };
 
+        // Hand the stages the node-level cache tier: per-node artifacts
+        // (HLS designs, STG fragments, hardware VHDL units) survive even
+        // when a graph edit invalidates every stage-level key, so a warm
+        // edit re-synthesizes only the dirty nodes.
+        cx.node_cache = Some(cache.clone());
+
         let graph_digest = {
             let mut h = ContentHasher::new();
             cx.graph.content_hash(&mut h);
@@ -214,7 +263,8 @@ impl Engine {
                 // uncacheable stages are allowed to do).
                 let t0 = Instant::now();
                 stage.run(cx)?;
-                trace.push(stage.name(), t0.elapsed());
+                let nodes = take_node_delta(cx, stage.name());
+                trace.push_record(stage.name(), t0.elapsed(), CacheOutcome::Uncached, nodes);
                 digests = cache::slot_digests(cx);
                 continue;
             };
@@ -236,6 +286,7 @@ impl Engine {
             let t0 = Instant::now();
             stage.run(cx)?;
             let elapsed = t0.elapsed();
+            let nodes = take_node_delta(cx, stage.name());
             let writes = cache::update_slot_digests(cx, before, &mut digests);
             // A cacheable stage must only fill empty slots — an in-place
             // mutation would be invisible to the delta and leave stale
@@ -295,7 +346,7 @@ impl Engine {
             } else {
                 CacheOutcome::Miss
             };
-            trace.push_outcome(stage.name(), elapsed, outcome);
+            trace.push_record(stage.name(), elapsed, outcome, nodes);
         }
         collect_warnings(&mut trace, cx);
         Ok(trace)
@@ -555,9 +606,42 @@ impl Stage for StgStage {
     }
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), FlowError> {
+        let node_cache = cx.node_cache.clone();
+        let graph = cx.graph;
         let mapping = &cx.partition()?.mapping;
         let schedule = cx.schedule()?;
-        let stg = cool_stg::generate(cx.graph, mapping, schedule);
+        let (stg, stg_delta) = match &node_cache {
+            Some(cache) => {
+                let mut delta = NodeDelta::default();
+                let mut provider = |n: cool_ir::NodeId, res: Resource| {
+                    let key = stg_node_key(n, res);
+                    if let Some(hit) = cache.lookup_node(key) {
+                        if let NodeArtifact::StgFragment(f) = hit.artifact.as_ref() {
+                            // The canonical-shape gate turns a corrupt or
+                            // stale fragment into a recompute instead of a
+                            // malformed STG.
+                            if f.is_canonical_for(n, res) {
+                                delta.reused += 1;
+                                if hit.from_disk {
+                                    delta.reused_disk += 1;
+                                }
+                                return f.clone();
+                            }
+                        }
+                    }
+                    let f = cool_stg::node_fragment(n, res);
+                    cache.insert_node(key, NodeArtifact::StgFragment(f.clone()));
+                    delta.computed += 1;
+                    if let Ok(node) = graph.node(n) {
+                        delta.computed_names.push(node.name().to_string());
+                    }
+                    f
+                };
+                let stg = cool_stg::generate_with(graph, mapping, schedule, &mut provider);
+                (stg, Some(delta))
+            }
+            None => (cool_stg::generate(graph, mapping, schedule), None),
+        };
         stg.verify().map_err(FlowError::Consistency)?;
         let (stg_minimized, minimize_stats) = cool_stg::minimize_jobs(&stg, cx.options.jobs);
         stg_minimized.verify().map_err(FlowError::Consistency)?;
@@ -581,6 +665,9 @@ impl Stage for StgStage {
         cx.stg_minimized = Some(stg_minimized);
         cx.minimize_stats = Some(minimize_stats);
         cx.memory_map = Some(memory_map);
+        if let Some(delta) = stg_delta {
+            cx.node_deltas.push(("stg", delta));
+        }
         Ok(())
     }
 
@@ -617,6 +704,38 @@ impl Stage for StgStage {
 /// paper measures at > 90 % of design time.
 pub struct HlsStage;
 
+/// Adapter exposing the [`StageCache`] node tier to
+/// [`cool_hls::synthesize_many_cached`] (the `hls` crate cannot depend
+/// on `cool_core`, so the cache crosses the boundary behind the
+/// [`cool_hls::NodeCache`] trait).
+struct HlsNodeTier<'c> {
+    cache: &'c StageCache,
+}
+
+impl cool_hls::NodeCache for HlsNodeTier<'_> {
+    fn lookup(&self, key: u128) -> Option<(cool_hls::HlsDesign, cool_hls::CacheSource)> {
+        let hit = self.cache.lookup_node(key)?;
+        match hit.artifact.as_ref() {
+            NodeArtifact::Hls(d) => {
+                let source = if hit.from_disk {
+                    cool_hls::CacheSource::Disk
+                } else {
+                    cool_hls::CacheSource::Memory
+                };
+                Some((d.clone(), source))
+            }
+            // Namespaced keys make a kind mismatch unreachable from this
+            // engine's own writers; treat it as a miss regardless.
+            _ => None,
+        }
+    }
+
+    fn insert(&self, key: u128, design: &cool_hls::HlsDesign) {
+        self.cache
+            .insert_node(key, NodeArtifact::Hls(design.clone()));
+    }
+}
+
 impl Stage for HlsStage {
     fn name(&self) -> &'static str {
         "hls"
@@ -635,7 +754,35 @@ impl Stage for HlsStage {
             let node = cx.graph.node(n)?;
             named.push((node.name(), node.behavior()));
         }
-        let hls_designs = cool_hls::synthesize_many(&named, &cx.options.hls, cx.options.jobs);
+        let node_cache = cx.node_cache.clone();
+        let hls_designs = match &node_cache {
+            Some(cache) => {
+                let tier = HlsNodeTier { cache };
+                let (designs, outcomes) = cool_hls::synthesize_many_cached(
+                    &named,
+                    &cx.options.hls,
+                    cx.options.jobs,
+                    &tier,
+                );
+                let mut delta = NodeDelta::default();
+                for (outcome, &(name, _)) in outcomes.iter().zip(&named) {
+                    match outcome {
+                        cool_hls::NodeOutcome::Computed => {
+                            delta.computed += 1;
+                            delta.computed_names.push(name.to_string());
+                        }
+                        cool_hls::NodeOutcome::ReusedMemory => delta.reused += 1,
+                        cool_hls::NodeOutcome::ReusedDisk => {
+                            delta.reused += 1;
+                            delta.reused_disk += 1;
+                        }
+                    }
+                }
+                cx.node_deltas.push(("hls", delta));
+                designs
+            }
+            None => cool_hls::synthesize_many(&named, &cx.options.hls, cx.options.jobs),
+        };
         cx.hw_nodes = Some(hw_nodes);
         cx.hls_designs = Some(hls_designs);
         Ok(())
@@ -714,12 +861,41 @@ impl Stage for RtlStage {
                 target.bus.width_bits,
             ),
         ));
+        let node_cache = cx.node_cache.clone();
+        let mut rtl_delta = node_cache.as_ref().map(|_| NodeDelta::default());
         for (i, &n) in hw_nodes.iter().enumerate() {
             let node = graph.node(n)?;
-            vhdl.push((
-                format!("hw_{}.vhd", node.name()),
-                cool_rtl::vhdl::emit_hw_block(graph, n, hls_designs[i].latency_cycles),
-            ));
+            let latency = hls_designs[i].latency_cycles;
+            let unit = match (&node_cache, &mut rtl_delta) {
+                (Some(cache), Some(delta)) => {
+                    let key = rtl_node_key(node.name(), node.behavior(), latency);
+                    let cached =
+                        cache
+                            .lookup_node(key)
+                            .and_then(|hit| match hit.artifact.as_ref() {
+                                NodeArtifact::Vhdl(src) => Some((src.clone(), hit.from_disk)),
+                                _ => None,
+                            });
+                    match cached {
+                        Some((src, from_disk)) => {
+                            delta.reused += 1;
+                            if from_disk {
+                                delta.reused_disk += 1;
+                            }
+                            src
+                        }
+                        None => {
+                            let src = cool_rtl::vhdl::emit_hw_block(graph, n, latency);
+                            cache.insert_node(key, NodeArtifact::Vhdl(src.clone()));
+                            delta.computed += 1;
+                            delta.computed_names.push(node.name().to_string());
+                            src
+                        }
+                    }
+                }
+                _ => cool_rtl::vhdl::emit_hw_block(graph, n, latency),
+            };
+            vhdl.push((format!("hw_{}.vhd", node.name()), unit));
         }
         // One datapath controller per FPGA in use: sequences the device's
         // shared-memory transactions in schedule order.
@@ -829,6 +1005,9 @@ impl Stage for RtlStage {
         cx.netlist = Some(netlist);
         cx.vhdl = Some(vhdl);
         cx.placements = Some(placements);
+        if let Some(delta) = rtl_delta {
+            cx.node_deltas.push(("rtl", delta));
+        }
         Ok(())
     }
 

@@ -108,13 +108,13 @@ pub mod stage;
 pub mod timing;
 
 pub use artifacts::FlowArtifacts;
-pub use cache::{ArtifactSlot, CacheStats, StageCache};
-pub use disk::DiskStore;
+pub use cache::{ArtifactSlot, CacheStats, NodeArtifact, NodeHit, StageCache};
+pub use disk::{DiskStore, KindCounts, NodeLoad};
 pub use engine::Engine;
 pub use error::FlowError;
 pub use session::{FamilyArtifacts, FlowSession, PartialArtifacts};
 pub use stage::{FlowContext, Stage};
-pub use timing::{CacheOutcome, FlowTrace, StageRecord, StageTimings};
+pub use timing::{CacheOutcome, FlowTrace, NodeDelta, StageRecord, StageTimings};
 
 use cool_cost::{CommScheme, CostModel};
 use cool_hls::HlsOptions;

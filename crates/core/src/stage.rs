@@ -145,6 +145,16 @@ pub struct FlowContext<'a> {
     pub placements: Option<Vec<(Resource, Placement)>>,
     /// Generated C programs (produced by `codegen`).
     pub c_programs: Option<Vec<CProgram>>,
+
+    /// The node-level cache tier, injected by the engine when a
+    /// [`StageCache`](crate::cache::StageCache) is attached. Stages that
+    /// work per node (`hls`, `stg`, `rtl`) consult it to reuse clean
+    /// nodes' artifacts; `None` means "compute everything fresh".
+    pub node_cache: Option<crate::cache::StageCache>,
+    /// Node-level cache activity deposited by stages as they run, as
+    /// `(stage name, delta)`; the engine drains these into the matching
+    /// [`StageRecord`](crate::timing::StageRecord)s.
+    pub node_deltas: Vec<(&'static str, crate::timing::NodeDelta)>,
 }
 
 impl<'a> FlowContext<'a> {
@@ -174,6 +184,8 @@ impl<'a> FlowContext<'a> {
             vhdl: None,
             placements: None,
             c_programs: None,
+            node_cache: None,
+            node_deltas: Vec::new(),
         }
     }
 

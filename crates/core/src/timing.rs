@@ -38,8 +38,34 @@ pub enum CacheOutcome {
     },
 }
 
+/// Node-level cache activity of one stage execution: how many per-node
+/// artifacts the stage reused from the node cache tier versus computed
+/// fresh. Only stages that consult the node tier (`hls`, `stg`, `rtl`)
+/// report one; a stage-level cache hit skips the stage entirely and
+/// reports none.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeDelta {
+    /// Node artifacts served from the node cache (memory + disk).
+    pub reused: usize,
+    /// The subset of `reused` served from the disk tier.
+    pub reused_disk: usize,
+    /// Node artifacts computed fresh this run (the dirty set).
+    pub computed: usize,
+    /// Names of the nodes computed fresh, in input order — what a warm
+    /// edit actually re-synthesized.
+    pub computed_names: Vec<String>,
+}
+
+impl NodeDelta {
+    /// Total node artifacts this stage touched.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.reused + self.computed
+    }
+}
+
 /// Wall-clock time of one executed stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageRecord {
     /// Engine stage name (`"hls"`, `"partition"`, …).
     pub name: &'static str,
@@ -48,6 +74,8 @@ pub struct StageRecord {
     pub duration: Duration,
     /// Cache outcome for this execution.
     pub cache: CacheOutcome,
+    /// Node-level cache activity, for stages that consult the node tier.
+    pub nodes: Option<NodeDelta>,
 }
 
 /// The timing journal of one engine run: every stage, in order, plus
@@ -73,10 +101,23 @@ impl FlowTrace {
 
     /// Append one stage's record with its cache outcome.
     pub fn push_outcome(&mut self, name: &'static str, duration: Duration, cache: CacheOutcome) {
+        self.push_record(name, duration, cache, None);
+    }
+
+    /// Append one stage's record with its cache outcome and node-level
+    /// cache activity.
+    pub fn push_record(
+        &mut self,
+        name: &'static str,
+        duration: Duration,
+        cache: CacheOutcome,
+        nodes: Option<NodeDelta>,
+    ) {
         self.records.push(StageRecord {
             name,
             duration,
             cache,
+            nodes,
         });
     }
 
@@ -148,6 +189,40 @@ impl FlowTrace {
             .sum()
     }
 
+    /// Node artifacts reused from the node cache tier across all stages
+    /// (memory + disk).
+    #[must_use]
+    pub fn node_reused(&self) -> usize {
+        self.node_deltas().map(|d| d.reused).sum()
+    }
+
+    /// Node artifacts reused from the node cache's disk tier.
+    #[must_use]
+    pub fn node_disk_reused(&self) -> usize {
+        self.node_deltas().map(|d| d.reused_disk).sum()
+    }
+
+    /// Node artifacts computed fresh across all stages — a warm edit's
+    /// dirty set. For the `hls` stage specifically this counts full
+    /// re-syntheses, which is what the single-node-edit tests assert on.
+    #[must_use]
+    pub fn node_computed(&self) -> usize {
+        self.node_deltas().map(|d| d.computed).sum()
+    }
+
+    /// Node-level activity of the named stage, if it reported any.
+    #[must_use]
+    pub fn node_delta_of(&self, name: &str) -> Option<&NodeDelta> {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.nodes.as_ref())
+    }
+
+    fn node_deltas(&self) -> impl Iterator<Item = &NodeDelta> {
+        self.records.iter().filter_map(|r| r.nodes.as_ref())
+    }
+
     /// All records, in execution order.
     #[must_use]
     pub fn records(&self) -> &[StageRecord] {
@@ -183,8 +258,15 @@ impl FlowTrace {
         let total = self.total().as_secs_f64().max(1e-12);
         let mut s = String::new();
         for r in &self.records {
+            let nodes = match &r.nodes {
+                Some(d) if d.total() > 0 => format!(
+                    "  [nodes: {} reused ({} disk) / {} fresh]",
+                    d.reused, d.reused_disk, d.computed
+                ),
+                _ => String::new(),
+            };
             s.push_str(&format!(
-                "{:<12} {:>10.3} ms {:>5.1} %{}\n",
+                "{:<12} {:>10.3} ms {:>5.1} %{}{nodes}\n",
                 r.name,
                 r.duration.as_secs_f64() * 1e3,
                 100.0 * r.duration.as_secs_f64() / total,
@@ -209,6 +291,14 @@ impl FlowTrace {
                 self.disk_hits(),
                 self.cache_misses(),
                 self.cache_saved().as_secs_f64() * 1e3
+            ));
+        }
+        if self.node_reused() + self.node_computed() > 0 {
+            s.push_str(&format!(
+                "node cache:  {} reused ({} from disk) / {} computed fresh\n",
+                self.node_reused(),
+                self.node_disk_reused(),
+                self.node_computed()
             ));
         }
         for w in &self.warnings {
@@ -367,5 +457,44 @@ mod tests {
         assert!(table.contains("total"));
         let s = StageTimings::from_trace(&t);
         assert!(s.to_table().contains("hardware synthesis"));
+    }
+
+    #[test]
+    fn node_deltas_aggregate_and_render() {
+        let mut t = FlowTrace::new();
+        t.push("cost", ms(1));
+        t.push_record(
+            "hls",
+            ms(5),
+            CacheOutcome::Miss,
+            Some(NodeDelta {
+                reused: 3,
+                reused_disk: 2,
+                computed: 1,
+                computed_names: vec!["h4".to_string()],
+            }),
+        );
+        t.push_record(
+            "stg",
+            ms(1),
+            CacheOutcome::Miss,
+            Some(NodeDelta {
+                reused: 4,
+                reused_disk: 0,
+                computed: 0,
+                computed_names: Vec::new(),
+            }),
+        );
+        assert_eq!(t.node_reused(), 7);
+        assert_eq!(t.node_disk_reused(), 2);
+        assert_eq!(t.node_computed(), 1);
+        assert_eq!(t.node_delta_of("hls").unwrap().computed_names, ["h4"]);
+        assert!(t.node_delta_of("cost").is_none());
+        let table = t.to_table();
+        assert!(
+            table.contains("[nodes: 3 reused (2 disk) / 1 fresh]"),
+            "{table}"
+        );
+        assert!(table.contains("node cache:  7 reused (2 from disk) / 1 computed fresh"));
     }
 }

@@ -1,9 +1,12 @@
 //! CLI-level tests of the `cool` binary: `cool check` must reject
 //! malformed specifications with a diagnostic and a failing exit code —
-//! never a panic — and accept well-formed ones.
+//! never a panic — and accept well-formed ones; `cool watch` must re-run
+//! on edits and honour `--max-runs`; the `--expect-node-*` flags must
+//! turn the warm-edit reuse contract into exit codes.
 
 use std::io::Write;
 use std::process::Command;
+use std::time::{Duration, Instant};
 
 fn cool() -> Command {
     Command::new(env!("CARGO_BIN_EXE_cool"))
@@ -14,6 +17,14 @@ fn write_spec(dir: &std::path::Path, name: &str, content: &str) -> std::path::Pa
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(content.as_bytes()).unwrap();
     path
+}
+
+/// Replace a watched spec atomically (write + rename) so the polling
+/// watcher can never observe a half-written file.
+fn replace_spec(path: &std::path::Path, content: &str) {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, content).unwrap();
+    std::fs::rename(&tmp, path).unwrap();
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -229,4 +240,281 @@ fn flow_trace_prints_stage_table() {
         assert!(stdout.contains(stage), "trace lacks `{stage}`:\n{stdout}");
     }
     assert!(stdout.contains("engine trace (2 worker(s))"), "{stdout}");
+}
+
+/// Shared flags for the incremental-synthesis CLI tests: a raised board
+/// budget (the incremental workload's nodes do not fit two XC4005s) and
+/// a pinned all-hardware mapping so nothing stochastic moves a node
+/// between invocations.
+const DETERMINISTIC: &[&str] = &["--quick", "--target", "fuzzy@100000", "--pin", "*=hw0"];
+
+#[test]
+fn expectation_flags_gate_the_warm_edit_contract() {
+    let dir = temp_dir("expect");
+    let cache_dir = dir.join("cache");
+    let out_dir = dir.join("out");
+    let base = cool_spec::workloads::incremental(4, 19);
+    let edited = cool_spec::workloads::incremental(4, 23);
+    let spec = write_spec(&dir, "incr.cool", &cool_spec::print_spec(&base));
+
+    // Process 1: cold populate of the shared cache directory.
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(DETERMINISTIC)
+        .args(["--cache-dir"])
+        .arg(&cache_dir)
+        .args(["--out"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "cold run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Process 2: warm edit. Every stage key misses (graph digest moved),
+    // so the expectations can only be met by the node tier: at least one
+    // artifact served from disk, at most one node through fresh HLS.
+    write_spec(&dir, "incr.cool", &cool_spec::print_spec(&edited));
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(DETERMINISTIC)
+        .args(["--cache-dir"])
+        .arg(&cache_dir)
+        .args(["--out"])
+        .arg(&out_dir)
+        .args([
+            "--expect-node-disk-hits",
+            "3",
+            "--expect-node-synth-max",
+            "1",
+            "--trace",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "warm edit violated the node-reuse contract\nstdout: {stdout}\nstderr: {stderr}"
+    );
+
+    // Process 3: the same edited spec again now hits at *stage* level, so
+    // the node tier is never consulted — an absurd disk-hit expectation
+    // must fail with a diagnostic, not a panic.
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(DETERMINISTIC)
+        .args(["--cache-dir"])
+        .arg(&cache_dir)
+        .args(["--out"])
+        .arg(&out_dir)
+        .args(["--expect-node-disk-hits", "1000"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "expectation should have failed");
+    assert!(
+        stderr.contains("expected at least 1000 node-level disk hit(s)"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // `cool cache stats` decodes the mixed-kind directory.
+    let out = cool()
+        .args(["cache", "stats", "--cache-dir"])
+        .arg(&cache_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("stage entries") && stdout.contains("node entries"),
+        "stats must break entries down by kind:\n{stdout}"
+    );
+    assert!(stdout.contains("0 invalid"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pin_flag_is_validated() {
+    let dir = temp_dir("pins");
+    let spec = write_spec(
+        &dir,
+        "adder.cool",
+        "design adder; input a : 16; input b : 16; node s = add; output y : 16;\n\
+         connect a -> s.0; connect b -> s.1; connect s -> y;\n",
+    );
+    for (pin, needle) in [
+        ("nosuch=hw0", "no node named `nosuch`"),
+        ("s=gpu0", "hw<i> or sw<i>"),
+        ("s", "NODE=RES"),
+    ] {
+        let out = cool()
+            .arg("flow")
+            .arg(&spec)
+            .args(["--quick", "--pin", pin])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "`--pin {pin}` was accepted");
+        assert!(stderr.contains(needle), "`--pin {pin}`: {stderr}");
+    }
+}
+
+#[test]
+fn watch_reruns_on_edit_and_stops_at_max_runs() {
+    let dir = temp_dir("watch");
+    let base = cool_spec::workloads::incremental(2, 19);
+    let edited = cool_spec::workloads::incremental(2, 23);
+    let spec = write_spec(&dir, "incr.cool", &cool_spec::print_spec(&base));
+
+    let mut child = cool()
+        .arg("watch")
+        .arg(&spec)
+        .args(DETERMINISTIC)
+        .args(["--poll-ms", "25", "--max-runs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Stream the watcher's stdout from a thread so waiting for a line
+    // can time out instead of blocking the test forever.
+    let stdout = child.stdout.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        for line in std::io::BufReader::new(stdout)
+            .lines()
+            .map_while(Result::ok)
+        {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut seen = Vec::new();
+    let wait_for = |needle: &str, seen: &mut Vec<String>| loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(line) => {
+                seen.push(line);
+                if seen.last().unwrap().contains(needle) {
+                    break;
+                }
+            }
+            Err(_) => panic!(
+                "timed out waiting for `{needle}`; saw:\n{}",
+                seen.join("\n")
+            ),
+        }
+    };
+
+    // Run #1 fires immediately on the initial file.
+    wait_for("run #1: ok", &mut seen);
+    // The edit triggers run #2 against the same in-process cache; with
+    // --max-runs 2 the loop then exits cleanly.
+    replace_spec(&spec, &cool_spec::print_spec(&edited));
+    wait_for("run #2: ok", &mut seen);
+    wait_for("stopping", &mut seen);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!(
+                "watcher did not exit after --max-runs; saw:\n{}",
+                seen.join("\n")
+            );
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "watcher exited with {status}");
+    // The warm run reused node artifacts rather than re-synthesizing the
+    // whole graph: the run #2 summary line carries non-zero reuse.
+    let run2 = seen.iter().find(|l| l.contains("run #2: ok")).unwrap();
+    assert!(
+        !run2.contains(" 0 node artifact(s) reused"),
+        "run #2 should have reused node artifacts: {run2}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_survives_a_broken_edit() {
+    let dir = temp_dir("watch-bad");
+    let good = "design adder; input a : 16; input b : 16; node s = add; output y : 16;\n\
+                connect a -> s.0; connect b -> s.1; connect s -> y;\n";
+    let spec = write_spec(&dir, "adder.cool", good);
+
+    let mut child = cool()
+        .arg("watch")
+        .arg(&spec)
+        .args(["--quick", "--poll-ms", "25", "--max-runs", "3"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        for line in std::io::BufReader::new(stdout)
+            .lines()
+            .map_while(Result::ok)
+        {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut seen = Vec::new();
+    let wait_for = |needle: &str, seen: &mut Vec<String>| loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(line) => {
+                seen.push(line);
+                if seen.last().unwrap().contains(needle) {
+                    break;
+                }
+            }
+            Err(_) => panic!(
+                "timed out waiting for `{needle}`; saw:\n{}",
+                seen.join("\n")
+            ),
+        }
+    };
+
+    wait_for("run #1: ok", &mut seen);
+    // A half-saved spec parses bad; the loop must report and keep going.
+    replace_spec(&spec, "design adder; input a :");
+    wait_for("still watching", &mut seen);
+    // The next good save recovers.
+    replace_spec(&spec, good);
+    wait_for("run #3: ok", &mut seen);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            assert!(status.success(), "watcher exited with {status}");
+            break;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("watcher did not exit; saw:\n{}", seen.join("\n"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

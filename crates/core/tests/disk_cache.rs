@@ -139,14 +139,27 @@ fn corrupted_entries_degrade_to_miss_without_artifact_drift() {
 
     let cold_cache = StageCache::persistent(64, &dir).unwrap();
     let cold = run_flow_cached(&g, &target, &options, &cold_cache).unwrap();
-    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+    let all: Vec<PathBuf> = fs::read_dir(&dir)
         .unwrap()
         .flatten()
         .map(|e| e.path())
         .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("cce"))
         .collect();
+    // Node-level entries share the directory; corrupt *stage* entries
+    // (payload kind byte 0, at the end of the 36-byte header) so the
+    // stage-level hit/miss/eviction accounting below stays exact. Junk
+    // *node* entries are covered by the disk-store unit tests.
+    let mut entries: Vec<PathBuf> = all
+        .iter()
+        .filter(|p| fs::read(p).is_ok_and(|b| b.get(36) == Some(&0)))
+        .cloned()
+        .collect();
     entries.sort();
     assert_eq!(entries.len(), 9);
+    assert!(
+        all.len() > entries.len(),
+        "the cold run must have written node-level entries too"
+    );
 
     // Truncate the first entry, bit-flip the second, version-bump the
     // third (byte offsets 8..12 hold the format version).

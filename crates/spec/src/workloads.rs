@@ -244,6 +244,123 @@ pub fn fuzzy_controller() -> PartitioningGraph {
     g
 }
 
+/// Build the incremental-synthesis workload: `bands` synthesis-heavy
+/// filter nodes feeding a balanced adder tree, capped by one *tiny*
+/// `scale` node whose multiplier constant is the `scale` parameter.
+///
+/// This is the canonical single-node-edit subject for the node-level
+/// cache tier: two calls differing only in `scale` produce graphs whose
+/// node sets are identical except for the `scale` node's behaviour, so
+/// a warm-edit flow must re-synthesize exactly that one (cheap) node
+/// while every band reuses its cached HLS design. The band behaviours
+/// carry distinct per-band constants, so no two bands can share a
+/// node-level cache entry by accident.
+///
+/// # Panics
+///
+/// Panics if `bands == 0`.
+#[must_use]
+pub fn incremental(bands: usize, scale: i64) -> PartitioningGraph {
+    assert!(
+        bands > 0,
+        "the incremental workload needs at least one band"
+    );
+    let mut g = PartitioningGraph::new(format!("incr{bands}"));
+    let x0 = g.add_input("x0", 16);
+    let x1 = g.add_input("x1", 16);
+    let x2 = g.add_input("x2", 16);
+
+    // A deliberately expression-heavy band (~12 operations): a 3-tap
+    // filter modulated by an envelope term. Every constant depends on
+    // the band index, so each band is a distinct synthesis problem.
+    let band_behavior = |k: usize| -> Behavior {
+        let b = k as i64;
+        let (c0, c1, c2) = (17 + 5 * b, -(7 + 3 * b), 13 + 2 * b);
+        let taps = Expr::binary(
+            Op::Add,
+            Expr::binary(
+                Op::Add,
+                Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(c0)),
+                Expr::binary(Op::Mul, Expr::Input(1), Expr::Const(c1)),
+            ),
+            Expr::binary(Op::Mul, Expr::Input(2), Expr::Const(c2)),
+        );
+        let envelope = Expr::binary(
+            Op::Max,
+            Expr::Input(0),
+            Expr::unary(Op::Neg, Expr::Input(1)),
+        );
+        let detail = Expr::unary(
+            Op::Abs,
+            Expr::binary(Op::Sub, Expr::Input(2), Expr::Const(3 + b)),
+        );
+        Behavior::new(
+            3,
+            vec![Expr::binary(
+                Op::Add,
+                Expr::binary(Op::Mul, taps, envelope),
+                Expr::binary(Op::Mul, detail, Expr::Const(2 + b)),
+            )],
+        )
+        .expect("static behaviour is well-formed")
+    };
+
+    let mut band_outs = Vec::new();
+    for k in 0..bands {
+        let band = g
+            .add_function(format!("band{k}"), band_behavior(k))
+            .expect("band names are unique");
+        g.connect(x0, 0, band, 0, 16).expect("wiring is static");
+        g.connect(x1, 0, band, 1, 16).expect("wiring is static");
+        g.connect(x2, 0, band, 2, 16).expect("wiring is static");
+        band_outs.push(band);
+    }
+
+    // Balanced adder tree over the bands.
+    let mut level = band_outs;
+    let mut adder = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let a = g
+                    .add_function(format!("sum{adder}"), Behavior::binary(Op::Add))
+                    .expect("adder names are unique");
+                adder += 1;
+                g.connect(pair[0], 0, a, 0, 32).expect("wiring is static");
+                g.connect(pair[1], 0, a, 1, 32).expect("wiring is static");
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+
+    // The tiny editable node: two operations, parameterized constant.
+    let scale_node = g
+        .add_function(
+            "scale",
+            Behavior::new(
+                1,
+                vec![Expr::binary(
+                    Op::Shr,
+                    Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(scale)),
+                    Expr::Const(4),
+                )],
+            )
+            .expect("static behaviour is well-formed"),
+        )
+        .expect("the scale name is unique");
+    g.connect(level[0], 0, scale_node, 0, 32)
+        .expect("wiring is static");
+    let y = g.add_output("y", 32);
+    g.connect(scale_node, 0, y, 0, 32)
+        .expect("wiring is static");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
 /// Build a `taps`-tap FIR filter. The environment supplies the delay line
 /// as `taps` primary inputs; the graph holds one coefficient multiplier per
 /// tap and a balanced adder tree.
@@ -634,6 +751,47 @@ mod tests {
             low < high,
             "control output must grow with the error ({low} !< {high})"
         );
+    }
+
+    #[test]
+    fn incremental_edit_touches_exactly_one_node() {
+        let a = incremental(8, 19);
+        let b = incremental(8, 23);
+        a.validate().unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        let changed: Vec<String> = a
+            .nodes()
+            .zip(b.nodes())
+            .filter(|((_, na), (_, nb))| {
+                na.kind() == NodeKind::Function
+                    && cool_ir::hash::digest(na.behavior()) != cool_ir::hash::digest(nb.behavior())
+            })
+            .map(|((_, na), _)| na.name().to_string())
+            .collect();
+        assert_eq!(
+            changed,
+            vec!["scale".to_string()],
+            "a scale edit must dirty exactly the scale node"
+        );
+    }
+
+    #[test]
+    fn incremental_is_functional_and_scale_sensitive() {
+        let g = incremental(4, 16);
+        let ins = input_map([("x0", 100), ("x1", 50), ("x2", 25)]);
+        let base = evaluate(&g, &ins).unwrap()["y"];
+        let doubled = evaluate(&incremental(4, 32), &ins).unwrap()["y"];
+        assert_ne!(base, 0);
+        assert_eq!(doubled, base * 2, "scale is an exact multiplier");
+    }
+
+    #[test]
+    fn printed_incremental_reparses() {
+        let g = incremental(6, 19);
+        let text = crate::print_spec(&g);
+        let g2 = crate::parse(&text).unwrap();
+        let ins = input_map([("x0", 7), ("x1", -3), ("x2", 11)]);
+        assert_eq!(evaluate(&g, &ins).unwrap(), evaluate(&g2, &ins).unwrap());
     }
 
     #[test]

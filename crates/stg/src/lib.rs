@@ -539,6 +539,110 @@ impl Codec for MinimizeStats {
     }
 }
 
+/// The reusable per-node slice of an STG: the node's `w`/`x`/`d` states
+/// plus the two transitions internal to them, with state endpoints stored
+/// as *local* indices so the fragment is position-independent.
+///
+/// A fragment is a pure function of `(node, resource)` — it does not
+/// depend on the schedule, the rest of the graph, or where in the STG the
+/// states end up — which is what makes it safe to cache across runs and
+/// splice into any STG via [`generate_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFragment {
+    /// The function node this fragment animates.
+    pub node: NodeId,
+    /// The resource whose communicating controller hosts the states.
+    pub resource: Resource,
+    /// State roles in push order: `w`, `x`, `d`.
+    pub kinds: Vec<StateKind>,
+    /// Internal transitions as `(from, to)` local state indices + guard.
+    pub transitions: Vec<(u8, u8, Condition)>,
+}
+
+impl NodeFragment {
+    /// Local index of the `w` state inside a fragment.
+    pub const WAIT: u32 = 0;
+    /// Local index of the `x` state inside a fragment.
+    pub const EXEC: u32 = 1;
+    /// Local index of the `d` state inside a fragment.
+    pub const DONE: u32 = 2;
+
+    /// `true` if the fragment is exactly what [`node_fragment`] builds for
+    /// `(node, resource)` — the validity gate applied to fragments coming
+    /// back from a cache before they are spliced into an STG.
+    #[must_use]
+    pub fn is_canonical_for(&self, node: NodeId, resource: Resource) -> bool {
+        *self == node_fragment(node, resource)
+    }
+}
+
+impl ContentHash for NodeFragment {
+    fn content_hash(&self, h: &mut ContentHasher) {
+        self.node.content_hash(h);
+        self.resource.content_hash(h);
+        self.kinds.content_hash(h);
+        h.write_usize(self.transitions.len());
+        for (from, to, condition) in &self.transitions {
+            h.write_u8(*from);
+            h.write_u8(*to);
+            condition.content_hash(h);
+        }
+    }
+}
+
+impl Codec for NodeFragment {
+    fn encode(&self, e: &mut Encoder) {
+        self.node.encode(e);
+        self.resource.encode(e);
+        self.kinds.encode(e);
+        e.put_usize(self.transitions.len());
+        for (from, to, condition) in &self.transitions {
+            e.put_u8(*from);
+            e.put_u8(*to);
+            condition.encode(e);
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let node = NodeId::decode(d)?;
+        let resource = Resource::decode(d)?;
+        let kinds = Vec::decode(d)?;
+        let len = d.take_usize()?;
+        let mut transitions = Vec::with_capacity(len.min(16));
+        for _ in 0..len {
+            let from = d.take_u8()?;
+            let to = d.take_u8()?;
+            transitions.push((from, to, Condition::decode(d)?));
+        }
+        Ok(NodeFragment {
+            node,
+            resource,
+            kinds,
+            transitions,
+        })
+    }
+}
+
+/// Build the canonical [`NodeFragment`] for one function node: states
+/// `w → x` on [`Condition::DepsReady`] and `x → d` on
+/// [`Condition::UnitDone`], exactly as the paper's construction demands.
+#[must_use]
+pub fn node_fragment(node: NodeId, resource: Resource) -> NodeFragment {
+    NodeFragment {
+        node,
+        resource,
+        kinds: vec![
+            StateKind::Wait(node),
+            StateKind::Exec(node),
+            StateKind::Done(node),
+        ],
+        transitions: vec![
+            (0, 1, Condition::DepsReady(node)),
+            (1, 2, Condition::UnitDone(node)),
+        ],
+    }
+}
+
 /// Generate the STG of a scheduled, coloured partitioning graph.
 ///
 /// Construction follows the paper exactly:
@@ -554,6 +658,25 @@ impl Codec for MinimizeStats {
 ///   for the next system invocation.
 #[must_use]
 pub fn generate(g: &PartitioningGraph, mapping: &Mapping, schedule: &StaticSchedule) -> Stg {
+    generate_with(g, mapping, schedule, &mut node_fragment)
+}
+
+/// [`generate`], with the per-node `w`/`x`/`d` slices supplied by a
+/// `provider` — the hook the incremental flow uses to splice cached
+/// [`NodeFragment`]s for clean nodes instead of rebuilding them.
+///
+/// The provider must return the canonical fragment for `(node, resource)`
+/// (checked in debug builds); callers serving fragments from a cache gate
+/// them through [`NodeFragment::is_canonical_for`] first. The resulting
+/// STG is byte-identical to [`generate`] regardless of where each
+/// fragment came from.
+#[must_use]
+pub fn generate_with(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    schedule: &StaticSchedule,
+    provider: &mut dyn FnMut(NodeId, Resource) -> NodeFragment,
+) -> Stg {
     let mut states = Vec::new();
     let mut transitions = Vec::new();
     let push = |kind: StateKind, resource: Option<Resource>, states: &mut Vec<State>| {
@@ -604,19 +727,27 @@ pub fn generate(g: &PartitioningGraph, mapping: &Mapping, schedule: &StaticSched
         let sequential = res.is_software();
         let mut prev_done: Option<StateId> = None;
         for &n in &order {
-            let w = push(StateKind::Wait(n), Some(res), &mut states);
-            let xn = push(StateKind::Exec(n), Some(res), &mut states);
-            let dn = push(StateKind::Done(n), Some(res), &mut states);
-            transitions.push(Transition {
-                from: w,
-                to: xn,
-                condition: Condition::DepsReady(n),
-            });
-            transitions.push(Transition {
-                from: xn,
-                to: dn,
-                condition: Condition::UnitDone(n),
-            });
+            let frag = provider(n, res);
+            debug_assert!(
+                frag.is_canonical_for(n, res),
+                "node-fragment provider must return the canonical fragment for {n}"
+            );
+            let base = states.len() as u32;
+            for &kind in &frag.kinds {
+                states.push(State {
+                    kind,
+                    resource: Some(frag.resource),
+                });
+            }
+            for &(from, to, condition) in &frag.transitions {
+                transitions.push(Transition {
+                    from: StateId(base + u32::from(from)),
+                    to: StateId(base + u32::from(to)),
+                    condition,
+                });
+            }
+            let w = StateId(base + NodeFragment::WAIT);
+            let dn = StateId(base + NodeFragment::DONE);
             if sequential {
                 let entry = prev_done.unwrap_or(reset);
                 transitions.push(Transition {
@@ -805,6 +936,46 @@ mod tests {
         assert_eq!(dot.matches("shape=").count(), stg.state_count());
         assert_eq!(dot.matches(" -> ").count(), stg.transition_count());
         assert!(dot.contains("doublecircle"), "global states must stand out");
+    }
+
+    #[test]
+    fn generate_with_provider_matches_generate() {
+        let (g, mapping, schedule, _) = scheduled_fuzzy();
+        let reference = generate(&g, &mapping, &schedule);
+        // A provider serving fragments out of a prepopulated map (the shape
+        // the incremental flow uses) must produce a byte-identical STG.
+        let mut served = 0usize;
+        let mut cache: std::collections::HashMap<(NodeId, Resource), NodeFragment> =
+            std::collections::HashMap::new();
+        for &n in &g.function_nodes() {
+            let res = mapping.resource(n);
+            cache.insert((n, res), node_fragment(n, res));
+        }
+        let spliced = generate_with(&g, &mapping, &schedule, &mut |n, res| {
+            served += 1;
+            cache[&(n, res)].clone()
+        });
+        assert_eq!(spliced, reference);
+        assert_eq!(served, g.function_nodes().len());
+    }
+
+    #[test]
+    fn node_fragment_is_position_independent_and_canonical() {
+        let n = NodeId::from_index(7);
+        let frag = node_fragment(n, Resource::Hardware(1));
+        assert_eq!(frag.kinds.len(), 3);
+        assert_eq!(frag.transitions.len(), 2);
+        assert!(frag.is_canonical_for(n, Resource::Hardware(1)));
+        assert!(!frag.is_canonical_for(n, Resource::Software(0)));
+        assert!(!frag.is_canonical_for(NodeId::from_index(8), Resource::Hardware(1)));
+    }
+
+    #[test]
+    fn node_fragment_codec_roundtrip() {
+        let frag = node_fragment(NodeId::from_index(3), Resource::Software(0));
+        let bytes = cool_ir::codec::to_bytes(&frag);
+        let back: NodeFragment = cool_ir::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, frag);
     }
 
     #[test]
