@@ -109,6 +109,10 @@ fn main() -> ExitCode {
     print_cache_trajectory("stage_cache", &old, &new);
     print_cache_trajectory("stage_cache_disk", &old, &new);
     print_scalar_trajectory("milp_parallel", "speedup", "x", &old, &new);
+    print_scalar_trajectory("milp_pricing", "bland_over_steepest", "x", &old, &new);
+    print_scalar_trajectory("lp_warmstart", "speedup", "x", &old, &new);
+    print_scalar_trajectory("lp_warmstart", "cold_child_pivots", " pivots", &old, &new);
+    print_scalar_trajectory("lp_warmstart", "warm_child_pivots", " pivots", &old, &new);
 
     if let (Some(bound), Some((worst_pct, worst_label))) = (fail_above, &worst) {
         if *worst_pct > bound {

@@ -64,7 +64,7 @@ use std::process::ExitCode;
 use cool_core::{ArtifactSlot, FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
 use cool_cost::CommScheme;
 use cool_ir::{PartitioningGraph, Resource, Target};
-use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, Optimality};
+use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, Optimality, PricingRule};
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -207,7 +207,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)"
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)"
 }
 
 /// Default persistent cache directory, relative to the working directory.
@@ -804,6 +804,30 @@ fn parse_options(rest: &[String]) -> Result<FlowOptions, Box<dyn Error>> {
                 return Err(
                     "--milp-comm-weight applies to the milp/heuristic partitioners only".into(),
                 )
+            }
+        }
+    }
+    if let Some(n) = flag_value(rest, "--milp-max-pivots") {
+        let max_pivots: usize = n
+            .parse()
+            .map_err(|_| format!("--milp-max-pivots expects a positive integer, got `{n}`"))?;
+        match &mut options.partitioner {
+            Partitioner::Milp(o) => o.max_pivots = max_pivots,
+            Partitioner::Heuristic(o) => o.milp.max_pivots = max_pivots,
+            _ => {
+                return Err(
+                    "--milp-max-pivots applies to the milp/heuristic partitioners only".into(),
+                )
+            }
+        }
+    }
+    if let Some(p) = flag_value(rest, "--milp-pricing") {
+        let pricing: PricingRule = p.parse()?;
+        match &mut options.partitioner {
+            Partitioner::Milp(o) => o.pricing = pricing,
+            Partitioner::Heuristic(o) => o.milp.pricing = pricing,
+            _ => {
+                return Err("--milp-pricing applies to the milp/heuristic partitioners only".into())
             }
         }
     }

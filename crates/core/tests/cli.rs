@@ -518,3 +518,107 @@ fn watch_survives_a_broken_edit() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn flow_milp_max_pivots_flag_is_parsed_and_enforced() {
+    // A starved per-LP pivot budget must surface the solver's truthful
+    // PivotLimit diagnostic through the CLI (not a panic, not a silent
+    // fallback), and a malformed value must name the flag.
+    let dir = temp_dir("max-pivots");
+    let g = cool_spec::workloads::random_dag(cool_spec::workloads::RandomDagConfig {
+        nodes: 8,
+        seed: 7,
+        ..Default::default()
+    });
+    let spec = write_spec(&dir, "dag.cool", &cool_spec::print_spec(&g));
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(["--quick", "--partitioner", "milp", "--milp-max-pivots", "2"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "starved pivots must fail the flow");
+    assert!(
+        stderr.contains("pivot limit"),
+        "diagnostic must name the pivot limit: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panicked: {stderr}");
+
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(["--quick", "--milp-max-pivots", "banana"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--milp-max-pivots"));
+}
+
+#[test]
+fn flow_milp_pricing_flag_selects_rule_and_keeps_artifacts_identical() {
+    // `--milp-pricing` is an artifact-invariant knob: both rules must
+    // complete the flow and emit byte-identical artifacts (the pricing
+    // rule changes the simplex path, never the completed Solution). A
+    // bogus rule must be rejected with the expected-values diagnostic.
+    let dir = temp_dir("pricing");
+    let g = cool_spec::workloads::random_dag(cool_spec::workloads::RandomDagConfig {
+        nodes: 8,
+        seed: 7,
+        ..Default::default()
+    });
+    let spec = write_spec(&dir, "dag.cool", &cool_spec::print_spec(&g));
+    let mut artifacts = Vec::new();
+    for rule in ["steepest", "bland"] {
+        let out_dir = dir.join(format!("out-{rule}"));
+        let out = cool()
+            .arg("flow")
+            .arg(&spec)
+            .args([
+                "--quick",
+                "--partitioner",
+                "milp",
+                "--milp-pricing",
+                rule,
+                "--out",
+            ])
+            .arg(&out_dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{rule}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        assert!(!files.is_empty(), "{rule}: no artifacts written");
+        artifacts.push(files);
+    }
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "pricing rules must produce byte-identical artifacts"
+    );
+
+    let out = cool()
+        .arg("flow")
+        .arg(&spec)
+        .args(["--quick", "--milp-pricing", "fancy"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown pricing rule") && stderr.contains("steepest|bland"),
+        "{stderr}"
+    );
+}

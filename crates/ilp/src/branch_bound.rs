@@ -40,10 +40,17 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-use crate::simplex::{solve_lp_bounded, Fixing, SimplexWorkspace};
+use crate::simplex::{
+    solve_lp_delta, solve_lp_opts, solve_lp_warm, Fixing, LpOptions, SimplexWorkspace,
+};
 use crate::{IlpError, Problem, Solution, SolveOptions, Status, VarKind};
+
+/// The basis a node hands its children for warm starts: one column
+/// index per tableau row, shared (both children and possibly an
+/// offloaded frontier copy reference the same parent basis).
+type WarmBasis = Option<Arc<Vec<usize>>>;
 
 /// Bound slack within which a subtree may still contain a solution that
 /// ties the incumbent (floating-point noise in the LP bound is orders of
@@ -69,6 +76,14 @@ struct OpenSubtree {
     /// the merge discipline is — but it keeps exploration sensible).
     seq: u64,
     fixings: Vec<Fixing>,
+    /// The parent's optimal basis: the subtree's root LP differs from
+    /// the parent LP by one bound flip, so the dual simplex re-solves it
+    /// from here in a handful of pivots. `None` falls back to a cold
+    /// two-phase solve. Determinism note: the basis is a pure function
+    /// of the fixing path from the root (each node's LP inputs are
+    /// path-local), so warm starts never make the solve depend on
+    /// worker scheduling.
+    basis: WarmBasis,
 }
 
 impl PartialEq for OpenSubtree {
@@ -111,7 +126,12 @@ struct Frontier {
 struct Shared<'a> {
     p: &'a Problem,
     max_nodes: usize,
-    max_pivots: usize,
+    /// Per-node LP knobs. Kernel `jobs` is 1 here: inside the tree the
+    /// parallelism budget is spent on concurrent *nodes*, not on row
+    /// kernels (the root LP, solved before workers exist, gets the full
+    /// kernel budget instead).
+    lp_opts: LpOptions,
+    warm_start: bool,
     int_tol: f64,
     jobs: usize,
     frontier: Mutex<Frontier>,
@@ -126,6 +146,9 @@ struct Shared<'a> {
     /// `best`'s objective as bits, for lock-free pruning reads.
     bound_bits: AtomicU64,
     nodes: AtomicUsize,
+    /// Total priced pivots across every worker's LPs (diagnostic: like
+    /// `nodes`, the value depends on pruning timing under `jobs > 1`).
+    pivots: AtomicUsize,
     seq: AtomicU64,
     limit_hit: AtomicBool,
     stopped: AtomicBool,
@@ -145,7 +168,12 @@ impl<'a> Shared<'a> {
         Shared {
             p,
             max_nodes: options.max_nodes,
-            max_pivots: options.max_pivots,
+            lp_opts: LpOptions {
+                max_pivots: options.max_pivots,
+                pricing: options.pricing,
+                jobs: 1,
+            },
+            warm_start: options.warm_start,
             int_tol: options.int_tol,
             jobs,
             frontier_len: AtomicUsize::new(heap.len()),
@@ -158,6 +186,7 @@ impl<'a> Shared<'a> {
             best: Mutex::new(None),
             bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             nodes: AtomicUsize::new(0),
+            pivots: AtomicUsize::new(0),
             seq: AtomicU64::new(1),
             limit_hit: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
@@ -209,7 +238,26 @@ impl<'a> Shared<'a> {
     /// Merge a candidate incumbent under the deterministic total order:
     /// strictly lower objective first, then lexicographically smaller
     /// value vector on exact objective ties.
-    fn offer_incumbent(&self, objective: f64, values: Vec<f64>) {
+    ///
+    /// Candidates are canonicalized first: every coordinate within
+    /// `int_tol` of an integer is snapped to that exact integer and the
+    /// objective is recomputed from the snapped point. An integral-LP
+    /// point arrives with path-dependent float noise (±1 ulp-scale
+    /// residue that differs between pricing rules and warm/cold/delta
+    /// solve paths); the point it *represents* does not. Comparing exact
+    /// integer points is what makes the merged incumbent — and the
+    /// downstream artifacts — identical across pricing rules and job
+    /// counts, not merely equal in objective.
+    fn offer_incumbent(&self, values: Vec<f64>) {
+        let mut values = values;
+        for v in values.iter_mut() {
+            let r = v.round();
+            if (*v - r).abs() <= self.int_tol {
+                // `round` preserves the sign of -1e-17: normalize -0.0.
+                *v = if r == 0.0 { 0.0 } else { r };
+            }
+        }
+        let objective: f64 = values.iter().zip(&self.p.costs).map(|(x, c)| x * c).sum();
         let mut best = self.best.lock().expect("incumbent poisoned");
         let better = match best.as_ref() {
             None => true,
@@ -269,13 +317,27 @@ fn worker(shared: &Shared<'_>, ws: &mut SimplexWorkspace) {
         expand_subtree(shared, ws, sub);
         shared.release();
     }
+    shared
+        .pivots
+        .fetch_add(ws.stats().pivots, Ordering::Relaxed);
 }
 
 /// Depth-first expansion of one subtree. The local stack holds
-/// `(parent LP bound, fixings)` pairs; entry 0 is the shallowest.
+/// `(parent LP bound, fixings, parent basis)` triples; entry 0 is the
+/// shallowest.
 fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtree) {
-    let mut stack: Vec<(f64, Vec<Fixing>)> = vec![(sub.bound, sub.fixings)];
-    while let Some((bound, fixings)) = stack.pop() {
+    let mut stack: Vec<(f64, Vec<Fixing>, WarmBasis)> = vec![(sub.bound, sub.fixings, sub.basis)];
+    // Whether the node popped *next* is the near child just pushed by the
+    // node solved *last* — the only case where the workspace still holds
+    // the parent's final tableau and the in-place delta re-solve applies.
+    // The flag is a pure function of the DFS structure (set only when a
+    // node pushes children, consumed by the immediately following pop),
+    // never of incumbent timing or worker scheduling: a node's solve
+    // method — and therefore its exact LP result — is identical on every
+    // run and at every job count.
+    let mut delta_ok = false;
+    while let Some((bound, fixings, basis)) = stack.pop() {
+        let use_delta = std::mem::take(&mut delta_ok);
         if shared.stopped.load(Ordering::Relaxed) {
             // Abandoning this node and the pending stack: their bounds
             // are what the truncated solve's optimality gap is made of.
@@ -294,7 +356,23 @@ fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtr
             drain_remaining(shared, &stack);
             return;
         }
-        let lp = match solve_lp_bounded(shared.p, &fixings, ws, shared.max_pivots) {
+        // Solve the node's LP. Near children (popped straight after
+        // their parent by the same worker — guaranteed: offloading takes
+        // from the *bottom* of the stack and keeps OFFLOAD_KEEP ≥ 2
+        // entries) re-solve the held parent tableau in place with one
+        // bound delta; far children re-factorize the stored parent basis
+        // and repair with dual simplex; no basis means a cold two-phase
+        // solve. The warm/delta paths themselves fall back cold — on
+        // deterministic triggers only — when the basis is stale.
+        let solved = if shared.warm_start && use_delta && ws.delta_applicable(&fixings) {
+            solve_lp_delta(shared.p, &fixings, ws, &shared.lp_opts)
+        } else {
+            match basis.as_deref().filter(|_| shared.warm_start) {
+                Some(warm) => solve_lp_warm(shared.p, &fixings, ws, &shared.lp_opts, warm),
+                None => solve_lp_opts(shared.p, &fixings, ws, &shared.lp_opts),
+            }
+        };
+        let lp = match solved {
             Ok(lp) => lp,
             Err(IlpError::Infeasible) => continue,
             Err(e) => {
@@ -324,19 +402,24 @@ fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtr
         }
         if branch_var == usize::MAX {
             // Integer feasible: candidate incumbent.
-            shared.offer_incumbent(lp.objective, lp.values);
+            shared.offer_incumbent(lp.values);
             continue;
         }
         // Depth-first: push the less likely branch first so the rounded
-        // branch is explored next.
+        // branch is explored next. Both children warm-start from this
+        // node's optimal basis.
+        let node_basis: WarmBasis = Some(Arc::new(ws.basis().to_vec()));
         let v = lp.values[branch_var];
         let (first, second) = if v >= 0.5 { (1.0, 0.0) } else { (0.0, 1.0) };
         let mut far = fixings.clone();
         far.push((branch_var, second, second));
-        stack.push((lp.objective, far));
+        stack.push((lp.objective, far, node_basis.clone()));
         let mut near = fixings;
         near.push((branch_var, first, first));
-        stack.push((lp.objective, near));
+        stack.push((lp.objective, near, node_basis));
+        // The workspace holds this node's final tableau and the near
+        // child sits on top of the stack: the next pop may delta-solve.
+        delta_ok = true;
         maybe_offload(shared, &mut stack);
     }
 }
@@ -345,8 +428,8 @@ fn expand_subtree(shared: &Shared<'_>, ws: &mut SimplexWorkspace, sub: OpenSubtr
 /// entries excluded (a bound already beyond the incumbent cannot widen
 /// the gap — the incumbent only ever improves, so the exclusion stays
 /// valid for the final incumbent too).
-fn drain_remaining(shared: &Shared<'_>, stack: &[(f64, Vec<Fixing>)]) {
-    for &(bound, _) in stack {
+fn drain_remaining(shared: &Shared<'_>, stack: &[(f64, Vec<Fixing>, WarmBasis)]) {
+    for &(bound, _, _) in stack {
         if !shared.prunable(bound) {
             shared.report_remaining(bound);
         }
@@ -357,7 +440,7 @@ fn drain_remaining(shared: &Shared<'_>, stack: &[(f64, Vec<Fixing>)]) {
 /// when this worker's stack is deep and the frontier is running dry.
 /// The lock-free length mirror keeps the common already-stocked case
 /// off the frontier mutex (this runs once per expanded node).
-fn maybe_offload(shared: &Shared<'_>, stack: &mut Vec<(f64, Vec<Fixing>)>) {
+fn maybe_offload(shared: &Shared<'_>, stack: &mut Vec<(f64, Vec<Fixing>, WarmBasis)>) {
     if shared.jobs <= 1
         || stack.len() < OFFLOAD_MIN_STACK
         || shared.frontier_len.load(Ordering::Relaxed) >= shared.jobs
@@ -366,11 +449,12 @@ fn maybe_offload(shared: &Shared<'_>, stack: &mut Vec<(f64, Vec<Fixing>)>) {
     }
     let mut f = shared.frontier.lock().expect("frontier poisoned");
     while f.heap.len() < shared.jobs && stack.len() > OFFLOAD_KEEP {
-        let (bound, fixings) = stack.remove(0);
+        let (bound, fixings, basis) = stack.remove(0);
         f.heap.push(OpenSubtree {
             bound,
             seq: shared.seq.fetch_add(1, Ordering::Relaxed),
             fixings,
+            basis,
         });
         shared.work_ready.notify_one();
     }
@@ -383,14 +467,29 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
     // the same buffers instead of reallocating per node.
     let mut ws = SimplexWorkspace::new();
 
-    // Root relaxation: early Infeasible/Unbounded/PivotLimit detection,
-    // and the root subtree's bound.
-    let root = solve_lp_bounded(p, &[], &mut ws, options.max_pivots)?;
-
     let jobs = match options.jobs {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         n => n,
     };
+
+    // Root relaxation: early Infeasible/Unbounded/PivotLimit detection,
+    // and the root subtree's bound. The tree workers don't exist yet, so
+    // the whole `jobs` budget goes to the row-parallel simplex kernels —
+    // this is where a root-integral instance (one node, no tree) gets
+    // its parallel speedup. The kernels are bit-deterministic, so the
+    // root solve is identical at every job count.
+    let root_opts = LpOptions {
+        max_pivots: options.max_pivots,
+        pricing: options.pricing,
+        jobs,
+    };
+    let root = solve_lp_opts(p, &[], &mut ws, &root_opts)?;
+    let root_basis: WarmBasis = if options.warm_start {
+        Some(Arc::new(ws.basis().to_vec()))
+    } else {
+        None
+    };
+
     let shared = Shared::new(
         p,
         options,
@@ -399,8 +498,62 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
             bound: root.objective,
             seq: 0,
             fixings: Vec::new(),
+            basis: root_basis,
         },
     );
+    // Root dive: a deterministic rounding heuristic, run serially before
+    // any worker exists. Starting from the root relaxation, repeatedly
+    // fix the most fractional binary to its rounded value and re-solve
+    // with the in-place delta path; if the dive bottoms out on an
+    // all-integral LP, that point is a feasible incumbent — offered
+    // through the same total-order merge, it seeds pruning from node one.
+    // Tie-preserving pruning keeps the final Solution identical with or
+    // without the seed; only `nodes_explored` (a diagnostic) shrinks.
+    {
+        let mut dive_fix: Vec<Fixing> = Vec::new();
+        let mut lp = root;
+        let n_bin = p
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, VarKind::Binary))
+            .count();
+        for _ in 0..=n_bin {
+            let mut branch_var = usize::MAX;
+            let mut branch_score = 0.0f64;
+            for (i, k) in p.kinds.iter().enumerate() {
+                if matches!(k, VarKind::Binary) {
+                    let v = lp.values[i];
+                    if (v - v.round()).abs() > options.int_tol {
+                        let score = 0.5 - (0.5 - (v - v.floor())).abs();
+                        if branch_var == usize::MAX || score > branch_score {
+                            branch_var = i;
+                            branch_score = score;
+                        }
+                    }
+                }
+            }
+            if branch_var == usize::MAX {
+                shared.offer_incumbent(lp.values);
+                break;
+            }
+            let r = lp.values[branch_var].round();
+            dive_fix.push((branch_var, r, r));
+            match solve_lp_delta(p, &dive_fix, &mut ws, &root_opts) {
+                Ok(next) => lp = next,
+                // The dive is a heuristic: any failure (infeasible leaf,
+                // pivot trouble) just means no early incumbent.
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Count the root solve's and dive's pivots once, here; the workspace
+    // stats are reset so the serial worker (which reuses `ws`) reports
+    // only its own tree pivots.
+    shared
+        .pivots
+        .fetch_add(ws.stats().pivots, Ordering::Relaxed);
+    ws.reset_stats();
 
     if jobs <= 1 {
         worker(&shared, &mut ws);
@@ -432,6 +585,7 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
             .map(|s| s.bound)
             .fold(drained, |acc, b| Some(acc.map_or(b, |a| a.min(b))))
     };
+    let pivots = shared.pivots.load(Ordering::Relaxed);
     let best = shared.best.lock().expect("incumbent poisoned").take();
     match best {
         Some((objective, values)) => Ok(Solution {
@@ -452,6 +606,7 @@ pub(crate) fn solve(p: &Problem, options: &SolveOptions) -> Result<Solution, Ilp
                 objective
             },
             nodes_explored: nodes,
+            pivots,
         }),
         None if limit_hit => Err(IlpError::NoIncumbent),
         None => Err(IlpError::Infeasible),

@@ -243,6 +243,8 @@ pub fn partition(
         max_pivots: options.milp.max_pivots,
         int_tol: 1e-6,
         jobs: options.milp.jobs,
+        pricing: options.milp.pricing,
+        ..cool_ilp::SolveOptions::default()
     })?;
 
     // --- 4. Expand clusters back to nodes. ---

@@ -34,12 +34,20 @@ pub use genetic::GaOptions;
 pub use heuristic::HeuristicOptions;
 pub use milp::MilpOptions;
 
+// Re-exported so CLI/engine layers can name the pricing rule without a
+// direct `cool_ilp` dependency.
+pub use cool_ilp::PricingRule;
+
 impl ContentHash for MilpOptions {
-    /// `jobs` is deliberately excluded: the parallel branch & bound's
+    /// `jobs` and `pricing` are deliberately excluded — both are
+    /// artifact-invariant. `jobs`: the parallel branch & bound's
     /// deterministic merge makes a *completed* solve identical for
-    /// every worker count, so the knob changes wall-clock only (and the
-    /// engine never caches the one exception, node-limit-truncated
-    /// results).
+    /// every worker count. `pricing`: the entering-column rule changes
+    /// the pivot *path*, but tie-preserving pruning plus the
+    /// total-order incumbent merge return the same colouring from any
+    /// path that runs to completion. Either knob changes wall-clock
+    /// only — and the engine never caches the one exception,
+    /// limit-truncated results.
     fn content_hash(&self, h: &mut ContentHasher) {
         h.write_f64(self.time_weight);
         h.write_f64(self.comm_weight);
