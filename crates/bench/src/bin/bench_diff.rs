@@ -1,7 +1,7 @@
 //! `bench_diff` — compare two harness JSON reports across PRs.
 //!
 //! ```text
-//! bench_diff <old.json> <new.json> [--fail-above PCT]
+//! bench_diff <old.json> <new.json> [--fail-above PCT] [--allow-removed]
 //! ```
 //!
 //! Reads two reports written by `cool_bench::harness::write_json_report`
@@ -11,7 +11,10 @@
 //! one side are listed as added/removed. With `--fail-above PCT` the
 //! exit code is non-zero when any shared case regressed by more than
 //! `PCT` percent — the CI hook for the ROADMAP's "bench trajectory"
-//! item.
+//! item — and *removed* cases are a hard failure too: a renamed or
+//! dropped case would otherwise exit the gate silently, letting a
+//! regression hide behind a rename. Pass `--allow-removed` when a
+//! removal is intentional.
 
 use std::process::ExitCode;
 
@@ -21,9 +24,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
     let mut fail_above: Option<f64> = None;
+    let mut allow_removed = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--allow-removed" => {
+                allow_removed = true;
+                i += 1;
+            }
             "--fail-above" => {
                 fail_above = args.get(i + 1).and_then(|v| v.parse().ok());
                 if fail_above.is_none() {
@@ -43,7 +51,7 @@ fn main() -> ExitCode {
         }
     }
     let [old_path, new_path] = files.as_slice() else {
-        eprintln!("usage: bench_diff <old.json> <new.json> [--fail-above PCT]");
+        eprintln!("usage: bench_diff <old.json> <new.json> [--fail-above PCT] [--allow-removed]");
         return ExitCode::FAILURE;
     };
 
@@ -94,6 +102,7 @@ fn main() -> ExitCode {
             ),
         }
     }
+    let mut removed: Vec<&str> = Vec::new();
     for (label, old_ns) in &old_cases {
         if !new_cases.iter().any(|(l, _)| l == label) {
             println!(
@@ -103,6 +112,7 @@ fn main() -> ExitCode {
                 "-",
                 "removed"
             );
+            removed.push(label);
         }
     }
 
@@ -114,12 +124,26 @@ fn main() -> ExitCode {
     print_scalar_trajectory("lp_warmstart", "cold_child_pivots", " pivots", &old, &new);
     print_scalar_trajectory("lp_warmstart", "warm_child_pivots", " pivots", &old, &new);
 
-    if let (Some(bound), Some((worst_pct, worst_label))) = (fail_above, &worst) {
-        if *worst_pct > bound {
-            eprintln!("FAIL: `{worst_label}` regressed {worst_pct:.1} % (> {bound} % bound)");
+    if let Some(bound) = fail_above {
+        // A case that disappeared can hide an arbitrary regression
+        // behind a rename, so under the gate a removal is as fatal as a
+        // slow case unless explicitly waived.
+        if !removed.is_empty() && !allow_removed {
+            eprintln!(
+                "FAIL: {} bench case(s) removed ({}); a rename can hide a regression — \
+                 pass --allow-removed if intentional",
+                removed.len(),
+                removed.join(", ")
+            );
             return ExitCode::FAILURE;
         }
-        println!("worst shared-case delta {worst_pct:+.1} % (bound {bound} %): ok");
+        if let Some((worst_pct, worst_label)) = &worst {
+            if *worst_pct > bound {
+                eprintln!("FAIL: `{worst_label}` regressed {worst_pct:.1} % (> {bound} % bound)");
+                return ExitCode::FAILURE;
+            }
+            println!("worst shared-case delta {worst_pct:+.1} % (bound {bound} %): ok");
+        }
     }
     ExitCode::SUCCESS
 }

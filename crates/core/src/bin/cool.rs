@@ -10,6 +10,7 @@
 //!                       [--expect-node-synth-max MAX]
 //! cool watch <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow]
 //! cool simulate <spec.cool> [name=value ...] [same flags as flow]
+//! cool serve [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]
 //! cool check <spec.cool>
 //! cool cache stats [--cache-dir DIR]
 //! cool cache clear [--cache-dir DIR]
@@ -54,6 +55,17 @@
 //! as a cache miss, and `--expect-node-disk-hits MIN` /
 //! `--expect-node-synth-max MAX` turn the node-reuse contract into a
 //! non-zero exit code for CI.
+//!
+//! `cool serve` keeps all of that resident: a [`cool_core::server`]
+//! daemon holding one hot stage cache that every client shares, with
+//! identical in-flight requests coalesced into a single synthesis.
+//! `cool flow <spec> --connect ADDR` and `cool simulate <spec> ...
+//! --connect ADDR` run against the daemon instead of synthesizing
+//! locally; the flow client writes the same output files a local flow
+//! would and reports which flight served it, how many requests
+//! coalesced onto that flight, and how many stages it actually
+//! computed (`0 stage(s) computed` is the warm-cache signature CI
+//! greps for).
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -61,7 +73,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cool_core::{ArtifactSlot, FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
+use cool_core::server::{Client, FlowRequest, Server, DEFAULT_ADDR};
+use cool_core::{
+    ArtifactSlot, FlowArtifacts, FlowOptions, FlowSession, FlowTrace, Partitioner, StageCache,
+};
 use cool_cost::CommScheme;
 use cool_ir::{PartitioningGraph, Resource, Target};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, Optimality, PricingRule};
@@ -108,6 +123,15 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
                         .into(),
                 );
             }
+            if let Some(addr) = flag_value(rest, "--connect") {
+                if targets_flag.is_some() || to_stage_flag.is_some() {
+                    return Err(
+                        "--connect serves single-board full flows only (drop --targets/--to-stage)"
+                            .into(),
+                    );
+                }
+                return run_flow_connected(&addr, spec, &options, &out, rest);
+            }
             if let Some(list) = targets_flag {
                 return run_family_mode(&graph, &options, &list, rest);
             }
@@ -117,8 +141,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             let (session, cache) = configure_session(&graph, &options, rest)?;
             let art = session.run()?;
             println!("{}", art.report());
-            warn_on_truncation(&art);
-            check_expectations(&art, rest)?;
+            warn_on_truncation(art.partition.optimality, art.partition.gap);
+            check_expectations(&art.trace, rest)?;
             if rest.iter().any(|a| a == "--trace") {
                 println!(
                     "engine trace ({} worker(s)):",
@@ -162,7 +186,12 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
                 );
             }
             let mut inputs: BTreeMap<String, i64> = BTreeMap::new();
-            for a in rest.iter().skip(1) {
+            for (i, a) in rest.iter().enumerate().skip(1) {
+                // A flag's value can contain `=` (`--pin '*=hw0'`) —
+                // only bare arguments are input assignments.
+                if i > 0 && VALUE_FLAGS.contains(&rest[i - 1].as_str()) {
+                    continue;
+                }
                 if let Some((k, v)) = a.split_once('=') {
                     inputs.insert(k.to_string(), v.parse()?);
                 }
@@ -171,9 +200,35 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
                 let name = graph.node(id)?.name().to_string();
                 inputs.entry(name).or_insert(0);
             }
+            if let Some(addr) = flag_value(rest, "--connect") {
+                let mut client = connect_client(&addr)?;
+                let r = client.simulate(
+                    FlowRequest {
+                        spec,
+                        target: target_flag(rest)?,
+                        options,
+                    },
+                    inputs.into_iter().collect(),
+                )?;
+                let busy = if r.cycles == 0 {
+                    0.0
+                } else {
+                    r.bus_busy_cycles as f64 / r.cycles as f64
+                };
+                println!(
+                    "simulated {} cycles ({} bus transfer(s), bus {:.1} % busy)",
+                    r.cycles,
+                    r.bus_transfers,
+                    100.0 * busy
+                );
+                for (name, value) in &r.outputs {
+                    println!("  {name} = {value}");
+                }
+                return Ok(());
+            }
             let (session, cache) = configure_session(&graph, &options, rest)?;
             let art = session.run()?;
-            warn_on_truncation(&art);
+            warn_on_truncation(art.partition.optimality, art.partition.gap);
             let r = art.simulate(&inputs)?;
             println!(
                 "simulated {} cycles ({} bus transfer(s), bus {:.1} % busy)",
@@ -197,6 +252,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             Ok(())
         }
         "watch" => run_watch(rest),
+        "serve" => run_serve(rest),
         "cache" => run_cache_command(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -207,11 +263,37 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)"
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX] [--connect ADDR]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool serve    [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)\nserve: `cool serve` starts the resident daemon (default addr 127.0.0.1:2665); `--connect ADDR` makes flow/simulate clients of it"
 }
 
 /// Default persistent cache directory, relative to the working directory.
 const DEFAULT_CACHE_DIR: &str = ".cool-cache";
+
+/// Every flag that consumes the following argument as its value. Used
+/// to tell a flag value containing `=` apart from a `name=value`
+/// simulation input.
+const VALUE_FLAGS: &[&str] = &[
+    "--out",
+    "--partitioner",
+    "--scheme",
+    "--jobs",
+    "--target",
+    "--targets",
+    "--to-stage",
+    "--pin",
+    "--cache-dir",
+    "--cache-max-bytes",
+    "--expect-node-disk-hits",
+    "--expect-node-synth-max",
+    "--milp-max-nodes",
+    "--milp-comm-weight",
+    "--milp-max-pivots",
+    "--milp-pricing",
+    "--poll-ms",
+    "--max-runs",
+    "--connect",
+    "--addr",
+];
 
 /// The cache directory selected by `--cache-dir [DIR]`, if the flag is
 /// present (a missing or flag-like value selects the default directory).
@@ -352,7 +434,7 @@ fn run_family_mode(
     let family = session.run_family()?;
     print!("{}", family.report());
     for art in &family {
-        warn_on_truncation(art);
+        warn_on_truncation(art.partition.optimality, art.partition.gap);
     }
     if rest.iter().any(|a| a == "--trace") {
         for (i, art) in family.iter().enumerate() {
@@ -479,16 +561,16 @@ fn parse_resource(s: &str) -> Result<Resource, Box<dyn Error>> {
 /// pin the warm-edit contract ("the second process reuses from disk and
 /// re-synthesizes only the edited node") in a way a shell script can
 /// assert without parsing the trace table.
-fn check_expectations(art: &FlowArtifacts, rest: &[String]) -> Result<(), Box<dyn Error>> {
+fn check_expectations(trace: &FlowTrace, rest: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(min) = flag_value(rest, "--expect-node-disk-hits") {
         let min: usize = min
             .parse()
             .map_err(|_| format!("--expect-node-disk-hits expects a count, got `{min}`"))?;
-        let got = art.trace.node_disk_reused();
+        let got = trace.node_disk_reused();
         if got < min {
             return Err(format!(
                 "expected at least {min} node-level disk hit(s), saw {got}\n{}",
-                art.trace.to_table()
+                trace.to_table()
             )
             .into());
         }
@@ -497,11 +579,11 @@ fn check_expectations(art: &FlowArtifacts, rest: &[String]) -> Result<(), Box<dy
         let max: usize = max
             .parse()
             .map_err(|_| format!("--expect-node-synth-max expects a count, got `{max}`"))?;
-        let got = art.trace.node_delta_of("hls").map_or(0, |d| d.computed);
+        let got = trace.node_delta_of("hls").map_or(0, |d| d.computed);
         if got > max {
             return Err(format!(
                 "expected at most {max} fresh node synthesis(es), saw {got}\n{}",
-                art.trace.to_table()
+                trace.to_table()
             )
             .into());
         }
@@ -567,15 +649,34 @@ fn run_watch(rest: &[String]) -> Result<(), Box<dyn Error>> {
 
     let mut runs = 0usize;
     let mut last_seen: Option<Vec<u8>> = None;
+    // The last read failure reported, so an error streak (editor swap
+    // files, a slow atomic rename, a deleted spec) prints once instead
+    // of once per poll tick.
+    let mut read_error: Option<String> = None;
     loop {
         // Block until the file's bytes change (or the file appears);
         // the first iteration runs immediately. An unreadable file
-        // (mid-rename, deleted) is no change — keep polling.
+        // (mid-rename, deleted) is reported like a parse failure —
+        // announce it, keep polling — because an edit loop that dies on
+        // the brief no-file window of a save-by-rename is useless.
         let content = loop {
             match fs::read(&path) {
-                Ok(bytes) if last_seen.as_deref() != Some(&bytes[..]) => break bytes,
-                _ => std::thread::sleep(Duration::from_millis(poll_ms.max(1))),
+                Ok(bytes) => {
+                    read_error = None;
+                    if last_seen.as_deref() != Some(&bytes[..]) {
+                        break bytes;
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    if read_error.as_ref() != Some(&msg) {
+                        println!("cannot read {path}: {msg} (still watching)");
+                        std::io::stdout().flush()?;
+                        read_error = Some(msg);
+                    }
+                }
             }
+            std::thread::sleep(Duration::from_millis(poll_ms.max(1)));
         };
         runs += 1;
         let t0 = Instant::now();
@@ -633,8 +734,97 @@ fn watch_once(
         session = session.cache(cache.clone());
     }
     let art = session.run()?;
-    check_expectations(&art, rest)?;
+    check_expectations(&art.trace, rest)?;
     Ok(art)
+}
+
+/// `cool serve`: run the resident daemon. One stage cache — in-memory
+/// by default, plus the persistent disk tier under `--cache-dir` — is
+/// shared by every client, and identical in-flight requests coalesce
+/// into a single synthesis. The daemon runs until a client sends a
+/// shutdown request or the process is signalled; disk-tier writes are
+/// atomic (write + rename), so a SIGTERM mid-flow never leaves a
+/// corrupt cache entry behind.
+fn run_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
+    use std::io::Write as _;
+
+    let addr = flag_value(rest, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    // Like `watch`, the cache defaults *on*: a daemon without one would
+    // just be a slower way to fork `cool flow`.
+    let cache = if rest.iter().any(|a| a == "--no-cache") {
+        StageCache::new(0)
+    } else {
+        cache_from_flags(rest)?.unwrap_or_default()
+    };
+    let server =
+        Server::bind(&addr, cache).map_err(|e| format!("cannot bind coold to {addr}: {e}"))?;
+    println!(
+        "coold listening on {} (cache {}) — point clients at it with --connect",
+        server.addr(),
+        match cache_dir_flag(rest) {
+            Some(dir) => format!("memory+disk `{dir}`"),
+            None => "memory".to_string(),
+        }
+    );
+    std::io::stdout().flush()?;
+    server.run()?;
+    println!("coold: shut down cleanly");
+    Ok(())
+}
+
+/// Connect to a running daemon, with a hint when nobody is listening.
+fn connect_client(addr: &str) -> Result<Client, Box<dyn Error>> {
+    Client::connect(addr).map_err(|e| {
+        format!("cannot reach coold at {addr} ({e}); start it with `cool serve`").into()
+    })
+}
+
+/// `cool flow <spec> --connect ADDR`: run the flow on the daemon
+/// instead of synthesizing locally. Prints the same report and writes
+/// the same output files as a local flow, plus one line of coalescing
+/// observability (flight id, requests served by that flight, stages it
+/// actually computed — `0 stage(s) computed` is a fully warm serve).
+fn run_flow_connected(
+    addr: &str,
+    spec: String,
+    options: &FlowOptions,
+    out: &str,
+    rest: &[String],
+) -> Result<(), Box<dyn Error>> {
+    let mut client = connect_client(addr)?;
+    let resp = client.flow(FlowRequest {
+        spec,
+        target: target_flag(rest)?,
+        options: options.clone(),
+    })?;
+    println!("{}", resp.report);
+    warn_on_truncation(resp.optimality, resp.gap);
+    check_expectations(&resp.trace, rest)?;
+    println!(
+        "served by coold at {addr}: flight #{}, {} request(s) on the flight, {} stage(s) computed",
+        resp.flight,
+        resp.joined,
+        resp.stages_computed(),
+    );
+    if rest.iter().any(|a| a == "--trace") {
+        print!("{}", resp.trace.to_table());
+    }
+    let dir = PathBuf::from(out);
+    fs::create_dir_all(&dir)?;
+    for (name, source) in &resp.vhdl {
+        fs::write(dir.join(name), source)?;
+    }
+    fs::write(dir.join("cool_memory_map.h"), &resp.memory_header)?;
+    for (name, source) in &resp.c_programs {
+        fs::write(dir.join(name), source)?;
+    }
+    println!(
+        "wrote {} VHDL unit(s), {} C unit(s) and the memory map to {}",
+        resp.vhdl.len(),
+        resp.c_programs.len(),
+        dir.display()
+    );
+    Ok(())
 }
 
 /// The disk tier's byte-size cap from `--cache-max-bytes N` (`0` =
@@ -724,10 +914,12 @@ fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
 
 /// Surface a truncated MILP solve on stderr: the report already labels
 /// the partition "node-limit truncated", but a user piping stdout into a
-/// file must not mistake the incumbent for the proven optimum.
-fn warn_on_truncation(art: &FlowArtifacts) {
-    if art.partition.optimality == Optimality::LimitReached {
-        let gap = match art.partition.gap {
+/// file must not mistake the incumbent for the proven optimum. Takes the
+/// optimality/gap pair (rather than full artifacts) so served responses
+/// get the same warning.
+fn warn_on_truncation(optimality: Optimality, gap: Option<f64>) {
+    if optimality == Optimality::LimitReached {
+        let gap = match gap {
             Some(gap) => format!(" — within {:.1} % of the solver optimum", gap * 100.0),
             None => String::new(),
         };

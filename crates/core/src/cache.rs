@@ -11,7 +11,8 @@
 //! original run deposited into the [`FlowContext`].
 //!
 //! The cache is `Arc`-shared and mutex-guarded so one instance can serve
-//! all scoped workers of [`crate::run_flow_sweep`]; entries are bounded
+//! many concurrent [`crate::FlowSession`]s (sweep workers, the
+//! [`crate::server`] daemon's clients); entries are bounded
 //! by an LRU policy. With a disk tier attached
 //! ([`StageCache::persistent`]), every insert is written through to a
 //! cache directory and every in-memory miss consults it — that is what
@@ -588,8 +589,8 @@ impl CacheStats {
 /// optionally backed by a persistent on-disk tier.
 ///
 /// Cloning is cheap (an `Arc` bump); clones share one store (memory and
-/// disk), which is how [`crate::run_flow_sweep`] lets every worker thread
-/// hit entries any other worker produced.
+/// disk), which is how concurrent [`crate::FlowSession`]s (sweep
+/// workers, daemon clients) hit entries any other worker produced.
 #[derive(Debug, Clone)]
 pub struct StageCache {
     inner: Arc<Mutex<Inner>>,

@@ -58,7 +58,11 @@
 //! via [`DiskStore::open_with_cap`] / `--cache-max-bytes`): whenever
 //! the entry files exceed the cap — checked at open and after every
 //! insert, against a running byte estimate so inserts do not rescan the
-//! directory — the least-recently-used entries are evicted first (LRU
+//! directory; because the estimate only sees this handle's writes, it is
+//! re-measured against the directory every few inserts so processes
+//! sharing a cache (a `cool serve` daemon plus ad-hoc CLI runs) still
+//! enforce the cap against each other's growth — the
+//! least-recently-used entries are evicted first (LRU
 //! by mtime; every hit refreshes its entry's mtime, and ties break on
 //! the file name so coarse timestamps stay deterministic). A long-lived
 //! shared `.cool-cache/` can therefore no longer grow without bound.
@@ -107,6 +111,17 @@ const CHECKSUM: usize = 16;
 /// Monotonic discriminator for temporary file names, so concurrent
 /// writers in one process never collide.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How many inserts may ride on the running byte estimate before it is
+/// re-measured against the directory. The estimate only tracks *this
+/// process's* inserts and evictions; when several processes share a
+/// `.cool-cache/` (daemon + CLI, or the two-process CI smoke) each one
+/// under-counts the others' writes and its cap check can stay below
+/// `max_bytes` while the directory grows without bound. A periodic
+/// rescan bounds that drift to at most `HINT_SYNC_INTERVAL` foreign-ish
+/// inserts' worth per writer without putting a directory walk on every
+/// insert.
+const HINT_SYNC_INTERVAL: u64 = 16;
 
 /// What [`DiskStore::load`] found for a key.
 #[derive(Debug)]
@@ -171,10 +186,16 @@ pub struct DiskStore {
     size_evictions: AtomicU64,
     /// Running estimate of the entry bytes on disk, seeded by one scan
     /// at open and maintained on insert/evict, so the per-insert cap
-    /// check is an atomic comparison instead of a directory scan. May
-    /// drift when other processes share the directory; every full
-    /// enforcement pass re-syncs it to the measured total.
+    /// check is an atomic comparison instead of a directory scan. Drifts
+    /// when other processes share the directory; every full enforcement
+    /// pass re-syncs it to the measured total, and every
+    /// [`HINT_SYNC_INTERVAL`]-th insert re-measures even without a cap
+    /// breach so cross-process under-counting cannot defer enforcement
+    /// forever.
     bytes_hint: AtomicU64,
+    /// Inserts since the estimate was last re-measured (see
+    /// [`HINT_SYNC_INTERVAL`]).
+    inserts_since_sync: AtomicU64,
 }
 
 impl DiskStore {
@@ -204,6 +225,7 @@ impl DiskStore {
             max_bytes,
             size_evictions: AtomicU64::new(0),
             bytes_hint: AtomicU64::new(0),
+            inserts_since_sync: AtomicU64::new(0),
         };
         store
             .bytes_hint
@@ -242,20 +264,7 @@ impl DiskStore {
             return;
         }
         let (measured, plan) = self.eviction_plan();
-        // Re-sync hint drift as a *delta*, never a blind store: a store
-        // would erase the fetch_add of a worker inserting concurrently
-        // (the store is Arc-shared across sweep threads). A racing
-        // correction can still leave the hint off by a few entries —
-        // harmless: over-estimates trigger a re-scan that corrects,
-        // under-estimates defer enforcement to a later insert.
-        let hint = self.bytes_hint.load(Ordering::Relaxed);
-        if measured >= hint {
-            self.bytes_hint
-                .fetch_add(measured - hint, Ordering::Relaxed);
-        } else {
-            self.bytes_hint
-                .fetch_sub(hint - measured, Ordering::Relaxed);
-        }
+        self.resync_hint(measured);
         let mut total = measured;
         for (len, path) in plan {
             if total <= self.max_bytes {
@@ -269,6 +278,24 @@ impl DiskStore {
                 self.bytes_hint.fetch_sub(len, Ordering::Relaxed);
                 self.size_evictions.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Fold the measured entry-byte total into the running estimate as a
+    /// *delta*, never a blind store: a store would erase the `fetch_add`
+    /// of a worker inserting concurrently (the store is Arc-shared
+    /// across sweep threads). A racing correction can still leave the
+    /// hint off by a few entries — harmless: over-estimates trigger a
+    /// re-scan that corrects, under-estimates defer enforcement to a
+    /// later insert or the next periodic re-sync.
+    fn resync_hint(&self, measured: u64) {
+        let hint = self.bytes_hint.load(Ordering::Relaxed);
+        if measured >= hint {
+            self.bytes_hint
+                .fetch_add(measured - hint, Ordering::Relaxed);
+        } else {
+            self.bytes_hint
+                .fetch_sub(hint - measured, Ordering::Relaxed);
         }
     }
 
@@ -370,6 +397,19 @@ impl DiskStore {
         match fs::rename(&tmp, &path) {
             Ok(()) => {
                 self.bytes_hint.fetch_add(len, Ordering::Relaxed);
+                // Every Nth insert, re-measure the directory before the
+                // cap check: the estimate only sees this handle's
+                // writes, so a daemon and a CLI sharing the directory
+                // would otherwise each stay "under cap" forever while
+                // jointly blowing past it (regression test
+                // `shared_directory_cap_survives_a_second_writer`).
+                if self.max_bytes != 0
+                    && self.inserts_since_sync.fetch_add(1, Ordering::Relaxed) + 1
+                        >= HINT_SYNC_INTERVAL
+                {
+                    self.inserts_since_sync.store(0, Ordering::Relaxed);
+                    self.resync_hint(self.total_bytes());
+                }
                 self.enforce_cap(Some(&path));
                 Ok(true)
             }
@@ -785,6 +825,57 @@ mod tests {
             "fresh insert survives"
         );
         assert!(capped.total_bytes() <= entry_bytes * 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_directory_cap_survives_a_second_writer() {
+        // Two handles on one directory — the daemon-plus-CLI shape. The
+        // capped handle's running byte estimate never sees the other
+        // handle's inserts; before the periodic re-sync its cap check
+        // would stay "under budget" forever while the directory grew
+        // without bound.
+        let dir = temp_dir("shared-cap");
+        let writes = vec![(ArtifactSlot::Cost, 7u128); 8]; // pad the payload
+        let capped = DiskStore::open_with_cap(&dir, 1).unwrap();
+        capped
+            .store(1, &ArtifactDelta::default(), &writes, Duration::ZERO)
+            .unwrap();
+        let entry_bytes = fs::metadata(capped.entry_path(1)).unwrap().len();
+
+        // A second, unbounded handle floods the directory far past the
+        // capped handle's budget (re-opened with room for ~4 entries so
+        // the flood is unambiguously over cap).
+        let capped = DiskStore::open_with_cap(&dir, entry_bytes * 4).unwrap();
+        let other = DiskStore::open_with_cap(&dir, 0).unwrap();
+        for key in 100u128..140 {
+            other
+                .store(key, &ArtifactDelta::default(), &writes, Duration::ZERO)
+                .unwrap();
+        }
+        assert!(other.total_bytes() > entry_bytes * 10);
+        std::thread::sleep(Duration::from_millis(15));
+
+        // Fewer inserts than the flood, but enough to cross the re-sync
+        // interval: the capped handle must notice the foreign bytes and
+        // trim the shared directory back under its budget.
+        for key in 1u128..=HINT_SYNC_INTERVAL as u128 {
+            capped
+                .store(key, &ArtifactDelta::default(), &writes, Duration::ZERO)
+                .unwrap();
+        }
+        assert!(
+            capped.total_bytes() <= entry_bytes * 4,
+            "periodic re-sync must enforce the cap against foreign inserts \
+             ({} bytes on disk, cap {})",
+            capped.total_bytes(),
+            entry_bytes * 4
+        );
+        assert!(capped.size_evictions() > 0, "the trim actually ran");
+        assert!(
+            matches!(capped.load(HINT_SYNC_INTERVAL as u128), Load::Hit { .. }),
+            "the freshest insert survives the trim"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -109,8 +109,8 @@ impl Engine {
     /// skipped and its recorded artifacts are restored; on a miss the
     /// stage runs and its artifact delta is stored. Caches are cheaply
     /// cloneable and may be shared across engines and threads (this is
-    /// how [`crate::run_flow_sweep`] reuses unchanged flow prefixes
-    /// across candidates).
+    /// how concurrent [`crate::FlowSession`]s over one
+    /// [`StageCache`] reuse each other's unchanged flow prefixes).
     #[must_use]
     pub fn with_cache(mut self, cache: StageCache) -> Engine {
         self.cache = Some(cache);

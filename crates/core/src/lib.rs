@@ -103,6 +103,7 @@ pub mod cache;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod server;
 pub mod session;
 pub mod stage;
 pub mod timing;
@@ -112,18 +113,23 @@ pub use cache::{ArtifactSlot, CacheStats, NodeArtifact, NodeHit, StageCache};
 pub use disk::{DiskStore, KindCounts, NodeLoad};
 pub use engine::Engine;
 pub use error::FlowError;
+pub use server::{
+    Client, FlowRequest, FlowResponse, Request, Response, ServeError, Server, ServerHandle,
+    SimResponse,
+};
 pub use session::{FamilyArtifacts, FlowSession, PartialArtifacts};
 pub use stage::{FlowContext, Stage};
 pub use timing::{CacheOutcome, FlowTrace, NodeDelta, StageRecord, StageTimings};
 
-use cool_cost::{CommScheme, CostModel};
+use cool_cost::CommScheme;
 use cool_hls::HlsOptions;
+use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
 use cool_ir::hash::{ContentHash, ContentHasher};
-use cool_ir::{Mapping, PartitioningGraph, Resource, Target};
+use cool_ir::{Mapping, PartitioningGraph, Resource};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions};
 
 /// Which partitioner the flow runs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Partitioner {
     /// Exact MILP.
     Milp(MilpOptions),
@@ -136,7 +142,7 @@ pub enum Partitioner {
 }
 
 /// All knobs of one flow run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowOptions {
     /// Partitioning algorithm.
     pub partitioner: Partitioner,
@@ -251,161 +257,67 @@ impl ContentHash for FlowOptions {
     }
 }
 
-/// Run the complete COOL design flow on `graph` for `target`.
-///
-/// # Errors
-///
-/// Any stage's failure, wrapped in [`FlowError`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use FlowSession::new(graph).target(..).options(..).run()"
-)]
-pub fn run_flow(
-    graph: &PartitioningGraph,
-    target: &Target,
-    options: &FlowOptions,
-) -> Result<FlowArtifacts, FlowError> {
-    FlowSession::new(graph)
-        .target(target.clone())
-        .options(options.clone())
-        .run()
-}
-
-/// Run the complete flow with a shared stage cache attached.
-///
-/// # Errors
-///
-/// Same as [`run_flow`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use FlowSession::new(graph).target(..).options(..).cache(..).run()"
-)]
-pub fn run_flow_cached(
-    graph: &PartitioningGraph,
-    target: &Target,
-    options: &FlowOptions,
-    cache: &StageCache,
-) -> Result<FlowArtifacts, FlowError> {
-    FlowSession::new(graph)
-        .target(target.clone())
-        .options(options.clone())
-        .cache(cache.clone())
-        .run()
-}
-
-/// Run the flow reusing an already-built cost model (the estimation
-/// stage becomes a seeded pass-through).
-///
-/// # Errors
-///
-/// Same as [`run_flow`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use FlowSession::new(graph).target(..).options(..).with_cost(..).run()"
-)]
-pub fn run_flow_with_cost(
-    graph: &PartitioningGraph,
-    target: &Target,
-    cost: CostModel,
-    options: &FlowOptions,
-) -> Result<FlowArtifacts, FlowError> {
-    FlowSession::new(graph)
-        .target(target.clone())
-        .options(options.clone())
-        .with_cost(cost)
-        .run()
-}
-
-/// One candidate evaluation of a [`run_flow_sweep`]: a target, the flow
-/// options, and optionally a pre-seeded cost model.
-#[deprecated(
-    since = "0.2.0",
-    note = "configure a FlowSession per candidate (or .targets(..).run_family() \
-            for budget families sharing one cost model)"
-)]
-#[derive(Debug, Clone)]
-pub struct SweepCandidate {
-    /// The board this candidate targets.
-    pub target: Target,
-    /// The flow knobs for this candidate.
-    pub options: FlowOptions,
-    /// Pre-seeded cost model (skips estimation), e.g. from
-    /// [`CostModel::retarget`] when only budgets vary.
-    pub cost: Option<CostModel>,
-}
-
-#[allow(deprecated)]
-impl SweepCandidate {
-    /// A candidate that estimates its own cost model.
-    #[must_use]
-    pub fn new(target: Target, options: FlowOptions) -> SweepCandidate {
-        SweepCandidate {
-            target,
-            options,
-            cost: None,
+impl Codec for Partitioner {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Partitioner::Milp(o) => {
+                e.put_u8(0);
+                o.encode(e);
+            }
+            Partitioner::Heuristic(o) => {
+                e.put_u8(1);
+                o.encode(e);
+            }
+            Partitioner::Genetic(o) => {
+                e.put_u8(2);
+                o.encode(e);
+            }
+            Partitioner::Fixed(mapping) => {
+                e.put_u8(3);
+                mapping.encode(e);
+            }
         }
     }
 
-    /// Pre-seed the candidate with a cost model.
-    #[must_use]
-    pub fn with_cost(mut self, cost: CostModel) -> SweepCandidate {
-        self.cost = Some(cost);
-        self
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(Partitioner::Milp(MilpOptions::decode(d)?)),
+            1 => Ok(Partitioner::Heuristic(HeuristicOptions::decode(d)?)),
+            2 => Ok(Partitioner::Genetic(GaOptions::decode(d)?)),
+            3 => Ok(Partitioner::Fixed(Mapping::decode(d)?)),
+            tag => Err(CodecError::InvalidTag {
+                type_name: "Partitioner",
+                tag,
+            }),
+        }
     }
 }
 
-/// Evaluate many flow candidates over one specification, fanning the
-/// per-candidate runs out across up to `jobs` scoped worker threads
-/// (`0` = all cores, same convention as [`FlowOptions::jobs`]).
-///
-/// Each element is that candidate's own `Ok`/`Err`; one failing
-/// candidate does not poison the others.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a FlowSession per candidate over a shared .cache(..); a family of \
-            budget variants is .targets(..).run_family()"
-)]
-#[allow(deprecated)]
-pub fn run_flow_sweep(
-    graph: &PartitioningGraph,
-    candidates: &[SweepCandidate],
-    jobs: usize,
-    cache: Option<&StageCache>,
-) -> Vec<Result<FlowArtifacts, FlowError>> {
-    cool_ir::par::par_map(candidates, jobs, |candidate| {
-        let mut session = FlowSession::new(graph)
-            .target(candidate.target.clone())
-            .options(candidate.options.clone());
-        if let Some(cache) = cache {
-            session = session.cache(cache.clone());
-        }
-        if let Some(cost) = &candidate.cost {
-            session = session.with_cost(cost.clone());
-        }
-        session.run()
-    })
-}
+impl Codec for FlowOptions {
+    /// The wire encoding carries every knob, `jobs` included (unlike the
+    /// content hash): a served request must run with exactly the options
+    /// the client asked for.
+    fn encode(&self, e: &mut Encoder) {
+        self.partitioner.encode(e);
+        self.scheme.encode(e);
+        self.hls.encode(e);
+        e.put_u32(self.encoding_effort);
+        e.put_u32(self.placement_effort);
+        e.put_bool(self.packed_memory);
+        e.put_usize(self.jobs);
+    }
 
-/// Convenience: run the flow with a fixed, caller-chosen mapping.
-///
-/// # Errors
-///
-/// Same as [`run_flow`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use FlowSession::new(graph).target(..).options(..).with_mapping(..).run()"
-)]
-pub fn run_flow_with_mapping(
-    graph: &PartitioningGraph,
-    target: &Target,
-    mapping: Mapping,
-    options: &FlowOptions,
-) -> Result<FlowArtifacts, FlowError> {
-    FlowSession::new(graph)
-        .target(target.clone())
-        .options(options.clone())
-        .with_mapping(mapping)
-        .run()
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(FlowOptions {
+            partitioner: Partitioner::decode(d)?,
+            scheme: CommScheme::decode(d)?,
+            hls: HlsOptions::decode(d)?,
+            encoding_effort: d.take_u32()?,
+            placement_effort: d.take_u32()?,
+            packed_memory: d.take_bool()?,
+            jobs: d.take_usize()?,
+        })
+    }
 }
 
 /// Build the all-software baseline mapping for `graph` (pinned to the
@@ -418,7 +330,9 @@ pub fn all_software_mapping(graph: &PartitioningGraph) -> Mapping {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cool_cost::CostModel;
     use cool_ir::eval::input_map;
+    use cool_ir::Target;
     use cool_spec::workloads;
     use std::time::Duration;
 

@@ -622,3 +622,188 @@ fn flow_milp_pricing_flag_selects_rule_and_keeps_artifacts_identical() {
         "{stderr}"
     );
 }
+
+#[test]
+fn watch_reports_an_unreadable_spec_and_keeps_polling() {
+    // Satellite contract: a read failure (deleted file, mid-rename
+    // window) is treated exactly like a parse failure — reported once,
+    // watched through. The loop must survive the file vanishing
+    // entirely and pick up the atomic-rename replacement that follows.
+    let dir = temp_dir("watch-unreadable");
+    let base = cool_spec::workloads::incremental(2, 19);
+    let edited = cool_spec::workloads::incremental(2, 23);
+    let spec = write_spec(&dir, "incr.cool", &cool_spec::print_spec(&base));
+
+    let mut child = cool()
+        .arg("watch")
+        .arg(&spec)
+        .args(DETERMINISTIC)
+        .args(["--poll-ms", "25", "--max-runs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        for line in std::io::BufReader::new(stdout)
+            .lines()
+            .map_while(Result::ok)
+        {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut seen = Vec::new();
+    let wait_for = |needle: &str, seen: &mut Vec<String>| loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(line) => {
+                seen.push(line);
+                if seen.last().unwrap().contains(needle) {
+                    break;
+                }
+            }
+            Err(_) => panic!(
+                "timed out waiting for `{needle}`; saw:\n{}",
+                seen.join("\n")
+            ),
+        }
+    };
+
+    wait_for("run #1: ok", &mut seen);
+    // Delete the spec out from under the watcher: it must say so and
+    // keep polling rather than dying or staying silent.
+    std::fs::remove_file(&spec).unwrap();
+    wait_for("cannot read", &mut seen);
+    assert!(
+        seen.last().unwrap().contains("still watching"),
+        "the read-failure report must promise to keep polling: {}",
+        seen.last().unwrap()
+    );
+    // An atomic-rename replacement (the save style editors use) is the
+    // recovery path: the next poll sees new bytes and run #2 fires.
+    replace_spec(&spec, &cool_spec::print_spec(&edited));
+    wait_for("run #2: ok", &mut seen);
+    wait_for("stopping", &mut seen);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            assert!(status.success(), "watcher exited with {status}");
+            break;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("watcher did not exit; saw:\n{}", seen.join("\n"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // One report per error streak, not one per poll tick.
+    let reports = seen.iter().filter(|l| l.contains("cannot read")).count();
+    assert_eq!(
+        reports,
+        1,
+        "expected exactly one read-failure report; saw:\n{}",
+        seen.join("\n")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_connect_round_trip_is_warm_on_the_second_client() {
+    // End-to-end through the CLI: `cool serve` on an ephemeral port,
+    // then two `cool flow --connect` clients for the same spec. The
+    // first synthesizes; the second must be served entirely from the
+    // daemon's hot cache (`0 stage(s) computed`) with identical files.
+    let dir = temp_dir("serve");
+    let g = cool_spec::workloads::incremental(2, 19);
+    let spec = write_spec(&dir, "incr.cool", &cool_spec::print_spec(&g));
+
+    let mut daemon = cool()
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = daemon.stdout.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        for line in std::io::BufReader::new(stdout)
+            .lines()
+            .map_while(Result::ok)
+        {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let banner = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("serve banner");
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_string();
+
+    let run_client = |out_dir: &std::path::Path| {
+        let out = cool()
+            .arg("flow")
+            .arg(&spec)
+            .args(DETERMINISTIC)
+            .args(["--connect", &addr, "--out"])
+            .arg(out_dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "client failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run_client(&dir.join("out1"));
+    assert!(
+        first.contains("served by coold"),
+        "first client output: {first}"
+    );
+    assert!(
+        !first.contains(" 0 stage(s) computed"),
+        "the cold request must synthesize: {first}"
+    );
+    let second = run_client(&dir.join("out2"));
+    assert!(
+        second.contains(", 0 stage(s) computed"),
+        "the repeat request must be fully warm: {second}"
+    );
+
+    // Both clients wrote byte-identical files.
+    let read_all = |out_dir: &std::path::Path| {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(out_dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    let a = read_all(&dir.join("out1"));
+    assert!(!a.is_empty(), "no files written");
+    assert_eq!(a, read_all(&dir.join("out2")), "served bytes must agree");
+
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,8 +22,11 @@
 //! types (they own the private fields).
 
 use std::fmt;
+use std::io;
+use std::time::Duration;
 
 use crate::graph::{EdgeId, NodeId};
+use crate::hash::ContentHasher;
 use crate::mapping::{Mapping, Resource};
 use crate::target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
 
@@ -505,6 +508,115 @@ impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
     }
 }
 
+impl Codec for Duration {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u128(self.as_nanos());
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        // Total nanoseconds: the unique representation, so the encoding
+        // stays canonical (no second (secs, nanos) spelling of the same
+        // instant). Values past Duration's range are malformed input.
+        let nanos = d.take_u128()?;
+        let secs = nanos / 1_000_000_000;
+        let Ok(secs) = u64::try_from(secs) else {
+            return Err(CodecError::LengthOverflow { len: u64::MAX });
+        };
+        #[allow(clippy::cast_possible_truncation)] // remainder < 1e9
+        Ok(Duration::new(secs, (nanos % 1_000_000_000) as u32))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire framing: the envelope `cool serve` speaks over a local socket.
+
+/// Frame magic, first bytes of every wire frame.
+pub const FRAME_MAGIC: [u8; 8] = *b"COOLWIR\0";
+/// Wire-frame format version. Bump on ANY change to the framed payload
+/// encodings (the request/response `Codec` impls), exactly like the disk
+/// cache's format version: a stale client must read as a bad frame, not
+/// decode garbage.
+pub const FRAME_VERSION: u32 = 1;
+/// Upper bound on a frame's payload, checked *before* allocation so a
+/// hostile or bit-flipped length prefix cannot OOM the server.
+pub const MAX_FRAME_PAYLOAD: u64 = 64 * 1024 * 1024;
+/// Fixed frame-header size: magic + version + payload length.
+const FRAME_HEADER: usize = 8 + 4 + 8;
+/// Trailing FNV-1a 128 payload checksum size.
+const FRAME_CHECKSUM: usize = 16;
+
+fn frame_checksum(payload: &[u8]) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write(payload);
+    h.finish()
+}
+
+fn bad_frame(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {why}"))
+}
+
+/// Write one framed payload: magic, version, length, payload, FNV-1a 128
+/// checksum. The payload is typically [`to_bytes`] of a request or
+/// response value.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: io::Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut head = [0u8; FRAME_HEADER];
+    head[..8].copy_from_slice(&FRAME_MAGIC);
+    head[8..12].copy_from_slice(&FRAME_VERSION.to_le_bytes());
+    head[12..20].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.write_all(&frame_checksum(payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Read one framed payload, validating magic, version, length bound and
+/// checksum. Returns `Ok(None)` on a clean end-of-stream (the peer
+/// closed before the first byte of a frame) so connection loops can tell
+/// an orderly close from a truncated frame.
+///
+/// # Errors
+///
+/// I/O errors from the reader; [`io::ErrorKind::InvalidData`] for a
+/// malformed frame (wrong magic or version, oversized length, checksum
+/// mismatch); [`io::ErrorKind::UnexpectedEof`] for a frame cut short.
+pub fn read_frame<R: io::Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut head = [0u8; FRAME_HEADER];
+    // Hand-rolled first read: `read_exact` cannot distinguish "peer
+    // closed between frames" (fine) from "header cut short" (an error).
+    let mut got = 0;
+    while got < head.len() {
+        match r.read(&mut head[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(bad_frame("header cut short")),
+            n => got += n,
+        }
+    }
+    if head[..8] != FRAME_MAGIC {
+        return Err(bad_frame("wrong magic"));
+    }
+    let version = u32::from_le_bytes(head[8..12].try_into().expect("4"));
+    if version != FRAME_VERSION {
+        return Err(bad_frame("wrong version"));
+    }
+    let len = u64::from_le_bytes(head[12..20].try_into().expect("8"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(bad_frame("oversized payload"));
+    }
+    let len = usize::try_from(len).map_err(|_| bad_frame("oversized payload"))?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; FRAME_CHECKSUM];
+    r.read_exact(&mut sum)?;
+    if u128::from_le_bytes(sum) != frame_checksum(&payload) {
+        return Err(bad_frame("checksum mismatch"));
+    }
+    Ok(Some(payload))
+}
+
 impl Codec for NodeId {
     fn encode(&self, e: &mut Encoder) {
         e.put_usize(self.index());
@@ -769,6 +881,84 @@ mod tests {
             from_bytes::<Vec<u8>>(&bytes),
             Err(CodecError::LengthOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn duration_roundtrips_and_stays_canonical() {
+        roundtrip(&Duration::ZERO);
+        roundtrip(&Duration::from_nanos(1));
+        roundtrip(&Duration::new(3, 999_999_999));
+        roundtrip(&Duration::MAX);
+        // Nanos past Duration's range are malformed, not a panic.
+        let mut e = Encoder::new();
+        e.put_u128(u128::MAX);
+        assert!(matches!(
+            from_bytes::<Duration>(&e.into_bytes()),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let payload = to_bytes(&Target::fuzzy_board());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean close");
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+
+        // Truncation at every cut: either a clean close (cut 0) or an
+        // error, never a successful frame.
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut &wire[..cut]).expect_err("truncated frame");
+            assert!(
+                matches!(
+                    err.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+
+        // Wrong magic.
+        let mut bad = wire.clone();
+        bad[0] ^= 0x01;
+        assert_eq!(
+            read_frame(&mut bad.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // Wrong version.
+        let mut bad = wire.clone();
+        bad[8] ^= 0x01;
+        assert_eq!(
+            read_frame(&mut bad.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // A flipped payload bit fails the checksum.
+        let mut bad = wire.clone();
+        bad[FRAME_HEADER + 2] ^= 0x40;
+        assert_eq!(
+            read_frame(&mut bad.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // A hostile length prefix is rejected before allocation.
+        let mut bad = wire;
+        bad[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut bad.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

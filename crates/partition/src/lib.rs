@@ -198,6 +198,89 @@ impl fmt::Display for Optimality {
     }
 }
 
+impl Codec for MilpOptions {
+    /// Unlike the content hash, the wire encoding carries *every* knob
+    /// (`pricing` and `jobs` included): a served request must run with
+    /// exactly the options the client asked for, wall-clock-only or not.
+    /// `pricing` travels as a raw tag byte because [`PricingRule`] lives
+    /// in `cool_ilp`, which does not depend on the codec.
+    fn encode(&self, e: &mut Encoder) {
+        e.put_f64(self.time_weight);
+        e.put_f64(self.comm_weight);
+        e.put_f64(self.area_weight);
+        e.put_usize(self.max_nodes);
+        e.put_usize(self.max_pivots);
+        e.put_u8(match self.pricing {
+            PricingRule::SteepestEdge => 0,
+            PricingRule::Bland => 1,
+        });
+        self.scheme.encode(e);
+        e.put_usize(self.jobs);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(MilpOptions {
+            time_weight: d.take_f64()?,
+            comm_weight: d.take_f64()?,
+            area_weight: d.take_f64()?,
+            max_nodes: d.take_usize()?,
+            max_pivots: d.take_usize()?,
+            pricing: match d.take_u8()? {
+                0 => PricingRule::SteepestEdge,
+                1 => PricingRule::Bland,
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        type_name: "PricingRule",
+                        tag,
+                    })
+                }
+            },
+            scheme: CommScheme::decode(d)?,
+            jobs: d.take_usize()?,
+        })
+    }
+}
+
+impl Codec for HeuristicOptions {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.max_clusters);
+        self.milp.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(HeuristicOptions {
+            max_clusters: d.take_usize()?,
+            milp: MilpOptions::decode(d)?,
+        })
+    }
+}
+
+impl Codec for GaOptions {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.population);
+        e.put_usize(self.generations);
+        e.put_usize(self.tournament);
+        self.mutation_rate.encode(e);
+        e.put_u64(self.seed);
+        self.scheme.encode(e);
+        e.put_u64(self.area_penalty);
+        e.put_usize(self.threads);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(GaOptions {
+            population: d.take_usize()?,
+            generations: d.take_usize()?,
+            tournament: d.take_usize()?,
+            mutation_rate: Option::decode(d)?,
+            seed: d.take_u64()?,
+            scheme: CommScheme::decode(d)?,
+            area_penalty: d.take_u64()?,
+            threads: d.take_usize()?,
+        })
+    }
+}
+
 impl From<cool_ilp::Status> for Optimality {
     /// Map a solver status onto the claim it supports. `Infeasible` and
     /// `Unbounded` never reach a `PartitionResult` (they surface as
