@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use cool_bench::harness::Group;
 use cool_cost::CostModel;
+use cool_ir::Objective;
 use cool_partition::{genetic, heuristic, milp, GaOptions, HeuristicOptions, MilpOptions};
 use cool_spec::workloads::{random_dag, RandomDagConfig};
 
@@ -36,8 +37,7 @@ fn main() {
     });
     let cost = CostModel::new(&graph, &target);
     let branching = |jobs: usize| MilpOptions {
-        area_weight: 0.01,
-        comm_weight: 0.3,
+        objective: Objective::blend(1.0, 0.3, 0.01),
         jobs,
         ..Default::default()
     };

@@ -123,6 +123,8 @@ fn main() -> ExitCode {
     print_scalar_trajectory("lp_warmstart", "speedup", "x", &old, &new);
     print_scalar_trajectory("lp_warmstart", "cold_child_pivots", " pivots", &old, &new);
     print_scalar_trajectory("lp_warmstart", "warm_child_pivots", " pivots", &old, &new);
+    print_scalar_trajectory("pareto_sweep", "speedup", "x", &old, &new);
+    print_scalar_trajectory("pareto_sweep", "non_dominated", " points", &old, &new);
 
     if let Some(bound) = fail_above {
         // A case that disappeared can hide an arbitrary regression

@@ -78,7 +78,7 @@ use cool_core::{
     ArtifactSlot, FlowArtifacts, FlowOptions, FlowSession, FlowTrace, Partitioner, StageCache,
 };
 use cool_cost::CommScheme;
-use cool_ir::{PartitioningGraph, Resource, Target};
+use cool_ir::{BudgetConstraint, Objective, PartitioningGraph, Resource, Target};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions, Optimality, PricingRule};
 
 fn main() -> ExitCode {
@@ -251,6 +251,31 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
             }
             Ok(())
         }
+        "pareto" => {
+            let spec = read_spec(rest)?;
+            let graph = cool_spec::parse(&spec)?;
+            let mut options = parse_options(rest)?;
+            apply_pins(&mut options, &graph, rest)?;
+            if flag_value(rest, "--targets").is_some() {
+                return Err(
+                    "--targets applies to `cool flow` only; pareto sweeps CLB budgets of one \
+                     base board (--target)"
+                        .into(),
+                );
+            }
+            let budgets_flag = flag_value(rest, "--budgets").ok_or(
+                "pareto needs --budgets A..B:STEP or a comma list (e.g. --budgets 16..128:8)",
+            )?;
+            let budgets = parse_budgets(&budgets_flag)?;
+            let (session, _cache) = configure_session(&graph, &options, rest)?;
+            let front = session.pareto(budgets)?;
+            if rest.iter().any(|a| a == "--csv") {
+                print!("{}", front.to_csv());
+            } else {
+                print!("{}", front.report());
+            }
+            Ok(())
+        }
         "watch" => run_watch(rest),
         "serve" => run_serve(rest),
         "cache" => run_cache_command(rest),
@@ -263,7 +288,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--milp-max-nodes N] [--milp-comm-weight W] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX] [--connect ADDR]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool serve    [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)\nserve: `cool serve` starts the resident daemon (default addr 127.0.0.1:2665); `--connect ADDR` makes flow/simulate clients of it"
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--objective makespan|area|comm|blend:T,C,A] [--milp-max-nodes N] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX] [--connect ADDR]\n  cool pareto   <spec.cool> --budgets A..B:STEP|N,N,... [--csv] [same flags as flow, minus --targets]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool serve    [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)\npareto: epsilon-constraint sweep over FPGA CLB budgets (--budgets 16..128:8), one shared cache, cost estimated once\nserve: `cool serve` starts the resident daemon (default addr 127.0.0.1:2665); `--connect ADDR` makes flow/simulate clients of it"
 }
 
 /// Default persistent cache directory, relative to the working directory.
@@ -285,6 +310,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--cache-max-bytes",
     "--expect-node-disk-hits",
     "--expect-node-synth-max",
+    "--objective",
+    "--budgets",
     "--milp-max-nodes",
     "--milp-comm-weight",
     "--milp-max-pivots",
@@ -342,6 +369,40 @@ fn target_flag(rest: &[String]) -> Result<Target, Box<dyn Error>> {
         Some(spec) => parse_board(&spec),
         None => Ok(Target::fuzzy_board()),
     }
+}
+
+/// Parse the `--budgets` argument of `cool pareto`: either an
+/// inclusive stepped range `A..B:STEP` or a comma-separated list of
+/// CLB capacities (`16,32,64`).
+fn parse_budgets(spec: &str) -> Result<Vec<BudgetConstraint>, Box<dyn Error>> {
+    let malformed = || -> Box<dyn Error> {
+        format!(
+            "--budgets expects A..B:STEP or a comma list (e.g. 16..128:8 or 16,32,64), got `{spec}`"
+        )
+        .into()
+    };
+    if let Some((range, step)) = spec.split_once(':') {
+        let (lo, hi) = range.split_once("..").ok_or_else(malformed)?;
+        let lo: u32 = lo.trim().parse().map_err(|_| malformed())?;
+        let hi: u32 = hi.trim().parse().map_err(|_| malformed())?;
+        let step: u32 = step.trim().parse().map_err(|_| malformed())?;
+        if step == 0 || lo == 0 || lo > hi {
+            return Err(malformed());
+        }
+        return Ok((lo..=hi)
+            .step_by(step as usize)
+            .map(BudgetConstraint::new)
+            .collect());
+    }
+    spec.split(',')
+        .map(|tok| {
+            let clbs: u32 = tok.trim().parse().map_err(|_| malformed())?;
+            if clbs == 0 {
+                return Err(malformed());
+            }
+            Ok(BudgetConstraint::new(clbs))
+        })
+        .collect()
 }
 
 /// Map a `--to-stage` name onto the artifact slot whose production
@@ -985,13 +1046,23 @@ fn parse_options(rest: &[String]) -> Result<FlowOptions, Box<dyn Error>> {
             }
         }
     }
+    if let Some(obj) = flag_value(rest, "--objective") {
+        // Flow-level override: survives `--pin` swapping the partitioner
+        // for a fixed mapping (where it is simply inert).
+        options.objective = Some(obj.parse::<Objective>()?);
+    }
     if let Some(w) = flag_value(rest, "--milp-comm-weight") {
         let weight: f64 = w
             .parse()
             .map_err(|_| format!("--milp-comm-weight expects a number, got `{w}`"))?;
+        // Deprecated alias: the old scalar knob maps onto the blended
+        // objective with the historical time/area weights left at their
+        // defaults. Keep stdout untouched (scripts grep flow output).
+        let objective = Objective::blend(1.0, weight, 0.05);
+        eprintln!("note: --milp-comm-weight is deprecated; use --objective blend:1,{weight},0.05");
         match &mut options.partitioner {
-            Partitioner::Milp(o) => o.comm_weight = weight,
-            Partitioner::Heuristic(o) => o.milp.comm_weight = weight,
+            Partitioner::Milp(o) => o.objective = objective,
+            Partitioner::Heuristic(o) => o.milp.objective = objective,
             _ => {
                 return Err(
                     "--milp-comm-weight applies to the milp/heuristic partitioners only".into(),

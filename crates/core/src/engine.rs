@@ -495,6 +495,27 @@ impl Stage for CostStage {
 /// algorithm.
 pub struct PartitionStage;
 
+impl PartitionStage {
+    /// The partitioner the stage actually runs: the configured one, with
+    /// the flow-level [`FlowOptions::objective`] override (if any)
+    /// pushed into its options. A fixed mapping has nothing to
+    /// optimize, so the override leaves it untouched. Used by both
+    /// `run` and `cache_key` so the key always describes the solve
+    /// that produced the artifact.
+    fn effective_partitioner(options: &crate::FlowOptions) -> Partitioner {
+        let mut p = options.partitioner.clone();
+        if let Some(objective) = options.objective {
+            match &mut p {
+                Partitioner::Milp(o) => o.objective = objective,
+                Partitioner::Heuristic(o) => o.milp.objective = objective,
+                Partitioner::Genetic(o) => o.objective = objective,
+                Partitioner::Fixed(_) => {}
+            }
+        }
+        p
+    }
+}
+
 impl Stage for PartitionStage {
     fn name(&self) -> &'static str {
         "partition"
@@ -508,7 +529,7 @@ impl Stage for PartitionStage {
         // the options' content hashes and cache keys); the one
         // exception, a node-limit-truncated solve, is excluded from the
         // cache below.
-        let partition = match &cx.options.partitioner {
+        let partition = match &Self::effective_partitioner(cx.options) {
             Partitioner::Milp(o) => {
                 let o = cool_partition::MilpOptions {
                     jobs: cx.options.jobs,
@@ -540,13 +561,14 @@ impl Stage for PartitionStage {
         Ok(())
     }
 
-    /// The partitioner configuration (including a fixed mapping, if any)
-    /// and the flow's communication scheme; the cost model (which embeds
-    /// the target, budgets included) arrives through the declared read
-    /// slot.
+    /// The *effective* partitioner configuration (the configured one
+    /// with the flow-level objective override applied, including a fixed
+    /// mapping, if any) and the flow's communication scheme; the cost
+    /// model (which embeds the target, budgets included) arrives
+    /// through the declared read slot.
     fn cache_key(&self, cx: &FlowContext<'_>) -> Option<u128> {
         let mut h = ContentHasher::new();
-        cx.options.partitioner.content_hash(&mut h);
+        Self::effective_partitioner(cx.options).content_hash(&mut h);
         cx.options.scheme.content_hash(&mut h);
         Some(h.finish())
     }

@@ -106,6 +106,7 @@ pub mod error;
 pub mod server;
 pub mod session;
 pub mod stage;
+pub mod table;
 pub mod timing;
 
 pub use artifacts::FlowArtifacts;
@@ -117,15 +118,16 @@ pub use server::{
     Client, FlowRequest, FlowResponse, Request, Response, ServeError, Server, ServerHandle,
     SimResponse,
 };
-pub use session::{FamilyArtifacts, FlowSession, PartialArtifacts};
+pub use session::{FamilyArtifacts, FlowSession, ParetoFront, ParetoPoint, PartialArtifacts};
 pub use stage::{FlowContext, Stage};
+pub use table::{Align, Col, TextTable};
 pub use timing::{CacheOutcome, FlowTrace, NodeDelta, StageRecord, StageTimings};
 
 use cool_cost::CommScheme;
 use cool_hls::HlsOptions;
 use cool_ir::codec::{Codec, CodecError, Decoder, Encoder};
 use cool_ir::hash::{ContentHash, ContentHasher};
-use cool_ir::{Mapping, PartitioningGraph, Resource};
+use cool_ir::{Mapping, Objective, PartitioningGraph, Resource};
 use cool_partition::{GaOptions, HeuristicOptions, MilpOptions};
 
 /// Which partitioner the flow runs.
@@ -148,6 +150,11 @@ pub struct FlowOptions {
     pub partitioner: Partitioner,
     /// Communication refinement scheme.
     pub scheme: CommScheme,
+    /// Declared optimization objective. `None` respects whatever the
+    /// configured partitioner's own options say (the historical
+    /// behaviour); `Some` overrides the objective of whichever
+    /// optimizing partitioner runs (a fixed mapping is left untouched).
+    pub objective: Option<Objective>,
     /// HLS options for the final hardware synthesis (higher effort than
     /// the estimates used during partitioning).
     pub hls: HlsOptions,
@@ -175,6 +182,7 @@ impl Default for FlowOptions {
             // proxy is the point, e.g. in the partitioner ablation).
             partitioner: Partitioner::Genetic(GaOptions::default()),
             scheme: CommScheme::MemoryMapped,
+            objective: None,
             hls: HlsOptions {
                 effort: 48,
                 ..HlsOptions::default()
@@ -200,6 +208,7 @@ impl FlowOptions {
                 ..GaOptions::default()
             }),
             scheme: CommScheme::MemoryMapped,
+            objective: None,
             hls: HlsOptions {
                 effort: 2,
                 ..HlsOptions::default()
@@ -215,6 +224,13 @@ impl FlowOptions {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> FlowOptions {
         self.jobs = jobs;
+        self
+    }
+
+    /// The same options with the declared objective overridden.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> FlowOptions {
+        self.objective = Some(objective);
         self
     }
 }
@@ -250,6 +266,13 @@ impl ContentHash for FlowOptions {
     fn content_hash(&self, h: &mut ContentHasher) {
         self.partitioner.content_hash(h);
         self.scheme.content_hash(h);
+        match &self.objective {
+            None => h.write_u8(0),
+            Some(o) => {
+                h.write_u8(1);
+                o.content_hash(h);
+            }
+        }
         self.hls.content_hash(h);
         h.write_u32(self.encoding_effort);
         h.write_u32(self.placement_effort);
@@ -300,6 +323,13 @@ impl Codec for FlowOptions {
     fn encode(&self, e: &mut Encoder) {
         self.partitioner.encode(e);
         self.scheme.encode(e);
+        match &self.objective {
+            None => e.put_u8(0),
+            Some(o) => {
+                e.put_u8(1);
+                o.encode(e);
+            }
+        }
         self.hls.encode(e);
         e.put_u32(self.encoding_effort);
         e.put_u32(self.placement_effort);
@@ -311,6 +341,16 @@ impl Codec for FlowOptions {
         Ok(FlowOptions {
             partitioner: Partitioner::decode(d)?,
             scheme: CommScheme::decode(d)?,
+            objective: match d.take_u8()? {
+                0 => None,
+                1 => Some(Objective::decode(d)?),
+                tag => {
+                    return Err(CodecError::InvalidTag {
+                        type_name: "FlowOptions.objective",
+                        tag,
+                    })
+                }
+            },
             hls: HlsOptions::decode(d)?,
             encoding_effort: d.take_u32()?,
             placement_effort: d.take_u32()?,

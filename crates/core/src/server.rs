@@ -479,6 +479,24 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             }
         };
         let reply: Arc<Vec<u8>> = match from_bytes::<Request>(&payload) {
+            // An unknown-but-well-framed request *kind* (a newer client
+            // speaking the same frame version) is a per-request error,
+            // not a protocol violation: answer it and keep the
+            // connection — and the shared cache it may be warming —
+            // alive for the requests this server does understand.
+            Err(CodecError::InvalidTag {
+                type_name: "Request",
+                tag,
+            }) => {
+                let bytes = to_bytes(&Response::Error(format!(
+                    "unsupported request kind (tag {tag}); this server understands \
+                     flow/simulate/ping/shutdown"
+                )));
+                if write_frame(&mut stream, &bytes).is_err() {
+                    return;
+                }
+                continue;
+            }
             Err(e) => {
                 let bytes = to_bytes(&Response::Error(format!("malformed request: {e}")));
                 let _ = write_frame(&mut stream, &bytes);

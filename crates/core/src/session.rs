@@ -47,8 +47,8 @@ use std::path::PathBuf;
 use cool_codegen::CProgram;
 use cool_cost::CostModel;
 use cool_hls::HlsDesign;
-use cool_ir::{Mapping, NodeId, PartitioningGraph, Resource, Target};
-use cool_partition::PartitionResult;
+use cool_ir::{BudgetConstraint, Mapping, NodeId, PartitioningGraph, Resource, Target};
+use cool_partition::{Optimality, PartitionResult};
 use cool_rtl::encoding::StateEncoding;
 use cool_rtl::place::Placement;
 use cool_rtl::{Netlist, SystemController};
@@ -319,6 +319,114 @@ impl<'a> FlowSession<'a> {
             boards.push(result?);
         }
         Ok(FamilyArtifacts { boards, estimation })
+    }
+
+    /// Epsilon-constraint design-space exploration: sweep the session's
+    /// single board over `budgets` — each point constrains every FPGA's
+    /// CLB capacity ([`BudgetConstraint::apply`]) — optimize the
+    /// declared objective at every point, and return the resulting
+    /// [`ParetoFront`] over (makespan, total CLB usage).
+    ///
+    /// The sweep is engineered like
+    /// [`run_family`](FlowSession::run_family): the cost model is
+    /// estimated **once** — by the first point's spec→cost prefix, or
+    /// taken from [`with_cost`](FlowSession::with_cost) — and
+    /// [`CostModel::retarget`]-ed to every point, whose `cost` stages
+    /// run as seeded pass-throughs ([`CacheOutcome::Seeded`], counted
+    /// by [`ParetoFront::cost_estimations`]). Points run their
+    /// spec→partition prefix on up to `jobs` scoped workers and come
+    /// back in input order for every job count, so the front is
+    /// byte-identical at any `jobs`; one shared [`StageCache`] (when
+    /// configured) serves all points. Node-limit-truncated points
+    /// carry their optimality [`gap`](ParetoPoint::gap).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Session`] when no target or more than one target is
+    /// configured, or when `budgets` is empty; otherwise the first
+    /// failing point's error (in input order).
+    pub fn pareto(
+        self,
+        budgets: impl IntoIterator<Item = BudgetConstraint>,
+    ) -> Result<ParetoFront, FlowError> {
+        let budgets: Vec<BudgetConstraint> = budgets.into_iter().collect();
+        if budgets.is_empty() {
+            return Err(FlowError::Session(
+                "no budgets configured; pass at least one BudgetConstraint to .pareto(..)"
+                    .to_string(),
+            ));
+        }
+        let base = match self.targets.len() {
+            1 => self.targets[0].clone(),
+            0 => {
+                return Err(FlowError::Session(
+                    "no target configured; call .target(..) before .pareto(..)".to_string(),
+                ))
+            }
+            n => {
+                return Err(FlowError::Session(format!(
+                    "{n} targets configured; .pareto(..) sweeps budgets of one base board"
+                )))
+            }
+        };
+        let graph = self.graph;
+        let options = self.resolved_options()?;
+        let cache = self.resolved_cache()?;
+        let seed = match self.cost {
+            Some(cost) => {
+                check_cost_compatible(&cost, &base)?;
+                Some(cost)
+            }
+            None => None,
+        };
+        let objective = declared_objective(&options);
+        let targets: Vec<Target> = budgets.iter().map(|b| b.apply(&base)).collect();
+
+        // Phase 1 — estimate once (budget-only target changes are
+        // retarget-compatible by construction, so no pairwise check is
+        // needed). Phase 2 — every point's spec→partition prefix, in
+        // input order, intra-point serial whenever the fan-out is the
+        // parallel axis.
+        let (base_cost, estimation) = estimate_prefix(
+            graph,
+            &targets[0],
+            &options,
+            cache.as_ref(),
+            seed.map(|c| c.retarget(&targets[0])),
+        )?;
+        let point_options = if targets.len() > 1 {
+            FlowOptions {
+                jobs: 1,
+                ..options.clone()
+            }
+        } else {
+            options.clone()
+        };
+        let results = cool_ir::par::par_map(&targets, options.jobs, |target| {
+            let engine = match cache.as_ref() {
+                Some(cache) => Engine::standard().with_cache(cache.clone()),
+                None => Engine::standard(),
+            };
+            let mut cx =
+                FlowContext::with_cost(graph, target, &point_options, base_cost.retarget(target));
+            let trace = engine.run_until(&mut cx, Some(ArtifactSlot::Partition))?;
+            Ok::<_, FlowError>(PartialArtifacts::from_context(
+                cx,
+                trace,
+                ArtifactSlot::Partition,
+            ))
+        });
+        let mut points = Vec::with_capacity(budgets.len());
+        for (budget, result) in budgets.into_iter().zip(results) {
+            points.push(ParetoPoint::from_partial(budget, result?)?);
+        }
+        mark_dominated(&mut points);
+        Ok(ParetoFront {
+            design: graph.name().to_string(),
+            objective,
+            points,
+            estimation,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -866,10 +974,19 @@ impl FamilyArtifacts {
             "board family report — design `{design}`, {} board(s)\n",
             self.boards.len()
         ));
-        s.push_str(&format!(
-            "{:>3} {:<28} {:>6} {:>6} {:>10} {:>12}  {}\n",
-            "#", "board", "sw", "hw", "makespan", "CLBs", "partition"
-        ));
+        let table = crate::TextTable::new(vec![
+            crate::Col::right(3, ""),
+            crate::Col::left(28, ""),
+            crate::Col::right(6, ""),
+            crate::Col::right(6, ""),
+            crate::Col::right(10, ""),
+            crate::Col::right(12, " "),
+        ]);
+        let header: Vec<String> = ["#", "board", "sw", "hw", "makespan", "CLBs"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        s.push_str(&table.row(&header, " partition"));
         for (i, art) in self.boards.iter().enumerate() {
             let budgets: Vec<String> = art
                 .target
@@ -883,14 +1000,16 @@ impl FamilyArtifacts {
                 .iter()
                 .map(ToString::to_string)
                 .collect();
-            s.push_str(&format!(
-                "{i:>3} {:<28} {:>6} {:>6} {:>10} {:>12}  {}\n",
-                budgets.join("+"),
-                art.partition.software_nodes(&art.graph),
-                art.partition.hardware_nodes(&art.graph),
-                art.partition.makespan,
-                used.join("+"),
-                art.partition.optimality_label(),
+            s.push_str(&table.row(
+                &[
+                    i.to_string(),
+                    budgets.join("+"),
+                    art.partition.software_nodes(&art.graph).to_string(),
+                    art.partition.hardware_nodes(&art.graph).to_string(),
+                    art.partition.makespan.to_string(),
+                    used.join("+"),
+                ],
+                &format!(" {}", art.partition.optimality_label()),
             ));
         }
         let best = self.best_index();
@@ -931,5 +1050,295 @@ impl IntoIterator for FamilyArtifacts {
 
     fn into_iter(self) -> Self::IntoIter {
         self.boards.into_iter()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pareto sweeps.
+
+/// Display label of the objective a sweep actually optimizes: the
+/// flow-level override when set, otherwise whatever the configured
+/// partitioner's own options declare.
+fn declared_objective(options: &FlowOptions) -> String {
+    match (&options.objective, &options.partitioner) {
+        (Some(o), _) => o.to_string(),
+        (None, Partitioner::Milp(m)) => m.objective.to_string(),
+        (None, Partitioner::Heuristic(h)) => h.milp.objective.to_string(),
+        (None, Partitioner::Genetic(g)) => g.objective.to_string(),
+        (None, Partitioner::Fixed(_)) => "fixed".to_string(),
+    }
+}
+
+/// One evaluated point of a [`FlowSession::pareto`] sweep.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The area budget this point was solved under.
+    pub budget: BudgetConstraint,
+    /// The full partitioning outcome (mapping, makespan, per-FPGA CLB
+    /// usage, optimality claim and gap).
+    pub partition: PartitionResult,
+    /// The makespan in microseconds under the point's retargeted cost
+    /// model.
+    pub makespan_us: f64,
+    /// Function nodes mapped to software.
+    pub software_nodes: usize,
+    /// Function nodes mapped to hardware.
+    pub hardware_nodes: usize,
+    /// `true` when another sweep point weakly dominates this one
+    /// (no worse in both makespan and total CLB usage, strictly better
+    /// in at least one). The non-dominated points are the front.
+    pub dominated: bool,
+    trace: FlowTrace,
+}
+
+impl ParetoPoint {
+    fn from_partial(
+        budget: BudgetConstraint,
+        partial: PartialArtifacts,
+    ) -> Result<ParetoPoint, FlowError> {
+        let partition = partial.partition()?.clone();
+        let makespan_us = partial.cost()?.cycles_to_us(partition.makespan);
+        let software_nodes = partition.software_nodes(partial.graph());
+        let hardware_nodes = partition.hardware_nodes(partial.graph());
+        Ok(ParetoPoint {
+            budget,
+            partition,
+            makespan_us,
+            software_nodes,
+            hardware_nodes,
+            dominated: false,
+            trace: partial.trace,
+        })
+    }
+
+    /// Schedule makespan, system cycles.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.partition.makespan
+    }
+
+    /// Total CLB usage across the point's hardware resources.
+    #[must_use]
+    pub fn total_clbs(&self) -> u32 {
+        self.partition.hw_area.iter().sum()
+    }
+
+    /// Relative optimality gap of a node-limit-truncated MILP solve:
+    /// `Some` exactly when the solver gave up with
+    /// [`Optimality::LimitReached`], in which case the point's objective
+    /// is only proven to be within `gap × 100` % of the true optimum —
+    /// treat its position on the front accordingly.
+    #[must_use]
+    pub fn gap(&self) -> Option<f64> {
+        self.partition.gap
+    }
+
+    /// `true` for a node-limit-truncated solve (see
+    /// [`gap`](ParetoPoint::gap)).
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.partition.optimality == Optimality::LimitReached
+    }
+
+    /// The timing journal of this point's spec→partition prefix.
+    #[must_use]
+    pub fn trace(&self) -> &FlowTrace {
+        &self.trace
+    }
+}
+
+/// Mark every point that is weakly dominated by another (minimizing
+/// makespan and total CLB usage; duplicates do not dominate each other).
+fn mark_dominated(points: &mut [ParetoPoint]) {
+    let metrics: Vec<(u64, u32)> = points
+        .iter()
+        .map(|p| (p.makespan(), p.total_clbs()))
+        .collect();
+    for (i, p) in points.iter_mut().enumerate() {
+        let (m, a) = metrics[i];
+        p.dominated = metrics
+            .iter()
+            .enumerate()
+            .any(|(j, &(mj, aj))| j != i && mj <= m && aj <= a && (mj < m || aj < a));
+    }
+}
+
+/// The outcome of one [`FlowSession::pareto`] sweep: every evaluated
+/// point in input (budget) order with its dominance flag, plus the
+/// evidence of the sweep's single cost estimation.
+#[derive(Debug, Clone)]
+pub struct ParetoFront {
+    design: String,
+    objective: String,
+    points: Vec<ParetoPoint>,
+    estimation: FlowTrace,
+}
+
+impl ParetoFront {
+    /// Every evaluated point, in input (budget) order.
+    #[must_use]
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of evaluated points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` for an empty sweep (never produced by
+    /// [`FlowSession::pareto`], which requires a budget).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The dominance-filtered front: every non-dominated point, in
+    /// input order.
+    #[must_use]
+    pub fn non_dominated(&self) -> Vec<&ParetoPoint> {
+        self.points.iter().filter(|p| !p.dominated).collect()
+    }
+
+    /// The objective label the sweep optimized (e.g. `makespan`,
+    /// `blend:1,0.3,0.05`).
+    #[must_use]
+    pub fn objective(&self) -> &str {
+        &self.objective
+    }
+
+    /// The trace of the sweep's estimation prefix (spec→cost over the
+    /// first point's board).
+    #[must_use]
+    pub fn estimation_trace(&self) -> &FlowTrace {
+        &self.estimation
+    }
+
+    /// How many times the sweep actually *executed* cost estimation —
+    /// the contract is at most 1, evidenced by the recorded traces:
+    /// every point's `cost` stage must appear as
+    /// [`CacheOutcome::Seeded`] (or a cache restore), never as an
+    /// execution.
+    #[must_use]
+    pub fn cost_estimations(&self) -> usize {
+        let executed = |trace: &FlowTrace| {
+            trace.records().iter().any(|r| {
+                r.name == "cost" && matches!(r.cache, CacheOutcome::Uncached | CacheOutcome::Miss)
+            })
+        };
+        usize::from(executed(&self.estimation))
+            + self.points.iter().filter(|p| executed(&p.trace)).count()
+    }
+
+    /// Stages that actually executed across the whole sweep (estimation
+    /// prefix + every point): cache restores and seeded pass-throughs
+    /// do not count, so a fully warm re-run reports 0.
+    #[must_use]
+    pub fn computed_stages(&self) -> usize {
+        let computed = |trace: &FlowTrace| {
+            trace
+                .records()
+                .iter()
+                .filter(|r| matches!(r.cache, CacheOutcome::Uncached | CacheOutcome::Miss))
+                .count()
+        };
+        computed(&self.estimation)
+            + self
+                .points
+                .iter()
+                .map(|p| computed(&p.trace))
+                .sum::<usize>()
+    }
+
+    /// Points whose MILP partition was node-limit truncated.
+    #[must_use]
+    pub fn truncated_points(&self) -> usize {
+        self.points.iter().filter(|p| p.is_truncated()).count()
+    }
+
+    /// The comparative sweep report: one row per point (budget,
+    /// partition shape, makespan, CLB usage, front membership,
+    /// optimality with the quantified gap for truncated solves) plus
+    /// the sweep accounting the CI smoke greps for.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "pareto sweep — design `{}`, objective {}, {} point(s)\n",
+            self.design,
+            self.objective,
+            self.points.len()
+        ));
+        let table = crate::TextTable::new(vec![
+            crate::Col::right(3, ""),
+            crate::Col::right(8, ""),
+            crate::Col::right(6, ""),
+            crate::Col::right(6, ""),
+            crate::Col::right(10, ""),
+            crate::Col::right(8, ""),
+            crate::Col::right(5, " "),
+        ]);
+        let header: Vec<String> = ["#", "budget", "sw", "hw", "makespan", "CLBs", "front"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        s.push_str(&table.row(&header, " optimality"));
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&table.row(
+                &[
+                    i.to_string(),
+                    p.budget.to_string(),
+                    p.software_nodes.to_string(),
+                    p.hardware_nodes.to_string(),
+                    p.makespan().to_string(),
+                    p.total_clbs().to_string(),
+                    if p.dominated { "-" } else { "*" }.to_string(),
+                ],
+                &format!(" {}", p.partition.optimality_label()),
+            ));
+        }
+        s.push_str(&format!(
+            "pareto sweep: {} point(s), {} non-dominated, {} stage(s) computed\n",
+            self.points.len(),
+            self.non_dominated().len(),
+            self.computed_stages()
+        ));
+        s.push_str(&format!(
+            "cost model: estimated {} time(s) for {} point(s) (retargeted to the rest)\n",
+            self.cost_estimations(),
+            self.points.len()
+        ));
+        let truncated = self.truncated_points();
+        if truncated > 0 {
+            s.push_str(&format!(
+                "warning: {truncated} point(s) carry node-limit-truncated MILP partitions — \
+                 their optimality gap bounds how far off the front they may sit\n"
+            ));
+        }
+        s
+    }
+
+    /// The sweep as CSV (one row per point, input order), for plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "budget,makespan_cycles,makespan_us,clbs,software_nodes,hardware_nodes,optimality,gap,non_dominated\n",
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "{},{},{:.3},{},{},{},{},{},{}\n",
+                p.budget.max_clbs_per_fpga,
+                p.makespan(),
+                p.makespan_us,
+                p.total_clbs(),
+                p.software_nodes,
+                p.hardware_nodes,
+                p.partition.optimality,
+                p.gap().map(|g| format!("{g:.6}")).unwrap_or_default(),
+                !p.dominated
+            ));
+        }
+        s
     }
 }

@@ -1,0 +1,148 @@
+//! Fixed-width ASCII table rendering, shared by every textual report of
+//! the crate ([`FlowTrace::to_table`](crate::FlowTrace::to_table), the
+//! [`FamilyArtifacts`](crate::FamilyArtifacts) family report, the
+//! [`ParetoFront`](crate::ParetoFront) sweep report).
+//!
+//! The model is deliberately small: a table is a list of [`Col`]umn
+//! specifications — width, alignment, and a *unit* string glued directly
+//! to the cell (`" ms"`, `" %"`, a separator) — and [`TextTable::row`]
+//! renders one line at a time, columns joined by single spaces, with a
+//! freeform tail appended after the last provided cell. A row may
+//! provide fewer cells than the table has columns (summary rows), and
+//! callers keep full control over number formatting, so the rendered
+//! bytes are exactly what the previous hand-rolled `format!` strings
+//! produced.
+
+/// Cell alignment within a fixed-width column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+/// One column of a [`TextTable`]: minimum width, alignment, and the
+/// literal unit/separator text glued to the cell (before the single
+/// space that joins it to the next column).
+#[derive(Debug, Clone, Copy)]
+pub struct Col {
+    /// Minimum cell width (longer cells render unclipped).
+    pub width: usize,
+    /// Cell alignment.
+    pub align: Align,
+    /// Literal text appended directly to the padded cell.
+    pub unit: &'static str,
+}
+
+impl Col {
+    /// A left-aligned column.
+    #[must_use]
+    pub fn left(width: usize, unit: &'static str) -> Col {
+        Col {
+            width,
+            align: Align::Left,
+            unit,
+        }
+    }
+
+    /// A right-aligned column.
+    #[must_use]
+    pub fn right(width: usize, unit: &'static str) -> Col {
+        Col {
+            width,
+            align: Align::Right,
+            unit,
+        }
+    }
+}
+
+/// A column layout that renders rows one at a time.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    cols: Vec<Col>,
+}
+
+impl TextTable {
+    /// A table with the given column layout.
+    #[must_use]
+    pub fn new(cols: Vec<Col>) -> TextTable {
+        TextTable { cols }
+    }
+
+    /// Render one row: the cells padded to their columns and joined by
+    /// single spaces, each followed by its column's unit text, then
+    /// `tail` verbatim, then a newline. Providing fewer cells than
+    /// columns renders a short (summary) row; providing more panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells` is longer than the column layout.
+    #[must_use]
+    pub fn row(&self, cells: &[String], tail: &str) -> String {
+        assert!(
+            cells.len() <= self.cols.len(),
+            "row has {} cell(s) but the table has {} column(s)",
+            cells.len(),
+            self.cols.len()
+        );
+        let mut s = String::new();
+        for (i, (cell, col)) in cells.iter().zip(&self.cols).enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            match col.align {
+                Align::Left => s.push_str(&format!("{cell:<width$}", width = col.width)),
+                Align::Right => s.push_str(&format!("{cell:>width$}", width = col.width)),
+            }
+            s.push_str(col.unit);
+        }
+        s.push_str(tail);
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_hand_rolled_format_strings() {
+        // The FlowTrace stage-row layout.
+        let t = TextTable::new(vec![
+            Col::left(12, ""),
+            Col::right(10, " ms"),
+            Col::right(5, " %"),
+        ]);
+        let rendered = t.row(
+            &["hls".to_string(), "9.000".to_string(), "93.8".to_string()],
+            "  [seeded pass-through]",
+        );
+        let reference = format!(
+            "{:<12} {:>10.3} ms {:>5.1} %{}\n",
+            "hls", 9.0f64, 93.75f64, "  [seeded pass-through]"
+        );
+        assert_eq!(rendered, reference);
+    }
+
+    #[test]
+    fn short_rows_stop_after_the_last_cell() {
+        let t = TextTable::new(vec![
+            Col::left(12, ""),
+            Col::right(10, " ms"),
+            Col::right(5, " %"),
+        ]);
+        assert_eq!(
+            t.row(&["total".to_string(), "96.000".to_string()], ""),
+            format!("total        {:>10.3} ms\n", 96.0f64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 2 cell(s)")]
+    fn too_many_cells_panic() {
+        let t = TextTable::new(vec![Col::left(4, "")]);
+        let _ = t.row(&["a".to_string(), "b".to_string()], "");
+    }
+}

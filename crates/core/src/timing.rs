@@ -257,6 +257,11 @@ impl FlowTrace {
     /// Cache hits are annotated with the wall-clock they saved.
     #[must_use]
     pub fn to_table(&self) -> String {
+        let table = crate::TextTable::new(vec![
+            crate::Col::left(12, ""),
+            crate::Col::right(10, " ms"),
+            crate::Col::right(5, " %"),
+        ]);
         let total = self.total().as_secs_f64().max(1e-12);
         let mut s = String::new();
         for r in &self.records {
@@ -267,24 +272,31 @@ impl FlowTrace {
                 ),
                 _ => String::new(),
             };
-            s.push_str(&format!(
-                "{:<12} {:>10.3} ms {:>5.1} %{}{nodes}\n",
-                r.name,
-                r.duration.as_secs_f64() * 1e3,
-                100.0 * r.duration.as_secs_f64() / total,
-                match r.cache {
-                    CacheOutcome::Hit { saved } =>
-                        format!("  [cache hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
-                    CacheOutcome::DiskHit { saved } =>
-                        format!("  [disk hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3),
-                    CacheOutcome::Seeded => "  [seeded pass-through]".to_string(),
-                    _ => String::new(),
+            let cache = match r.cache {
+                CacheOutcome::Hit { saved } => {
+                    format!("  [cache hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3)
                 }
+                CacheOutcome::DiskHit { saved } => {
+                    format!("  [disk hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3)
+                }
+                CacheOutcome::Seeded => "  [seeded pass-through]".to_string(),
+                _ => String::new(),
+            };
+            s.push_str(&table.row(
+                &[
+                    r.name.to_string(),
+                    format!("{:.3}", r.duration.as_secs_f64() * 1e3),
+                    format!("{:.1}", 100.0 * r.duration.as_secs_f64() / total),
+                ],
+                &format!("{cache}{nodes}"),
             ));
         }
-        s.push_str(&format!(
-            "total        {:>10.3} ms\n",
-            self.total().as_secs_f64() * 1e3
+        s.push_str(&table.row(
+            &[
+                "total".to_string(),
+                format!("{:.3}", self.total().as_secs_f64() * 1e3),
+            ],
+            "",
         ));
         if self.cache_hits() + self.cache_misses() > 0 {
             s.push_str(&format!(

@@ -8,7 +8,7 @@
 //! parallel.
 
 use cool_core::{FlowArtifacts, FlowOptions, FlowSession, Partitioner, StageCache};
-use cool_ir::Target;
+use cool_ir::{Objective, Target};
 use cool_partition::{MilpOptions, Optimality};
 use cool_spec::workloads::{random_dag, RandomDagConfig};
 
@@ -52,7 +52,7 @@ fn branching_graph() -> cool_ir::PartitioningGraph {
 fn milp_flow(max_nodes: usize, jobs: usize) -> FlowOptions {
     FlowOptions {
         partitioner: Partitioner::Milp(MilpOptions {
-            comm_weight: 0.1,
+            objective: Objective::blend(1.0, 0.1, 0.05),
             max_nodes,
             ..Default::default()
         }),
@@ -202,7 +202,7 @@ fn heuristic_partition_never_claims_optimal() {
         &cost,
         &cool_partition::HeuristicOptions {
             milp: MilpOptions {
-                comm_weight: 0.1,
+                objective: Objective::blend(1.0, 0.1, 0.05),
                 max_nodes: 12,
                 ..Default::default()
             },

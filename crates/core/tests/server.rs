@@ -257,9 +257,10 @@ fn malformed_frames_are_rejected_without_poisoning_the_cache() {
     let mut rest = Vec::new();
     let _ = raw.read_to_end(&mut rest); // the server must have closed
 
-    // A well-framed payload that is not a Request: rejected the same way.
+    // A well-framed payload that decodes as a known request kind but
+    // runs out of bytes (a truncated Flow body): rejected the same way.
     let mut framed = TcpStream::connect(handle.addr()).expect("connect framed");
-    write_frame(&mut framed, &[0xFF, 0xFE, 0xFD]).expect("write frame");
+    write_frame(&mut framed, &[0x00]).expect("write frame");
     let payload = read_frame(&mut framed)
         .expect("error reply frame")
         .expect("server replies before closing");
@@ -286,6 +287,63 @@ fn malformed_frames_are_rejected_without_poisoning_the_cache() {
     assert_eq!(after.c_programs, before.c_programs);
     assert_eq!(after.stages_computed(), 0, "cache must still be warm");
     assert_eq!(handle.syntheses(), 1, "garbage must never trigger work");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn unknown_request_kinds_get_an_error_frame_and_the_connection_survives() {
+    let (handle, join) = spawn_server(StageCache::default());
+    let spec = print_spec(&workloads::equalizer(2));
+
+    // Seed the shared cache so survival is observable.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let before = client.flow(request_for(&spec)).expect("seed flow");
+
+    // A well-framed request of an *unknown kind* — what a newer client
+    // speaking the same frame version would send. The server must
+    // answer with an error frame, not tear the connection down.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect raw");
+    write_frame(&mut raw, &[9]).expect("write unknown kind");
+    let payload = read_frame(&mut raw)
+        .expect("error reply frame")
+        .expect("connection stays open");
+    match cool_ir::codec::from_bytes::<Response>(&payload).expect("reply decodes") {
+        Response::Error(msg) => assert!(
+            msg.contains("unsupported request kind (tag 9)"),
+            "got: {msg}"
+        ),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // The *same* connection keeps serving: a ping...
+    write_frame(&mut raw, &to_bytes(&Request::Ping)).expect("write ping");
+    let payload = read_frame(&mut raw)
+        .expect("pong frame")
+        .expect("connection stays open");
+    assert_eq!(
+        cool_ir::codec::from_bytes::<Response>(&payload).expect("pong decodes"),
+        Response::Pong
+    );
+
+    // ...and a flow served entirely from the surviving shared cache.
+    write_frame(&mut raw, &to_bytes(&Request::Flow(request_for(&spec)))).expect("write flow");
+    let payload = read_frame(&mut raw)
+        .expect("flow reply frame")
+        .expect("connection stays open");
+    match cool_ir::codec::from_bytes::<Response>(&payload).expect("flow decodes") {
+        Response::Flow(resp) => {
+            assert_eq!(resp.vhdl, before.vhdl);
+            assert_eq!(resp.stages_computed(), 0, "cache must still be warm");
+        }
+        other => panic!("expected a flow response, got {other:?}"),
+    }
+    assert_eq!(
+        handle.syntheses(),
+        1,
+        "the unknown kind never reached the engine"
+    );
 
     handle.shutdown();
     join.join().expect("server thread");

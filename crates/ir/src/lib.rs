@@ -51,6 +51,7 @@ pub mod eval;
 pub mod graph;
 pub mod hash;
 pub mod mapping;
+pub mod objective;
 pub mod par;
 pub mod rng;
 pub mod target;
@@ -61,6 +62,7 @@ pub use error::IrError;
 pub use graph::{Edge, EdgeId, Node, NodeId, NodeKind, PartitioningGraph};
 pub use hash::{ContentHash, ContentHasher};
 pub use mapping::{Mapping, Resource};
+pub use objective::{BudgetConstraint, Objective};
 pub use target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
 
 /// Commonly used items, re-exported for convenient glob import.
@@ -69,5 +71,6 @@ pub mod prelude {
     pub use crate::error::IrError;
     pub use crate::graph::{Edge, EdgeId, Node, NodeId, NodeKind, PartitioningGraph};
     pub use crate::mapping::{Mapping, Resource};
+    pub use crate::objective::{BudgetConstraint, Objective};
     pub use crate::target::{Bus, HwResource, Memory, Processor, Target, TimingClass};
 }

@@ -1,14 +1,17 @@
 //! Genetic-algorithm partitioning.
 //!
-//! Chromosomes assign one resource index to every function node. Fitness
-//! is the *real* list-scheduler makespan plus a steep penalty per CLB of
-//! area violation, so the GA optimizes exactly what the paper's schedule
-//! executes. Population evaluation is parallelized with `std::thread`
-//! scoped workers.
+//! Chromosomes assign one resource index to every function node. Under
+//! the default [`Objective::Makespan`], fitness is the *real*
+//! list-scheduler makespan plus a steep penalty per CLB of area
+//! violation, so the GA optimizes exactly what the paper's schedule
+//! executes; the other objectives re-rank the same evaluated schedule
+//! by area or cut communication volume (lexicographically, with
+//! makespan breaking ties). Population evaluation is parallelized with
+//! `std::thread` scoped workers.
 
 use cool_cost::{CommScheme, CostModel};
 use cool_ir::rng::StdRng;
-use cool_ir::{Mapping, NodeId, PartitioningGraph, Resource};
+use cool_ir::{Mapping, NodeId, Objective, PartitioningGraph, Resource};
 
 use crate::{Algorithm, PartitionError, PartitionResult};
 
@@ -27,6 +30,9 @@ pub struct GaOptions {
     pub seed: u64,
     /// Communication scheme assumed by the fitness schedule.
     pub scheme: CommScheme,
+    /// What fitness minimizes (see the module docs for the ranking each
+    /// variant induces).
+    pub objective: Objective,
     /// Penalty in cycles per CLB of FPGA over-subscription.
     pub area_penalty: u64,
     /// Worker threads for fitness evaluation (1 = sequential).
@@ -42,11 +48,18 @@ impl Default for GaOptions {
             mutation_rate: None,
             seed: 42,
             scheme: CommScheme::MemoryMapped,
+            objective: Objective::Makespan,
             area_penalty: 50,
             threads: 4,
         }
     }
 }
+
+/// A lexicographic fitness key: smaller is fitter, the second component
+/// breaks ties in the first. [`Objective::Makespan`] keeps the second
+/// component at zero, so default runs rank exactly as the scalar
+/// fitness always did.
+type Fitness = (u64, u64);
 
 /// Partition `g` with a genetic algorithm.
 ///
@@ -82,12 +95,12 @@ pub fn partition(
         );
     }
 
-    let evaluate_one = |chrom: &[u8]| -> u64 {
+    let evaluate_one = |chrom: &[u8]| -> Fitness {
         let mapping = decode(g, &functions, &resources, chrom);
         fitness(g, &mapping, cost, options)
     };
 
-    let mut fitnesses: Vec<u64> = evaluate_population(&pop, options.threads, &evaluate_one);
+    let mut fitnesses: Vec<Fitness> = evaluate_population(&pop, options.threads, &evaluate_one);
     let mut best = best_of(&pop, &fitnesses);
 
     for _gen in 0..options.generations {
@@ -149,29 +162,56 @@ fn decode(
     m
 }
 
-fn fitness(g: &PartitioningGraph, mapping: &Mapping, cost: &CostModel, options: &GaOptions) -> u64 {
+fn fitness(
+    g: &PartitioningGraph,
+    mapping: &Mapping,
+    cost: &CostModel,
+    options: &GaOptions,
+) -> Fitness {
     let usage = crate::area_usage(g, mapping, cost);
     let violation: u64 = usage
         .iter()
         .zip(&cost.target().hw)
         .map(|(&used, hw)| u64::from(used.saturating_sub(hw.clb_capacity)))
         .sum();
-    match cool_schedule::schedule(g, mapping, cost, options.scheme) {
-        Ok(s) => s.makespan() + violation * options.area_penalty,
-        Err(_) => u64::MAX / 2,
+    let Ok(s) = cool_schedule::schedule(g, mapping, cost, options.scheme) else {
+        return (u64::MAX / 2, u64::MAX / 2);
+    };
+    let makespan = s.makespan();
+    let penalty = violation * options.area_penalty;
+    let area: u64 = usage.iter().map(|&a| u64::from(a)).sum();
+    let comm = || -> u64 {
+        mapping
+            .cut_edges(g)
+            .iter()
+            .map(|(_, e)| cost.comm_cycles(e, options.scheme))
+            .sum()
+    };
+    match options.objective {
+        Objective::Makespan => (makespan + penalty, 0),
+        Objective::Area => (area + penalty, makespan),
+        Objective::CommVolume => (comm() + penalty, makespan),
+        Objective::Blend { .. } => {
+            let (tw, cw, aw) = options.objective.weights();
+            let blended =
+                tw * makespan as f64 + cw * comm() as f64 + aw * area as f64 + penalty as f64;
+            // A finite non-negative f64's bit pattern is order-preserving
+            // as a u64, so the blend ranks without losing precision.
+            (blended.max(0.0).to_bits(), makespan)
+        }
     }
 }
 
 fn evaluate_population(
     pop: &[Vec<u8>],
     threads: usize,
-    evaluate_one: &(impl Fn(&[u8]) -> u64 + Sync),
-) -> Vec<u64> {
+    evaluate_one: &(impl Fn(&[u8]) -> Fitness + Sync),
+) -> Vec<Fitness> {
     if threads <= 1 || pop.len() < 8 {
         return pop.iter().map(|c| evaluate_one(c)).collect();
     }
     let chunk = pop.len().div_ceil(threads);
-    let mut out = vec![0u64; pop.len()];
+    let mut out = vec![(0u64, 0u64); pop.len()];
     std::thread::scope(|scope| {
         for (slot, chunk_items) in out.chunks_mut(chunk).zip(pop.chunks(chunk)) {
             scope.spawn(move || {
@@ -184,7 +224,7 @@ fn evaluate_population(
     out
 }
 
-fn tournament(pop: &[Vec<u8>], fit: &[u64], k: usize, rng: &mut StdRng) -> usize {
+fn tournament(pop: &[Vec<u8>], fit: &[Fitness], k: usize, rng: &mut StdRng) -> usize {
     let mut best = rng.random_range(0..pop.len());
     for _ in 1..k.max(1) {
         let c = rng.random_range(0..pop.len());
@@ -195,7 +235,7 @@ fn tournament(pop: &[Vec<u8>], fit: &[u64], k: usize, rng: &mut StdRng) -> usize
     best
 }
 
-fn best_of(pop: &[Vec<u8>], fit: &[u64]) -> (Vec<u8>, u64) {
+fn best_of(pop: &[Vec<u8>], fit: &[Fitness]) -> (Vec<u8>, Fitness) {
     let (i, &f) = fit
         .iter()
         .enumerate()
@@ -309,6 +349,66 @@ mod tests {
         )
         .unwrap();
         assert_eq!(serial.mapping, parallel.mapping);
+    }
+
+    #[test]
+    fn area_objective_drives_hardware_to_zero() {
+        // Under the area objective the seeded all-software individual
+        // (zero CLBs) is unbeatable, so the champion must use no
+        // hardware at all — a behavioural check that the declared
+        // objective actually steers selection.
+        let g = workloads::equalizer(4);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let res = partition(
+            &g,
+            &cost,
+            &GaOptions {
+                objective: Objective::Area,
+                ..quick_options()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.hardware_nodes(&g), 0);
+        assert!(res.hw_area.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn comm_objective_eliminates_cuts() {
+        // Primary I/O is pinned to sw0, so the only zero-communication
+        // mappings are fully software — the comm objective must find one.
+        let g = workloads::equalizer(4);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let res = partition(
+            &g,
+            &cost,
+            &GaOptions {
+                objective: Objective::CommVolume,
+                ..quick_options()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.mapping.cut_edges(&g).len(), 0);
+    }
+
+    #[test]
+    fn pure_time_blend_agrees_with_makespan_preset() {
+        // `blend:1,0,0` induces exactly the preset's ranking (primary =
+        // makespan + penalty, all ties resolve to the same index), so
+        // the two runs must select the same champion.
+        let g = workloads::equalizer(4);
+        let cost = CostModel::new(&g, &Target::fuzzy_board());
+        let preset = partition(&g, &cost, &quick_options()).unwrap();
+        let blended = partition(
+            &g,
+            &cost,
+            &GaOptions {
+                objective: Objective::blend(1.0, 0.0, 0.0),
+                ..quick_options()
+            },
+        )
+        .unwrap();
+        assert_eq!(preset.mapping, blended.mapping);
+        assert_eq!(preset.makespan, blended.makespan);
     }
 
     #[test]

@@ -193,6 +193,7 @@ pub fn partition(
     let target = cost.target();
     let resources = target.resources();
     let r_count = resources.len();
+    let (time_weight, comm_weight, area_weight) = options.milp.objective.weights();
     let mut p = cool_ilp::Problem::minimize();
     let mut x: Vec<Vec<cool_ilp::VarId>> = Vec::with_capacity(k);
     for members in cluster_members.iter().take(k) {
@@ -203,9 +204,7 @@ pub fn partition(
                 Resource::Hardware(_) => members.iter().map(|&n| cost.hw_area_clbs(n)).sum(),
                 Resource::Software(_) => 0,
             };
-            row.push(p.add_binary(
-                options.milp.time_weight * exec as f64 + options.milp.area_weight * f64::from(area),
-            ));
+            row.push(p.add_binary(time_weight * exec as f64 + area_weight * f64::from(area)));
         }
         let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
         p.add_constraint(&terms, cool_ilp::Cmp::Eq, 1.0);
@@ -228,14 +227,14 @@ pub fn partition(
         p.add_constraint(&terms, cool_ilp::Cmp::Le, f64::from(hw.clb_capacity));
     }
     for (&(a, b), &w) in &inter {
-        let y = p.add_continuous(0.0, 1.0, options.milp.comm_weight * w as f64);
+        let y = p.add_continuous(0.0, 1.0, comm_weight * w as f64);
         for (&xa, &xb) in x[a].iter().zip(&x[b]).take(r_count) {
             p.add_constraint(&[(y, 1.0), (xa, -1.0), (xb, 1.0)], cool_ilp::Cmp::Ge, 0.0);
             p.add_constraint(&[(y, 1.0), (xb, -1.0), (xa, 1.0)], cool_ilp::Cmp::Ge, 0.0);
         }
     }
     for (&c, &w) in &io_cut {
-        let y = p.add_continuous(0.0, 1.0, options.milp.comm_weight * w as f64);
+        let y = p.add_continuous(0.0, 1.0, comm_weight * w as f64);
         p.add_constraint(&[(y, 1.0), (x[c][0], 1.0)], cool_ilp::Cmp::Ge, 1.0);
     }
     let sol = p.solve(&cool_ilp::SolveOptions {

@@ -49,9 +49,7 @@ impl ContentHash for MilpOptions {
     /// only — and the engine never caches the one exception,
     /// limit-truncated results.
     fn content_hash(&self, h: &mut ContentHasher) {
-        h.write_f64(self.time_weight);
-        h.write_f64(self.comm_weight);
-        h.write_f64(self.area_weight);
+        self.objective.content_hash(h);
         h.write_usize(self.max_nodes);
         h.write_usize(self.max_pivots);
         self.scheme.content_hash(h);
@@ -82,6 +80,7 @@ impl ContentHash for GaOptions {
         }
         h.write_u64(self.seed);
         self.scheme.content_hash(h);
+        self.objective.content_hash(h);
         h.write_u64(self.area_penalty);
     }
 }
@@ -205,9 +204,7 @@ impl Codec for MilpOptions {
     /// `pricing` travels as a raw tag byte because [`PricingRule`] lives
     /// in `cool_ilp`, which does not depend on the codec.
     fn encode(&self, e: &mut Encoder) {
-        e.put_f64(self.time_weight);
-        e.put_f64(self.comm_weight);
-        e.put_f64(self.area_weight);
+        self.objective.encode(e);
         e.put_usize(self.max_nodes);
         e.put_usize(self.max_pivots);
         e.put_u8(match self.pricing {
@@ -220,9 +217,7 @@ impl Codec for MilpOptions {
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(MilpOptions {
-            time_weight: d.take_f64()?,
-            comm_weight: d.take_f64()?,
-            area_weight: d.take_f64()?,
+            objective: cool_ir::Objective::decode(d)?,
             max_nodes: d.take_usize()?,
             max_pivots: d.take_usize()?,
             pricing: match d.take_u8()? {
@@ -263,6 +258,7 @@ impl Codec for GaOptions {
         self.mutation_rate.encode(e);
         e.put_u64(self.seed);
         self.scheme.encode(e);
+        self.objective.encode(e);
         e.put_u64(self.area_penalty);
         e.put_usize(self.threads);
     }
@@ -275,6 +271,7 @@ impl Codec for GaOptions {
             mutation_rate: Option::decode(d)?,
             seed: d.take_u64()?,
             scheme: CommScheme::decode(d)?,
+            objective: cool_ir::Objective::decode(d)?,
             area_penalty: d.take_u64()?,
             threads: d.take_usize()?,
         })

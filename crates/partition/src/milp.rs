@@ -14,19 +14,18 @@
 
 use cool_cost::{CommScheme, CostModel};
 use cool_ilp::{Cmp, Problem, SolveOptions, VarId};
-use cool_ir::{NodeKind, PartitioningGraph, Resource};
+use cool_ir::{NodeKind, Objective, PartitioningGraph, Resource};
 
 use crate::{Algorithm, PartitionError, PartitionResult};
 
-/// Weights and limits for the MILP partitioner.
+/// Objective and limits for the MILP partitioner.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MilpOptions {
-    /// Weight of the execution-load term.
-    pub time_weight: f64,
-    /// Weight of the communication term.
-    pub comm_weight: f64,
-    /// Weight of the hardware-area term (tie-break toward less hardware).
-    pub area_weight: f64,
+    /// What to minimize. Resolves to the `(time, comm, area)` weight
+    /// triple of the proxy objective via [`Objective::weights`]; the
+    /// default [`Objective::Makespan`] reproduces the historical
+    /// weights `(1.0, 1.0, 0.05)` exactly.
+    pub objective: Objective,
     /// Branch & bound node limit.
     pub max_nodes: usize,
     /// Simplex pivot budget per LP relaxation. Under the default
@@ -52,9 +51,7 @@ pub struct MilpOptions {
 impl Default for MilpOptions {
     fn default() -> MilpOptions {
         MilpOptions {
-            time_weight: 1.0,
-            comm_weight: 1.0,
-            area_weight: 0.05,
+            objective: Objective::Makespan,
             max_nodes: 50_000,
             max_pivots: cool_ilp::simplex::DEFAULT_MAX_PIVOTS,
             pricing: cool_ilp::PricingRule::SteepestEdge,
@@ -86,6 +83,7 @@ pub fn partition(
     let resources = target.resources();
     let r_count = resources.len();
     let functions = g.function_nodes();
+    let (time_weight, comm_weight, area_weight) = options.objective.weights();
 
     let mut p = Problem::minimize();
     // x[n][r] for function nodes only; dense index into `functions`.
@@ -98,7 +96,7 @@ pub fn partition(
                 Resource::Hardware(_) => cost.hw_area_clbs(n) as f64,
                 Resource::Software(_) => 0.0,
             };
-            row.push(p.add_binary(options.time_weight * exec + options.area_weight * area));
+            row.push(p.add_binary(time_weight * exec + area_weight * area));
         }
         // Exactly one resource per node.
         let terms: Vec<(VarId, f64)> = row.iter().map(|&v| (v, 1.0)).collect();
@@ -125,7 +123,7 @@ pub fn partition(
     for (_, e) in g.edges() {
         let u = fun_index(e.src);
         let v = fun_index(e.dst);
-        let comm = options.comm_weight * cost.comm_cycles(e, options.scheme) as f64;
+        let comm = comm_weight * cost.comm_cycles(e, options.scheme) as f64;
         if comm == 0.0 {
             continue;
         }
@@ -295,7 +293,7 @@ mod tests {
         });
         let cost = CostModel::new(&g, &Target::fuzzy_board());
         let starved = MilpOptions {
-            comm_weight: 0.01,
+            objective: Objective::blend(1.0, 0.01, 0.05),
             max_pivots: 10,
             ..Default::default()
         };
@@ -330,7 +328,7 @@ mod tests {
         });
         let cost = CostModel::new(&g, &Target::fuzzy_board());
         let defaults = MilpOptions {
-            comm_weight: 0.05,
+            objective: Objective::blend(1.0, 0.05, 0.05),
             ..Default::default()
         };
         let res = partition(&g, &cost, &defaults).unwrap();
@@ -363,7 +361,7 @@ mod tests {
         });
         let cost = CostModel::new(&g, &Target::fuzzy_board());
         let truncated = MilpOptions {
-            comm_weight: 0.1,
+            objective: Objective::blend(1.0, 0.1, 0.05),
             max_nodes: 12,
             ..Default::default()
         };
@@ -387,7 +385,7 @@ mod tests {
         let g = workloads::equalizer(2);
         let cost = CostModel::new(&g, &Target::fuzzy_board());
         let heavy = MilpOptions {
-            comm_weight: 1000.0,
+            objective: Objective::blend(1.0, 1000.0, 0.05),
             ..Default::default()
         };
         let res = partition(&g, &cost, &heavy).unwrap();

@@ -6,8 +6,14 @@
 //!   exactly **31 nodes**, matching the partitioning-graph size the paper
 //!   reports for its ~900-line specification;
 //! * [`fir`] — parameterized FIR filters for scaling studies;
+//! * [`state_machine`] — control-dominated Moore-machine step logic
+//!   (guards, thresholded events, mux cascades);
+//! * [`multirate`] — multi-rate streaming DSP: decimate-by-2 FIR stages
+//!   plus the matching interpolators;
 //! * [`random_dag`] — seeded random data-flow graphs for partitioner
-//!   sweeps (the ablation benches).
+//!   sweeps (the ablation benches);
+//! * [`zoo`] — one instance per family at 10–100× the paper-sized node
+//!   counts, the design-space-exploration workload set.
 //!
 //! All generators return validated graphs.
 
@@ -652,6 +658,294 @@ pub fn random_dag(cfg: RandomDagConfig) -> PartitioningGraph {
     }
     g.validate().expect("generator produces valid DAGs");
     g
+}
+
+/// Build a control-dominated Moore-machine step function with `states`
+/// states reacting to `events` event inputs — the kind of
+/// comparison/mux-heavy next-state logic that partitions very
+/// differently from the data-flow filters above (cheap in software,
+/// wide but shallow in hardware).
+///
+/// Inputs are the current `state` code plus `ev0..ev{events-1}`; the two
+/// outputs are the `next` state code and the selected `act` actuation
+/// word. Every state owns a guard (`Eq` against its code), a next-state
+/// candidate (a mux cascade over thresholded events) and an action
+/// term; two mux cascades select among them.
+///
+/// Node count grows as `5 * states + events + 1`, so `states` in the
+/// tens to hundreds spans the 10–100× zoo range.
+///
+/// # Panics
+///
+/// Panics if `states < 2` or `events == 0`.
+#[must_use]
+pub fn state_machine(states: usize, events: usize) -> PartitioningGraph {
+    assert!(states >= 2, "a state machine needs at least two states");
+    assert!(events > 0, "a state machine needs at least one event");
+    let mut g = PartitioningGraph::new(format!("fsm{states}x{events}"));
+    let state = g.add_input("state", 8);
+    let evs: Vec<_> = (0..events)
+        .map(|k| g.add_input(format!("ev{k}"), 8))
+        .collect();
+
+    let mut guards = Vec::new();
+    let mut nexts = Vec::new();
+    let mut acts = Vec::new();
+    for s in 0..states {
+        let code = s as i64;
+        // Guard: are we in state `s`?
+        let guard = g
+            .add_function(
+                format!("is{s}"),
+                Behavior::new(
+                    1,
+                    vec![Expr::binary(Op::Eq, Expr::Input(0), Expr::Const(code))],
+                )
+                .expect("static behaviour is well-formed"),
+            )
+            .expect("guard names are unique");
+        g.connect(state, 0, guard, 0, 8).expect("wiring is static");
+        guards.push(guard);
+
+        // Next-state candidate: a priority mux cascade over thresholded
+        // events — `if ev0 > t0 then s+1 elif ev1 <= t1 then s+2 ... else s`.
+        let mut next_expr = Expr::Const(code);
+        for (k, _) in evs.iter().enumerate().rev() {
+            let threshold = Expr::Const(((s + 3 * k) % 7) as i64);
+            let cond = if (s + k) % 2 == 0 {
+                Expr::binary(Op::Lt, threshold, Expr::Input(k))
+            } else {
+                Expr::binary(Op::Le, Expr::Input(k), threshold)
+            };
+            let succ = Expr::Const(((s + k + 1) % states) as i64);
+            next_expr = Expr::mux(cond, succ, next_expr);
+        }
+        let next = g
+            .add_function(
+                format!("nx{s}"),
+                Behavior::new(events, vec![next_expr]).expect("static behaviour is well-formed"),
+            )
+            .expect("candidate names are unique");
+        for (k, &ev) in evs.iter().enumerate() {
+            g.connect(ev, 0, next, k as u16, 8)
+                .expect("wiring is static");
+        }
+        nexts.push(next);
+
+        // Per-state actuation term: a small weighted sum of the events.
+        let mut act_expr = Expr::Const(code * 3);
+        for (k, _) in evs.iter().enumerate() {
+            act_expr = Expr::binary(
+                Op::Add,
+                act_expr,
+                Expr::binary(
+                    Op::Mul,
+                    Expr::Input(k),
+                    Expr::Const(1 + ((s + k) % 4) as i64),
+                ),
+            );
+        }
+        let act = g
+            .add_function(
+                format!("act{s}"),
+                Behavior::new(events, vec![act_expr]).expect("static behaviour is well-formed"),
+            )
+            .expect("action names are unique");
+        for (k, &ev) in evs.iter().enumerate() {
+            g.connect(ev, 0, act, k as u16, 8)
+                .expect("wiring is static");
+        }
+        acts.push(act);
+    }
+
+    // Two mux cascades select the active state's candidate and action.
+    let cascade = |g: &mut PartitioningGraph, prefix: &str, values: &[cool_ir::NodeId]| {
+        let mut acc = values[0];
+        for s in 1..values.len() {
+            let sel = g
+                .add_function(
+                    format!("{prefix}{s}"),
+                    Behavior::new(
+                        3,
+                        vec![Expr::mux(Expr::Input(0), Expr::Input(1), Expr::Input(2))],
+                    )
+                    .expect("static behaviour is well-formed"),
+                )
+                .expect("selector names are unique");
+            g.connect(guards[s], 0, sel, 0, 8)
+                .expect("wiring is static");
+            g.connect(values[s], 0, sel, 1, 8)
+                .expect("wiring is static");
+            g.connect(acc, 0, sel, 2, 8).expect("wiring is static");
+            acc = sel;
+        }
+        acc
+    };
+    let next_sel = cascade(&mut g, "selnx", &nexts);
+    let act_sel = cascade(&mut g, "selact", &acts);
+
+    let next_out = g.add_output("next", 8);
+    g.connect(next_sel, 0, next_out, 0, 8)
+        .expect("wiring is static");
+    let act_out = g.add_output("act", 16);
+    g.connect(act_sel, 0, act_out, 0, 16)
+        .expect("wiring is static");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Build a multi-rate streaming DSP chain: `stages` decimate-by-2 FIR
+/// stages over a `width`-sample input window, followed by the matching
+/// interpolation stages back up to full rate and an output adder tree.
+///
+/// Each decimation level halves the sample count (its filters "run" at
+/// half the rate of the level above — in the per-invocation DAG that
+/// shows up as half as many, `taps`-wide, weighted-sum nodes); each
+/// interpolation level doubles it again with two-point weighted
+/// averages. The mix of wide multiplier nodes at low rates and cheap
+/// averaging nodes at high rates gives the partitioners a genuinely
+/// rate-heterogeneous graph.
+///
+/// # Panics
+///
+/// Panics if `width` is not a positive multiple of `2^stages`, or if
+/// `taps == 0` or `stages == 0`.
+#[must_use]
+pub fn multirate(width: usize, taps: usize, stages: usize) -> PartitioningGraph {
+    assert!(taps > 0 && stages > 0, "degenerate multirate config");
+    assert!(
+        width >= (1 << stages) && width % (1 << stages) == 0,
+        "width must be a positive multiple of 2^stages"
+    );
+    let mut g = PartitioningGraph::new(format!("multirate{width}x{taps}x{stages}"));
+    let mut level: Vec<_> = (0..width)
+        .map(|i| g.add_input(format!("x{i}"), 16))
+        .collect();
+
+    // Decimation: level k has half the nodes of level k-1; each output
+    // is a taps-wide weighted sum over a stride-2 window (circular
+    // indexing keeps the halving exact).
+    for k in 0..stages {
+        let len = level.len() / 2;
+        let mut next = Vec::new();
+        for i in 0..len {
+            let mut e = Expr::Const(0);
+            for j in 0..taps {
+                let c = 5 + ((k * taps + j) % 9) as i64;
+                e = Expr::binary(
+                    Op::Add,
+                    e,
+                    Expr::binary(Op::Mul, Expr::Input(j), Expr::Const(c)),
+                );
+            }
+            let e = Expr::binary(Op::Shr, e, Expr::Const(3));
+            let node = g
+                .add_function(
+                    format!("dec{k}_{i}"),
+                    Behavior::new(taps, vec![e]).expect("static behaviour is well-formed"),
+                )
+                .expect("decimator names are unique");
+            for j in 0..taps {
+                let src = level[(2 * i + j) % level.len()];
+                g.connect(src, 0, node, j as u16, 16)
+                    .expect("wiring is static");
+            }
+            next.push(node);
+        }
+        level = next;
+    }
+
+    // Interpolation: mirror the decimation, doubling with two-point
+    // weighted averages until the original rate is restored.
+    for k in 0..stages {
+        let len = level.len() * 2;
+        let mut next = Vec::new();
+        for i in 0..len {
+            let w = if i % 2 == 0 { 6i64 } else { 3 };
+            let node = g
+                .add_function(
+                    format!("int{k}_{i}"),
+                    Behavior::new(
+                        2,
+                        vec![Expr::binary(
+                            Op::Shr,
+                            Expr::binary(
+                                Op::Add,
+                                Expr::binary(Op::Mul, Expr::Input(0), Expr::Const(w)),
+                                Expr::binary(Op::Mul, Expr::Input(1), Expr::Const(8 - w)),
+                            ),
+                            Expr::Const(3),
+                        )],
+                    )
+                    .expect("static behaviour is well-formed"),
+                )
+                .expect("interpolator names are unique");
+            g.connect(level[i / 2], 0, node, 0, 16)
+                .expect("wiring is static");
+            g.connect(level[(i / 2 + 1) % level.len()], 0, node, 1, 16)
+                .expect("wiring is static");
+            next.push(node);
+        }
+        level = next;
+    }
+
+    // Output adder tree over the reconstructed window.
+    let mut adder = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let a = g
+                    .add_function(format!("mix{adder}"), Behavior::binary(Op::Add))
+                    .expect("adder names are unique");
+                adder += 1;
+                g.connect(pair[0], 0, a, 0, 32).expect("wiring is static");
+                g.connect(pair[1], 0, a, 1, 32).expect("wiring is static");
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let y = g.add_output("y", 32);
+    g.connect(level[0], 0, y, 0, 32).expect("wiring is static");
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// The workload zoo: one instance per family at 10–100× the node counts
+/// of the paper-sized designs above, for design-space-exploration
+/// sweeps and scaling studies. Every graph is validated; names are
+/// unique across the zoo.
+#[must_use]
+pub fn zoo() -> Vec<PartitioningGraph> {
+    vec![
+        equalizer(64),
+        fir(96),
+        state_machine(48, 4),
+        state_machine(192, 4),
+        multirate(32, 4, 3),
+        multirate(64, 6, 3),
+        random_dag(RandomDagConfig {
+            nodes: 200,
+            inputs: 6,
+            outputs: 4,
+            seed: 11,
+        }),
+        random_dag(RandomDagConfig {
+            nodes: 600,
+            inputs: 8,
+            outputs: 6,
+            seed: 12,
+        }),
+        random_dag(RandomDagConfig {
+            nodes: 2000,
+            inputs: 12,
+            outputs: 8,
+            seed: 13,
+        }),
+    ]
 }
 
 fn random_behavior(rng: &mut StdRng) -> Behavior {

@@ -9,7 +9,7 @@ use std::error::Error;
 use std::time::Instant;
 
 use cool_repro::cost::CostModel;
-use cool_repro::ir::Target;
+use cool_repro::ir::{Objective, Target};
 use cool_repro::partition::{self, GaOptions, HeuristicOptions, MilpOptions};
 use cool_repro::spec::workloads::{random_dag, RandomDagConfig};
 
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 // This instance proves optimality at ~421 B&B nodes; a
                 // 100-node budget truncates with a ~3 % certified gap.
                 MilpOptions {
-                    comm_weight: 0.1,
+                    objective: Objective::blend(1.0, 0.1, 0.05),
                     max_nodes: 100,
                     ..MilpOptions::default()
                 }

@@ -1,0 +1,27 @@
+//! Print a generated workload from the zoo as a `.cool` spec.
+//!
+//! The committed specs under `examples/specs/` that mirror zoo members
+//! are regenerated with this (the round-trip property suite in
+//! `tests/workload_zoo.rs` guarantees the bytes are stable):
+//!
+//! ```bash
+//! cargo run --example print_workload fsm48x4 > examples/specs/fsm48x4.cool
+//! ```
+
+use cool_repro::spec::{print_spec, workloads};
+
+fn main() {
+    let zoo = workloads::zoo();
+    let name = std::env::args().nth(1).unwrap_or_default();
+    match zoo.iter().find(|g| g.name() == name) {
+        Some(g) => print!("{}", print_spec(g)),
+        None => {
+            let names: Vec<&str> = zoo.iter().map(|g| g.name()).collect();
+            eprintln!(
+                "usage: print_workload <name>\navailable: {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}

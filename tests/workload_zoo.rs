@@ -1,0 +1,115 @@
+//! Seeded property suite over the workload zoo generators.
+//!
+//! Every generator in `cool_spec::workloads` — in particular the
+//! control-dominated state machines, the multi-rate streaming DSP
+//! pyramids and the large seeded DAG families behind
+//! [`workloads::zoo`] — must produce graphs that:
+//!
+//! * pass structural validation (acyclic, every port driven once), so
+//!   `topo_order` exists and downstream stages can assume a DAG;
+//! * round-trip the spec printer *byte-identically*
+//!   (`print_spec` → `parse` → `print_spec`), so committed `.cool`
+//!   files regenerated from a generator never churn;
+//! * run the full flow without panic at `jobs = 1` and `jobs = 4`,
+//!   generating identical bytes.
+
+use cool_repro::core::{FlowOptions, FlowSession};
+use cool_repro::ir::{topo, Target};
+use cool_repro::spec::workloads;
+
+fn zoo_and_small_instances() -> Vec<cool_repro::ir::PartitioningGraph> {
+    let mut graphs = workloads::zoo();
+    graphs.push(workloads::state_machine(2, 1));
+    graphs.push(workloads::state_machine(12, 3));
+    graphs.push(workloads::multirate(8, 3, 2));
+    graphs.push(workloads::multirate(4, 1, 1));
+    graphs
+}
+
+#[test]
+fn every_generator_validates_and_topo_sorts() {
+    let graphs = zoo_and_small_instances();
+    let mut names = std::collections::BTreeSet::new();
+    for g in &graphs {
+        g.validate()
+            .unwrap_or_else(|e| panic!("{} fails validation: {e}", g.name()));
+        let order = topo::topo_order(g).unwrap();
+        assert_eq!(order.len(), g.node_count(), "{}", g.name());
+        assert!(
+            names.insert(g.name().to_string()),
+            "duplicate zoo name `{}`",
+            g.name()
+        );
+    }
+    // The zoo spans the promised 10–100× scale range.
+    let sizes: Vec<usize> = workloads::zoo().iter().map(|g| g.node_count()).collect();
+    assert!(
+        sizes.iter().any(|&n| n >= 1000),
+        "the zoo must reach the 100× tier, got sizes {sizes:?}"
+    );
+    assert!(
+        sizes.iter().any(|&n| (100..1000).contains(&n)),
+        "the zoo must cover the 10× tier, got sizes {sizes:?}"
+    );
+}
+
+#[test]
+fn every_generator_round_trips_the_spec_printer_byte_identically() {
+    for g in zoo_and_small_instances() {
+        let text = cool_repro::spec::print_spec(&g);
+        let parsed = cool_repro::spec::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: printed spec does not parse: {e}", g.name()));
+        assert_eq!(parsed.node_count(), g.node_count(), "{}", g.name());
+        let reprinted = cool_repro::spec::print_spec(&parsed);
+        assert_eq!(
+            text,
+            reprinted,
+            "{}: print → parse → print must be byte-identical",
+            g.name()
+        );
+    }
+}
+
+#[test]
+fn moderate_instances_run_the_full_flow_at_jobs_1_and_4() {
+    for g in [
+        workloads::state_machine(12, 3),
+        workloads::multirate(8, 3, 2),
+    ] {
+        let runs: Vec<_> = [1usize, 4]
+            .into_iter()
+            .map(|jobs| {
+                FlowSession::new(&g)
+                    .target(Target::fuzzy_board())
+                    .options(FlowOptions::quick())
+                    .jobs(jobs)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} at jobs {jobs}: {e}", g.name()))
+            })
+            .collect();
+        for art in &runs {
+            assert!(!art.vhdl.is_empty(), "{}", g.name());
+            assert!(!art.c_programs.is_empty(), "{}", g.name());
+        }
+        assert_eq!(
+            runs[0].vhdl,
+            runs[1].vhdl,
+            "{}: VHDL must not depend on jobs",
+            g.name()
+        );
+        assert_eq!(
+            runs[0]
+                .c_programs
+                .iter()
+                .map(|p| (&p.file_name, &p.source))
+                .collect::<Vec<_>>(),
+            runs[1]
+                .c_programs
+                .iter()
+                .map(|p| (&p.file_name, &p.source))
+                .collect::<Vec<_>>(),
+            "{}: C programs must not depend on jobs",
+            g.name()
+        );
+    }
+}
