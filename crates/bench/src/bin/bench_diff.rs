@@ -118,6 +118,8 @@ fn main() -> ExitCode {
 
     print_cache_trajectory("stage_cache", &old, &new);
     print_cache_trajectory("stage_cache_disk", &old, &new);
+    print_cache_trajectory("remote_cache", &old, &new);
+    print_scalar_trajectory("remote_cache", "speedup", "x", &old, &new);
     print_scalar_trajectory("milp_parallel", "speedup", "x", &old, &new);
     print_scalar_trajectory("milp_pricing", "bland_over_steepest", "x", &old, &new);
     print_scalar_trajectory("lp_warmstart", "speedup", "x", &old, &new);

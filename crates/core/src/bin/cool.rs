@@ -11,8 +11,9 @@
 //! cool watch <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow]
 //! cool simulate <spec.cool> [name=value ...] [same flags as flow]
 //! cool serve [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]
+//! cool ping [--connect ADDR]
 //! cool check <spec.cool>
-//! cool cache stats [--cache-dir DIR]
+//! cool cache stats [--cache-dir DIR] [--connect ADDR]
 //! cool cache clear [--cache-dir DIR]
 //! ```
 //!
@@ -66,6 +67,18 @@
 //! coalesced onto that flight, and how many stages it actually
 //! computed (`0 stage(s) computed` is the warm-cache signature CI
 //! greps for).
+//!
+//! The daemon doubles as a *fleet cache shard*: `--cache-remote ADDR`
+//! on `flow`/`simulate`/`pareto`/`watch` attaches it as a third cache
+//! tier (memory → disk → remote). Lookups that miss both local tiers
+//! fetch the entry bytes from the daemon and re-materialize them into
+//! the local disk tier; computed stages write through, so a second
+//! machine with an empty `.cool-cache/` warm-starts a sweep entirely
+//! from the fleet store. The daemon being unreachable degrades the
+//! cache to local-only (one warning per outage streak) — it never
+//! fails the flow. `cool ping --connect ADDR` is the matching fleet
+//! health check, and `cool cache stats --connect ADDR` asks a daemon
+//! for its resident cache counters.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -267,17 +280,23 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
                 "pareto needs --budgets A..B:STEP or a comma list (e.g. --budgets 16..128:8)",
             )?;
             let budgets = parse_budgets(&budgets_flag)?;
-            let (session, _cache) = configure_session(&graph, &options, rest)?;
+            let (session, cache) = configure_session(&graph, &options, rest)?;
             let front = session.pareto(budgets)?;
             if rest.iter().any(|a| a == "--csv") {
                 print!("{}", front.to_csv());
             } else {
                 print!("{}", front.report());
             }
+            if rest.iter().any(|a| a == "--trace") {
+                if let Some(cache) = &cache {
+                    println!("{}", cache.stats().summary());
+                }
+            }
             Ok(())
         }
         "watch" => run_watch(rest),
         "serve" => run_serve(rest),
+        "ping" => run_ping(rest),
         "cache" => run_cache_command(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -288,7 +307,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--objective makespan|area|comm|blend:T,C,A] [--milp-max-nodes N] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX] [--connect ADDR]\n  cool pareto   <spec.cool> --budgets A..B:STEP|N,N,... [--csv] [same flags as flow, minus --targets]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool serve    [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)\npareto: epsilon-constraint sweep over FPGA CLB budgets (--budgets 16..128:8), one shared cache, cost estimated once\nserve: `cool serve` starts the resident daemon (default addr 127.0.0.1:2665); `--connect ADDR` makes flow/simulate clients of it"
+    "usage:\n  cool check    <spec.cool>\n  cool flow     <spec.cool> [--out DIR] [--partitioner milp|heuristic|ga] [--objective makespan|area|comm|blend:T,C,A] [--milp-max-nodes N] [--milp-max-pivots N] [--milp-pricing steepest|bland] [--scheme mmio|direct] [--quick] [--jobs N] [--target BOARD] [--targets BOARD,BOARD,...] [--to-stage cost|partition|schedule|stg|hls|rtl|codegen] [--pin NODE=RES,... ] [--cache|--no-cache] [--cache-dir DIR] [--cache-max-bytes N] [--cache-remote ADDR] [--trace] [--expect-node-disk-hits MIN] [--expect-node-synth-max MAX] [--connect ADDR]\n  cool pareto   <spec.cool> --budgets A..B:STEP|N,N,... [--csv] [same flags as flow, minus --targets]\n  cool watch    <spec.cool> [--poll-ms N] [--max-runs N] [same flags as flow, minus --out]\n  cool simulate <spec.cool> [name=value ...] [same flags as flow]\n  cool serve    [--addr ADDR] [--cache-dir DIR] [--cache-max-bytes N]\n  cool ping     [--connect ADDR]\n  cool cache    stats|clear [--cache-dir DIR] [--cache-max-bytes N] [--connect ADDR]\nboards: fuzzy, minimal; cap FPGA budgets with BOARD@CLBS (e.g. fuzzy@96)\npins: NODE=hw0|hw1|sw0|..., or *=RES for every function node (later entries override)\npareto: epsilon-constraint sweep over FPGA CLB budgets (--budgets 16..128:8), one shared cache, cost estimated once\nserve: `cool serve` starts the resident daemon (default addr 127.0.0.1:2665); `--connect ADDR` makes flow/simulate clients of it\nfleet: `--cache-remote ADDR` adds a daemon as a third cache tier (memory → disk → remote) on flow/simulate/pareto/watch; `cool ping --connect ADDR` measures the round-trip"
 }
 
 /// Default persistent cache directory, relative to the working directory.
@@ -308,6 +327,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--pin",
     "--cache-dir",
     "--cache-max-bytes",
+    "--cache-remote",
     "--expect-node-disk-hits",
     "--expect-node-synth-max",
     "--objective",
@@ -449,21 +469,29 @@ fn configure_session<'g>(
     Ok((session, cache))
 }
 
-/// The stage cache the flags ask for, if any.
+/// The stage cache the flags ask for, if any. `--cache-remote ADDR`
+/// implies caching (like `--cache-dir`) and attaches the daemon at
+/// `ADDR` as the third tier under whatever local tiers resolved.
 fn cache_from_flags(rest: &[String]) -> Result<Option<StageCache>, Box<dyn Error>> {
     let no_cache = rest.iter().any(|a| a == "--no-cache");
     let dir = cache_dir_flag(rest);
-    let wanted = !no_cache && (dir.is_some() || rest.iter().any(|a| a == "--cache"));
+    let remote = flag_value(rest, "--cache-remote");
+    let wanted =
+        !no_cache && (dir.is_some() || remote.is_some() || rest.iter().any(|a| a == "--cache"));
     if !wanted {
         return Ok(None);
     }
-    Ok(Some(match dir {
+    let cache = match dir {
         Some(dir) => StageCache::persistent_with_cap(
             StageCache::DEFAULT_CAPACITY,
             dir,
             cache_max_bytes_flag(rest)?,
         )?,
         None => StageCache::default(),
+    };
+    Ok(Some(match remote {
+        Some(addr) => cache.with_remote(std::sync::Arc::new(cool_core::RemoteStore::new(addr))),
+        None => cache,
     }))
 }
 
@@ -702,8 +730,16 @@ fn run_watch(rest: &[String]) -> Result<(), Box<dyn Error>> {
         "watching {path} (poll {poll_ms} ms, cache {}) — edit the file to re-run",
         match (&cache, cache_dir_flag(rest)) {
             (None, _) => "off".to_string(),
-            (Some(_), Some(dir)) => format!("memory+disk `{dir}`"),
-            (Some(_), None) => "memory".to_string(),
+            (Some(c), dir) => {
+                let mut desc = match dir {
+                    Some(dir) => format!("memory+disk `{dir}`"),
+                    None => "memory".to_string(),
+                };
+                if let Some(remote) = c.remote() {
+                    desc.push_str(&format!("+remote {}", remote.addr()));
+                }
+                desc
+            }
         }
     );
     std::io::stdout().flush()?;
@@ -810,6 +846,13 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
     use std::io::Write as _;
 
     let addr = flag_value(rest, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    if flag_value(rest, "--cache-remote").is_some() {
+        return Err(
+            "--cache-remote applies to clients (flow/simulate/pareto/watch); `cool serve` \
+             *is* the remote — daemons never chain to other daemons"
+                .into(),
+        );
+    }
     // Like `watch`, the cache defaults *on*: a daemon without one would
     // just be a slower way to fork `cool flow`.
     let cache = if rest.iter().any(|a| a == "--no-cache") {
@@ -830,6 +873,20 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn Error>> {
     std::io::stdout().flush()?;
     server.run()?;
     println!("coold: shut down cleanly");
+    Ok(())
+}
+
+/// `cool ping [--connect ADDR]`: the fleet health check — one
+/// `Ping`/`Pong` round-trip against a running daemon, timed.
+fn run_ping(rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let addr = flag_value(rest, "--connect").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let mut client = connect_client(&addr)?;
+    let t0 = std::time::Instant::now();
+    client.ping()?;
+    println!(
+        "pong from coold at {addr} in {:.3} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
     Ok(())
 }
 
@@ -899,7 +956,9 @@ fn cache_max_bytes_flag(rest: &[String]) -> Result<u64, Box<dyn Error>> {
     }
 }
 
-/// `cool cache stats|clear [--cache-dir DIR] [--cache-max-bytes N]`.
+/// `cool cache stats|clear [--cache-dir DIR] [--cache-max-bytes N]
+/// [--connect ADDR]`. With `--connect`, `stats` asks a running daemon
+/// for its resident cache counters instead of reading a directory.
 fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
     let dir = cache_dir_flag(rest).unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string());
     // The action is the first token that is neither a flag nor a flag's
@@ -908,7 +967,7 @@ fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
     let value_positions: Vec<usize> = rest
         .iter()
         .enumerate()
-        .filter(|(_, a)| *a == "--cache-dir" || *a == "--cache-max-bytes")
+        .filter(|(_, a)| *a == "--cache-dir" || *a == "--cache-max-bytes" || *a == "--connect")
         .map(|(i, _)| i + 1)
         .collect();
     let action = rest
@@ -919,6 +978,25 @@ fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
         .ok_or("cache: expected `stats` or `clear`")?;
     let plural = |n: usize| if n == 1 { "y" } else { "ies" };
     match action {
+        "stats" if flag_value(rest, "--connect").is_some() => {
+            let addr = flag_value(rest, "--connect").expect("checked above");
+            let mut client = connect_client(&addr)?;
+            let stats = client.cache_stats()?;
+            println!(
+                "coold at {addr}: {} stage entr{}, {} node entr{} resident",
+                stats.entries,
+                plural(stats.entries as usize),
+                stats.node_entries,
+                plural(stats.node_entries as usize),
+            );
+            println!(
+                "  fleet traffic: {} get hit(s), {} get miss(es), {} put(s) accepted, \
+                 {} put(s) rejected",
+                stats.serve_hits, stats.serve_misses, stats.puts_accepted, stats.puts_rejected,
+            );
+            println!("  {}", stats.summary);
+            Ok(())
+        }
         "stats" => {
             if !std::path::Path::new(&dir).is_dir() {
                 println!("cache directory `{dir}` does not exist (0 entries)");
@@ -959,6 +1037,11 @@ fn run_cache_command(rest: &[String]) -> Result<(), Box<dyn Error>> {
             }
             Ok(())
         }
+        "clear" if flag_value(rest, "--connect").is_some() => Err(
+            "cache clear is local-only (a daemon's store belongs to the daemon); \
+             run it on the machine holding the cache directory"
+                .into(),
+        ),
         "clear" => {
             if !std::path::Path::new(&dir).is_dir() {
                 println!("cache directory `{dir}` does not exist; nothing to clear");

@@ -1,5 +1,6 @@
 //! The content-addressed stage cache: an in-memory LRU tier backed by an
-//! optional persistent on-disk tier.
+//! optional persistent on-disk tier and an optional remote fleet tier
+//! (a `coold` daemon reached through [`crate::remote::RemoteStore`]).
 //!
 //! Sweeps (`res2` area budgets, the partitioner and communication-scheme
 //! ablations) re-run the whole spec→…→codegen pipeline per candidate even
@@ -421,6 +422,8 @@ pub struct NodeHit {
     pub artifact: Arc<NodeArtifact>,
     /// `true` when the entry came from the disk tier.
     pub from_disk: bool,
+    /// `true` when the entry came from the remote fleet tier.
+    pub from_remote: bool,
 }
 
 /// One cached per-node artifact with its LRU recency.
@@ -478,6 +481,9 @@ pub struct CacheHit {
     /// `true` when the entry came from the disk tier (an in-memory miss
     /// satisfied by the cache directory).
     pub from_disk: bool,
+    /// `true` when the entry was fetched from the remote fleet tier (a
+    /// `coold` daemon) and re-materialized locally.
+    pub from_remote: bool,
 }
 
 /// Aggregate cache counters, for `--trace` output and the benches.
@@ -517,6 +523,17 @@ pub struct CacheStats {
     pub node_disk_writes: u64,
     /// Node entries currently resident in memory.
     pub node_entries: usize,
+    /// Stage and node lookups satisfied by the remote fleet tier.
+    pub remote_hits: u64,
+    /// Remote lookups that reached the daemon and found nothing.
+    pub remote_misses: u64,
+    /// Entries written through to the remote fleet tier.
+    pub remote_puts: u64,
+    /// Remote operations dropped because the daemon was unreachable (the
+    /// cache degraded to local-only for those operations).
+    pub remote_errors: u64,
+    /// Wall-clock spent on remote round-trips (gets and puts combined).
+    pub remote_roundtrip: Duration,
 }
 
 impl CacheStats {
@@ -571,9 +588,23 @@ impl CacheStats {
         } else {
             String::new()
         };
+        let remote =
+            if self.remote_hits + self.remote_misses + self.remote_puts + self.remote_errors > 0 {
+                format!(
+                    "; remote tier: {} hit(s), {} miss(es), {} put(s), {} error(s), \
+                 {:.3} ms round-trip",
+                    self.remote_hits,
+                    self.remote_misses,
+                    self.remote_puts,
+                    self.remote_errors,
+                    self.remote_roundtrip.as_secs_f64() * 1e3,
+                )
+            } else {
+                String::new()
+            };
         format!(
             "stage cache: {} hit(s) ({} from disk), {} miss(es) ({:.0} % hit rate), \
-             {} entries, {} eviction(s){size_cap}, {:.3} ms saved{nodes}",
+             {} entries, {} eviction(s){size_cap}, {:.3} ms saved{nodes}{remote}",
             self.hits,
             self.disk_hits,
             self.misses,
@@ -595,6 +626,7 @@ impl CacheStats {
 pub struct StageCache {
     inner: Arc<Mutex<Inner>>,
     disk: Option<Arc<DiskStore>>,
+    remote: Option<Arc<crate::remote::RemoteStore>>,
 }
 
 impl Default for StageCache {
@@ -623,6 +655,7 @@ impl StageCache {
                 ..Inner::default()
             })),
             disk: None,
+            remote: None,
         }
     }
 
@@ -666,9 +699,29 @@ impl StageCache {
         self.disk.as_deref()
     }
 
-    /// Look up `key` in the memory tier and then, on a miss, the disk
-    /// tier; refreshes recency and counts hit/disk-hit/miss. A disk hit
-    /// is promoted into the memory tier.
+    /// Attach a remote fleet tier: lookups that miss both memory and disk
+    /// consult `remote`, and freshly computed entries are written through
+    /// to it. Remote hits are re-materialized into the local disk tier
+    /// (when one is attached) so the next process warm-starts without the
+    /// network. All remote I/O is non-failing — an unreachable daemon
+    /// degrades the cache to local-only, never the flow to an error.
+    #[must_use]
+    pub fn with_remote(mut self, remote: Arc<crate::remote::RemoteStore>) -> StageCache {
+        self.remote = Some(remote);
+        self
+    }
+
+    /// The remote fleet tier, if one is attached.
+    #[must_use]
+    pub fn remote(&self) -> Option<&crate::remote::RemoteStore> {
+        self.remote.as_deref()
+    }
+
+    /// Look up `key` tier by tier — memory, then disk, then the remote
+    /// fleet store; refreshes recency and counts hit/disk-hit/miss. A
+    /// disk or remote hit is promoted into the memory tier, and a remote
+    /// hit additionally heals the local disk tier (when attached) so the
+    /// next process warm-starts without the network.
     #[must_use]
     pub fn lookup(&self, key: StageKey) -> Option<CacheHit> {
         {
@@ -682,6 +735,7 @@ impl StageCache {
                     writes: Arc::clone(&e.writes),
                     saved: e.cost,
                     from_disk: false,
+                    from_remote: false,
                 }
             });
             if let Some(hit) = found {
@@ -689,55 +743,93 @@ impl StageCache {
                 inner.saved += hit.saved;
                 return Some(hit);
             }
-            if self.disk.is_none() {
+            if self.disk.is_none() && self.remote.is_none() {
                 inner.misses += 1;
                 return None;
             }
         }
-        // Memory miss with a disk tier: read outside the lock (disk I/O
-        // must not serialize the sweep workers), then account and promote.
-        let disk = self.disk.as_ref().expect("checked above");
-        let load = disk.load(key);
-        let mut inner = self.inner.lock().expect("stage cache poisoned");
-        match load {
-            Load::Hit {
-                delta,
-                writes,
-                cost,
-            } => {
-                let hit = CacheHit {
-                    delta: Arc::new(*delta),
-                    writes: Arc::new(writes),
-                    saved: cost,
-                    from_disk: true,
-                };
-                inner.hits += 1;
-                inner.disk_hits += 1;
-                inner.saved += cost;
-                inner.tick += 1;
-                let tick = inner.tick;
-                inner.map.insert(
-                    key,
-                    Entry {
-                        delta: Arc::clone(&hit.delta),
-                        writes: Arc::clone(&hit.writes),
-                        cost,
-                        last_used: tick,
-                    },
-                );
-                Self::evict_over_capacity(&mut inner);
-                Some(hit)
-            }
-            Load::Evicted => {
-                inner.misses += 1;
-                inner.disk_evictions += 1;
-                None
-            }
-            Load::Miss => {
-                inner.misses += 1;
-                None
+        // Memory miss with lower tiers attached: disk and network I/O
+        // happen outside the lock (they must not serialize the sweep
+        // workers), then accounting and promotion re-acquire it.
+        let mut disk_evicted = false;
+        if let Some(disk) = &self.disk {
+            match disk.load(key) {
+                Load::Hit {
+                    delta,
+                    writes,
+                    cost,
+                } => {
+                    let hit = CacheHit {
+                        delta: Arc::new(*delta),
+                        writes: Arc::new(writes),
+                        saved: cost,
+                        from_disk: true,
+                        from_remote: false,
+                    };
+                    let mut inner = self.inner.lock().expect("stage cache poisoned");
+                    inner.hits += 1;
+                    inner.disk_hits += 1;
+                    inner.saved += cost;
+                    Self::promote(&mut inner, key, &hit);
+                    return Some(hit);
+                }
+                Load::Evicted => disk_evicted = true,
+                Load::Miss => {}
             }
         }
+        if let Some(remote) = &self.remote {
+            let decoded = remote
+                .get_stage(key)
+                .and_then(|bytes| crate::disk::decode_stage_entry(&bytes));
+            if let Some((delta, writes, cost)) = decoded {
+                let hit = CacheHit {
+                    delta: Arc::new(delta),
+                    writes: Arc::new(writes),
+                    saved: cost,
+                    from_disk: false,
+                    from_remote: true,
+                };
+                // Heal the local disk tier so the next process on this
+                // machine warm-starts without touching the network.
+                let healed = self.disk.as_ref().is_some_and(|d| {
+                    matches!(d.store(key, &hit.delta, &hit.writes, cost), Ok(true))
+                });
+                let mut inner = self.inner.lock().expect("stage cache poisoned");
+                inner.hits += 1;
+                inner.saved += cost;
+                if disk_evicted {
+                    inner.disk_evictions += 1;
+                }
+                if healed {
+                    inner.disk_writes += 1;
+                }
+                Self::promote(&mut inner, key, &hit);
+                return Some(hit);
+            }
+        }
+        let mut inner = self.inner.lock().expect("stage cache poisoned");
+        inner.misses += 1;
+        if disk_evicted {
+            inner.disk_evictions += 1;
+        }
+        None
+    }
+
+    /// Insert `hit` into the memory tier under `key`, evicting over
+    /// capacity (caller holds the lock and has already accounted the hit).
+    fn promote(inner: &mut Inner, key: StageKey, hit: &CacheHit) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                delta: Arc::clone(&hit.delta),
+                writes: Arc::clone(&hit.writes),
+                cost: hit.saved,
+                last_used: tick,
+            },
+        );
+        Self::evict_over_capacity(inner);
     }
 
     /// Insert the delta a freshly executed stage produced, with the
@@ -778,11 +870,64 @@ impl StageCache {
                 self.inner.lock().expect("stage cache poisoned").disk_writes += 1;
             }
         }
+        if let Some(remote) = &self.remote {
+            // Fleet write-through: ship the exact on-disk entry bytes so
+            // the daemon validates them with DiskStore's totality and
+            // every shard stores an identical representation.
+            let bytes = crate::disk::encode_entry_with_version(
+                &delta,
+                &writes,
+                cost,
+                crate::disk::FORMAT_VERSION,
+            );
+            remote.put_stage(key, bytes);
+        }
     }
 
-    /// Look up a per-node artifact by its namespaced node key: memory
-    /// tier first, then (on a miss) the disk tier, promoting disk hits
-    /// into memory. Counts node-tier hit/disk-hit/miss.
+    /// Insert an entry received over the wire (the daemon side of a
+    /// `CachePutStage`): memory and disk tiers only — never forwarded to
+    /// a remote tier, so daemons can never form a put loop. Returns
+    /// `true` when the key was not already resident in memory.
+    pub fn insert_remote(
+        &self,
+        key: StageKey,
+        delta: ArtifactDelta,
+        writes: Vec<(ArtifactSlot, u128)>,
+        cost: Duration,
+    ) -> bool {
+        let delta = Arc::new(delta);
+        let writes = Arc::new(writes);
+        let fresh = {
+            let mut inner = self.inner.lock().expect("stage cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let fresh = inner
+                .map
+                .insert(
+                    key,
+                    Entry {
+                        delta: Arc::clone(&delta),
+                        writes: Arc::clone(&writes),
+                        cost,
+                        last_used: tick,
+                    },
+                )
+                .is_none();
+            Self::evict_over_capacity(&mut inner);
+            fresh
+        };
+        if let Some(disk) = &self.disk {
+            if let Ok(true) = disk.store(key, &delta, &writes, cost) {
+                self.inner.lock().expect("stage cache poisoned").disk_writes += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Look up a per-node artifact by its namespaced node key tier by
+    /// tier — memory, then disk, then the remote fleet store — promoting
+    /// lower-tier hits into memory (remote hits also heal the local disk
+    /// tier). Counts node-tier hit/disk-hit/miss.
     #[must_use]
     pub fn lookup_node(&self, key: StageKey) -> Option<NodeHit> {
         {
@@ -798,48 +943,82 @@ impl StageCache {
                 return Some(NodeHit {
                     artifact,
                     from_disk: false,
+                    from_remote: false,
                 });
             }
-            if self.disk.is_none() {
+            if self.disk.is_none() && self.remote.is_none() {
                 inner.node_misses += 1;
                 return None;
             }
         }
-        // Memory miss with a disk tier: read outside the lock, as with
+        // Memory miss with lower tiers: read outside the lock, as with
         // stage entries.
-        let disk = self.disk.as_ref().expect("checked above");
-        let load = disk.load_node(key);
-        let mut inner = self.inner.lock().expect("stage cache poisoned");
-        match load {
-            crate::disk::NodeLoad::Hit(artifact) => {
-                let artifact = Arc::new(artifact);
-                inner.node_hits += 1;
-                inner.node_disk_hits += 1;
-                inner.tick += 1;
-                let tick = inner.tick;
-                inner.nodes.insert(
-                    key,
-                    NodeEntry {
-                        artifact: Arc::clone(&artifact),
-                        last_used: tick,
-                    },
-                );
-                Self::evict_nodes_over_capacity(&mut inner);
-                Some(NodeHit {
-                    artifact,
-                    from_disk: true,
-                })
-            }
-            crate::disk::NodeLoad::Evicted => {
-                inner.node_misses += 1;
-                inner.disk_evictions += 1;
-                None
-            }
-            crate::disk::NodeLoad::Miss => {
-                inner.node_misses += 1;
-                None
+        let mut disk_evicted = false;
+        if let Some(disk) = &self.disk {
+            match disk.load_node(key) {
+                crate::disk::NodeLoad::Hit(artifact) => {
+                    let artifact = Arc::new(artifact);
+                    let mut inner = self.inner.lock().expect("stage cache poisoned");
+                    inner.node_hits += 1;
+                    inner.node_disk_hits += 1;
+                    Self::promote_node(&mut inner, key, &artifact);
+                    return Some(NodeHit {
+                        artifact,
+                        from_disk: true,
+                        from_remote: false,
+                    });
+                }
+                crate::disk::NodeLoad::Evicted => disk_evicted = true,
+                crate::disk::NodeLoad::Miss => {}
             }
         }
+        if let Some(remote) = &self.remote {
+            let decoded = remote
+                .get_node(key)
+                .and_then(|bytes| crate::disk::decode_node_entry(&bytes));
+            if let Some(artifact) = decoded {
+                let artifact = Arc::new(artifact);
+                let healed = self
+                    .disk
+                    .as_ref()
+                    .is_some_and(|d| matches!(d.store_node(key, &artifact), Ok(true)));
+                let mut inner = self.inner.lock().expect("stage cache poisoned");
+                inner.node_hits += 1;
+                if disk_evicted {
+                    inner.disk_evictions += 1;
+                }
+                if healed {
+                    inner.node_disk_writes += 1;
+                }
+                Self::promote_node(&mut inner, key, &artifact);
+                return Some(NodeHit {
+                    artifact,
+                    from_disk: false,
+                    from_remote: true,
+                });
+            }
+        }
+        let mut inner = self.inner.lock().expect("stage cache poisoned");
+        inner.node_misses += 1;
+        if disk_evicted {
+            inner.disk_evictions += 1;
+        }
+        None
+    }
+
+    /// Insert `artifact` into the node memory tier under `key` (caller
+    /// holds the lock and has already accounted the hit).
+    fn promote_node(inner: &mut Inner, key: StageKey, artifact: &Arc<NodeArtifact>) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.nodes.insert(
+            key,
+            NodeEntry {
+                artifact: Arc::clone(artifact),
+                last_used: tick,
+            },
+        );
+        Self::evict_nodes_over_capacity(inner);
     }
 
     /// Insert a freshly computed per-node artifact under its node key,
@@ -869,6 +1048,45 @@ impl StageCache {
                     .node_disk_writes += 1;
             }
         }
+        if let Some(remote) = &self.remote {
+            let bytes =
+                crate::disk::encode_node_entry_with_version(&artifact, crate::disk::FORMAT_VERSION);
+            remote.put_node(key, bytes);
+        }
+    }
+
+    /// Insert a node entry received over the wire (the daemon side of a
+    /// `CachePutNode`): memory and disk tiers only, never forwarded to a
+    /// remote tier. Returns `true` when the key was not already resident
+    /// in memory.
+    pub fn insert_node_remote(&self, key: StageKey, artifact: NodeArtifact) -> bool {
+        let artifact = Arc::new(artifact);
+        let fresh = {
+            let mut inner = self.inner.lock().expect("stage cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let fresh = inner
+                .nodes
+                .insert(
+                    key,
+                    NodeEntry {
+                        artifact: Arc::clone(&artifact),
+                        last_used: tick,
+                    },
+                )
+                .is_none();
+            Self::evict_nodes_over_capacity(&mut inner);
+            fresh
+        };
+        if let Some(disk) = &self.disk {
+            if let Ok(true) = disk.store_node(key, &artifact) {
+                self.inner
+                    .lock()
+                    .expect("stage cache poisoned")
+                    .node_disk_writes += 1;
+            }
+        }
+        fresh
     }
 
     fn evict_nodes_over_capacity(inner: &mut Inner) {
@@ -896,8 +1114,18 @@ impl StageCache {
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
+        let remote = self
+            .remote
+            .as_ref()
+            .map(|r| r.counters())
+            .unwrap_or_default();
         let inner = self.inner.lock().expect("stage cache poisoned");
         CacheStats {
+            remote_hits: remote.hits,
+            remote_misses: remote.misses,
+            remote_puts: remote.puts,
+            remote_errors: remote.errors,
+            remote_roundtrip: remote.roundtrip,
             hits: inner.hits,
             disk_hits: inner.disk_hits,
             misses: inner.misses,

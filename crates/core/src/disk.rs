@@ -609,8 +609,10 @@ fn layout_digest() -> u128 {
     h.finish()
 }
 
-/// The decoded contents of one stage entry's payload body.
-type DecodedEntry = (ArtifactDelta, Vec<(ArtifactSlot, u128)>, Duration);
+/// The decoded contents of one stage entry's payload body: the artifact
+/// delta, the digests of the slots it fills, and the original
+/// execution's wall-clock cost.
+pub type DecodedEntry = (ArtifactDelta, Vec<(ArtifactSlot, u128)>, Duration);
 
 /// Validate one entry file's envelope — magic, version, layout digest,
 /// length, checksum — and split the payload into `(kind, body)`. `None`
@@ -646,6 +648,31 @@ fn decode_stage_body(body: &[u8]) -> Option<DecodedEntry> {
     let (cost_nanos, writes, delta): (u64, Vec<(ArtifactSlot, u128)>, ArtifactDelta) =
         from_bytes(body).ok()?;
     Some((delta, writes, Duration::from_nanos(cost_nanos)))
+}
+
+/// Validate and decode one complete *stage* entry file — the exact bytes
+/// [`DiskStore::store`] writes and the remote-cache protocol carries —
+/// with the same totality as [`DiskStore::load`]: magic, version, layout
+/// digest, length, checksum, entry kind and body must all validate.
+/// `None` on any malformation (including a valid entry of the node
+/// kind).
+#[must_use]
+pub fn decode_stage_entry(bytes: &[u8]) -> Option<DecodedEntry> {
+    match split_entry(bytes) {
+        Some((KIND_STAGE, body)) => decode_stage_body(body),
+        _ => None,
+    }
+}
+
+/// Validate and decode one complete *node* entry file, with the same
+/// totality as [`DiskStore::load_node`]. `None` on any malformation
+/// (including a valid entry of the stage kind).
+#[must_use]
+pub fn decode_node_entry(bytes: &[u8]) -> Option<NodeArtifact> {
+    match split_entry(bytes) {
+        Some((KIND_NODE, body)) => from_bytes::<NodeArtifact>(body).ok(),
+        _ => None,
+    }
 }
 
 /// Wrap a kind-tagged payload body into a complete entry file.

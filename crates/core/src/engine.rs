@@ -274,7 +274,9 @@ impl Engine {
                 for &(slot, d) in hit.writes.iter() {
                     digests[slot.index()] = Some(d);
                 }
-                let outcome = if hit.from_disk {
+                let outcome = if hit.from_remote {
+                    CacheOutcome::RemoteHit { saved: hit.saved }
+                } else if hit.from_disk {
                     CacheOutcome::DiskHit { saved: hit.saved }
                 } else {
                     CacheOutcome::Hit { saved: hit.saved }
@@ -644,7 +646,7 @@ impl Stage for StgStage {
                             // malformed STG.
                             if f.is_canonical_for(n, res) {
                                 delta.reused += 1;
-                                if hit.from_disk {
+                                if hit.from_disk || hit.from_remote {
                                     delta.reused_disk += 1;
                                 }
                                 return f.clone();
@@ -739,7 +741,7 @@ impl cool_hls::NodeCache for HlsNodeTier<'_> {
         let hit = self.cache.lookup_node(key)?;
         match hit.artifact.as_ref() {
             NodeArtifact::Hls(d) => {
-                let source = if hit.from_disk {
+                let source = if hit.from_disk || hit.from_remote {
                     cool_hls::CacheSource::Disk
                 } else {
                     cool_hls::CacheSource::Memory
@@ -895,7 +897,9 @@ impl Stage for RtlStage {
                         cache
                             .lookup_node(key)
                             .and_then(|hit| match hit.artifact.as_ref() {
-                                NodeArtifact::Vhdl(src) => Some((src.clone(), hit.from_disk)),
+                                NodeArtifact::Vhdl(src) => {
+                                    Some((src.clone(), hit.from_disk || hit.from_remote))
+                                }
                                 _ => None,
                             });
                     match cached {

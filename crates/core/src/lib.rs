@@ -103,6 +103,7 @@ pub mod cache;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod remote;
 pub mod server;
 pub mod session;
 pub mod stage;
@@ -114,9 +115,10 @@ pub use cache::{ArtifactSlot, CacheStats, NodeArtifact, NodeHit, StageCache};
 pub use disk::{DiskStore, KindCounts, NodeLoad};
 pub use engine::Engine;
 pub use error::FlowError;
+pub use remote::{RemoteCounters, RemoteStore};
 pub use server::{
-    Client, FlowRequest, FlowResponse, Request, Response, ServeError, Server, ServerHandle,
-    SimResponse,
+    CacheStatsReply, Client, FlowRequest, FlowResponse, Request, Response, ServeError, Server,
+    ServerHandle, SimResponse,
 };
 pub use session::{FamilyArtifacts, FlowSession, ParetoFront, ParetoPoint, PartialArtifacts};
 pub use stage::{FlowContext, Stage};

@@ -40,6 +40,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
 use cool_ir::codec::{
     from_bytes, read_frame, to_bytes, write_frame, Codec, CodecError, Decoder, Encoder,
@@ -56,6 +57,13 @@ use crate::FlowOptions;
 /// Default listen address for `cool serve` (2665 spells COOL on a phone
 /// keypad).  Loopback only: the protocol has no authentication.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:2665";
+
+/// Default idle read timeout applied to every accepted connection: a
+/// half-open client (crashed mid-frame, network partition) would
+/// otherwise hold its handler thread forever.  Generous, because a
+/// remote-cache client legitimately idles between stage computations;
+/// [`Server::idle_timeout`] overrides it (tests use milliseconds).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(600);
 
 // ---------------------------------------------------------------------------
 // Wire types
@@ -103,6 +111,22 @@ pub enum Request {
     /// Ask the daemon to stop accepting connections and exit its accept
     /// loop once in-flight work drains.
     Shutdown,
+    /// Fetch the stage-cache entry for a key from the daemon's store, as
+    /// raw entry-file bytes (the exact format [`crate::DiskStore`]
+    /// writes).
+    CacheGetStage(u128),
+    /// Offer a stage-cache entry to the daemon's store.  The payload is
+    /// one complete entry file; the daemon validates version, layout
+    /// digest and checksum with the same totality as a disk read and
+    /// rejects anything malformed without storing it.
+    CachePutStage(u128, Vec<u8>),
+    /// Fetch the node-tier entry for a key, as raw entry-file bytes.
+    CacheGetNode(u128),
+    /// Offer a node-tier entry to the daemon's store (validated like
+    /// [`Request::CachePutStage`]).
+    CachePutNode(u128, Vec<u8>),
+    /// Ask for the daemon's cache counters.
+    CacheStats,
 }
 
 impl Codec for Request {
@@ -119,6 +143,25 @@ impl Codec for Request {
             }
             Request::Ping => e.put_u8(2),
             Request::Shutdown => e.put_u8(3),
+            Request::CacheGetStage(key) => {
+                e.put_u8(4);
+                e.put_u128(*key);
+            }
+            Request::CachePutStage(key, bytes) => {
+                e.put_u8(5);
+                e.put_u128(*key);
+                bytes.encode(e);
+            }
+            Request::CacheGetNode(key) => {
+                e.put_u8(6);
+                e.put_u128(*key);
+            }
+            Request::CachePutNode(key, bytes) => {
+                e.put_u8(7);
+                e.put_u128(*key);
+                bytes.encode(e);
+            }
+            Request::CacheStats => e.put_u8(8),
         }
     }
 
@@ -131,6 +174,14 @@ impl Codec for Request {
             )),
             2 => Ok(Request::Ping),
             3 => Ok(Request::Shutdown),
+            4 => Ok(Request::CacheGetStage(d.take_u128()?)),
+            5 => Ok(Request::CachePutStage(
+                d.take_u128()?,
+                Vec::<u8>::decode(d)?,
+            )),
+            6 => Ok(Request::CacheGetNode(d.take_u128()?)),
+            7 => Ok(Request::CachePutNode(d.take_u128()?, Vec::<u8>::decode(d)?)),
+            8 => Ok(Request::CacheStats),
             tag => Err(CodecError::InvalidTag {
                 type_name: "Request",
                 tag,
@@ -239,6 +290,53 @@ impl Codec for SimResponse {
     }
 }
 
+/// The daemon's cache counters, as served to `cool cache stats
+/// --connect`: the fleet store's entry census plus how much remote
+/// get/put traffic it has absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStatsReply {
+    /// Stage entries resident in the daemon's memory tier.
+    pub entries: u64,
+    /// Node entries resident in the daemon's memory tier.
+    pub node_entries: u64,
+    /// Remote `CacheGet*` requests answered with an entry.
+    pub serve_hits: u64,
+    /// Remote `CacheGet*` requests answered empty.
+    pub serve_misses: u64,
+    /// Remote `CachePut*` requests accepted and stored.
+    pub puts_accepted: u64,
+    /// Remote `CachePut*` requests rejected (corrupt, version-skewed or
+    /// truncated entry bytes) — never stored.
+    pub puts_rejected: u64,
+    /// The daemon cache's own human-readable summary
+    /// ([`crate::CacheStats`] rendering, covering every tier it has).
+    pub summary: String,
+}
+
+impl Codec for CacheStatsReply {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.entries);
+        e.put_u64(self.node_entries);
+        e.put_u64(self.serve_hits);
+        e.put_u64(self.serve_misses);
+        e.put_u64(self.puts_accepted);
+        e.put_u64(self.puts_rejected);
+        self.summary.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<CacheStatsReply, CodecError> {
+        Ok(CacheStatsReply {
+            entries: d.take_u64()?,
+            node_entries: d.take_u64()?,
+            serve_hits: d.take_u64()?,
+            serve_misses: d.take_u64()?,
+            puts_accepted: d.take_u64()?,
+            puts_rejected: d.take_u64()?,
+            summary: String::decode(d)?,
+        })
+    }
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -253,6 +351,15 @@ pub enum Response {
     /// Anything that went wrong server-side, stringified
     /// ([`crate::FlowError`], spec parse errors, malformed requests).
     Error(String),
+    /// Reply to [`Request::CacheGetStage`] / [`Request::CacheGetNode`]:
+    /// the raw entry-file bytes, or `None` on a store miss.
+    CacheEntry(Option<Vec<u8>>),
+    /// Reply to an accepted [`Request::CachePutStage`] /
+    /// [`Request::CachePutNode`]; `true` when the entry was new to the
+    /// daemon's store, `false` when it already had it.
+    CachePutDone(bool),
+    /// Reply to [`Request::CacheStats`].
+    CacheStatsReply(CacheStatsReply),
 }
 
 impl Codec for Response {
@@ -272,6 +379,18 @@ impl Codec for Response {
                 e.put_u8(4);
                 msg.encode(e);
             }
+            Response::CacheEntry(bytes) => {
+                e.put_u8(5);
+                bytes.encode(e);
+            }
+            Response::CachePutDone(fresh) => {
+                e.put_u8(6);
+                e.put_bool(*fresh);
+            }
+            Response::CacheStatsReply(stats) => {
+                e.put_u8(7);
+                stats.encode(e);
+            }
         }
     }
 
@@ -282,6 +401,9 @@ impl Codec for Response {
             2 => Ok(Response::Pong),
             3 => Ok(Response::ShuttingDown),
             4 => Ok(Response::Error(String::decode(d)?)),
+            5 => Ok(Response::CacheEntry(Option::<Vec<u8>>::decode(d)?)),
+            6 => Ok(Response::CachePutDone(d.take_bool()?)),
+            7 => Ok(Response::CacheStatsReply(CacheStatsReply::decode(d)?)),
             tag => Err(CodecError::InvalidTag {
                 type_name: "Response",
                 tag,
@@ -377,6 +499,14 @@ struct ServerState {
     /// Flights that executed at least one stage — i.e. real synthesis
     /// work.  A fully cache-served flight does not count.
     syntheses: AtomicU64,
+    /// Remote cache-get requests answered with an entry.
+    cache_serve_hits: AtomicU64,
+    /// Remote cache-get requests answered empty.
+    cache_serve_misses: AtomicU64,
+    /// Remote cache-put requests validated and stored.
+    cache_puts_accepted: AtomicU64,
+    /// Remote cache-put requests rejected as malformed (never stored).
+    cache_puts_rejected: AtomicU64,
     shutting_down: AtomicBool,
 }
 
@@ -413,6 +543,7 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    idle_timeout: Duration,
 }
 
 impl Server {
@@ -429,9 +560,24 @@ impl Server {
                 flights: Mutex::new(HashMap::new()),
                 flights_started: AtomicU64::new(0),
                 syntheses: AtomicU64::new(0),
+                cache_serve_hits: AtomicU64::new(0),
+                cache_serve_misses: AtomicU64::new(0),
+                cache_puts_accepted: AtomicU64::new(0),
+                cache_puts_rejected: AtomicU64::new(0),
                 shutting_down: AtomicBool::new(false),
             }),
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         })
+    }
+
+    /// Override the idle read timeout applied to accepted connections
+    /// (default [`DEFAULT_IDLE_TIMEOUT`]).  A connection that sends no
+    /// frame for this long is dropped silently, freeing its handler
+    /// thread; `None` disables the timeout.
+    #[must_use]
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Server {
+        self.idle_timeout = timeout.unwrap_or(Duration::ZERO);
+        self
     }
 
     /// The bound address.
@@ -449,13 +595,18 @@ impl Server {
 
     /// Accept connections until [`ServerHandle::shutdown`] (or a
     /// [`Request::Shutdown`] frame) is seen.  One thread per connection;
-    /// in-flight requests on open connections finish naturally.
+    /// in-flight requests on open connections finish naturally, and each
+    /// surviving connection is severed at its next frame boundary.  Every
+    /// accepted socket gets the idle read timeout, so a half-open client
+    /// cannot hold its handler thread forever.
     pub fn run(self) -> io::Result<()> {
+        let timeout = (self.idle_timeout > Duration::ZERO).then_some(self.idle_timeout);
         for conn in self.listener.incoming() {
             if self.state.shutting_down.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
+            let _ = stream.set_read_timeout(timeout);
             let state = Arc::clone(&self.state);
             thread::spawn(move || handle_connection(&state, stream));
         }
@@ -464,20 +615,40 @@ impl Server {
 }
 
 /// Frame loop for one client.  Clean EOF between frames ends the
-/// connection; anything malformed earns a best-effort error reply and a
-/// drop, *before* any engine or cache interaction.
+/// connection; an idle-timeout expiry drops it silently (the half-open
+/// client is gone — nobody is reading error replies); anything malformed
+/// earns a best-effort error reply and a drop, *before* any engine or
+/// cache interaction.
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let mut stream = stream;
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(Some(payload)) => payload,
             Ok(None) => return,
+            // The idle read timeout fired (Unix reports WouldBlock,
+            // Windows TimedOut): a clean idle drop, not a protocol
+            // violation.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
             Err(_) => {
                 let bytes = to_bytes(&Response::Error("malformed frame".to_string()));
                 let _ = write_frame(&mut stream, &bytes);
                 return;
             }
         };
+        // A daemon being shut down severs surviving connections at the
+        // next frame boundary (in-flight requests already finished):
+        // pooled clients see the drop immediately and fail over to their
+        // local tiers instead of talking to a half-dead server.
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
         let reply: Arc<Vec<u8>> = match from_bytes::<Request>(&payload) {
             // An unknown-but-well-framed request *kind* (a newer client
             // speaking the same frame version) is a per-request error,
@@ -490,7 +661,7 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             }) => {
                 let bytes = to_bytes(&Response::Error(format!(
                     "unsupported request kind (tag {tag}); this server understands \
-                     flow/simulate/ping/shutdown"
+                     flow/simulate/ping/shutdown/cache-get/cache-put/cache-stats"
                 )));
                 if write_frame(&mut stream, &bytes).is_err() {
                     return;
@@ -514,11 +685,123 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
             }
             Ok(Request::Flow(req)) => serve_flow(state, &req),
             Ok(Request::Simulate(req, inputs)) => Arc::new(serve_simulate(state, &req, &inputs)),
+            Ok(Request::CacheGetStage(key)) => Arc::new(serve_cache_get_stage(state, key)),
+            Ok(Request::CachePutStage(key, bytes)) => {
+                Arc::new(serve_cache_put_stage(state, key, &bytes))
+            }
+            Ok(Request::CacheGetNode(key)) => Arc::new(serve_cache_get_node(state, key)),
+            Ok(Request::CachePutNode(key, bytes)) => {
+                Arc::new(serve_cache_put_node(state, key, &bytes))
+            }
+            Ok(Request::CacheStats) => Arc::new(serve_cache_stats(state)),
         };
         if write_frame(&mut stream, &reply).is_err() {
             return;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Remote-cache service: raw entry bytes in, raw entry bytes out
+// ---------------------------------------------------------------------------
+
+/// Serve a stage entry from the daemon's cache as raw entry-file bytes.
+/// A hit re-encodes through the canonical entry codec, so the bytes a
+/// client receives are exactly what a local `DiskStore` write would have
+/// produced — the client re-validates and re-materializes them into its
+/// own disk tier unchanged.
+fn serve_cache_get_stage(state: &ServerState, key: u128) -> Vec<u8> {
+    match state.cache.lookup(key) {
+        Some(hit) => {
+            state.cache_serve_hits.fetch_add(1, Ordering::Relaxed);
+            let bytes = crate::disk::encode_entry_with_version(
+                &hit.delta,
+                &hit.writes,
+                hit.saved,
+                crate::disk::FORMAT_VERSION,
+            );
+            to_bytes(&Response::CacheEntry(Some(bytes)))
+        }
+        None => {
+            state.cache_serve_misses.fetch_add(1, Ordering::Relaxed);
+            to_bytes(&Response::CacheEntry(None))
+        }
+    }
+}
+
+/// Validate and store an offered stage entry.  The validation is the
+/// same totality as a `DiskStore` read — magic, version, layout digest,
+/// checksum, codec decode — so a corrupt or version-skewed put is
+/// rejected with a clean [`Response::Error`], never stored, and the
+/// connection stays alive.
+fn serve_cache_put_stage(state: &ServerState, key: u128, bytes: &[u8]) -> Vec<u8> {
+    match crate::disk::decode_stage_entry(bytes) {
+        Some((delta, writes, cost)) => {
+            state.cache_puts_accepted.fetch_add(1, Ordering::Relaxed);
+            let fresh = state.cache.insert_remote(key, delta, writes, cost);
+            to_bytes(&Response::CachePutDone(fresh))
+        }
+        None => {
+            state.cache_puts_rejected.fetch_add(1, Ordering::Relaxed);
+            to_bytes(&Response::Error(
+                "rejected cache put: entry bytes failed validation (corrupt, truncated \
+                 or foreign format version)"
+                    .to_string(),
+            ))
+        }
+    }
+}
+
+/// Serve a node-tier entry as raw entry-file bytes.
+fn serve_cache_get_node(state: &ServerState, key: u128) -> Vec<u8> {
+    match state.cache.lookup_node(key) {
+        Some(hit) => {
+            state.cache_serve_hits.fetch_add(1, Ordering::Relaxed);
+            let bytes = crate::disk::encode_node_entry_with_version(
+                &hit.artifact,
+                crate::disk::FORMAT_VERSION,
+            );
+            to_bytes(&Response::CacheEntry(Some(bytes)))
+        }
+        None => {
+            state.cache_serve_misses.fetch_add(1, Ordering::Relaxed);
+            to_bytes(&Response::CacheEntry(None))
+        }
+    }
+}
+
+/// Validate and store an offered node-tier entry (validated like
+/// [`serve_cache_put_stage`]).
+fn serve_cache_put_node(state: &ServerState, key: u128, bytes: &[u8]) -> Vec<u8> {
+    match crate::disk::decode_node_entry(bytes) {
+        Some(artifact) => {
+            state.cache_puts_accepted.fetch_add(1, Ordering::Relaxed);
+            let fresh = state.cache.insert_node_remote(key, artifact);
+            to_bytes(&Response::CachePutDone(fresh))
+        }
+        None => {
+            state.cache_puts_rejected.fetch_add(1, Ordering::Relaxed);
+            to_bytes(&Response::Error(
+                "rejected cache put: entry bytes failed validation (corrupt, truncated \
+                 or foreign format version)"
+                    .to_string(),
+            ))
+        }
+    }
+}
+
+/// The daemon's cache counters.
+fn serve_cache_stats(state: &ServerState) -> Vec<u8> {
+    let stats = state.cache.stats();
+    to_bytes(&Response::CacheStatsReply(CacheStatsReply {
+        entries: stats.entries as u64,
+        node_entries: stats.node_entries as u64,
+        serve_hits: state.cache_serve_hits.load(Ordering::Relaxed),
+        serve_misses: state.cache_serve_misses.load(Ordering::Relaxed),
+        puts_accepted: state.cache_puts_accepted.load(Ordering::Relaxed),
+        puts_rejected: state.cache_puts_rejected.load(Ordering::Relaxed),
+        summary: stats.summary(),
+    }))
 }
 
 /// Content key for coalescing: what the *artifacts* depend on.  Uses
@@ -670,6 +953,21 @@ impl Client {
         })
     }
 
+    /// Wrap an already-connected stream (lets callers dial with their
+    /// own connect timeout via [`TcpStream::connect_timeout`]).
+    #[must_use]
+    pub fn from_stream(stream: TcpStream) -> Client {
+        Client { stream }
+    }
+
+    /// Bound every read and write on the connection (`None` removes the
+    /// bound). [`crate::remote::RemoteStore`] sets this so a hung daemon
+    /// degrades a flow to local-only instead of wedging it.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
     /// Send one request frame and decode the reply frame.
     pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
         write_frame(&mut self.stream, &to_bytes(request))?;
@@ -721,6 +1019,52 @@ impl Client {
             _ => Err(ServeError::Protocol("reply to Shutdown")),
         }
     }
+
+    /// Fetch a stage entry's raw bytes from the daemon's store.
+    pub fn cache_get_stage(&mut self, key: u128) -> Result<Option<Vec<u8>>, ServeError> {
+        match self.request(&Request::CacheGetStage(key))? {
+            Response::CacheEntry(bytes) => Ok(bytes),
+            Response::Error(msg) => Err(ServeError::Server(msg)),
+            _ => Err(ServeError::Protocol("reply to CacheGetStage")),
+        }
+    }
+
+    /// Offer a stage entry to the daemon's store; `Ok(true)` when the
+    /// daemon stored it fresh.
+    pub fn cache_put_stage(&mut self, key: u128, bytes: Vec<u8>) -> Result<bool, ServeError> {
+        match self.request(&Request::CachePutStage(key, bytes))? {
+            Response::CachePutDone(fresh) => Ok(fresh),
+            Response::Error(msg) => Err(ServeError::Server(msg)),
+            _ => Err(ServeError::Protocol("reply to CachePutStage")),
+        }
+    }
+
+    /// Fetch a node-tier entry's raw bytes from the daemon's store.
+    pub fn cache_get_node(&mut self, key: u128) -> Result<Option<Vec<u8>>, ServeError> {
+        match self.request(&Request::CacheGetNode(key))? {
+            Response::CacheEntry(bytes) => Ok(bytes),
+            Response::Error(msg) => Err(ServeError::Server(msg)),
+            _ => Err(ServeError::Protocol("reply to CacheGetNode")),
+        }
+    }
+
+    /// Offer a node-tier entry to the daemon's store.
+    pub fn cache_put_node(&mut self, key: u128, bytes: Vec<u8>) -> Result<bool, ServeError> {
+        match self.request(&Request::CachePutNode(key, bytes))? {
+            Response::CachePutDone(fresh) => Ok(fresh),
+            Response::Error(msg) => Err(ServeError::Server(msg)),
+            _ => Err(ServeError::Protocol("reply to CachePutNode")),
+        }
+    }
+
+    /// The daemon's cache counters.
+    pub fn cache_stats(&mut self) -> Result<CacheStatsReply, ServeError> {
+        match self.request(&Request::CacheStats)? {
+            Response::CacheStatsReply(stats) => Ok(stats),
+            Response::Error(msg) => Err(ServeError::Server(msg)),
+            _ => Err(ServeError::Protocol("reply to CacheStats")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +1087,11 @@ mod tests {
             Request::Simulate(tiny_request(), vec![("a".to_string(), 3)]),
             Request::Ping,
             Request::Shutdown,
+            Request::CacheGetStage(0xfeed_beef),
+            Request::CachePutStage(0xfeed_beef, vec![1, 2, 3]),
+            Request::CacheGetNode(7),
+            Request::CachePutNode(7, vec![0xff; 4]),
+            Request::CacheStats,
         ];
         for req in &reqs {
             let bytes = to_bytes(req);
@@ -757,6 +1106,18 @@ mod tests {
                 cycles: 12,
                 bus_transfers: 2,
                 bus_busy_cycles: 4,
+            }),
+            Response::CacheEntry(None),
+            Response::CacheEntry(Some(vec![9, 8, 7])),
+            Response::CachePutDone(true),
+            Response::CacheStatsReply(CacheStatsReply {
+                entries: 3,
+                node_entries: 4,
+                serve_hits: 5,
+                serve_misses: 6,
+                puts_accepted: 7,
+                puts_rejected: 8,
+                summary: "stage cache: …".to_string(),
             }),
         ];
         for resp in &resps {

@@ -73,6 +73,7 @@ pub struct FlowSession<'a> {
     cache: Option<StageCache>,
     cache_dir: Option<PathBuf>,
     cache_max_bytes: Option<u64>,
+    cache_remote: Option<String>,
     cost: Option<CostModel>,
     mapping: Option<Mapping>,
 }
@@ -93,6 +94,7 @@ impl<'a> FlowSession<'a> {
             cache: None,
             cache_dir: None,
             cache_max_bytes: None,
+            cache_remote: None,
             cost: None,
             mapping: None,
         }
@@ -166,6 +168,19 @@ impl<'a> FlowSession<'a> {
     #[must_use]
     pub fn cache_max_bytes(mut self, max_bytes: u64) -> FlowSession<'a> {
         self.cache_max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Attach a remote fleet tier: a `coold` daemon at `addr` consulted
+    /// when both the memory and disk tiers miss, and written through on
+    /// every computed stage. Composes with [`cache`](FlowSession::cache)
+    /// or [`cache_dir`](FlowSession::cache_dir) (with neither, a default
+    /// in-memory cache is created to host the remote tier). The daemon
+    /// being unreachable never fails the flow — the cache degrades to
+    /// local-only with a one-line warning per outage streak.
+    #[must_use]
+    pub fn cache_remote(mut self, addr: impl Into<String>) -> FlowSession<'a> {
+        self.cache_remote = Some(addr.into());
         self
     }
 
@@ -457,34 +472,48 @@ impl<'a> FlowSession<'a> {
     /// The cache the run should attach, opening the persistent directory
     /// if one was configured.
     fn resolved_cache(&self) -> Result<Option<StageCache>, FlowError> {
-        match (&self.cache, &self.cache_dir) {
-            (Some(_), Some(_)) => Err(FlowError::Session(
-                "both .cache(..) and .cache_dir(..) configured; pick one cache source \
-                 (a persistent cache is created from the directory alone)"
-                    .to_string(),
-            )),
-            (Some(cache), None) => Ok(Some(cache.clone())),
+        let local = match (&self.cache, &self.cache_dir) {
+            (Some(_), Some(_)) => {
+                return Err(FlowError::Session(
+                    "both .cache(..) and .cache_dir(..) configured; pick one cache source \
+                     (a persistent cache is created from the directory alone)"
+                        .to_string(),
+                ))
+            }
+            (Some(cache), None) => Some(cache.clone()),
             (None, Some(dir)) => {
                 let max_bytes = self
                     .cache_max_bytes
                     .unwrap_or(crate::disk::DEFAULT_MAX_BYTES);
-                StageCache::persistent_with_cap(StageCache::DEFAULT_CAPACITY, dir, max_bytes)
-                    .map(Some)
-                    .map_err(|e| {
+                let cache =
+                    StageCache::persistent_with_cap(StageCache::DEFAULT_CAPACITY, dir, max_bytes)
+                        .map_err(|e| {
                         FlowError::Session(format!(
                             "cannot open cache directory `{}`: {e}",
                             dir.display()
                         ))
-                    })
+                    })?;
+                Some(cache)
             }
             (None, None) => match self.cache_max_bytes {
-                Some(_) => Err(FlowError::Session(
-                    "cache_max_bytes configured without .cache_dir(..); the byte cap \
-                     applies to the persistent disk tier only"
-                        .to_string(),
-                )),
-                None => Ok(None),
+                Some(_) => {
+                    return Err(FlowError::Session(
+                        "cache_max_bytes configured without .cache_dir(..); the byte cap \
+                         applies to the persistent disk tier only"
+                            .to_string(),
+                    ))
+                }
+                None => None,
             },
+        };
+        // The remote tier composes onto whatever resolved locally; with
+        // no local cache configured, a default in-memory cache hosts it.
+        match &self.cache_remote {
+            None => Ok(local),
+            Some(addr) => {
+                let remote = std::sync::Arc::new(crate::remote::RemoteStore::new(addr.clone()));
+                Ok(Some(local.unwrap_or_default().with_remote(remote)))
+            }
         }
     }
 

@@ -38,6 +38,13 @@ pub enum CacheOutcome {
         /// Wall-clock the original execution took — the time saved.
         saved: Duration,
     },
+    /// The stage was skipped; its artifacts were fetched from the remote
+    /// fleet store (a `coold` daemon) and re-materialized locally — a
+    /// warm start from another machine.
+    RemoteHit {
+        /// Wall-clock the original execution took — the time saved.
+        saved: Duration,
+    },
 }
 
 /// Node-level cache activity of one stage execution: how many per-node
@@ -134,7 +141,8 @@ impl FlowTrace {
         &self.warnings
     }
 
-    /// Stages restored from the cache in this run (memory or disk tier).
+    /// Stages restored from the cache in this run (memory, disk or
+    /// remote tier).
     #[must_use]
     pub fn cache_hits(&self) -> usize {
         self.records
@@ -142,7 +150,9 @@ impl FlowTrace {
             .filter(|r| {
                 matches!(
                     r.cache,
-                    CacheOutcome::Hit { .. } | CacheOutcome::DiskHit { .. }
+                    CacheOutcome::Hit { .. }
+                        | CacheOutcome::DiskHit { .. }
+                        | CacheOutcome::RemoteHit { .. }
                 )
             })
             .count()
@@ -168,6 +178,15 @@ impl FlowTrace {
             .count()
     }
 
+    /// Stages restored from the remote fleet store in this run.
+    #[must_use]
+    pub fn remote_hits(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.cache, CacheOutcome::RemoteHit { .. }))
+            .count()
+    }
+
     /// Stages that executed and populated the cache in this run.
     #[must_use]
     pub fn cache_misses(&self) -> usize {
@@ -185,7 +204,9 @@ impl FlowTrace {
         self.records
             .iter()
             .map(|r| match r.cache {
-                CacheOutcome::Hit { saved } | CacheOutcome::DiskHit { saved } => saved,
+                CacheOutcome::Hit { saved }
+                | CacheOutcome::DiskHit { saved }
+                | CacheOutcome::RemoteHit { saved } => saved,
                 _ => Duration::ZERO,
             })
             .sum()
@@ -279,6 +300,9 @@ impl FlowTrace {
                 CacheOutcome::DiskHit { saved } => {
                     format!("  [disk hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3)
                 }
+                CacheOutcome::RemoteHit { saved } => {
+                    format!("  [remote hit, saved {:.3} ms]", saved.as_secs_f64() * 1e3)
+                }
                 CacheOutcome::Seeded => "  [seeded pass-through]".to_string(),
                 _ => String::new(),
             };
@@ -299,8 +323,12 @@ impl FlowTrace {
             "",
         ));
         if self.cache_hits() + self.cache_misses() > 0 {
+            let remote = match self.remote_hits() {
+                0 => String::new(),
+                n => format!(", {n} remote"),
+            };
             s.push_str(&format!(
-                "stage cache: {} hit(s) ({} from disk) / {} miss(es), {:.3} ms saved\n",
+                "stage cache: {} hit(s) ({} from disk{remote}) / {} miss(es), {:.3} ms saved\n",
                 self.cache_hits(),
                 self.disk_hits(),
                 self.cache_misses(),
@@ -358,6 +386,10 @@ impl Codec for CacheOutcome {
                 e.put_u8(4);
                 saved.encode(e);
             }
+            CacheOutcome::RemoteHit { saved } => {
+                e.put_u8(5);
+                saved.encode(e);
+            }
         }
     }
 
@@ -370,6 +402,9 @@ impl Codec for CacheOutcome {
                 saved: Duration::decode(d)?,
             }),
             4 => Ok(CacheOutcome::DiskHit {
+                saved: Duration::decode(d)?,
+            }),
+            5 => Ok(CacheOutcome::RemoteHit {
                 saved: Duration::decode(d)?,
             }),
             tag => Err(CodecError::InvalidTag {
@@ -603,6 +638,7 @@ mod tests {
                 computed_names: vec!["h1".to_string()],
             }),
         );
+        t.push_outcome("rtl", ms(5), CacheOutcome::RemoteHit { saved: ms(50) });
         t.push_warning("partition truncated");
         let bytes = cool_ir::codec::to_bytes(&t);
         let back: FlowTrace = cool_ir::codec::from_bytes(&bytes).unwrap();

@@ -18,9 +18,12 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::thread;
+use std::time::Duration;
 
+use cool_core::cache::ArtifactDelta;
+use cool_core::disk::{encode_entry_with_version, encode_node_entry_with_version, FORMAT_VERSION};
 use cool_core::server::{Client, FlowRequest, Request, Response, ServeError, Server, ServerHandle};
-use cool_core::{FlowArtifacts, FlowOptions, FlowResponse, FlowSession, StageCache};
+use cool_core::{FlowArtifacts, FlowOptions, FlowResponse, FlowSession, NodeArtifact, StageCache};
 use cool_ir::codec::{read_frame, to_bytes, write_frame};
 use cool_ir::Target;
 use cool_spec::{print_spec, workloads};
@@ -344,6 +347,191 @@ fn unknown_request_kinds_get_an_error_frame_and_the_connection_survives() {
         1,
         "the unknown kind never reached the engine"
     );
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A valid stage-entry payload in the exact on-disk/wire format, with a
+/// distinguishing cost so distinct entries have distinct bytes.
+fn stage_entry_bytes(cost_ms: u64) -> Vec<u8> {
+    encode_entry_with_version(
+        &ArtifactDelta::default(),
+        &[],
+        Duration::from_millis(cost_ms),
+        FORMAT_VERSION,
+    )
+}
+
+/// Satellite regression: an idle connection no longer holds its handler
+/// thread forever — the accepted socket's read timeout drops it, and the
+/// daemon keeps serving fresh connections afterwards.
+#[test]
+fn idle_connections_are_dropped_by_the_read_timeout() {
+    let server = Server::bind("127.0.0.1:0", StageCache::default())
+        .expect("bind")
+        .idle_timeout(Some(Duration::from_millis(150)));
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().expect("accept loop"));
+
+    let mut idle = Client::connect(handle.addr()).expect("connect");
+    idle.ping().expect("ping while fresh");
+    thread::sleep(Duration::from_millis(600));
+    assert!(
+        idle.ping().is_err(),
+        "the daemon must drop a connection idle past the timeout"
+    );
+
+    // The drop is clean: the daemon itself keeps accepting and serving.
+    let mut fresh = Client::connect(handle.addr()).expect("reconnect");
+    fresh.ping().expect("daemon alive after the idle drop");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Satellite coverage: N threads race cache puts/gets of identical and
+/// distinct keys against one daemon. Exactly one put of the shared key
+/// is fresh (the store is single-flight under its lock), every get is
+/// byte-identical to what was put, and distinct keys never collide.
+#[test]
+fn concurrent_cache_puts_and_gets_race_safely() {
+    let (handle, join) = spawn_server(StageCache::default());
+    let addr = handle.addr();
+
+    const SHARED_KEY: u128 = 0xfeed_0001;
+    const THREADS: usize = 8;
+    let shared = stage_entry_bytes(7);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let fresh_flags: Vec<bool> = (0..THREADS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            let shared = shared.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                // Everyone races the shared key, then puts a key of its
+                // own, then reads both back.
+                let fresh_shared = client
+                    .cache_put_stage(SHARED_KEY, shared.clone())
+                    .expect("shared put");
+                let own_key = 0x1000 + i as u128;
+                let own = stage_entry_bytes(100 + i as u64);
+                assert!(
+                    client
+                        .cache_put_stage(own_key, own.clone())
+                        .expect("own put"),
+                    "a distinct key is always fresh"
+                );
+                assert_eq!(
+                    client.cache_get_stage(SHARED_KEY).expect("shared get"),
+                    Some(shared.clone()),
+                    "shared entry must read back byte-identical"
+                );
+                assert_eq!(
+                    client.cache_get_stage(own_key).expect("own get"),
+                    Some(own),
+                    "own entry must read back byte-identical"
+                );
+                fresh_shared
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    assert_eq!(
+        fresh_flags.iter().filter(|f| **f).count(),
+        1,
+        "exactly one racer's put of the shared key may be fresh"
+    );
+
+    // Node-tier entries travel the same way.
+    let mut client = Client::connect(addr).expect("connect");
+    let node = encode_node_entry_with_version(
+        &NodeArtifact::Vhdl("entity probe is end;".to_string()),
+        FORMAT_VERSION,
+    );
+    assert!(client.cache_put_node(42, node.clone()).expect("node put"));
+    assert_eq!(
+        client.cache_get_node(42).expect("node get"),
+        Some(node),
+        "node entry must read back byte-identical"
+    );
+    assert_eq!(client.cache_get_node(43).expect("node miss"), None);
+
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.puts_rejected, 0);
+    assert!(
+        stats.puts_accepted >= THREADS as u64 + 2,
+        "all valid puts accepted: {stats:?}"
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Corrupt or version-skewed puts are rejected with a clean error —
+/// validated with the same totality as a `DiskStore` read — and never
+/// land in the store; the connection survives the rejection.
+#[test]
+fn corrupt_and_version_skewed_puts_are_rejected_and_never_stored() {
+    let (handle, join) = spawn_server(StageCache::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A bit flip breaks the entry checksum.
+    let mut corrupt = stage_entry_bytes(9);
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    match client.cache_put_stage(0xdead, corrupt) {
+        Err(ServeError::Server(msg)) => {
+            assert!(msg.contains("rejected cache put"), "got: {msg}")
+        }
+        other => panic!("corrupt put must be rejected, got {other:?}"),
+    }
+
+    // A foreign format version is rejected even with a valid checksum.
+    let skewed = encode_entry_with_version(
+        &ArtifactDelta::default(),
+        &[],
+        Duration::from_millis(9),
+        FORMAT_VERSION + 1,
+    );
+    match client.cache_put_stage(0xbeef, skewed) {
+        Err(ServeError::Server(msg)) => {
+            assert!(msg.contains("rejected cache put"), "got: {msg}")
+        }
+        other => panic!("version-skewed put must be rejected, got {other:?}"),
+    }
+
+    // Truncated node bytes are rejected the same way.
+    let node = encode_node_entry_with_version(
+        &NodeArtifact::Vhdl("entity x is end;".to_string()),
+        FORMAT_VERSION,
+    );
+    match client.cache_put_node(0xcafe, node[..node.len() / 2].to_vec()) {
+        Err(ServeError::Server(msg)) => {
+            assert!(msg.contains("rejected cache put"), "got: {msg}")
+        }
+        other => panic!("truncated node put must be rejected, got {other:?}"),
+    }
+
+    // Nothing landed, the connection survived, and the daemon counted
+    // the rejections.
+    assert_eq!(client.cache_get_stage(0xdead).expect("get"), None);
+    assert_eq!(client.cache_get_stage(0xbeef).expect("get"), None);
+    assert_eq!(client.cache_get_node(0xcafe).expect("get"), None);
+    let stats = client.cache_stats().expect("stats on the same connection");
+    assert_eq!(stats.puts_rejected, 3, "{stats:?}");
+    assert_eq!(stats.puts_accepted, 0, "{stats:?}");
+    assert_eq!(stats.entries, 0, "a rejected put must never be stored");
+    assert_eq!(stats.node_entries, 0, "a rejected put must never be stored");
+
+    // And a good put still works afterwards.
+    assert!(client
+        .cache_put_stage(0xfeed, stage_entry_bytes(3))
+        .expect("valid put after rejections"));
 
     handle.shutdown();
     join.join().expect("server thread");
